@@ -1,0 +1,86 @@
+//! Fig 3 kernel: per-processor query latency at several k.
+//!
+//! The full figure (all k values, larger scale, quality columns) is produced
+//! by `report --exp fig3`; this bench gives statistically robust timings for
+//! the same hot paths at the CI-friendly scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_core::corpus::Corpus;
+use friends_core::processors::{
+    ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalProcessor,
+    Processor,
+};
+use friends_core::proximity::ProximityModel;
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_data::queries::{QueryParams, QueryWorkload};
+use friends_index::inverted::IndexConfig;
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
+    let corpus = Corpus::new(ds.graph, ds.store);
+    let alpha = 0.5;
+    let mut group = c.benchmark_group("fig3_latency_vs_k");
+    group.sample_size(20);
+
+    for k in [1usize, 10, 50] {
+        let w = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 8,
+                k,
+                ..QueryParams::default()
+            },
+            7,
+        );
+        let mut global = GlobalProcessor::new(&corpus, IndexConfig::default());
+        group.bench_with_input(BenchmarkId::new("global", k), &w, |b, w| {
+            b.iter(|| {
+                for q in &w.queries {
+                    std::hint::black_box(global.query(q));
+                }
+            })
+        });
+        let mut exact = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha });
+        group.bench_with_input(BenchmarkId::new("exact", k), &w, |b, w| {
+            b.iter(|| {
+                for q in &w.queries {
+                    std::hint::black_box(exact.query(q));
+                }
+            })
+        });
+        let mut expansion = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha,
+                check_interval: 16,
+                ..ExpansionConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("expansion", k), &w, |b, w| {
+            b.iter(|| {
+                for q in &w.queries {
+                    std::hint::black_box(expansion.query(q));
+                }
+            })
+        });
+        let mut cluster = ClusterIndex::build(
+            &corpus,
+            ClusterConfig {
+                alpha,
+                ..ClusterConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cluster", k), &w, |b, w| {
+            b.iter(|| {
+                for q in &w.queries {
+                    std::hint::black_box(cluster.query(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig 4 kernel: how query cost grows with network size, for the exact
+//! baseline vs friend expansion (the headline scalability claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_core::corpus::Corpus;
+use friends_core::processors::{ExactOnline, ExpansionConfig, FriendExpansion, Processor};
+use friends_core::proximity::ProximityModel;
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_data::queries::{QueryParams, QueryWorkload};
+
+fn bench(c: &mut Criterion) {
+    let alpha = 0.5;
+    let mut group = c.benchmark_group("fig4_scalability");
+    group.sample_size(15);
+    for n in [500usize, 2_000, 8_000] {
+        let ds = DatasetSpec::delicious_like(Scale::Custom(n)).build(42);
+        let corpus = Corpus::new(ds.graph, ds.store);
+        let w = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 5,
+                k: 10,
+                ..QueryParams::default()
+            },
+            7,
+        );
+        let mut exact = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha });
+        group.bench_with_input(BenchmarkId::new("exact", n), &w, |b, w| {
+            b.iter(|| {
+                for q in &w.queries {
+                    std::hint::black_box(exact.query(q));
+                }
+            })
+        });
+        let mut expansion = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha,
+                check_interval: 16,
+                ..ExpansionConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("expansion", n), &w, |b, w| {
+            b.iter(|| {
+                for q in &w.queries {
+                    std::hint::black_box(expansion.query(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig 5 kernel: expansion cost as a function of the proximity decay α —
+//! small α means tight locality and early termination, large α forces the
+//! traversal to reach far into the network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_core::corpus::Corpus;
+use friends_core::processors::{ExpansionConfig, FriendExpansion, Processor};
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_data::queries::{QueryParams, QueryWorkload};
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
+    let corpus = Corpus::new(ds.graph, ds.store);
+    let w = QueryWorkload::generate(
+        &corpus.graph,
+        &corpus.store,
+        &QueryParams {
+            count: 8,
+            k: 10,
+            ..QueryParams::default()
+        },
+        7,
+    );
+    let mut group = c.benchmark_group("fig5_decay");
+    group.sample_size(20);
+    for alpha in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+        let mut expansion = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha,
+                check_interval: 16,
+                ..ExpansionConfig::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("expansion", format!("{alpha:.1}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    for q in &w.queries {
+                        std::hint::black_box(expansion.query(q));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig 6 kernel: cost of the proximity estimators behind the accuracy
+//! trade-off — PPR forward push across ε, power iteration, and the BFS
+//! materialization, on the same graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_graph::ppr::{forward_push, power_iteration, PushWorkspace};
+use friends_graph::traversal::bfs_distances;
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
+    let g = ds.graph;
+    let mut group = c.benchmark_group("fig6_accuracy");
+    group.sample_size(30);
+
+    for eps in [1e-3f64, 1e-4, 1e-5, 1e-6] {
+        let mut ws = PushWorkspace::new(g.num_nodes());
+        group.bench_with_input(
+            BenchmarkId::new("forward_push", format!("{eps:.0e}")),
+            &eps,
+            |b, &eps| b.iter(|| std::hint::black_box(forward_push(&g, 7, 0.2, eps, &mut ws))),
+        );
+    }
+    group.bench_function("power_iteration_50", |b| {
+        b.iter(|| std::hint::black_box(power_iteration(&g, 7, 0.2, 50)))
+    });
+    group.bench_function("bfs_materialize", |b| {
+        b.iter(|| std::hint::black_box(bfs_distances(&g, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Fig 7 kernel: query cost under different tag-popularity skews (Zipf θ).
+//! Higher skew concentrates postings in few huge lists, stressing the
+//! global index; lower skew spreads the mass thin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_core::corpus::Corpus;
+use friends_core::processors::{ExpansionConfig, FriendExpansion, GlobalProcessor, Processor};
+use friends_data::generator::{generate, WorkloadParams};
+use friends_data::queries::{QueryParams, QueryWorkload};
+use friends_graph::generators::{self, WeightModel};
+use friends_index::inverted::IndexConfig;
+
+fn bench(c: &mut Criterion) {
+    let users = 500;
+    let base = generators::barabasi_albert(users, 5, 42);
+    let graph = generators::assign_weights(&base, WeightModel::Jaccard { floor: 0.1 }, 42);
+    let mut group = c.benchmark_group("fig7_skew");
+    group.sample_size(15);
+
+    for theta in [0.6f64, 1.0, 1.4] {
+        let store = generate(
+            &graph,
+            &WorkloadParams {
+                num_items: 10_000,
+                num_tags: 128,
+                tag_theta: theta,
+                ..WorkloadParams::default()
+            },
+            42,
+        );
+        let corpus = Corpus::new(graph.clone(), store);
+        let w = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 8,
+                k: 10,
+                ..QueryParams::default()
+            },
+            7,
+        );
+        let mut global = GlobalProcessor::new(&corpus, IndexConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("global", format!("{theta:.1}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    for q in &w.queries {
+                        std::hint::black_box(global.query(q));
+                    }
+                })
+            },
+        );
+        let mut expansion = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha: 0.5,
+                check_interval: 16,
+                ..ExpansionConfig::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("expansion", format!("{theta:.1}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    for q in &w.queries {
+                        std::hint::black_box(expansion.query(q));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig 8 kernel: expansion latency as k grows — the termination bound takes
+//! longer to fire for deeper result lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_core::corpus::Corpus;
+use friends_core::processors::{ExpansionConfig, FriendExpansion, Processor};
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_data::queries::{QueryParams, QueryWorkload};
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetSpec::flickr_like(Scale::Tiny).build(42);
+    let corpus = Corpus::new(ds.graph, ds.store);
+    let mut group = c.benchmark_group("fig8_visited");
+    group.sample_size(20);
+    for k in [1usize, 5, 10, 20, 50, 100] {
+        let w = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 8,
+                k,
+                ..QueryParams::default()
+            },
+            7,
+        );
+        let mut expansion = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha: 0.3,
+                check_interval: 8,
+                ..ExpansionConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("expansion", k), &w, |b, w| {
+            b.iter(|| {
+                for q in &w.queries {
+                    std::hint::black_box(expansion.query(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

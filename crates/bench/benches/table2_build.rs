@@ -1,0 +1,36 @@
+//! Table 2 kernel: index construction cost — the global inverted index vs
+//! the cluster sketch (partition + landmark oracle + per-cluster masses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use friends_core::corpus::Corpus;
+use friends_core::processors::{ClusterConfig, ClusterIndex, GlobalProcessor};
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_graph::landmarks::{LandmarkOracle, LandmarkStrategy};
+use friends_index::inverted::IndexConfig;
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
+    let corpus = Corpus::new(ds.graph, ds.store);
+    let mut group = c.benchmark_group("table2_build");
+    group.sample_size(10);
+
+    group.bench_function("global_index", |b| {
+        b.iter(|| std::hint::black_box(GlobalProcessor::new(&corpus, IndexConfig::default())))
+    });
+    group.bench_function("cluster_index", |b| {
+        b.iter(|| std::hint::black_box(ClusterIndex::build(&corpus, ClusterConfig::default())))
+    });
+    group.bench_function("landmark_oracle_16", |b| {
+        b.iter(|| {
+            std::hint::black_box(LandmarkOracle::build(
+                &corpus.graph,
+                16,
+                LandmarkStrategy::HighestDegree,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Table 3 kernel: micro-ablations of the IR substrate — posting-list
+//! encoding, skip pointers, and the WAND vs exhaustive evaluation gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_index::accumulate::daat_topk;
+use friends_index::postings::{Encoding, PostingConfig, PostingList};
+use friends_index::topk::wand_topk;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn make_list(n: u32, stride: u32, cfg: PostingConfig, seed: u64) -> PostingList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        entries.push((
+            i * stride + rng.gen_range(0..stride.max(1)),
+            rng.gen_range(0.01f32..2.0),
+        ));
+    }
+    PostingList::build(entries, cfg)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_ablation");
+    group.sample_size(30);
+
+    // (a) decode + advance cost across encodings and skip settings.
+    for (name, cfg) in [
+        (
+            "varint_skips",
+            PostingConfig {
+                encoding: Encoding::DeltaVarint,
+                block_len: 128,
+                skips_enabled: true,
+            },
+        ),
+        (
+            "raw_skips",
+            PostingConfig {
+                encoding: Encoding::Raw,
+                block_len: 128,
+                skips_enabled: true,
+            },
+        ),
+        (
+            "varint_noskips",
+            PostingConfig {
+                encoding: Encoding::DeltaVarint,
+                block_len: 128,
+                skips_enabled: false,
+            },
+        ),
+    ] {
+        let list = make_list(50_000, 7, cfg, 1);
+        group.bench_with_input(BenchmarkId::new("advance_sparse", name), &list, |b, l| {
+            // Seek through the list with large strides — the skip-pointer
+            // fast path.
+            b.iter(|| {
+                let mut cur = l.cursor();
+                let mut target = 0u32;
+                while !cur.is_exhausted() {
+                    cur.advance(target);
+                    target += 10_000;
+                    if let Some(d) = cur.doc() {
+                        std::hint::black_box(d);
+                        if target <= d {
+                            target = d + 10_000;
+                        }
+                    }
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", name), &list, |b, l| {
+            b.iter(|| {
+                let mut cur = l.cursor();
+                let mut acc = 0.0f32;
+                while let Some(_d) = cur.doc() {
+                    acc += cur.score();
+                    cur.next();
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+
+    // (b) WAND vs exhaustive DAAT on a 3-list conjunction-free query.
+    let cfg = PostingConfig::default();
+    let lists: Vec<PostingList> = (0..3).map(|i| make_list(20_000, 5, cfg, i)).collect();
+    let refs: Vec<&PostingList> = lists.iter().collect();
+    for k in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("wand", k), &refs, |b, r| {
+            b.iter(|| std::hint::black_box(wand_topk(r, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("daat_exhaustive", k), &refs, |b, r| {
+            b.iter(|| std::hint::black_box(daat_topk(r, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates the evaluation tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p friends-bench --bin report -- --exp all
+//! cargo run --release -p friends-bench --bin report -- --exp fig3 --profile full
+//! ```
+
+use friends_bench::experiments::{self, Profile};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: report [--exp <name>|all] [--profile quick|full]\n\
+         experiments: {}",
+        experiments::ALL.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = "all".to_owned();
+    let mut profile = Profile::Full;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--profile" => {
+                i += 1;
+                profile = match args.get(i).map(String::as_str) {
+                    Some("quick") => Profile::Quick,
+                    Some("full") => Profile::Full,
+                    _ => usage(),
+                };
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let names: Vec<&str> = if exp == "all" {
+        experiments::ALL.to_vec()
+    } else {
+        vec![exp.as_str()]
+    };
+    for name in names {
+        match experiments::run(name, profile) {
+            Some(out) => println!("{out}"),
+            None => {
+                eprintln!("unknown experiment `{name}`");
+                usage();
+            }
+        }
+    }
+}

@@ -1,0 +1,772 @@
+//! One function per table/figure of the evaluation. Each returns the
+//! rendered text table(s); the `report` binary prints them, the Criterion
+//! benches time the hot kernels, and `EXPERIMENTS.md` records the measured
+//! shapes against the expectations.
+
+use crate::{fmt_bytes, mean_us, percentile_us, timed, TextTable};
+use friends_core::corpus::{Corpus, QueryStats};
+use friends_core::eval::{kendall_tau, mean, ndcg_at_k, precision_at_k};
+use friends_core::processors::{
+    ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA,
+    GlobalProcessor, Hybrid, HybridConfig, Processor,
+};
+use friends_core::proximity::ProximityModel;
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_data::generator::{generate, WorkloadParams};
+use friends_data::queries::{QueryParams, QueryWorkload};
+use friends_graph::generators::{self, WeightModel};
+use friends_graph::metrics;
+use friends_index::inverted::IndexConfig;
+use friends_index::postings::{Encoding, PostingConfig};
+use std::time::Duration;
+
+/// Experiment sizing: `Quick` keeps everything under a few seconds for tests
+/// and CI; `Full` reproduces the figures at the scales in EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    Quick,
+    Full,
+}
+
+impl Profile {
+    fn scale(self) -> Scale {
+        match self {
+            Profile::Quick => Scale::Tiny,
+            Profile::Full => Scale::Small,
+        }
+    }
+
+    fn queries(self) -> usize {
+        match self {
+            Profile::Quick => 10,
+            Profile::Full => 100,
+        }
+    }
+}
+
+const SEED: u64 = 42;
+
+fn corpus_for(spec: &DatasetSpec) -> Corpus {
+    let ds = spec.build(SEED);
+    Corpus::new(ds.graph, ds.store)
+}
+
+fn std_workload(c: &Corpus, count: usize, k: usize) -> QueryWorkload {
+    QueryWorkload::generate(
+        &c.graph,
+        &c.store,
+        &QueryParams {
+            count,
+            k,
+            min_tags: 1,
+            max_tags: 3,
+        },
+        SEED ^ 0xBEEF,
+    )
+}
+
+/// Runs `p` over the workload, returning per-query latencies and the summed
+/// stats.
+fn drive(p: &mut dyn Processor, w: &QueryWorkload) -> (Vec<Duration>, QueryStats) {
+    let mut lat = Vec::with_capacity(w.len());
+    let mut agg = QueryStats::default();
+    for q in &w.queries {
+        let (r, d) = timed(|| p.query(q));
+        lat.push(d);
+        agg.users_visited += r.stats.users_visited;
+        agg.postings_scanned += r.stats.postings_scanned;
+        agg.clusters_touched += r.stats.clusters_touched;
+        agg.bound_checks += r.stats.bound_checks;
+        if r.stats.early_terminated {
+            agg.early_terminated = true;
+        }
+    }
+    (lat, agg)
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// Table 1: dataset statistics for the three synthetic families.
+pub fn table1(profile: Profile) -> String {
+    let scale = profile.scale();
+    let mut t = TextTable::new(&[
+        "dataset",
+        "users",
+        "edges",
+        "deg p50/p99",
+        "clustering",
+        "eff.diam",
+        "items",
+        "tags",
+        "taggings",
+        "tags/user",
+    ]);
+    for spec in [
+        DatasetSpec::delicious_like(scale),
+        DatasetSpec::flickr_like(scale),
+        DatasetSpec::citeulike_like(scale),
+    ] {
+        let ds = spec.build(SEED);
+        let g = metrics::summarize(&ds.graph, SEED);
+        let s = ds.store.stats();
+        t.row(vec![
+            ds.name.clone(),
+            g.nodes.to_string(),
+            g.edges.to_string(),
+            format!("{}/{}", g.degrees.p50, g.degrees.p99),
+            format!("{:.3}", g.clustering),
+            format!("{:.1}", g.effective_diameter),
+            s.items.to_string(),
+            s.tags.to_string(),
+            s.taggings.to_string(),
+            format!("{:.1}", s.taggings_per_user_mean),
+        ]);
+    }
+    format!("Table 1 — dataset statistics ({scale:?})\n{}", t.render())
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// Table 2: index construction time and size per dataset.
+pub fn table2(profile: Profile) -> String {
+    let scale = profile.scale();
+    let mut t = TextTable::new(&[
+        "dataset",
+        "global build",
+        "global size",
+        "cluster build",
+        "cluster size",
+        "clusters",
+        "raw store",
+    ]);
+    for spec in [
+        DatasetSpec::delicious_like(scale),
+        DatasetSpec::flickr_like(scale),
+        DatasetSpec::citeulike_like(scale),
+    ] {
+        let c = corpus_for(&spec);
+        let (global, dg) = timed(|| GlobalProcessor::new(&c, IndexConfig::default()));
+        let (cluster, dc) = timed(|| ClusterIndex::build(&c, ClusterConfig::default()));
+        t.row(vec![
+            spec.name(),
+            format!("{:.1} ms", dg.as_secs_f64() * 1e3),
+            fmt_bytes(global.memory_bytes()),
+            format!("{:.1} ms", dc.as_secs_f64() * 1e3),
+            fmt_bytes(cluster.memory_bytes()),
+            cluster.num_clusters().to_string(),
+            fmt_bytes(c.store.memory_bytes()),
+        ]);
+    }
+    format!(
+        "Table 2 — index construction time and size ({scale:?})\n{}",
+        t.render()
+    )
+}
+
+// ------------------------------------------------------------------ Fig 3
+
+/// Fig 3: mean query latency vs k, all processors, Delicious-like.
+pub fn fig3(profile: Profile) -> String {
+    let c = corpus_for(&DatasetSpec::delicious_like(profile.scale()));
+    let ks: &[usize] = match profile {
+        Profile::Quick => &[1, 10, 50],
+        Profile::Full => &[1, 5, 10, 20, 50, 100],
+    };
+    let alpha = 0.5;
+    let mut global = GlobalProcessor::new(&c, IndexConfig::default());
+    let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha });
+    let mut expansion = FriendExpansion::new(
+        &c,
+        ExpansionConfig {
+            alpha,
+            check_interval: 16,
+            ..ExpansionConfig::default()
+        },
+    );
+    let mut cluster = ClusterIndex::build(
+        &c,
+        ClusterConfig {
+            alpha,
+            ..ClusterConfig::default()
+        },
+    );
+    let mut hybrid = Hybrid::build(
+        &c,
+        HybridConfig {
+            alpha,
+            ..HybridConfig::default()
+        },
+    );
+    let mut gbta = GlobalBoundTA::new(&c, ProximityModel::WeightedDecay { alpha });
+    let mut t = TextTable::new(&[
+        "k",
+        "global us",
+        "exact us",
+        "expansion us",
+        "cluster us",
+        "gbound-ta us",
+        "hybrid us",
+    ]);
+    for &k in ks {
+        let w = std_workload(&c, profile.queries(), k);
+        let (lg, _) = drive(&mut global, &w);
+        let (le, _) = drive(&mut exact, &w);
+        let (lx, _) = drive(&mut expansion, &w);
+        let (lc, _) = drive(&mut cluster, &w);
+        let (lb, _) = drive(&mut gbta, &w);
+        let (lh, _) = drive(&mut hybrid, &w);
+        t.row(vec![
+            k.to_string(),
+            format!("{:.0}", mean_us(&lg)),
+            format!("{:.0}", mean_us(&le)),
+            format!("{:.0}", mean_us(&lx)),
+            format!("{:.0}", mean_us(&lc)),
+            format!("{:.0}", mean_us(&lb)),
+            format!("{:.0}", mean_us(&lh)),
+        ]);
+    }
+    format!(
+        "Fig 3 — mean query latency vs k (delicious, {:?}, {} queries/point)\n{}",
+        profile.scale(),
+        profile.queries(),
+        t.render()
+    )
+}
+
+// ------------------------------------------------------------------ Fig 4
+
+/// Fig 4: latency vs network size (Barabási–Albert sweep), k = 10.
+pub fn fig4(profile: Profile) -> String {
+    let sizes: &[usize] = match profile {
+        Profile::Quick => &[500, 2_000],
+        Profile::Full => &[2_000, 5_000, 20_000, 50_000],
+    };
+    let alpha = 0.5;
+    let mut t = TextTable::new(&[
+        "users",
+        "global us",
+        "exact us",
+        "expansion us",
+        "cluster us",
+        "exact/expansion",
+    ]);
+    for &n in sizes {
+        let c = corpus_for(&DatasetSpec::delicious_like(Scale::Custom(n)));
+        let w = std_workload(&c, profile.queries().min(50), 10);
+        let mut global = GlobalProcessor::new(&c, IndexConfig::default());
+        let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha });
+        let mut expansion = FriendExpansion::new(
+            &c,
+            ExpansionConfig {
+                alpha,
+                check_interval: 16,
+                ..ExpansionConfig::default()
+            },
+        );
+        let mut cluster = ClusterIndex::build(
+            &c,
+            ClusterConfig {
+                alpha,
+                ..ClusterConfig::default()
+            },
+        );
+        let (lg, _) = drive(&mut global, &w);
+        let (le, _) = drive(&mut exact, &w);
+        let (lx, _) = drive(&mut expansion, &w);
+        let (lc, _) = drive(&mut cluster, &w);
+        let ratio = mean_us(&le) / mean_us(&lx).max(1e-9);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", mean_us(&lg)),
+            format!("{:.0}", mean_us(&le)),
+            format!("{:.0}", mean_us(&lx)),
+            format!("{:.0}", mean_us(&lc)),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    format!("Fig 4 — latency vs network size (k=10)\n{}", t.render())
+}
+
+// ------------------------------------------------------------------ Fig 5
+
+/// Fig 5: effect of the proximity decay α on expansion cost.
+pub fn fig5(profile: Profile) -> String {
+    let c = corpus_for(&DatasetSpec::delicious_like(profile.scale()));
+    let alphas = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let mut t = TextTable::new(&[
+        "alpha",
+        "expansion us",
+        "visited/query",
+        "early-term %",
+        "exact us",
+    ]);
+    let n_q = profile.queries();
+    for &alpha in &alphas {
+        let mut expansion = FriendExpansion::new(
+            &c,
+            ExpansionConfig {
+                alpha,
+                check_interval: 16,
+                ..ExpansionConfig::default()
+            },
+        );
+        let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha });
+        let w = std_workload(&c, n_q, 10);
+        let mut early = 0usize;
+        let mut visited = 0usize;
+        let mut lat = Vec::new();
+        for q in &w.queries {
+            let (r, d) = timed(|| expansion.query(q));
+            lat.push(d);
+            visited += r.stats.users_visited;
+            if r.stats.early_terminated {
+                early += 1;
+            }
+        }
+        let (le, _) = drive(&mut exact, &w);
+        t.row(vec![
+            format!("{alpha:.1}"),
+            format!("{:.0}", mean_us(&lat)),
+            format!("{:.0}", visited as f64 / w.len() as f64),
+            format!("{:.0}%", 100.0 * early as f64 / w.len() as f64),
+            format!("{:.0}", mean_us(&le)),
+        ]);
+    }
+    format!(
+        "Fig 5 — proximity decay α vs expansion cost ({:?})\n{}",
+        profile.scale(),
+        t.render()
+    )
+}
+
+// ------------------------------------------------------------------ Fig 6
+
+/// Fig 6: ranking quality of the approximate strategies against the exact
+/// personalized ranking.
+pub fn fig6(profile: Profile) -> String {
+    let c = corpus_for(&DatasetSpec::delicious_like(profile.scale()));
+    let alpha = 0.5;
+    let k = 10;
+    let w = std_workload(&c, profile.queries(), k);
+
+    let mut exact_wd = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha });
+    let mut exact_dd = ExactOnline::new(&c, ProximityModel::DistanceDecay { alpha });
+    let mut global = GlobalProcessor::new(&c, IndexConfig::default());
+    let mut cluster = ClusterIndex::build(
+        &c,
+        ClusterConfig {
+            alpha,
+            num_landmarks: 16,
+            ..ClusterConfig::default()
+        },
+    );
+
+    let mut t = TextTable::new(&["strategy", "reference", "p@10", "kendall tau", "ndcg@10"]);
+    {
+        let mut ps = Vec::new();
+        let mut taus = Vec::new();
+        let mut ndcgs = Vec::new();
+        for q in &w.queries {
+            let truth = exact_wd.query(q);
+            let got = global.query(q);
+            ps.push(precision_at_k(&got.item_ids(), &truth.item_ids(), k));
+            taus.push(kendall_tau(&got.item_ids(), &truth.item_ids()));
+            let rel: std::collections::HashMap<u32, f32> = truth.items.iter().copied().collect();
+            ndcgs.push(ndcg_at_k(&got.item_ids(), &rel, k));
+        }
+        t.row(vec![
+            "global".into(),
+            "exact(weighted-decay)".into(),
+            format!("{:.2}", mean(&ps)),
+            format!("{:.2}", mean(&taus)),
+            format!("{:.2}", mean(&ndcgs)),
+        ]);
+    }
+    {
+        let mut ps = Vec::new();
+        let mut taus = Vec::new();
+        let mut ndcgs = Vec::new();
+        for q in &w.queries {
+            let truth = exact_dd.query(q);
+            let got = cluster.query(q);
+            ps.push(precision_at_k(&got.item_ids(), &truth.item_ids(), k));
+            taus.push(kendall_tau(&got.item_ids(), &truth.item_ids()));
+            let rel: std::collections::HashMap<u32, f32> = truth.items.iter().copied().collect();
+            ndcgs.push(ndcg_at_k(&got.item_ids(), &rel, k));
+        }
+        t.row(vec![
+            "cluster-index".into(),
+            "exact(distance-decay)".into(),
+            format!("{:.2}", mean(&ps)),
+            format!("{:.2}", mean(&taus)),
+            format!("{:.2}", mean(&ndcgs)),
+        ]);
+    }
+    // PPR approximation quality: coarse vs fine epsilon.
+    for eps in [1e-3, 1e-4, 1e-5] {
+        let mut fine = ExactOnline::new(
+            &c,
+            ProximityModel::Ppr {
+                alpha: 0.2,
+                epsilon: 1e-7,
+            },
+        );
+        let mut coarse = ExactOnline::new(
+            &c,
+            ProximityModel::Ppr {
+                alpha: 0.2,
+                epsilon: eps,
+            },
+        );
+        let mut ps = Vec::new();
+        let mut taus = Vec::new();
+        let mut ndcgs = Vec::new();
+        for q in &w.queries {
+            let truth = fine.query(q);
+            let got = coarse.query(q);
+            ps.push(precision_at_k(&got.item_ids(), &truth.item_ids(), k));
+            taus.push(kendall_tau(&got.item_ids(), &truth.item_ids()));
+            let rel: std::collections::HashMap<u32, f32> = truth.items.iter().copied().collect();
+            ndcgs.push(ndcg_at_k(&got.item_ids(), &rel, k));
+        }
+        t.row(vec![
+            format!("ppr eps={eps:.0e}"),
+            "exact(ppr eps=1e-7)".into(),
+            format!("{:.2}", mean(&ps)),
+            format!("{:.2}", mean(&taus)),
+            format!("{:.2}", mean(&ndcgs)),
+        ]);
+    }
+    format!(
+        "Fig 6 — ranking quality of approximations ({:?})\n{}",
+        profile.scale(),
+        t.render()
+    )
+}
+
+// ------------------------------------------------------------------ Fig 7
+
+/// Fig 7: effect of tag-popularity skew (Zipf θ).
+pub fn fig7(profile: Profile) -> String {
+    let users = profile.scale().users();
+    let base = generators::barabasi_albert(users, 5, SEED);
+    let graph = generators::assign_weights(&base, WeightModel::Jaccard { floor: 0.1 }, SEED);
+    let thetas = [0.6, 0.8, 1.0, 1.2, 1.4];
+    let alpha = 0.5;
+    let mut t = TextTable::new(&[
+        "tag theta",
+        "global us",
+        "expansion us",
+        "visited/query",
+        "p@10 global",
+    ]);
+    for &theta in &thetas {
+        let store = generate(
+            &graph,
+            &WorkloadParams {
+                num_items: (users * 20) as u32,
+                num_tags: ((users / 4).max(64)) as u32,
+                tag_theta: theta,
+                ..WorkloadParams::default()
+            },
+            SEED,
+        );
+        let c = Corpus::new(graph.clone(), store);
+        let w = std_workload(&c, profile.queries(), 10);
+        let mut global = GlobalProcessor::new(&c, IndexConfig::default());
+        let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha });
+        let mut expansion = FriendExpansion::new(
+            &c,
+            ExpansionConfig {
+                alpha,
+                check_interval: 16,
+                ..ExpansionConfig::default()
+            },
+        );
+        let (lg, _) = drive(&mut global, &w);
+        let mut lat = Vec::new();
+        let mut visited = 0usize;
+        let mut ps = Vec::new();
+        for q in &w.queries {
+            let truth = exact.query(q);
+            let (r, d) = timed(|| expansion.query(q));
+            lat.push(d);
+            visited += r.stats.users_visited;
+            let g = global.query(q);
+            ps.push(precision_at_k(&g.item_ids(), &truth.item_ids(), 10));
+        }
+        t.row(vec![
+            format!("{theta:.1}"),
+            format!("{:.0}", mean_us(&lg)),
+            format!("{:.0}", mean_us(&lat)),
+            format!("{:.0}", visited as f64 / w.len() as f64),
+            format!("{:.2}", mean(&ps)),
+        ]);
+    }
+    format!(
+        "Fig 7 — tag skew (Zipf θ) sweep ({} users)\n{}",
+        users,
+        t.render()
+    )
+}
+
+// ------------------------------------------------------------------ Fig 8
+
+/// Fig 8: early-termination effectiveness — users visited vs k.
+pub fn fig8(profile: Profile) -> String {
+    let c = corpus_for(&DatasetSpec::flickr_like(profile.scale()));
+    let n = c.num_users() as usize;
+    let ks: &[usize] = match profile {
+        Profile::Quick => &[1, 10, 50],
+        Profile::Full => &[1, 5, 10, 20, 50, 100],
+    };
+    let alpha = 0.3;
+    let mut expansion = FriendExpansion::new(
+        &c,
+        ExpansionConfig {
+            alpha,
+            check_interval: 8,
+            ..ExpansionConfig::default()
+        },
+    );
+    let mut t = TextTable::new(&[
+        "k",
+        "visited/query",
+        "visited %",
+        "early-term %",
+        "bound checks",
+        "p50 us",
+        "p95 us",
+    ]);
+    for &k in ks {
+        let w = std_workload(&c, profile.queries(), k);
+        let mut visited = 0usize;
+        let mut early = 0usize;
+        let mut checks = 0usize;
+        let mut lat = Vec::new();
+        for q in &w.queries {
+            let (r, d) = timed(|| expansion.query(q));
+            lat.push(d);
+            visited += r.stats.users_visited;
+            checks += r.stats.bound_checks;
+            if r.stats.early_terminated {
+                early += 1;
+            }
+        }
+        let vq = visited as f64 / w.len() as f64;
+        t.row(vec![
+            k.to_string(),
+            format!("{vq:.0}"),
+            format!("{:.1}%", 100.0 * vq / n as f64),
+            format!("{:.0}%", 100.0 * early as f64 / w.len() as f64),
+            format!("{:.1}", checks as f64 / w.len() as f64),
+            format!("{:.0}", percentile_us(&lat, 0.5)),
+            format!("{:.0}", percentile_us(&lat, 0.95)),
+        ]);
+    }
+    format!(
+        "Fig 8 — users visited before termination vs k (flickr, α={alpha})\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- Table 3
+
+/// Table 3: ablations — posting encoding, skip pointers, cluster size,
+/// landmark count, bound-check interval.
+pub fn table3(profile: Profile) -> String {
+    let c = corpus_for(&DatasetSpec::delicious_like(profile.scale()));
+    let w = std_workload(&c, profile.queries(), 10);
+    let mut out = String::new();
+
+    // (a) posting-list encoding and skips: global index size + latency.
+    let mut t = TextTable::new(&["postings config", "index size", "mean us"]);
+    for (name, cfg) in [
+        (
+            "delta-varint + skips",
+            PostingConfig {
+                encoding: Encoding::DeltaVarint,
+                block_len: 128,
+                skips_enabled: true,
+            },
+        ),
+        (
+            "raw + skips",
+            PostingConfig {
+                encoding: Encoding::Raw,
+                block_len: 128,
+                skips_enabled: true,
+            },
+        ),
+        (
+            "delta-varint, no skips",
+            PostingConfig {
+                encoding: Encoding::DeltaVarint,
+                block_len: 128,
+                skips_enabled: false,
+            },
+        ),
+    ] {
+        let mut global = GlobalProcessor::new(&c, IndexConfig { postings: cfg });
+        let (lat, _) = drive(&mut global, &w);
+        t.row(vec![
+            name.into(),
+            fmt_bytes(global.memory_bytes()),
+            format!("{:.0}", mean_us(&lat)),
+        ]);
+    }
+    out.push_str(&format!("Table 3a — posting-list ablation\n{}", t.render()));
+
+    // (b) cluster index: max cluster size × landmarks.
+    let mut exact = ExactOnline::new(&c, ProximityModel::DistanceDecay { alpha: 0.5 });
+    let truth: Vec<Vec<u32>> = w
+        .queries
+        .iter()
+        .map(|q| exact.query(q).item_ids())
+        .collect();
+    let mut t = TextTable::new(&[
+        "cluster config",
+        "clusters",
+        "index size",
+        "mean us",
+        "p@10",
+    ]);
+    for (mcs, nl) in [(32usize, 16usize), (64, 16), (128, 16), (64, 4), (64, 32)] {
+        let mut cluster = ClusterIndex::build(
+            &c,
+            ClusterConfig {
+                alpha: 0.5,
+                max_cluster_size: mcs,
+                num_landmarks: nl,
+                ..ClusterConfig::default()
+            },
+        );
+        let mut lat = Vec::new();
+        let mut ps = Vec::new();
+        for (q, tr) in w.queries.iter().zip(&truth) {
+            let (r, d) = timed(|| cluster.query(q));
+            lat.push(d);
+            ps.push(precision_at_k(&r.item_ids(), tr, 10));
+        }
+        t.row(vec![
+            format!("size<={mcs}, L={nl}"),
+            cluster.num_clusters().to_string(),
+            fmt_bytes(cluster.memory_bytes()),
+            format!("{:.0}", mean_us(&lat)),
+            format!("{:.2}", mean(&ps)),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nTable 3b — cluster-index ablation\n{}",
+        t.render()
+    ));
+
+    // (c) expansion bound-check interval.
+    let mut t = TextTable::new(&["check interval", "mean us", "visited/query"]);
+    for ci in [4usize, 16, 64, 256] {
+        let mut expansion = FriendExpansion::new(
+            &c,
+            ExpansionConfig {
+                alpha: 0.5,
+                check_interval: ci,
+                ..ExpansionConfig::default()
+            },
+        );
+        let (lat, stats) = drive(&mut expansion, &w);
+        t.row(vec![
+            ci.to_string(),
+            format!("{:.0}", mean_us(&lat)),
+            format!("{:.0}", stats.users_visited as f64 / w.len() as f64),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nTable 3c — expansion bound-check interval\n{}",
+        t.render()
+    ));
+
+    // (d) hybrid routing threshold: how the dispatch rule trades the two
+    // personalized strategies off against each other.
+    let mut t = TextTable::new(&[
+        "expansion budget",
+        "mean us",
+        "-> expansion %",
+        "-> cluster %",
+        "-> global %",
+    ]);
+    for budget in [0usize, 100_000, 2_000_000, usize::MAX] {
+        let mut hybrid = Hybrid::build(
+            &c,
+            HybridConfig {
+                alpha: 0.5,
+                expansion_budget: budget,
+            },
+        );
+        let mut lat = Vec::new();
+        let mut routes: std::collections::HashMap<&'static str, usize> =
+            std::collections::HashMap::new();
+        for q in &w.queries {
+            let (_, d) = timed(|| hybrid.query(q));
+            lat.push(d);
+            *routes.entry(hybrid.last_route()).or_insert(0) += 1;
+        }
+        let pct =
+            |name: &str| 100.0 * routes.get(name).copied().unwrap_or(0) as f64 / w.len() as f64;
+        let label = if budget == usize::MAX {
+            "unbounded".to_owned()
+        } else {
+            budget.to_string()
+        };
+        t.row(vec![
+            label,
+            format!("{:.0}", mean_us(&lat)),
+            format!("{:.0}%", pct("friend-expansion")),
+            format!("{:.0}%", pct("cluster-index")),
+            format!("{:.0}%", pct("global")),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nTable 3d — hybrid routing threshold\n{}",
+        t.render()
+    ));
+    format!("Table 3 — ablations ({:?})\n\n{}", profile.scale(), out)
+}
+
+/// All experiment names, in report order.
+pub const ALL: &[&str] = &[
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3",
+];
+
+/// Dispatches an experiment by name.
+pub fn run(name: &str, profile: Profile) -> Option<String> {
+    Some(match name {
+        "table1" => table1(profile),
+        "table2" => table2(profile),
+        "fig3" => fig3(profile),
+        "fig4" => fig4(profile),
+        "fig5" => fig5(profile),
+        "fig6" => fig6(profile),
+        "fig7" => fig7(profile),
+        "fig8" => fig8(profile),
+        "table3" => table3(profile),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_runs_in_quick_profile() {
+        for &name in ALL {
+            let out = run(name, Profile::Quick).expect(name);
+            assert!(out.contains('\n'), "{name} produced no table");
+            assert!(out.len() > 100, "{name} output suspiciously small");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run("fig99", Profile::Quick).is_none());
+    }
+}

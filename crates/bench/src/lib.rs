@@ -1,0 +1,148 @@
+//! Shared harness utilities for the benchmark suite and the `report` binary
+//! that regenerates every table and figure of the evaluation (see
+//! `EXPERIMENTS.md` for the experiment ↔ code index).
+
+pub mod experiments;
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Mean of durations in microseconds (0.0 for empty input).
+pub fn mean_us(ds: &[Duration]) -> f64 {
+    if ds.is_empty() {
+        return 0.0;
+    }
+    ds.iter().map(|d| d.as_secs_f64() * 1e6).sum::<f64>() / ds.len() as f64
+}
+
+/// Percentile (0.0–1.0) of durations in microseconds.
+pub fn percentile_us(ds: &[Duration], q: f64) -> f64 {
+    if ds.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = ds.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    v.sort_unstable_by(|a, b| a.total_cmp(b));
+    v[((q * (v.len() - 1) as f64).round() as usize).min(v.len() - 1)]
+}
+
+/// A plain-text aligned table, the output format of every experiment.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a byte count human-readably.
+pub fn fmt_bytes(b: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut x = b as f64;
+    let mut u = 0;
+    while x >= 1024.0 && u < UNITS.len() - 1 {
+        x /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{x:.1} {}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_and_stats() {
+        let (v, d) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        let ds = vec![d, d, d];
+        assert!(mean_us(&ds) >= 0.0);
+        assert!(percentile_us(&ds, 0.5) >= 0.0);
+        assert_eq!(mean_us(&[]), 0.0);
+        assert_eq!(percentile_us(&[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["beta-long".into(), "23456".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("23456"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert!(fmt_bytes(3 * 1024 * 1024).contains("MiB"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Parallel batch query execution.
+//!
+//! Processors hold per-query scratch state (`&mut self`), so the natural
+//! parallelism unit is *one processor instance per worker thread*. The
+//! executor chunks a workload, builds a processor in each worker via the
+//! caller's factory, and reassembles results in query order — the pattern a
+//! serving deployment of this system would use.
+
+use crate::corpus::SearchResult;
+use crate::processors::Processor;
+use friends_data::queries::Query;
+use parking_lot::Mutex;
+
+/// Runs `queries` across `threads` workers, each with its own processor
+/// built by `factory`. Results come back in input order.
+///
+/// `threads == 0` is treated as 1. The factory runs once per worker, so
+/// per-processor build cost (e.g. [`crate::processors::ClusterIndex`]'s
+/// sketches) is paid `threads` times — share prebuilt indexes through the
+/// factory closure when that matters.
+pub fn par_batch<P, F>(queries: &[Query], threads: usize, factory: F) -> Vec<SearchResult>
+where
+    P: Processor,
+    F: Fn() -> P + Sync,
+{
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads <= 1 {
+        let mut p = factory();
+        return queries.iter().map(|q| p.query(q)).collect();
+    }
+    let chunk_len = queries.len().div_ceil(threads);
+    let collected: Mutex<Vec<(usize, Vec<SearchResult>)>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (ci, chunk) in queries.chunks(chunk_len).enumerate() {
+            let collected = &collected;
+            let factory = &factory;
+            scope.spawn(move |_| {
+                let mut p = factory();
+                let results: Vec<SearchResult> = chunk.iter().map(|q| p.query(q)).collect();
+                collected.lock().push((ci, results));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut chunks = collected.into_inner();
+    chunks.sort_unstable_by_key(|&(ci, _)| ci);
+    chunks.into_iter().flat_map(|(_, rs)| rs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::processors::{ExactOnline, ExpansionConfig, FriendExpansion};
+    use crate::proximity::ProximityModel;
+    use friends_data::datasets::{DatasetSpec, Scale};
+    use friends_data::queries::{QueryParams, QueryWorkload};
+
+    fn fixture() -> (Corpus, QueryWorkload) {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(8);
+        let corpus = Corpus::new(ds.graph, ds.store);
+        let w = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 23, // deliberately not divisible by the thread count
+                ..QueryParams::default()
+            },
+            4,
+        );
+        (corpus, w)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (corpus, w) = fixture();
+        let seq = par_batch(&w.queries, 1, || {
+            ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha: 0.5 })
+        });
+        let par = par_batch(&w.queries, 4, || {
+            ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha: 0.5 })
+        });
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.items, b.items);
+        }
+    }
+
+    #[test]
+    fn works_with_expansion_processor() {
+        let (corpus, w) = fixture();
+        let results = par_batch(&w.queries, 3, || {
+            FriendExpansion::new(&corpus, ExpansionConfig::default())
+        });
+        assert_eq!(results.len(), w.len());
+        for r in &results {
+            assert!(r.items.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (corpus, _) = fixture();
+        let empty: Vec<Query> = Vec::new();
+        let r = par_batch(&empty, 8, || {
+            ExactOnline::new(&corpus, ProximityModel::Global)
+        });
+        assert!(r.is_empty());
+
+        let one = vec![Query {
+            seeker: 0,
+            tags: vec![0],
+            k: 3,
+        }];
+        let r = par_batch(&one, 0, || {
+            ExactOnline::new(&corpus, ProximityModel::Global)
+        });
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let (corpus, _) = fixture();
+        let qs = vec![
+            Query {
+                seeker: 1,
+                tags: vec![0, 1],
+                k: 5,
+            };
+            2
+        ];
+        let r = par_batch(&qs, 16, || {
+            ExactOnline::new(&corpus, ProximityModel::Global)
+        });
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].items, r[1].items);
+    }
+}

@@ -1,0 +1,106 @@
+//! The shared query substrate: a social graph plus a tagging store, and the
+//! result/statistics types every processor returns.
+
+use friends_data::store::TagStore;
+use friends_data::ItemId;
+use friends_graph::CsrGraph;
+
+/// A queryable dataset: the social graph and the tagging store, with users
+/// of the store identified with nodes of the graph.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    pub graph: CsrGraph,
+    pub store: TagStore,
+}
+
+impl Corpus {
+    /// Bundles a graph and a store.
+    ///
+    /// # Panics
+    /// Panics if the store's user universe differs from the graph's node set
+    /// — every tagger must be a network member for proximity to be defined.
+    pub fn new(graph: CsrGraph, store: TagStore) -> Self {
+        assert_eq!(
+            graph.num_nodes() as u32,
+            store.num_users(),
+            "graph nodes and store users must coincide"
+        );
+        Corpus { graph, store }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> u32 {
+        self.store.num_users()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.store.num_items()
+    }
+}
+
+/// Work counters reported by each query execution (Fig 8 and Table 3 read
+/// these; wall-clock time is measured by the bench harness, not here).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Users whose tagging profiles were scanned.
+    pub users_visited: usize,
+    /// Individual annotations read.
+    pub postings_scanned: usize,
+    /// Clusters touched (cluster index only).
+    pub clusters_touched: usize,
+    /// Termination-bound evaluations performed.
+    pub bound_checks: usize,
+    /// Whether the processor terminated before exhausting its input.
+    pub early_terminated: bool,
+}
+
+/// A ranked result list plus its execution statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SearchResult {
+    /// `(item, score)` in descending score order (ties: smaller item id
+    /// first). Scores are exact for exact processors; for early-terminating
+    /// or sketch-based processors they are the documented lower bounds.
+    pub items: Vec<(ItemId, f32)>,
+    pub stats: QueryStats,
+}
+
+impl SearchResult {
+    /// The ranked item ids only.
+    pub fn item_ids(&self) -> Vec<ItemId> {
+        self.items.iter().map(|&(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use friends_data::Tagging;
+    use friends_graph::GraphBuilder;
+
+    #[test]
+    fn corpus_construction() {
+        let g = GraphBuilder::from_edges(3, [(0, 1, 1.0)]);
+        let s = TagStore::build(3, 4, 2, vec![Tagging::unit(0, 0, 0)]);
+        let c = Corpus::new(g, s);
+        assert_eq!(c.num_users(), 3);
+        assert_eq!(c.num_items(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must coincide")]
+    fn mismatched_universes_panic() {
+        let g = GraphBuilder::from_edges(3, [(0, 1, 1.0)]);
+        let s = TagStore::build(5, 4, 2, vec![]);
+        Corpus::new(g, s);
+    }
+
+    #[test]
+    fn search_result_ids() {
+        let r = SearchResult {
+            items: vec![(4, 2.0), (1, 1.0)],
+            stats: QueryStats::default(),
+        };
+        assert_eq!(r.item_ids(), vec![4, 1]);
+    }
+}

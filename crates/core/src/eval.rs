@@ -1,0 +1,169 @@
+//! Ranking-quality metrics: precision@k, Kendall's τ, and nDCG@k.
+//!
+//! Used by Fig 6 to quantify how the approximate processors (ClusterIndex,
+//! PPR-with-coarse-epsilon) track the exact personalized ranking, and how
+//! far the non-personalized global ranking is from it.
+
+use friends_data::ItemId;
+use std::collections::HashMap;
+
+/// Fraction of the exact top-k present in the approximate top-k.
+///
+/// `approx` and `exact` are ranked id lists; only their first `k` entries
+/// are considered. Returns 1.0 when `exact` is empty (nothing to miss).
+pub fn precision_at_k(approx: &[ItemId], exact: &[ItemId], k: usize) -> f64 {
+    let ex: std::collections::HashSet<ItemId> = exact.iter().take(k).copied().collect();
+    if ex.is_empty() {
+        return 1.0;
+    }
+    let hit = approx.iter().take(k).filter(|i| ex.contains(i)).count();
+    hit as f64 / ex.len() as f64
+}
+
+/// Kendall's τ-b between two rankings, computed over the items present in
+/// **both** lists. Returns 1.0 when fewer than 2 common items exist (no
+/// discordance is observable).
+pub fn kendall_tau(a: &[ItemId], b: &[ItemId]) -> f64 {
+    let pos_b: HashMap<ItemId, usize> = b.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+    let common: Vec<ItemId> = a
+        .iter()
+        .copied()
+        .filter(|x| pos_b.contains_key(x))
+        .collect();
+    let n = common.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // In `a`, common[i] precedes common[j]. Compare with `b`.
+            if pos_b[&common[i]] < pos_b[&common[j]] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (concordant + discordant) as f64
+}
+
+/// nDCG@k of `approx` against graded relevance given by the exact scores.
+///
+/// Items absent from `exact_scores` have relevance 0. Returns 1.0 when the
+/// ideal DCG is 0 (no relevant items at all).
+pub fn ndcg_at_k(approx: &[ItemId], exact_scores: &HashMap<ItemId, f32>, k: usize) -> f64 {
+    let dcg: f64 = approx
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(rank, id)| {
+            let rel = exact_scores.get(id).copied().unwrap_or(0.0) as f64;
+            rel / ((rank + 2) as f64).log2()
+        })
+        .sum();
+    let mut ideal: Vec<f64> = exact_scores.values().map(|&s| s as f64).collect();
+    ideal.sort_unstable_by(|a, b| b.total_cmp(a));
+    let idcg: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(rank, rel)| rel / ((rank + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Mean of a slice (0.0 when empty) — convenience for report aggregation.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_basics() {
+        assert_eq!(precision_at_k(&[1, 2, 3], &[1, 2, 3], 3), 1.0);
+        assert_eq!(precision_at_k(&[3, 2, 1], &[1, 2, 3], 3), 1.0); // set metric
+        assert_eq!(precision_at_k(&[4, 5, 6], &[1, 2, 3], 3), 0.0);
+        assert!((precision_at_k(&[1, 9, 8], &[1, 2, 3], 3) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&[], &[], 5), 1.0);
+        assert_eq!(precision_at_k(&[], &[1], 5), 0.0);
+    }
+
+    #[test]
+    fn precision_truncates_at_k() {
+        // Only first k of each list matter.
+        assert_eq!(precision_at_k(&[9, 1], &[1, 9], 1), 0.0);
+        assert_eq!(precision_at_k(&[9, 1], &[9, 1], 1), 1.0);
+    }
+
+    #[test]
+    fn kendall_perfect_and_reversed() {
+        assert_eq!(kendall_tau(&[1, 2, 3, 4], &[1, 2, 3, 4]), 1.0);
+        assert_eq!(kendall_tau(&[1, 2, 3, 4], &[4, 3, 2, 1]), -1.0);
+    }
+
+    #[test]
+    fn kendall_partial_overlap() {
+        // Common items {1, 2}: order agrees.
+        assert_eq!(kendall_tau(&[1, 5, 2], &[1, 2, 9]), 1.0);
+        // Common items {1, 2}: order flipped.
+        assert_eq!(kendall_tau(&[1, 2], &[2, 1]), -1.0);
+        // Fewer than two common items.
+        assert_eq!(kendall_tau(&[1], &[2]), 1.0);
+        assert_eq!(kendall_tau(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn kendall_mixed() {
+        // a: 1,2,3 ; b: 2,1,3 → pairs (1,2) discordant, (1,3) and (2,3)
+        // concordant → τ = (2-1)/3.
+        let t = kendall_tau(&[1, 2, 3], &[2, 1, 3]);
+        assert!((t - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_perfect_is_one() {
+        let scores: HashMap<ItemId, f32> = [(1, 3.0), (2, 2.0), (3, 1.0)].into_iter().collect();
+        assert!((ndcg_at_k(&[1, 2, 3], &scores, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_worse_ranking_is_lower() {
+        let scores: HashMap<ItemId, f32> = [(1, 3.0), (2, 2.0), (3, 1.0)].into_iter().collect();
+        let good = ndcg_at_k(&[1, 2, 3], &scores, 3);
+        let bad = ndcg_at_k(&[3, 2, 1], &scores, 3);
+        assert!(bad < good);
+        assert!(bad > 0.0);
+    }
+
+    #[test]
+    fn ndcg_empty_relevance() {
+        let scores: HashMap<ItemId, f32> = HashMap::new();
+        assert_eq!(ndcg_at_k(&[1, 2], &scores, 2), 1.0);
+    }
+
+    #[test]
+    fn ndcg_missing_items_zero_relevance() {
+        let scores: HashMap<ItemId, f32> = [(1, 1.0)].into_iter().collect();
+        let v = ndcg_at_k(&[7, 8], &scores, 2);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,457 @@
+//! **FriendExpansion** — the paper's headline algorithm.
+//!
+//! Visit users in *decreasing proximity order* (a best-first traversal of
+//! the social network rooted at the seeker), scoring each visited user's
+//! annotations for the query tags, and stop as soon as no unvisited user can
+//! change the top-k set.
+//!
+//! ## Termination bound
+//!
+//! Let `p̂` be the proximity of the *next* user the traversal would yield
+//! (an upper bound on every unvisited user, by the Dijkstra property),
+//! `R_t` the total annotation mass for tag `t` among *unvisited* users, and
+//! `M_t = max_i Σ_v w(v, i, t)` the largest *per-item* mass of tag `t`
+//! (a single item can never gain more than its own remaining mass).
+//! Then any item can gain at most
+//!
+//! ```text
+//! Δ = p̂ · Σ_{t ∈ Q} min(R_t, M_t)
+//! ```
+//!
+//! additional score. With `θ` the current k-th best accumulated score and
+//! `η` the best accumulated score *outside* the current top-k, the top-k
+//! **set** is final once `η + Δ < θ` (no outsider — including wholly unseen
+//! items, whose bound is `Δ ≤ η + Δ` — can overtake a member). Reported
+//! scores are lower bounds within `Δ` of exact; run with
+//! [`ExpansionConfig::exhaustive`] for exact scores.
+
+use crate::corpus::{Corpus, QueryStats, SearchResult};
+use crate::processors::Processor;
+use crate::proximity::edge_decay;
+use friends_data::queries::Query;
+use friends_data::TagId;
+use friends_graph::traversal::ProximityOrder;
+use friends_index::accumulate::DenseAccumulator;
+
+/// Tuning knobs for [`FriendExpansion`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionConfig {
+    /// Per-edge decay factor of the `WeightedDecay` proximity model.
+    pub alpha: f64,
+    /// Disable early termination (exact scores, visits every reachable
+    /// user with relevant mass).
+    pub exhaustive: bool,
+    /// First termination-bound check happens after this many visits; later
+    /// checks back off geometrically (`next = visited + max(interval,
+    /// visited/2)`), so easy early exits are caught quickly while hopeless
+    /// traversals pay only `O(log n)` checks (Table 3 ablation).
+    pub check_interval: usize,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        ExpansionConfig {
+            alpha: 0.5,
+            exhaustive: false,
+            check_interval: 32,
+        }
+    }
+}
+
+/// Network-expansion top-k processor (exact top-k set, early termination).
+pub struct FriendExpansion<'a> {
+    corpus: &'a Corpus,
+    config: ExpansionConfig,
+    acc: DenseAccumulator,
+    /// `Σ_users Σ_items w(v, i, t)` per tag, precomputed once.
+    tag_total_mass: Vec<f64>,
+    /// `max_i Σ_v w(v, i, t)` per tag — the per-item mass cap that makes the
+    /// termination bound independent of a tag's global popularity.
+    tag_max_item_mass: Vec<f64>,
+    /// Scratch for top-k/bound selection.
+    scores_scratch: Vec<f32>,
+    /// Per-user "has any query tag" bitmap, rebuilt per query from the tag
+    /// posting lists. Visits to irrelevant users then cost O(1) instead of
+    /// per-tag profile probes — the dominant constant-factor saving.
+    relevant: Vec<bool>,
+    relevant_touched: Vec<u32>,
+}
+
+impl<'a> FriendExpansion<'a> {
+    /// Builds the processor (precomputes per-tag total masses).
+    pub fn new(corpus: &'a Corpus, config: ExpansionConfig) -> Self {
+        assert!(
+            config.alpha > 0.0 && config.alpha < 1.0,
+            "alpha must be in (0, 1)"
+        );
+        assert!(config.check_interval >= 1);
+        let tag_total_mass = (0..corpus.store.num_tags())
+            .map(|t| {
+                corpus
+                    .store
+                    .tag_taggings(t)
+                    .iter()
+                    .map(|tg| tg.weight as f64)
+                    .sum()
+            })
+            .collect();
+        let tag_max_item_mass = (0..corpus.store.num_tags())
+            .map(|t| {
+                corpus
+                    .store
+                    .global_item_scores(t)
+                    .into_iter()
+                    .map(|(_, m)| m as f64)
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        FriendExpansion {
+            acc: DenseAccumulator::new(corpus.num_items() as usize),
+            relevant: vec![false; corpus.num_users() as usize],
+            relevant_touched: Vec::new(),
+            corpus,
+            config,
+            tag_total_mass,
+            tag_max_item_mass,
+            scores_scratch: Vec::new(),
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> ExpansionConfig {
+        self.config
+    }
+
+    /// `(θ, η)`: the k-th best accumulated score and the best score outside
+    /// the current top-k (0.0 when fewer than k + 1 items are touched).
+    fn kth_and_next(&mut self, k: usize) -> (f32, f32) {
+        if k == 0 {
+            // Nothing to return: any bound justifies stopping immediately.
+            return (f32::INFINITY, 0.0);
+        }
+        let touched = self.acc.touched();
+        if touched.len() < k {
+            return (f32::NEG_INFINITY, 0.0);
+        }
+        self.scores_scratch.clear();
+        self.scores_scratch
+            .extend(touched.iter().map(|&d| self.acc.get(d)));
+        let n = self.scores_scratch.len();
+        // k-th largest = element at index k-1 of descending order.
+        let (_, kth, _rest) = self
+            .scores_scratch
+            .select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+        let theta = *kth;
+        let eta = if n > k {
+            // Largest of the remaining (non-top-k) elements.
+            self.scores_scratch[k..]
+                .iter()
+                .copied()
+                .fold(0.0f32, f32::max)
+        } else {
+            0.0
+        };
+        (theta, eta)
+    }
+}
+
+impl Processor for FriendExpansion<'_> {
+    fn name(&self) -> &'static str {
+        "friend-expansion"
+    }
+
+    fn query(&mut self, q: &Query) -> SearchResult {
+        let mut stats = QueryStats::default();
+        let store = &self.corpus.store;
+        let tags: Vec<TagId> = q
+            .tags
+            .iter()
+            .copied()
+            .filter(|&t| t < store.num_tags())
+            .collect();
+        // Per-tag remaining mass among unvisited users, and the per-item cap.
+        let mut remaining: Vec<f64> = tags
+            .iter()
+            .map(|&t| self.tag_total_mass[t as usize])
+            .collect();
+        let caps: Vec<f64> = tags
+            .iter()
+            .map(|&t| self.tag_max_item_mass[t as usize])
+            .collect();
+        if tags.is_empty() || self.corpus.graph.num_nodes() == 0 {
+            return SearchResult {
+                items: Vec::new(),
+                stats,
+            };
+        }
+        // Mark relevant users (those with any query-tag annotation) so the
+        // traversal can skip everyone else in O(1).
+        for &u in &self.relevant_touched {
+            self.relevant[u as usize] = false;
+        }
+        self.relevant_touched.clear();
+        for &t in &tags {
+            for tg in store.tag_taggings(t) {
+                if !self.relevant[tg.user as usize] {
+                    self.relevant[tg.user as usize] = true;
+                    self.relevant_touched.push(tg.user);
+                }
+            }
+        }
+        let mut traversal =
+            ProximityOrder::new(&self.corpus.graph, q.seeker, edge_decay(self.config.alpha));
+        let mut next_check = self.config.check_interval;
+        while let Some((u, p)) = traversal.next() {
+            stats.users_visited += 1;
+            if self.relevant[u as usize] {
+                for (ti, &t) in tags.iter().enumerate() {
+                    let slice = store.user_tag_taggings(u, t);
+                    for tg in slice {
+                        self.acc.add(tg.item, (p * tg.weight as f64) as f32);
+                        remaining[ti] -= tg.weight as f64;
+                    }
+                    stats.postings_scanned += slice.len();
+                }
+            }
+            if self.config.exhaustive {
+                continue;
+            }
+            // All relevant mass consumed: nothing can change any more.
+            let total_remaining: f64 = remaining.iter().sum();
+            if total_remaining <= 1e-12 {
+                stats.early_terminated = true;
+                break;
+            }
+            if stats.users_visited < next_check {
+                continue;
+            }
+            next_check =
+                stats.users_visited + self.config.check_interval.max(stats.users_visited / 2);
+            stats.bound_checks += 1;
+            let Some(p_hat) = traversal.peek_bound() else {
+                break; // traversal exhausted anyway
+            };
+            // A single item's unseen gain for tag t is capped both by the
+            // remaining mass R_t and by the largest per-item mass M_t.
+            let bound_mass: f64 = remaining
+                .iter()
+                .zip(&caps)
+                .map(|(&r, &m)| r.max(0.0).min(m))
+                .sum();
+            let delta = (p_hat * bound_mass) as f32;
+            let (theta, eta) = self.kth_and_next(q.k);
+            if theta > f32::NEG_INFINITY && eta + delta < theta {
+                stats.early_terminated = true;
+                break;
+            }
+        }
+        SearchResult {
+            items: self.acc.drain_topk(q.k),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processors::ExactOnline;
+    use crate::proximity::ProximityModel;
+    use friends_data::datasets::{DatasetSpec, Scale};
+    use friends_data::queries::{QueryParams, QueryWorkload};
+    use friends_data::store::TagStore;
+    use friends_data::Tagging;
+    use friends_graph::GraphBuilder;
+
+    fn tiny_dataset() -> Corpus {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(3);
+        Corpus::new(ds.graph, ds.store)
+    }
+
+    #[test]
+    fn exhaustive_matches_exact_online() {
+        let corpus = tiny_dataset();
+        let alpha = 0.5;
+        let mut exact = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha });
+        let mut exp = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha,
+                exhaustive: true,
+                ..ExpansionConfig::default()
+            },
+        );
+        let workload = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 25,
+                ..QueryParams::default()
+            },
+            7,
+        );
+        for q in &workload.queries {
+            let a = exact.query(q);
+            let b = exp.query(q);
+            assert_eq!(a.item_ids(), b.item_ids(), "query {q:?}");
+            for (x, y) in a.items.iter().zip(&b.items) {
+                assert!((x.1 - y.1).abs() < 1e-3, "{x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_returns_same_topk_set() {
+        let corpus = tiny_dataset();
+        let alpha = 0.4;
+        let mut exact = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha });
+        let mut exp = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha,
+                exhaustive: false,
+                check_interval: 8,
+            },
+        );
+        let workload = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 40,
+                k: 5,
+                ..QueryParams::default()
+            },
+            11,
+        );
+        for q in &workload.queries {
+            let a: std::collections::BTreeSet<u32> =
+                exact.query(q).item_ids().into_iter().collect();
+            let b: std::collections::BTreeSet<u32> = exp.query(q).item_ids().into_iter().collect();
+            assert_eq!(a, b, "top-k sets differ for {q:?}");
+        }
+    }
+
+    #[test]
+    fn early_termination_visits_fewer_users() {
+        let corpus = tiny_dataset();
+        let mut eager = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha: 0.3,
+                exhaustive: false,
+                check_interval: 8,
+            },
+        );
+        let mut full = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha: 0.3,
+                exhaustive: true,
+                ..ExpansionConfig::default()
+            },
+        );
+        let workload = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 20,
+                k: 5,
+                ..QueryParams::default()
+            },
+            3,
+        );
+        let mut eager_visits = 0usize;
+        let mut full_visits = 0usize;
+        let mut terminated = 0usize;
+        for q in &workload.queries {
+            let a = eager.query(q);
+            let b = full.query(q);
+            eager_visits += a.stats.users_visited;
+            full_visits += b.stats.users_visited;
+            if a.stats.early_terminated {
+                terminated += 1;
+            }
+        }
+        assert!(
+            eager_visits < full_visits,
+            "eager {eager_visits} vs full {full_visits}"
+        );
+        assert!(terminated > 10, "only {terminated}/20 terminated early");
+    }
+
+    #[test]
+    fn empty_tags_and_unknown_tags() {
+        let corpus = tiny_dataset();
+        let mut exp = FriendExpansion::new(&corpus, ExpansionConfig::default());
+        let r = exp.query(&Query {
+            seeker: 0,
+            tags: vec![],
+            k: 5,
+        });
+        assert!(r.items.is_empty());
+        let r2 = exp.query(&Query {
+            seeker: 0,
+            tags: vec![1_000_000],
+            k: 5,
+        });
+        assert!(r2.items.is_empty());
+    }
+
+    #[test]
+    fn isolated_seeker_sees_own_items() {
+        let g = GraphBuilder::from_edges(3, [(1, 2, 1.0)]);
+        let s = TagStore::build(
+            3,
+            2,
+            1,
+            vec![Tagging::unit(0, 0, 0), Tagging::unit(1, 1, 0)],
+        );
+        let corpus = Corpus::new(g, s);
+        let mut exp = FriendExpansion::new(&corpus, ExpansionConfig::default());
+        let r = exp.query(&Query {
+            seeker: 0,
+            tags: vec![0],
+            k: 5,
+        });
+        assert_eq!(r.item_ids(), vec![0]);
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let corpus = tiny_dataset();
+        let mut exp = FriendExpansion::new(&corpus, ExpansionConfig::default());
+        let r = exp.query(&Query {
+            seeker: 1,
+            tags: vec![0],
+            k: 0,
+        });
+        assert!(r.items.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn invalid_alpha_panics() {
+        let corpus = tiny_dataset();
+        FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha: 1.5,
+                ..ExpansionConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn accumulator_clean_between_queries() {
+        let corpus = tiny_dataset();
+        let mut exp = FriendExpansion::new(&corpus, ExpansionConfig::default());
+        let q = Query {
+            seeker: 2,
+            tags: vec![0, 1],
+            k: 10,
+        };
+        let a = exp.query(&q);
+        let b = exp.query(&q);
+        assert_eq!(a.items, b.items);
+    }
+}

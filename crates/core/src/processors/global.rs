@@ -1,0 +1,172 @@
+//! The non-personalized baseline: a classical inverted index over global
+//! per-item tag scores, queried with WAND.
+//!
+//! This is what a system *without* social awareness returns: the same
+//! ranking for every seeker. It is the fastest processor (pure index
+//! traversal, no graph work) and the quality floor in Fig 6.
+
+use crate::corpus::{Corpus, QueryStats, SearchResult};
+use crate::processors::Processor;
+use friends_data::queries::Query;
+use friends_index::inverted::{IndexConfig, InvertedIndex};
+use friends_index::postings::PostingList;
+use friends_index::topk::wand_topk;
+
+/// Global (seeker-oblivious) top-k processor.
+pub struct GlobalProcessor {
+    index: InvertedIndex,
+}
+
+impl GlobalProcessor {
+    /// Builds the global inverted index: one posting list per tag holding
+    /// `Σ_users w(v, i, t)` per item.
+    pub fn new(corpus: &Corpus, config: IndexConfig) -> Self {
+        let store = &corpus.store;
+        let triples = (0..store.num_tags()).flat_map(|t| {
+            store
+                .global_item_scores(t)
+                .into_iter()
+                .map(move |(item, s)| (t, item, s))
+        });
+        GlobalProcessor {
+            index: InvertedIndex::build(triples, config),
+        }
+    }
+
+    /// Size of the underlying index in bytes (Table 2).
+    pub fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes()
+    }
+
+    /// The underlying index (for ablation benches).
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+}
+
+impl Processor for GlobalProcessor {
+    fn name(&self) -> &'static str {
+        "global"
+    }
+
+    fn query(&mut self, q: &Query) -> SearchResult {
+        let lists: Vec<&PostingList> = q
+            .tags
+            .iter()
+            .filter_map(|&t| self.index.postings(t))
+            .filter(|l| !l.is_empty())
+            .collect();
+        let (hits, access) = wand_topk(&lists, q.k);
+        SearchResult {
+            items: hits,
+            stats: QueryStats {
+                postings_scanned: access.sorted_accesses,
+                ..QueryStats::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use friends_data::datasets::{DatasetSpec, Scale};
+    use friends_data::store::TagStore;
+    use friends_data::Tagging;
+    use friends_graph::GraphBuilder;
+
+    fn tiny_corpus() -> Corpus {
+        let g = GraphBuilder::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]);
+        let s = TagStore::build(
+            3,
+            4,
+            2,
+            vec![
+                Tagging::unit(0, 0, 0),
+                Tagging::unit(1, 0, 0),
+                Tagging::unit(2, 1, 0),
+                Tagging::unit(0, 2, 1),
+            ],
+        );
+        Corpus::new(g, s)
+    }
+
+    #[test]
+    fn ranks_by_global_popularity() {
+        let corpus = tiny_corpus();
+        let mut p = GlobalProcessor::new(&corpus, IndexConfig::default());
+        let r = p.query(&Query {
+            seeker: 2,
+            tags: vec![0],
+            k: 10,
+        });
+        // Item 0 tagged twice, item 1 once.
+        assert_eq!(r.item_ids(), vec![0, 1]);
+        assert!((r.items[0].1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seeker_does_not_matter() {
+        let corpus = tiny_corpus();
+        let mut p = GlobalProcessor::new(&corpus, IndexConfig::default());
+        let a = p.query(&Query {
+            seeker: 0,
+            tags: vec![0],
+            k: 5,
+        });
+        let b = p.query(&Query {
+            seeker: 2,
+            tags: vec![0],
+            k: 5,
+        });
+        assert_eq!(a.item_ids(), b.item_ids());
+    }
+
+    #[test]
+    fn multi_tag_sums() {
+        let corpus = tiny_corpus();
+        let mut p = GlobalProcessor::new(&corpus, IndexConfig::default());
+        let r = p.query(&Query {
+            seeker: 0,
+            tags: vec![0, 1],
+            k: 10,
+        });
+        // Item 0: 2.0 (tag 0); item 2: 1.0 (tag 1); item 1: 1.0.
+        assert_eq!(r.items[0].0, 0);
+        assert_eq!(r.items.len(), 3);
+    }
+
+    #[test]
+    fn unknown_and_empty_tags() {
+        let corpus = tiny_corpus();
+        let mut p = GlobalProcessor::new(&corpus, IndexConfig::default());
+        let r = p.query(&Query {
+            seeker: 0,
+            tags: vec![99],
+            k: 5,
+        });
+        assert!(r.items.is_empty());
+        let r2 = p.query(&Query {
+            seeker: 0,
+            tags: vec![],
+            k: 5,
+        });
+        assert!(r2.items.is_empty());
+    }
+
+    #[test]
+    fn works_on_generated_dataset() {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(2);
+        let corpus = Corpus::new(ds.graph, ds.store);
+        let mut p = GlobalProcessor::new(&corpus, IndexConfig::default());
+        let r = p.query(&Query {
+            seeker: 5,
+            tags: vec![0, 1],
+            k: 10,
+        });
+        assert!(r.items.len() <= 10);
+        // Scores descending.
+        assert!(r.items.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(p.memory_bytes() > 0);
+    }
+}

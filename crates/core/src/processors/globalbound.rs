@@ -1,0 +1,296 @@
+//! **GlobalBoundTA** — the fourth network-aware strategy of the paper
+//! family: drive candidate generation from the *global* index, in global-
+//! score order, and use the fact that `σ ≤ 1` implies
+//! `personalized(i) ≤ global(i)`.
+//!
+//! At depth `d`, the threshold `τ = Σ_{t ∈ Q} frontier_t` (the global mass of
+//! the d-th entry of each tag list) bounds the personalized score of every
+//! not-yet-seen item; once the k-th best exactly-scored candidate reaches τ,
+//! the top-k is final. Each candidate is scored exactly by probing its
+//! taggers (`(tag, item)` slice of the store) against the materialized
+//! proximity vector.
+//!
+//! This strategy shines when personalized and global rankings correlate
+//! (weak personalization, popular items) and degrades to a full scan when
+//! the seeker's taste is far from the mainstream — exactly complementary to
+//! [`super::FriendExpansion`], which is what motivates [`super::Hybrid`].
+
+use crate::corpus::{Corpus, QueryStats, SearchResult};
+use crate::processors::Processor;
+use crate::proximity::ProximityModel;
+use friends_data::queries::Query;
+use friends_data::{ItemId, TagId};
+use friends_index::topk::TopK;
+
+/// Global-index-driven exact personalized top-k.
+pub struct GlobalBoundTA<'a> {
+    corpus: &'a Corpus,
+    model: ProximityModel,
+    /// Per tag: `(item, global mass)` sorted by mass desc, item asc.
+    lists: Vec<Vec<(ItemId, f32)>>,
+}
+
+impl<'a> GlobalBoundTA<'a> {
+    /// Builds the per-tag global candidate lists.
+    ///
+    /// # Panics
+    /// Panics if `model` can produce proximities above 1.0 (`Global` is
+    /// allowed and degenerates to the plain global top-k).
+    pub fn new(corpus: &'a Corpus, model: ProximityModel) -> Self {
+        let lists = (0..corpus.store.num_tags())
+            .map(|t| {
+                let mut v = corpus.store.global_item_scores(t);
+                v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                v
+            })
+            .collect();
+        GlobalBoundTA {
+            corpus,
+            model,
+            lists,
+        }
+    }
+
+    /// The proximity model in use.
+    pub fn model(&self) -> ProximityModel {
+        self.model
+    }
+
+    /// Exact personalized score of `item`, probing its taggers.
+    fn score_item(
+        &self,
+        sigma: &[f64],
+        tags: &[TagId],
+        item: ItemId,
+        stats: &mut QueryStats,
+    ) -> f32 {
+        let mut score = 0.0f64;
+        for &t in tags {
+            let slice = self.corpus.store.tag_taggings(t);
+            // Slice is sorted by (item, user): binary search the item range.
+            let lo = slice.partition_point(|x| x.item < item);
+            let hi = slice.partition_point(|x| x.item <= item);
+            for tg in &slice[lo..hi] {
+                score += sigma[tg.user as usize] * tg.weight as f64;
+            }
+            stats.postings_scanned += hi - lo;
+        }
+        score as f32
+    }
+}
+
+impl Processor for GlobalBoundTA<'_> {
+    fn name(&self) -> &'static str {
+        "global-bound-ta"
+    }
+
+    fn query(&mut self, q: &Query) -> SearchResult {
+        let mut stats = QueryStats::default();
+        let tags: Vec<TagId> = q
+            .tags
+            .iter()
+            .copied()
+            .filter(|&t| t < self.corpus.store.num_tags())
+            .collect();
+        if tags.is_empty() || self.corpus.graph.num_nodes() == 0 || q.k == 0 {
+            return SearchResult {
+                items: Vec::new(),
+                stats,
+            };
+        }
+        let sigma = self.model.materialize(&self.corpus.graph, q.seeker);
+        debug_assert!(
+            sigma.iter().all(|&s| s <= 1.0 + 1e-9),
+            "GlobalBoundTA requires σ ≤ 1"
+        );
+        let mut topk = TopK::new(q.k);
+        let mut seen: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
+        let max_len = tags
+            .iter()
+            .map(|&t| self.lists[t as usize].len())
+            .max()
+            .unwrap_or(0);
+        for depth in 0..max_len {
+            let mut tau = 0.0f32;
+            let mut any = false;
+            for &t in &tags {
+                if let Some(&(item, mass)) = self.lists[t as usize].get(depth) {
+                    any = true;
+                    tau += mass;
+                    if seen.insert(item) {
+                        // `users_visited` counts scored candidates here (the
+                        // processor never walks the graph).
+                        stats.users_visited += 1;
+                        let s = self.score_item(&sigma, &tags, item, &mut stats);
+                        if s > 0.0 {
+                            // Zero-score candidates (no reachable tagger)
+                            // are not results, matching ExactOnline.
+                            topk.offer(item, s);
+                        }
+                    }
+                }
+            }
+            stats.bound_checks += 1;
+            if !any {
+                break;
+            }
+            // Unseen items have personalized score ≤ their global score
+            // ≤ the frontier sum (σ ≤ 1, sum aggregation). Strict comparison:
+            // an unseen item tying the k-th score could still win the
+            // smaller-id tie-break, so equality may not stop the scan.
+            if topk.len() >= q.k && topk.threshold() > tau {
+                if depth + 1 < max_len {
+                    stats.early_terminated = true;
+                }
+                break;
+            }
+        }
+        SearchResult {
+            items: topk.into_sorted_vec(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processors::ExactOnline;
+    use friends_data::datasets::{DatasetSpec, Scale};
+    use friends_data::queries::{QueryParams, QueryWorkload};
+    use friends_data::store::TagStore;
+    use friends_data::Tagging;
+    use friends_graph::GraphBuilder;
+
+    fn fixture() -> Corpus {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(6);
+        Corpus::new(ds.graph, ds.store)
+    }
+
+    #[test]
+    fn matches_exact_online_across_models() {
+        let corpus = fixture();
+        let w = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 25,
+                k: 8,
+                ..QueryParams::default()
+            },
+            9,
+        );
+        for model in [
+            ProximityModel::Global,
+            ProximityModel::FriendsOnly,
+            ProximityModel::DistanceDecay { alpha: 0.5 },
+            ProximityModel::WeightedDecay { alpha: 0.5 },
+            ProximityModel::AdamicAdar,
+        ] {
+            let mut gb = GlobalBoundTA::new(&corpus, model);
+            let mut exact = ExactOnline::new(&corpus, model);
+            for q in &w.queries {
+                let a = gb.query(q);
+                let b = exact.query(q);
+                // Compare sets + scores (accumulation order may permute
+                // exact float ties).
+                let sa: std::collections::BTreeSet<_> = a.item_ids().into_iter().collect();
+                let sb: std::collections::BTreeSet<_> = b.item_ids().into_iter().collect();
+                assert_eq!(sa, sb, "{} {q:?}", model.name());
+                let mb: std::collections::HashMap<ItemId, f32> = b.items.iter().copied().collect();
+                for (item, s) in &a.items {
+                    assert!(
+                        (mb[item] - s).abs() < 1e-3,
+                        "{}: item {item} {s} vs {}",
+                        model.name(),
+                        mb[item]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_model_terminates_at_depth_k() {
+        // With σ ≡ 1 the personalized score equals the global score, so the
+        // threshold fires as soon as k candidates are scored.
+        let corpus = fixture();
+        let mut gb = GlobalBoundTA::new(&corpus, ProximityModel::Global);
+        let r = gb.query(&Query {
+            seeker: 3,
+            tags: vec![0],
+            k: 5,
+        });
+        assert!(r.stats.bound_checks <= 10, "stats {:?}", r.stats);
+        assert!(r.stats.early_terminated || r.stats.bound_checks <= 10);
+    }
+
+    #[test]
+    fn scans_fewer_postings_than_exact_when_global_dominates() {
+        // Items with huge global mass that the seeker's friends also tagged:
+        // the global frontier drops fast, so GlobalBoundTA stops early.
+        let g = GraphBuilder::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let mut taggings = vec![
+            Tagging {
+                user: 1,
+                item: 0,
+                tag: 0,
+                weight: 5.0,
+            }, // friend loves item 0
+        ];
+        // Long tail of stranger-tagged items with tiny mass.
+        for i in 1..50u32 {
+            taggings.push(Tagging {
+                user: 3,
+                item: i,
+                tag: 0,
+                weight: 0.01,
+            });
+        }
+        let store = TagStore::build(4, 50, 1, taggings);
+        let corpus = Corpus::new(g, store);
+        let mut gb = GlobalBoundTA::new(&corpus, ProximityModel::DistanceDecay { alpha: 0.5 });
+        let r = gb.query(&Query {
+            seeker: 0,
+            tags: vec![0],
+            k: 1,
+        });
+        assert_eq!(r.items[0].0, 0);
+        assert!(r.stats.early_terminated, "{:?}", r.stats);
+        assert!(
+            r.stats.postings_scanned < 50,
+            "scanned {}",
+            r.stats.postings_scanned
+        );
+    }
+
+    #[test]
+    fn degenerate_queries() {
+        let corpus = fixture();
+        let mut gb = GlobalBoundTA::new(&corpus, ProximityModel::Global);
+        assert!(gb
+            .query(&Query {
+                seeker: 0,
+                tags: vec![],
+                k: 5
+            })
+            .items
+            .is_empty());
+        assert!(gb
+            .query(&Query {
+                seeker: 0,
+                tags: vec![424242],
+                k: 5
+            })
+            .items
+            .is_empty());
+        assert!(gb
+            .query(&Query {
+                seeker: 0,
+                tags: vec![0],
+                k: 0
+            })
+            .items
+            .is_empty());
+    }
+}

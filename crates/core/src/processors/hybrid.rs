@@ -1,0 +1,204 @@
+//! **Hybrid** — per-query dispatch between the network-aware processors.
+//!
+//! The paper family observes that no single strategy dominates: expansion
+//! wins when the seeker's neighborhood is small and the query selective;
+//! the cluster sketch wins for hub seekers and popular tags; and an isolated
+//! seeker has no network signal at all, so global popularity is the only
+//! sensible answer. `Hybrid` encodes exactly that decision rule.
+
+use crate::corpus::{Corpus, SearchResult};
+use crate::processors::{
+    ClusterConfig, ClusterIndex, ExpansionConfig, FriendExpansion, GlobalProcessor, Processor,
+};
+use friends_data::queries::Query;
+use friends_index::inverted::IndexConfig;
+
+/// Dispatch thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Shared decay base for both personalized strategies.
+    pub alpha: f64,
+    /// Use expansion when `degree(seeker) · Σ_t |postings(t)|` is below
+    /// this, else the cluster index.
+    pub expansion_budget: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            alpha: 0.5,
+            expansion_budget: 2_000_000,
+        }
+    }
+}
+
+/// The dispatching processor. Owns all three strategies.
+pub struct Hybrid<'a> {
+    corpus: &'a Corpus,
+    config: HybridConfig,
+    global: GlobalProcessor,
+    expansion: FriendExpansion<'a>,
+    cluster: ClusterIndex<'a>,
+    /// Name of the strategy used by the most recent query.
+    last_route: &'static str,
+}
+
+impl<'a> Hybrid<'a> {
+    /// Builds all component indexes.
+    pub fn build(corpus: &'a Corpus, config: HybridConfig) -> Self {
+        Hybrid {
+            corpus,
+            config,
+            global: GlobalProcessor::new(corpus, IndexConfig::default()),
+            expansion: FriendExpansion::new(
+                corpus,
+                ExpansionConfig {
+                    alpha: config.alpha,
+                    ..ExpansionConfig::default()
+                },
+            ),
+            cluster: ClusterIndex::build(
+                corpus,
+                ClusterConfig {
+                    alpha: config.alpha,
+                    ..ClusterConfig::default()
+                },
+            ),
+            last_route: "unrouted",
+        }
+    }
+
+    /// Which strategy handled the last query.
+    pub fn last_route(&self) -> &'static str {
+        self.last_route
+    }
+
+    fn route(&self, q: &Query) -> &'static str {
+        if self.corpus.graph.degree(q.seeker) == 0 {
+            return "global";
+        }
+        let postings: usize = q
+            .tags
+            .iter()
+            .filter(|&&t| t < self.corpus.store.num_tags())
+            .map(|&t| self.corpus.store.tag_taggings(t).len())
+            .sum();
+        let cost = self
+            .corpus
+            .graph
+            .degree(q.seeker)
+            .saturating_mul(postings.max(1));
+        if cost <= self.config.expansion_budget {
+            "friend-expansion"
+        } else {
+            "cluster-index"
+        }
+    }
+}
+
+impl Processor for Hybrid<'_> {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn query(&mut self, q: &Query) -> SearchResult {
+        let route = self.route(q);
+        self.last_route = route;
+        match route {
+            "global" => self.global.query(q),
+            "friend-expansion" => self.expansion.query(q),
+            _ => self.cluster.query(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use friends_data::datasets::{DatasetSpec, Scale};
+    use friends_data::queries::{QueryParams, QueryWorkload};
+    use friends_data::store::TagStore;
+    use friends_data::Tagging;
+    use friends_graph::GraphBuilder;
+
+    fn fixture() -> Corpus {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(9);
+        Corpus::new(ds.graph, ds.store)
+    }
+
+    #[test]
+    fn isolated_seeker_routes_to_global() {
+        let g = GraphBuilder::from_edges(3, [(1, 2, 1.0)]);
+        let s = TagStore::build(
+            3,
+            2,
+            1,
+            vec![Tagging::unit(1, 0, 0), Tagging::unit(2, 1, 0)],
+        );
+        let corpus = Corpus::new(g, s);
+        let mut h = Hybrid::build(&corpus, HybridConfig::default());
+        let r = h.query(&Query {
+            seeker: 0,
+            tags: vec![0],
+            k: 5,
+        });
+        assert_eq!(h.last_route(), "global");
+        assert!(!r.items.is_empty());
+    }
+
+    #[test]
+    fn small_budget_routes_to_cluster() {
+        let corpus = fixture();
+        let mut h = Hybrid::build(
+            &corpus,
+            HybridConfig {
+                expansion_budget: 0,
+                ..HybridConfig::default()
+            },
+        );
+        h.query(&Query {
+            seeker: 1,
+            tags: vec![0],
+            k: 5,
+        });
+        assert_eq!(h.last_route(), "cluster-index");
+    }
+
+    #[test]
+    fn large_budget_routes_to_expansion() {
+        let corpus = fixture();
+        let mut h = Hybrid::build(
+            &corpus,
+            HybridConfig {
+                expansion_budget: usize::MAX,
+                ..HybridConfig::default()
+            },
+        );
+        h.query(&Query {
+            seeker: 1,
+            tags: vec![0],
+            k: 5,
+        });
+        assert_eq!(h.last_route(), "friend-expansion");
+    }
+
+    #[test]
+    fn answers_whole_workload() {
+        let corpus = fixture();
+        let mut h = Hybrid::build(&corpus, HybridConfig::default());
+        let w = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 30,
+                ..QueryParams::default()
+            },
+            21,
+        );
+        for q in &w.queries {
+            let r = h.query(q);
+            assert!(r.items.len() <= q.k);
+            assert!(r.items.windows(2).all(|p| p[0].1 >= p[1].1));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Query processors: the baselines and the paper's network-aware algorithms.
+
+mod cluster;
+mod exact;
+mod expansion;
+mod global;
+mod globalbound;
+mod hybrid;
+
+pub use cluster::{ClusterConfig, ClusterIndex};
+pub use exact::ExactOnline;
+pub use expansion::{ExpansionConfig, FriendExpansion};
+pub use global::GlobalProcessor;
+pub use globalbound::GlobalBoundTA;
+pub use hybrid::{Hybrid, HybridConfig};
+
+use crate::corpus::SearchResult;
+use friends_data::queries::Query;
+
+/// A top-k query processor.
+///
+/// `query` takes `&mut self` so processors can reuse per-query scratch
+/// buffers (accumulators, workspaces) without interior mutability.
+pub trait Processor {
+    /// Short stable name used in reports and benchmark rows.
+    fn name(&self) -> &'static str;
+
+    /// Executes one query.
+    fn query(&mut self, q: &Query) -> SearchResult;
+}

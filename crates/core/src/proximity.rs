@@ -1,0 +1,282 @@
+//! Social proximity models: how much weight `σ(u, v)` a seeker `u` places on
+//! user `v`'s annotations.
+//!
+//! Every model maps into `[0, 1]` with `σ(u, u) = 1` (the seeker trusts
+//! themself fully), except PPR whose natural normalization is a probability
+//! distribution (the evaluation treats PPR scores as-is; rankings are
+//! scale-invariant).
+
+use friends_graph::ppr::{forward_push, PushWorkspace};
+use friends_graph::traversal::{bfs_distances, ProximityOrder, UNREACHABLE};
+use friends_graph::{CsrGraph, NodeId};
+
+/// A proximity model. See module docs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProximityModel {
+    /// `σ ≡ 1`: non-personalized (the global baseline's implicit model).
+    Global,
+    /// `σ = 1` for the seeker and direct friends, 0 otherwise.
+    FriendsOnly,
+    /// `σ = alpha^hops(u, v)`: exponential decay in hop distance,
+    /// ignoring tie strength. `alpha ∈ (0, 1)`.
+    DistanceDecay { alpha: f64 },
+    /// Multiplicative decay along the strongest path:
+    /// `σ = max_path Π_e (alpha · w_e)`, with `w_e ∈ (0, 1]`.
+    /// This is the model the FriendExpansion traversal enumerates natively.
+    WeightedDecay { alpha: f64 },
+    /// Personalized PageRank mass (forward push with additive error
+    /// `epsilon · wdeg(v)`).
+    Ppr { alpha: f64, epsilon: f64 },
+    /// Adamic–Adar structural similarity over the 2-hop neighborhood:
+    /// `AA(u, v) = Σ_{w ∈ N(u) ∩ N(v)} 1 / ln(1 + deg(w))`, normalized by
+    /// the maximum over `v` so values land in `[0, 1]`; `σ(u, u) = 1`;
+    /// users beyond 2 hops get 0. Cheap (no global traversal) and a common
+    /// "friends-of-friends" weighting in the social-search literature.
+    AdamicAdar,
+}
+
+impl ProximityModel {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProximityModel::Global => "global",
+            ProximityModel::FriendsOnly => "friends-only",
+            ProximityModel::DistanceDecay { .. } => "distance-decay",
+            ProximityModel::WeightedDecay { .. } => "weighted-decay",
+            ProximityModel::Ppr { .. } => "ppr",
+            ProximityModel::AdamicAdar => "adamic-adar",
+        }
+    }
+
+    /// Materializes the dense proximity vector `σ(seeker, ·)`.
+    ///
+    /// Cost: `O(n)` for Global/FriendsOnly, one BFS for DistanceDecay, one
+    /// full proximity-Dijkstra for WeightedDecay, one forward push for PPR.
+    pub fn materialize(&self, g: &CsrGraph, seeker: NodeId) -> Vec<f64> {
+        let n = g.num_nodes();
+        match *self {
+            ProximityModel::Global => vec![1.0; n],
+            ProximityModel::FriendsOnly => {
+                let mut v = vec![0.0; n];
+                if n > 0 {
+                    v[seeker as usize] = 1.0;
+                    for &f in g.neighbors(seeker) {
+                        v[f as usize] = 1.0;
+                    }
+                }
+                v
+            }
+            ProximityModel::DistanceDecay { alpha } => {
+                assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
+                let d = bfs_distances(g, seeker);
+                d.into_iter()
+                    .map(|h| {
+                        if h == UNREACHABLE {
+                            0.0
+                        } else {
+                            alpha.powi(h as i32)
+                        }
+                    })
+                    .collect()
+            }
+            ProximityModel::WeightedDecay { alpha } => {
+                assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
+                let mut v = vec![0.0; n];
+                if n > 0 {
+                    for (u, p) in ProximityOrder::new(g, seeker, edge_decay(alpha)) {
+                        v[u as usize] = p;
+                    }
+                }
+                v
+            }
+            ProximityModel::Ppr { alpha, epsilon } => {
+                let mut v = vec![0.0; n];
+                if n > 0 {
+                    let mut ws = PushWorkspace::new(n);
+                    for (u, p) in forward_push(g, seeker, alpha, epsilon, &mut ws) {
+                        v[u as usize] = p;
+                    }
+                }
+                v
+            }
+            ProximityModel::AdamicAdar => {
+                let mut v = vec![0.0; n];
+                if n == 0 {
+                    return v;
+                }
+                // Accumulate AA over the 2-hop neighborhood: every middle
+                // node w contributes 1/ln(1 + deg(w)) to each of its
+                // neighbors (the common-neighbor identity).
+                for &w in g.neighbors(seeker) {
+                    let contrib = 1.0 / (1.0 + g.degree(w) as f64).ln();
+                    for &x in g.neighbors(w) {
+                        if x != seeker {
+                            v[x as usize] += contrib;
+                        }
+                    }
+                    // Direct friends always have nonzero proximity, even
+                    // without any common neighbor.
+                    v[w as usize] += contrib * f64::EPSILON.max(1e-9);
+                }
+                let max = v.iter().copied().fold(0.0f64, f64::max);
+                if max > 0.0 {
+                    for x in v.iter_mut() {
+                        *x /= max;
+                    }
+                }
+                v[seeker as usize] = 1.0;
+                v
+            }
+        }
+    }
+}
+
+/// The per-edge multiplier of the [`ProximityModel::WeightedDecay`] model:
+/// `alpha · clamp(w, 0, 1)`. Shared between `materialize` and the
+/// FriendExpansion traversal so the two agree bit-for-bit.
+pub fn edge_decay(alpha: f64) -> impl FnMut(f32) -> f64 {
+    move |w: f32| alpha * (w as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use friends_graph::generators;
+    use friends_graph::GraphBuilder;
+
+    fn chain() -> CsrGraph {
+        GraphBuilder::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    }
+
+    #[test]
+    fn global_is_all_ones() {
+        let g = chain();
+        assert_eq!(ProximityModel::Global.materialize(&g, 0), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn friends_only_masks_neighbors() {
+        let g = chain();
+        let v = ProximityModel::FriendsOnly.materialize(&g, 1);
+        assert_eq!(v, vec![1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn distance_decay_geometric() {
+        let g = chain();
+        let v = ProximityModel::DistanceDecay { alpha: 0.5 }.materialize(&g, 0);
+        assert_eq!(v, vec![1.0, 0.5, 0.25, 0.125]);
+    }
+
+    #[test]
+    fn distance_decay_unreachable_is_zero() {
+        let g = GraphBuilder::from_edges(3, [(0, 1, 1.0)]);
+        let v = ProximityModel::DistanceDecay { alpha: 0.5 }.materialize(&g, 0);
+        assert_eq!(v[2], 0.0);
+    }
+
+    #[test]
+    fn weighted_decay_uses_strengths() {
+        let g = GraphBuilder::from_edges(3, [(0, 1, 0.5), (1, 2, 1.0)]);
+        let v = ProximityModel::WeightedDecay { alpha: 0.8 }.materialize(&g, 0);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[1] - 0.4).abs() < 1e-9); // 0.8 * 0.5
+        assert!((v[2] - 0.32).abs() < 1e-9); // 0.4 * 0.8 * 1.0
+    }
+
+    #[test]
+    fn weighted_decay_with_unit_weights_matches_distance_decay() {
+        let g = generators::watts_strogatz(100, 4, 0.2, 3);
+        // unit weights ⇒ both models are alpha^hops
+        let a = ProximityModel::DistanceDecay { alpha: 0.6 }.materialize(&g, 0);
+        let b = ProximityModel::WeightedDecay { alpha: 0.6 }.materialize(&g, 0);
+        for u in 0..100 {
+            assert!((a[u] - b[u]).abs() < 1e-9, "node {u}: {} vs {}", a[u], b[u]);
+        }
+    }
+
+    #[test]
+    fn ppr_vector_is_subprobability() {
+        let g = generators::barabasi_albert(200, 3, 4);
+        let v = ProximityModel::Ppr {
+            alpha: 0.2,
+            epsilon: 1e-5,
+        }
+        .materialize(&g, 0);
+        let sum: f64 = v.iter().sum();
+        assert!(sum <= 1.0 + 1e-9 && sum > 0.5);
+        assert!(v[0] > 0.0);
+    }
+
+    #[test]
+    fn all_models_handle_empty_graph() {
+        let g = CsrGraph::empty(0);
+        for m in [
+            ProximityModel::Global,
+            ProximityModel::FriendsOnly,
+            ProximityModel::DistanceDecay { alpha: 0.5 },
+            ProximityModel::WeightedDecay { alpha: 0.5 },
+            ProximityModel::Ppr {
+                alpha: 0.2,
+                epsilon: 1e-4,
+            },
+            ProximityModel::AdamicAdar,
+        ] {
+            assert!(m.materialize(&g, 0).is_empty(), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn adamic_adar_prefers_shared_neighborhoods() {
+        // Seeker 0; node 3 shares two neighbors (1, 2) with 0; node 5 shares
+        // one (4). AA(0,3) > AA(0,5); nodes beyond 2 hops get 0.
+        let g = GraphBuilder::from_edges(
+            7,
+            [
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 4, 1.0),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+                (4, 5, 1.0),
+                (5, 6, 1.0), // 6 is three hops from 0
+            ],
+        );
+        let v = ProximityModel::AdamicAdar.materialize(&g, 0);
+        assert_eq!(v[0], 1.0);
+        assert!(v[3] > v[5], "shared-2 {} vs shared-1 {}", v[3], v[5]);
+        assert_eq!(v[6], 0.0);
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn adamic_adar_isolated_seeker() {
+        let g = CsrGraph::empty(3);
+        let v = ProximityModel::AdamicAdar.materialize(&g, 1);
+        assert_eq!(v, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn isolated_seeker() {
+        let g = CsrGraph::empty(3);
+        let v = ProximityModel::WeightedDecay { alpha: 0.5 }.materialize(&g, 1);
+        assert_eq!(v, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            ProximityModel::Global.name(),
+            ProximityModel::FriendsOnly.name(),
+            ProximityModel::DistanceDecay { alpha: 0.5 }.name(),
+            ProximityModel::WeightedDecay { alpha: 0.5 }.name(),
+            ProximityModel::Ppr {
+                alpha: 0.2,
+                epsilon: 1e-4,
+            }
+            .name(),
+        ];
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,231 @@
+//! Dataset presets: the three synthetic stand-ins for the crawls this paper
+//! family evaluates on, each at several scales.
+//!
+//! | Preset | Models | Graph | Tagging shape |
+//! |--------|--------|-------|---------------|
+//! | Delicious-like | social bookmarking | Barabási–Albert (hubs) | many tags, strong tag reuse |
+//! | Flickr-like | photo sharing | Watts–Strogatz (contacts cliques) | fewer tags/user, strong homophily |
+//! | CiteULike-like | paper libraries | planted partition (research groups) | niche tags, community-correlated |
+
+use crate::generator::{generate, WorkloadParams};
+use crate::store::TagStore;
+use friends_graph::generators::{self, WeightModel};
+use friends_graph::CsrGraph;
+
+/// Dataset scale knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// ~500 users — unit tests and doc examples.
+    Tiny,
+    /// ~5k users — integration tests and quick benches.
+    Small,
+    /// ~50k users — headline benchmarks.
+    Medium,
+    /// ~200k users — scalability points (Fig 4).
+    Large,
+    /// Exact user count — scalability sweeps.
+    Custom(usize),
+}
+
+impl Scale {
+    /// Number of users at this scale.
+    pub fn users(self) -> usize {
+        match self {
+            Scale::Tiny => 500,
+            Scale::Small => 5_000,
+            Scale::Medium => 50_000,
+            Scale::Large => 200_000,
+            Scale::Custom(n) => n,
+        }
+    }
+}
+
+/// Which preset family to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    Delicious,
+    Flickr,
+    CiteULike,
+}
+
+/// A fully specified synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    pub family: Family,
+    pub scale: Scale,
+    pub workload: WorkloadParams,
+}
+
+impl DatasetSpec {
+    /// Social bookmarking: scale-free graph, rich vocabulary, moderate
+    /// homophily.
+    pub fn delicious_like(scale: Scale) -> Self {
+        let users = scale.users();
+        DatasetSpec {
+            family: Family::Delicious,
+            scale,
+            workload: WorkloadParams {
+                num_items: (users * 20) as u32,
+                num_tags: ((users / 4).max(64)) as u32,
+                mean_taggings_per_user: 30.0,
+                item_theta: 1.0,
+                tag_theta: 1.1,
+                homophily: 0.5,
+                weighted: false,
+            },
+        }
+    }
+
+    /// Photo sharing: small-world contact graph, heavier homophily, smaller
+    /// vocabulary, rating-like weights.
+    pub fn flickr_like(scale: Scale) -> Self {
+        let users = scale.users();
+        DatasetSpec {
+            family: Family::Flickr,
+            scale,
+            workload: WorkloadParams {
+                num_items: (users * 40) as u32,
+                num_tags: ((users / 10).max(32)) as u32,
+                mean_taggings_per_user: 15.0,
+                item_theta: 0.9,
+                tag_theta: 1.2,
+                homophily: 0.7,
+                weighted: true,
+            },
+        }
+    }
+
+    /// Paper libraries: community graph (research groups), niche tags.
+    pub fn citeulike_like(scale: Scale) -> Self {
+        let users = scale.users();
+        DatasetSpec {
+            family: Family::CiteULike,
+            scale,
+            workload: WorkloadParams {
+                num_items: (users * 10) as u32,
+                num_tags: ((users / 2).max(128)) as u32,
+                mean_taggings_per_user: 25.0,
+                item_theta: 0.8,
+                tag_theta: 0.9,
+                homophily: 0.6,
+                weighted: false,
+            },
+        }
+    }
+
+    /// Human-readable name, e.g. `"delicious-small"`.
+    pub fn name(&self) -> String {
+        let fam = match self.family {
+            Family::Delicious => "delicious",
+            Family::Flickr => "flickr",
+            Family::CiteULike => "citeulike",
+        };
+        let sc = match self.scale {
+            Scale::Tiny => "tiny".to_owned(),
+            Scale::Small => "small".to_owned(),
+            Scale::Medium => "medium".to_owned(),
+            Scale::Large => "large".to_owned(),
+            Scale::Custom(n) => format!("{n}u"),
+        };
+        format!("{fam}-{sc}")
+    }
+
+    /// Materializes the dataset (graph + tag store), deterministic in `seed`.
+    pub fn build(&self, seed: u64) -> Dataset {
+        let users = self.scale.users();
+        let graph = match self.family {
+            Family::Delicious => generators::barabasi_albert(users, 5, seed),
+            Family::Flickr => generators::watts_strogatz(users, 10, 0.1, seed),
+            Family::CiteULike => {
+                let communities = (users / 50).max(2);
+                let p_in = (8.0 / 50.0f64).min(1.0);
+                let p_out = 2.0 / users as f64;
+                generators::planted_partition(users, communities, p_in, p_out, seed).0
+            }
+        };
+        // Tie strengths: shared-neighborhood weights make proximity
+        // informative (pure topology would make all friends equidistant).
+        let graph =
+            generators::assign_weights(&graph, WeightModel::Jaccard { floor: 0.1 }, seed ^ 0xA5A5);
+        let store = generate(&graph, &self.workload, seed ^ 0x5A5A);
+        Dataset {
+            name: self.name(),
+            graph,
+            store,
+        }
+    }
+}
+
+/// A materialized dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub name: String,
+    pub graph: CsrGraph,
+    pub store: TagStore,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_build_at_tiny_scale() {
+        for spec in [
+            DatasetSpec::delicious_like(Scale::Tiny),
+            DatasetSpec::flickr_like(Scale::Tiny),
+            DatasetSpec::citeulike_like(Scale::Tiny),
+        ] {
+            let ds = spec.build(3);
+            assert_eq!(ds.graph.num_nodes(), 500, "{}", ds.name);
+            assert_eq!(ds.store.num_users(), 500);
+            assert!(ds.store.num_taggings() > 1_000, "{}", ds.name);
+            assert!(ds.graph.num_edges() > 500, "{}", ds.name);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            DatasetSpec::delicious_like(Scale::Tiny).name(),
+            "delicious-tiny"
+        );
+        assert_eq!(
+            DatasetSpec::flickr_like(Scale::Small).name(),
+            "flickr-small"
+        );
+        assert_eq!(
+            DatasetSpec::citeulike_like(Scale::Medium).name(),
+            "citeulike-medium"
+        );
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let spec = DatasetSpec::delicious_like(Scale::Tiny);
+        let a = spec.build(9);
+        let b = spec.build(9);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.store.num_taggings(), b.store.num_taggings());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = DatasetSpec::flickr_like(Scale::Tiny);
+        let a = spec.build(1);
+        let b = spec.build(2);
+        assert_ne!(
+            (a.graph.num_edges(), a.store.num_taggings()),
+            (b.graph.num_edges(), b.store.num_taggings())
+        );
+    }
+
+    #[test]
+    fn weights_are_informative() {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(4);
+        let mut distinct = std::collections::BTreeSet::new();
+        for (_, _, w) in ds.graph.undirected_edges().take(200) {
+            distinct.insert((w * 1000.0) as i64);
+        }
+        assert!(distinct.len() > 3, "weights should vary, got {distinct:?}");
+    }
+}

@@ -1,0 +1,102 @@
+//! String interning for tag and item vocabularies.
+//!
+//! Examples and the CLI work with human-readable tag names; the engine works
+//! with dense `u32` ids. [`Vocab`] maps between the two.
+
+use std::collections::HashMap;
+
+/// A bidirectional `String ↔ u32` interner with dense, stable ids.
+#[derive(Clone, Debug, Default)]
+pub struct Vocab {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Id of `name` if already interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// Name of `id`, if assigned.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("rust");
+        let b = v.intern("graphs");
+        let a2 = v.intern("rust");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut v = Vocab::new();
+        let id = v.intern("databases");
+        assert_eq!(v.get("databases"), Some(id));
+        assert_eq!(v.name(id), Some("databases"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.name(999), None);
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut v = Vocab::new();
+        v.intern("a");
+        v.intern("b");
+        v.intern("c");
+        let names: Vec<&str> = v.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocab::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

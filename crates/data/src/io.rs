@@ -1,0 +1,209 @@
+//! Binary persistence for datasets.
+//!
+//! Generating the Medium/Large synthetic datasets takes seconds to minutes;
+//! experiments that sweep processors over the same dataset want to pay that
+//! once. This module writes a `(graph, store)` pair to a compact
+//! little-endian binary file and reads it back. The format is versioned and
+//! self-describing enough to fail loudly on corruption — not a public
+//! interchange format.
+
+use crate::store::TagStore;
+use crate::Tagging;
+use bytes::{Buf, BufMut};
+use friends_graph::{CsrGraph, GraphBuilder};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+const MAGIC: u32 = 0x46524E44; // "FRND"
+const VERSION: u32 = 1;
+
+/// Errors raised by [`save`] / [`load`].
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is not a dataset file or is a different version.
+    BadHeader,
+    /// The payload ended early or contained out-of-range values.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::BadHeader => write!(f, "not a friends dataset file (bad magic/version)"),
+            IoError::Corrupt(what) => write!(f, "corrupt dataset file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Serializes a graph + store pair to `path`.
+pub fn save(path: &Path, graph: &CsrGraph, store: &TagStore) -> Result<(), IoError> {
+    let mut buf: Vec<u8> =
+        Vec::with_capacity(16 + graph.num_edges() * 12 + store.num_taggings() * 16);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    // Graph section.
+    buf.put_u32_le(graph.num_nodes() as u32);
+    buf.put_u32_le(graph.num_edges() as u32);
+    for (u, v, w) in graph.undirected_edges() {
+        buf.put_u32_le(u);
+        buf.put_u32_le(v);
+        buf.put_f32_le(w);
+    }
+    // Store section.
+    buf.put_u32_le(store.num_users());
+    buf.put_u32_le(store.num_items());
+    buf.put_u32_le(store.num_tags());
+    buf.put_u32_le(store.num_taggings() as u32);
+    for t in store.iter() {
+        buf.put_u32_le(t.user);
+        buf.put_u32_le(t.item);
+        buf.put_u32_le(t.tag);
+        buf.put_f32_le(t.weight);
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads back a pair written by [`save`].
+pub fn load(path: &Path) -> Result<(CsrGraph, TagStore), IoError> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    let mut buf = raw.as_slice();
+    let need = |buf: &&[u8], n: usize| -> Result<(), IoError> {
+        if buf.remaining() < n {
+            Err(IoError::Corrupt("truncated"))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 8)?;
+    if buf.get_u32_le() != MAGIC || buf.get_u32_le() != VERSION {
+        return Err(IoError::BadHeader);
+    }
+    need(&buf, 8)?;
+    let n = buf.get_u32_le() as usize;
+    let m = buf.get_u32_le() as usize;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        need(&buf, 12)?;
+        let u = buf.get_u32_le();
+        let v = buf.get_u32_le();
+        let w = buf.get_f32_le();
+        if u as usize >= n || v as usize >= n || !w.is_finite() || w < 0.0 {
+            return Err(IoError::Corrupt("edge out of range"));
+        }
+        b.add_edge(u, v, w);
+    }
+    let graph = b.build();
+    need(&buf, 16)?;
+    let users = buf.get_u32_le();
+    let items = buf.get_u32_le();
+    let tags = buf.get_u32_le();
+    let count = buf.get_u32_le() as usize;
+    let mut taggings = Vec::with_capacity(count);
+    for _ in 0..count {
+        need(&buf, 16)?;
+        let t = Tagging {
+            user: buf.get_u32_le(),
+            item: buf.get_u32_le(),
+            tag: buf.get_u32_le(),
+            weight: buf.get_f32_le(),
+        };
+        if t.user >= users || t.item >= items || t.tag >= tags {
+            return Err(IoError::Corrupt("tagging out of range"));
+        }
+        if !t.weight.is_finite() || t.weight < 0.0 {
+            return Err(IoError::Corrupt("bad weight"));
+        }
+        taggings.push(t);
+    }
+    if buf.has_remaining() {
+        return Err(IoError::Corrupt("trailing bytes"));
+    }
+    Ok((graph, TagStore::build(users, items, tags, taggings)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{DatasetSpec, Scale};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("friends-io-{}-{name}.bin", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = DatasetSpec::flickr_like(Scale::Tiny).build(3);
+        let path = tmp("roundtrip");
+        save(&path, &ds.graph, &ds.store).unwrap();
+        let (g, s) = load(&path).unwrap();
+        assert_eq!(g.num_nodes(), ds.graph.num_nodes());
+        assert_eq!(g.num_edges(), ds.graph.num_edges());
+        for u in g.nodes() {
+            assert_eq!(g.neighbors(u), ds.graph.neighbors(u));
+        }
+        assert_eq!(s.num_taggings(), ds.store.num_taggings());
+        assert_eq!(s.num_items(), ds.store.num_items());
+        // Spot-check a user slice.
+        assert_eq!(s.user_taggings(7), ds.store.user_taggings(7));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"not a dataset at all").unwrap();
+        match load(&path) {
+            Err(IoError::BadHeader) | Err(IoError::Corrupt(_)) => {}
+            other => panic!("expected header error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let ds = DatasetSpec::citeulike_like(Scale::Tiny).build(1);
+        let path = tmp("trunc");
+        save(&path, &ds.graph, &ds.store).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load(&path), Err(IoError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(1);
+        let path = tmp("trailing");
+        save(&path, &ds.graph, &ds.store).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(IoError::Corrupt("trailing bytes"))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", IoError::BadHeader).contains("magic"));
+        assert!(format!("{}", IoError::Corrupt("x")).contains("x"));
+    }
+}

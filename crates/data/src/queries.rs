@@ -1,0 +1,184 @@
+//! Query-workload generation.
+//!
+//! A query is a seeker plus a small set of tags. To mirror real search
+//! traffic, seekers are sampled proportionally to activity and tags are
+//! drawn from the seeker's *neighborhood vocabulary* (tags used by the
+//! seeker or their friends) — queries about things one's circle actually
+//! annotates, which is the regime where network-aware search matters.
+
+use crate::store::TagStore;
+use crate::{TagId, UserId};
+use friends_graph::CsrGraph;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A top-k query: seeker + conjunction-free tag bag + k.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    pub seeker: UserId,
+    pub tags: Vec<TagId>,
+    pub k: usize,
+}
+
+/// Parameters for [`QueryWorkload::generate`].
+#[derive(Clone, Debug)]
+pub struct QueryParams {
+    /// Number of queries.
+    pub count: usize,
+    /// Tags per query are drawn uniformly from `min_tags..=max_tags`.
+    pub min_tags: usize,
+    pub max_tags: usize,
+    /// Result size.
+    pub k: usize,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        QueryParams {
+            count: 100,
+            min_tags: 1,
+            max_tags: 3,
+            k: 10,
+        }
+    }
+}
+
+/// A reproducible batch of queries.
+#[derive(Clone, Debug)]
+pub struct QueryWorkload {
+    pub queries: Vec<Query>,
+}
+
+impl QueryWorkload {
+    /// Generates a workload. Skips users with no usable neighborhood
+    /// vocabulary (possible on tiny or disconnected graphs).
+    pub fn generate(graph: &CsrGraph, store: &TagStore, params: &QueryParams, seed: u64) -> Self {
+        assert!(params.min_tags >= 1 && params.min_tags <= params.max_tags);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = graph.num_nodes();
+        let mut queries = Vec::with_capacity(params.count);
+        if n == 0 {
+            return QueryWorkload { queries };
+        }
+        let mut guard = 0usize;
+        while queries.len() < params.count && guard < params.count * 50 {
+            guard += 1;
+            let seeker = rng.gen_range(0..n) as UserId;
+            if graph.degree(seeker) == 0 {
+                continue;
+            }
+            // Neighborhood vocabulary: own tags + friends' tags.
+            let mut vocab: Vec<TagId> = store.user_taggings(seeker).iter().map(|t| t.tag).collect();
+            for &f in graph.neighbors(seeker) {
+                vocab.extend(store.user_taggings(f).iter().map(|t| t.tag));
+            }
+            vocab.sort_unstable();
+            vocab.dedup();
+            if vocab.is_empty() {
+                continue;
+            }
+            let want = rng.gen_range(params.min_tags..=params.max_tags);
+            let want = want.min(vocab.len());
+            vocab.shuffle(&mut rng);
+            vocab.truncate(want);
+            vocab.sort_unstable();
+            queries.push(Query {
+                seeker,
+                tags: vocab,
+                k: params.k,
+            });
+        }
+        QueryWorkload { queries }
+    }
+
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{DatasetSpec, Scale};
+
+    fn fixture() -> (CsrGraph, TagStore) {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(5);
+        (ds.graph, ds.store)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let (g, s) = fixture();
+        let w = QueryWorkload::generate(&g, &s, &QueryParams::default(), 1);
+        assert_eq!(w.len(), 100);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn queries_are_well_formed() {
+        let (g, s) = fixture();
+        let p = QueryParams {
+            count: 50,
+            min_tags: 2,
+            max_tags: 4,
+            k: 7,
+        };
+        let w = QueryWorkload::generate(&g, &s, &p, 2);
+        for q in &w.queries {
+            assert!((q.seeker as usize) < g.num_nodes());
+            assert!(!q.tags.is_empty() && q.tags.len() <= 4);
+            assert_eq!(q.k, 7);
+            // Tags sorted and unique.
+            assert!(q.tags.windows(2).all(|t| t[0] < t[1]));
+            // Every tag is in range.
+            assert!(q.tags.iter().all(|&t| t < s.num_tags()));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, s) = fixture();
+        let a = QueryWorkload::generate(&g, &s, &QueryParams::default(), 42);
+        let b = QueryWorkload::generate(&g, &s, &QueryParams::default(), 42);
+        assert_eq!(a.queries, b.queries);
+        let c = QueryWorkload::generate(&g, &s, &QueryParams::default(), 43);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_workload() {
+        let g = CsrGraph::empty(0);
+        let s = TagStore::build(0, 1, 1, vec![]);
+        let w = QueryWorkload::generate(&g, &s, &QueryParams::default(), 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn tags_come_from_neighborhood_vocabulary() {
+        let (g, s) = fixture();
+        let w = QueryWorkload::generate(
+            &g,
+            &s,
+            &QueryParams {
+                count: 20,
+                ..QueryParams::default()
+            },
+            9,
+        );
+        for q in &w.queries {
+            let mut vocab: Vec<TagId> = s.user_taggings(q.seeker).iter().map(|t| t.tag).collect();
+            for &f in g.neighbors(q.seeker) {
+                vocab.extend(s.user_taggings(f).iter().map(|t| t.tag));
+            }
+            for t in &q.tags {
+                assert!(vocab.contains(t), "tag {t} not in neighborhood vocab");
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The tagging store: a read-optimized column store over
+//! `(user, item, tag, weight)` annotations with two sort orders.
+//!
+//! * **by user** — `(user, tag, item)` order, for friend-expansion: when the
+//!   expansion visits user `v`, it scans `v`'s postings for the query tags.
+//! * **by tag** — `(tag, item, user)` order, for building inverted indexes
+//!   and the global baseline.
+//!
+//! Duplicate `(user, item, tag)` triples are merged at build time by summing
+//! weights (repeated annotation = stronger signal).
+
+use crate::{ItemId, TagId, Tagging, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Immutable social-tagging dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TagStore {
+    num_users: u32,
+    num_items: u32,
+    num_tags: u32,
+    /// Sorted by `(user, tag, item)`.
+    by_user: Vec<Tagging>,
+    /// `user_offsets[u] .. user_offsets[u+1]` is `u`'s slice of `by_user`.
+    user_offsets: Vec<usize>,
+    /// Sorted by `(tag, item, user)`.
+    by_tag: Vec<Tagging>,
+    /// `tag_offsets[t] .. tag_offsets[t+1]` is `t`'s slice of `by_tag`.
+    tag_offsets: Vec<usize>,
+}
+
+impl TagStore {
+    /// Builds a store. Ids must satisfy `user < num_users`, `item <
+    /// num_items`, `tag < num_tags`; duplicates are merged (weights summed).
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or non-finite weights.
+    pub fn build(
+        num_users: u32,
+        num_items: u32,
+        num_tags: u32,
+        mut taggings: Vec<Tagging>,
+    ) -> Self {
+        for t in &taggings {
+            assert!(t.user < num_users, "user {} out of range", t.user);
+            assert!(t.item < num_items, "item {} out of range", t.item);
+            assert!(t.tag < num_tags, "tag {} out of range", t.tag);
+            assert!(
+                t.weight.is_finite() && t.weight >= 0.0,
+                "bad weight {}",
+                t.weight
+            );
+        }
+        taggings.sort_unstable_by_key(|t| (t.user, t.tag, t.item));
+        taggings.dedup_by(|next, kept| {
+            if next.user == kept.user && next.tag == kept.tag && next.item == kept.item {
+                kept.weight += next.weight;
+                true
+            } else {
+                false
+            }
+        });
+        let by_user = taggings;
+
+        let mut user_offsets = vec![0usize; num_users as usize + 1];
+        for t in &by_user {
+            user_offsets[t.user as usize + 1] += 1;
+        }
+        for i in 1..user_offsets.len() {
+            user_offsets[i] += user_offsets[i - 1];
+        }
+
+        let mut by_tag = by_user.clone();
+        by_tag.sort_unstable_by_key(|t| (t.tag, t.item, t.user));
+        let mut tag_offsets = vec![0usize; num_tags as usize + 1];
+        for t in &by_tag {
+            tag_offsets[t.tag as usize + 1] += 1;
+        }
+        for i in 1..tag_offsets.len() {
+            tag_offsets[i] += tag_offsets[i - 1];
+        }
+
+        TagStore {
+            num_users,
+            num_items,
+            num_tags,
+            by_user,
+            user_offsets,
+            by_tag,
+            tag_offsets,
+        }
+    }
+
+    /// Number of users in the universe.
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of items in the universe.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Number of tags in the universe.
+    pub fn num_tags(&self) -> u32 {
+        self.num_tags
+    }
+
+    /// Total distinct `(user, item, tag)` annotations.
+    pub fn num_taggings(&self) -> usize {
+        self.by_user.len()
+    }
+
+    /// All annotations by `user`, sorted by `(tag, item)`.
+    pub fn user_taggings(&self, user: UserId) -> &[Tagging] {
+        let u = user as usize;
+        &self.by_user[self.user_offsets[u]..self.user_offsets[u + 1]]
+    }
+
+    /// `user`'s annotations carrying `tag`, sorted by item.
+    pub fn user_tag_taggings(&self, user: UserId, tag: TagId) -> &[Tagging] {
+        let all = self.user_taggings(user);
+        let lo = all.partition_point(|t| t.tag < tag);
+        let hi = all.partition_point(|t| t.tag <= tag);
+        &all[lo..hi]
+    }
+
+    /// All annotations carrying `tag`, sorted by `(item, user)`.
+    pub fn tag_taggings(&self, tag: TagId) -> &[Tagging] {
+        let t = tag as usize;
+        &self.by_tag[self.tag_offsets[t]..self.tag_offsets[t + 1]]
+    }
+
+    /// Aggregated global per-item score for `tag`: `Σ_user weight`, sorted
+    /// by item id. This feeds the non-personalized baseline index.
+    pub fn global_item_scores(&self, tag: TagId) -> Vec<(ItemId, f32)> {
+        let mut out: Vec<(ItemId, f32)> = Vec::new();
+        for t in self.tag_taggings(tag) {
+            match out.last_mut() {
+                Some(last) if last.0 == t.item => last.1 += t.weight,
+                _ => out.push((t.item, t.weight)),
+            }
+        }
+        out
+    }
+
+    /// Users who used `tag` at least once (sorted, deduplicated).
+    pub fn tag_users(&self, tag: TagId) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.tag_taggings(tag).iter().map(|t| t.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        users
+    }
+
+    /// Largest single annotation weight for `tag` across all users — the
+    /// per-user contribution bound used by FriendExpansion's terminator.
+    pub fn tag_max_weight(&self, tag: TagId) -> f32 {
+        self.tag_taggings(tag)
+            .iter()
+            .map(|t| t.weight)
+            .fold(0.0, f32::max)
+    }
+
+    /// Largest **per-user total** weight for `tag`: `max_u Σ_{items} w`.
+    /// A tighter per-visit bound than `tag_max_weight × items`.
+    pub fn tag_max_user_mass(&self, tag: TagId) -> f32 {
+        let mut per_user: std::collections::HashMap<UserId, f32> = std::collections::HashMap::new();
+        for t in self.tag_taggings(tag) {
+            *per_user.entry(t.user).or_insert(0.0) += t.weight;
+        }
+        per_user.into_values().fold(0.0f32, f32::max)
+    }
+
+    /// Distinct items annotated with `tag`.
+    pub fn tag_num_items(&self, tag: TagId) -> usize {
+        let mut n = 0usize;
+        let mut last = u32::MAX;
+        for t in self.tag_taggings(tag) {
+            if t.item != last {
+                n += 1;
+                last = t.item;
+            }
+        }
+        n
+    }
+
+    /// Iterates every stored annotation once (user order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tagging> {
+        self.by_user.iter()
+    }
+
+    /// Approximate resident memory, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.by_user.len() + self.by_tag.len()) * std::mem::size_of::<Tagging>()
+            + (self.user_offsets.len() + self.tag_offsets.len()) * std::mem::size_of::<usize>()
+    }
+}
+
+/// Dataset-level statistics (Table 1 rows).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreStats {
+    pub users: u32,
+    pub items: u32,
+    pub tags: u32,
+    pub taggings: usize,
+    pub taggings_per_user_mean: f64,
+    pub taggings_per_user_max: usize,
+    pub items_per_tag_mean: f64,
+    pub items_per_tag_max: usize,
+}
+
+impl TagStore {
+    /// Computes [`StoreStats`].
+    pub fn stats(&self) -> StoreStats {
+        let mut per_user_max = 0usize;
+        for u in 0..self.num_users {
+            per_user_max = per_user_max.max(self.user_taggings(u).len());
+        }
+        let mut per_tag_max = 0usize;
+        let mut per_tag_total = 0usize;
+        for t in 0..self.num_tags {
+            let n = self.tag_num_items(t);
+            per_tag_max = per_tag_max.max(n);
+            per_tag_total += n;
+        }
+        StoreStats {
+            users: self.num_users,
+            items: self.num_items,
+            tags: self.num_tags,
+            taggings: self.num_taggings(),
+            taggings_per_user_mean: self.num_taggings() as f64 / self.num_users.max(1) as f64,
+            taggings_per_user_max: per_user_max,
+            items_per_tag_mean: per_tag_total as f64 / self.num_tags.max(1) as f64,
+            items_per_tag_max: per_tag_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store() -> TagStore {
+        TagStore::build(
+            3,
+            5,
+            4,
+            vec![
+                Tagging::unit(0, 0, 1),
+                Tagging::unit(0, 1, 1),
+                Tagging::unit(0, 1, 2),
+                Tagging::unit(1, 1, 1),
+                Tagging {
+                    user: 2,
+                    item: 4,
+                    tag: 3,
+                    weight: 2.5,
+                },
+                Tagging::unit(1, 1, 1), // duplicate: weights sum to 2.0
+            ],
+        )
+    }
+
+    #[test]
+    fn build_merges_duplicates() {
+        let s = small_store();
+        assert_eq!(s.num_taggings(), 5);
+        let t = s.user_tag_taggings(1, 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].weight, 2.0);
+    }
+
+    #[test]
+    fn user_slices() {
+        let s = small_store();
+        assert_eq!(s.user_taggings(0).len(), 3);
+        assert_eq!(s.user_taggings(1).len(), 1);
+        assert_eq!(s.user_taggings(2).len(), 1);
+        // Sorted by (tag, item).
+        let u0 = s.user_taggings(0);
+        assert!(u0
+            .windows(2)
+            .all(|w| (w[0].tag, w[0].item) <= (w[1].tag, w[1].item)));
+    }
+
+    #[test]
+    fn user_tag_slices() {
+        let s = small_store();
+        let u0t1 = s.user_tag_taggings(0, 1);
+        assert_eq!(u0t1.len(), 2);
+        assert!(u0t1.iter().all(|t| t.tag == 1 && t.user == 0));
+        assert!(s.user_tag_taggings(0, 3).is_empty());
+        assert!(s.user_tag_taggings(2, 1).is_empty());
+    }
+
+    #[test]
+    fn tag_slices_and_aggregates() {
+        let s = small_store();
+        let t1 = s.tag_taggings(1);
+        assert_eq!(t1.len(), 3);
+        let g = s.global_item_scores(1);
+        assert_eq!(g, vec![(0, 1.0), (1, 3.0)]);
+        assert_eq!(s.tag_users(1), vec![0, 1]);
+        assert_eq!(s.tag_num_items(1), 2);
+        assert_eq!(s.tag_max_weight(1), 2.0);
+        assert_eq!(s.tag_max_user_mass(1), 2.0);
+        // Tag 0 unused.
+        assert!(s.tag_taggings(0).is_empty());
+        assert_eq!(s.tag_max_weight(0), 0.0);
+    }
+
+    #[test]
+    fn tag_max_user_mass_sums_within_user() {
+        // User 0 tags two items with tag 1 (1.0 each): mass 2.0, while the
+        // single max weight is also... make weights distinct to separate.
+        let s = TagStore::build(
+            2,
+            3,
+            2,
+            vec![
+                Tagging {
+                    user: 0,
+                    item: 0,
+                    tag: 1,
+                    weight: 0.6,
+                },
+                Tagging {
+                    user: 0,
+                    item: 1,
+                    tag: 1,
+                    weight: 0.6,
+                },
+                Tagging {
+                    user: 1,
+                    item: 2,
+                    tag: 1,
+                    weight: 0.9,
+                },
+            ],
+        );
+        assert!((s.tag_max_weight(1) - 0.9).abs() < 1e-6);
+        assert!((s.tag_max_user_mass(1) - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = TagStore::build(0, 0, 0, vec![]);
+        assert_eq!(s.num_taggings(), 0);
+        let stats = s.stats();
+        assert_eq!(stats.taggings, 0);
+    }
+
+    #[test]
+    fn stats_fields() {
+        let s = small_store();
+        let st = s.stats();
+        assert_eq!(st.users, 3);
+        assert_eq!(st.taggings, 5);
+        assert_eq!(st.taggings_per_user_max, 3);
+        assert_eq!(st.items_per_tag_max, 2);
+        assert!(st.taggings_per_user_mean > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_user_panics() {
+        TagStore::build(1, 1, 1, vec![Tagging::unit(1, 0, 0)]);
+    }
+
+    #[test]
+    fn memory_positive() {
+        assert!(small_store().memory_bytes() > 0);
+    }
+}

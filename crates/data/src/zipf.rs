@@ -1,0 +1,133 @@
+//! Zipf-distributed sampling.
+//!
+//! Tag and item popularity in social-tagging systems is famously heavy-
+//! tailed; the evaluation sweeps the Zipf exponent θ (Fig 7) to show how
+//! skew affects the processors. The sampler uses the Zipfian rejection-free
+//! inverse-CDF over a precomputed cumulative table: exact, `O(log n)` per
+//! sample, fine for the `n ≤ 10^7` universes used here.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over ranks `0..n` (rank 0 is the most popular).
+///
+/// `P(rank = r) ∝ 1 / (r + 1)^θ`. `θ = 0` degenerates to uniform.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `n` must be ≥ 1; `theta` must be finite and ≥ 0.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "Zipf needs a non-empty universe");
+        assert!(theta.is_finite() && theta >= 0.0, "bad theta {theta}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        // Guard against floating-point undershoot at the tail.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the universe is empty (never true — `new` requires `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let flat = Zipf::new(1000, 0.5);
+        let steep = Zipf::new(1000, 1.5);
+        assert!(steep.pmf(0) > flat.pmf(0));
+        assert!(steep.pmf(999) < flat.pmf(999));
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 5, 20] {
+            let emp = counts[r] as f64 / n as f64;
+            let exp = z.pmf(r);
+            assert!(
+                (emp - exp).abs() < 0.25 * exp + 0.002,
+                "rank {r}: emp {emp} exp {exp}"
+            );
+        }
+        // Ranks are always in range.
+        assert_eq!(counts.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn singleton_universe() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty universe")]
+    fn zero_universe_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the data substrate: store invariants under
+//! arbitrary tagging multisets and generator/workload contracts.
+
+use friends_data::queries::{QueryParams, QueryWorkload};
+use friends_data::store::TagStore;
+use friends_data::zipf::Zipf;
+use friends_data::Tagging;
+use friends_graph::generators;
+use proptest::prelude::*;
+
+fn arb_store() -> impl Strategy<Value = TagStore> {
+    (
+        1u32..20,
+        1u32..30,
+        1u32..8,
+        proptest::collection::vec((0u32..20, 0u32..30, 0u32..8, 0.01f32..3.0), 0..150),
+    )
+        .prop_map(|(users, items, tags, raw)| {
+            let taggings: Vec<Tagging> = raw
+                .into_iter()
+                .map(|(u, i, t, w)| Tagging {
+                    user: u % users,
+                    item: i % items,
+                    tag: t % tags,
+                    weight: w,
+                })
+                .collect();
+            TagStore::build(users, items, tags, taggings)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The two sort orders of the store hold the same multiset: total mass,
+    /// counts and per-(user, tag) slices are consistent.
+    #[test]
+    fn store_views_are_consistent(store in arb_store()) {
+        let total_by_user: f64 = (0..store.num_users())
+            .flat_map(|u| store.user_taggings(u))
+            .map(|t| t.weight as f64)
+            .sum();
+        let total_by_tag: f64 = (0..store.num_tags())
+            .flat_map(|t| store.tag_taggings(t))
+            .map(|t| t.weight as f64)
+            .sum();
+        prop_assert!((total_by_user - total_by_tag).abs() < 1e-3);
+
+        let count_by_user: usize = (0..store.num_users())
+            .map(|u| store.user_taggings(u).len())
+            .sum();
+        prop_assert_eq!(count_by_user, store.num_taggings());
+
+        for u in 0..store.num_users() {
+            for t in 0..store.num_tags() {
+                let slice = store.user_tag_taggings(u, t);
+                prop_assert!(slice.iter().all(|x| x.user == u && x.tag == t));
+                // Cross-check against the tag view.
+                let via_tag = store
+                    .tag_taggings(t)
+                    .iter()
+                    .filter(|x| x.user == u)
+                    .count();
+                prop_assert_eq!(slice.len(), via_tag);
+            }
+        }
+    }
+
+    /// Global aggregates match a naive recomputation.
+    #[test]
+    fn global_scores_match_naive(store in arb_store()) {
+        for t in 0..store.num_tags() {
+            let mut naive: std::collections::BTreeMap<u32, f32> =
+                std::collections::BTreeMap::new();
+            for x in store.tag_taggings(t) {
+                *naive.entry(x.item).or_insert(0.0) += x.weight;
+            }
+            let got = store.global_item_scores(t);
+            prop_assert_eq!(got.len(), naive.len());
+            for (g, (item, mass)) in got.iter().zip(naive.iter()) {
+                prop_assert_eq!(g.0, *item);
+                prop_assert!((g.1 - mass).abs() < 1e-4);
+            }
+            // Max per-item mass is the max of the aggregates.
+            let mx = naive.values().fold(0.0f32, |a, &b| a.max(b));
+            let items_max = store
+                .global_item_scores(t)
+                .into_iter()
+                .map(|(_, m)| m)
+                .fold(0.0f32, f32::max);
+            prop_assert!((mx - items_max).abs() < 1e-4);
+        }
+    }
+
+    /// Zipf PMF sums to 1 and is non-increasing in rank.
+    #[test]
+    fn zipf_pmf_contract(n in 1usize..200, theta in 0.0f64..2.0) {
+        let z = Zipf::new(n, theta);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for r in 1..n {
+            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+
+    /// Zipf samples stay in range for arbitrary seeds.
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..100, theta in 0.0f64..2.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let z = Zipf::new(n, theta);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Query workloads are well-formed for arbitrary seeds.
+    #[test]
+    fn workload_contract(seed in any::<u64>(), k in 1usize..20) {
+        let g = generators::watts_strogatz(60, 4, 0.2, 1);
+        let store = {
+            let taggings: Vec<Tagging> = (0..60u32)
+                .map(|u| Tagging::unit(u, u % 10, u % 5))
+                .collect();
+            TagStore::build(60, 10, 5, taggings)
+        };
+        let w = QueryWorkload::generate(
+            &g,
+            &store,
+            &QueryParams { count: 15, min_tags: 1, max_tags: 3, k },
+            seed,
+        );
+        prop_assert_eq!(w.len(), 15);
+        for q in &w.queries {
+            prop_assert!(q.seeker < 60);
+            prop_assert!(!q.tags.is_empty() && q.tags.len() <= 3);
+            prop_assert!(q.tags.windows(2).all(|t| t[0] < t[1]));
+            prop_assert_eq!(q.k, k);
+        }
+    }
+}

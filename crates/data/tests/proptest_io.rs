@@ -1,0 +1,79 @@
+//! Failure injection for the binary dataset format: random corruption must
+//! never panic, loop, or silently yield a different dataset — it must fail
+//! with a structured error or (for byte-identical content) round-trip.
+
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_data::io;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One small serialized dataset, shared across cases.
+fn golden() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let ds = DatasetSpec::flickr_like(Scale::Tiny).build(2);
+        let path = std::env::temp_dir().join(format!("friends-golden-{}.bin", std::process::id()));
+        io::save(&path, &ds.graph, &ds.store).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+fn load_bytes(bytes: &[u8], tag: &str) -> Result<(), String> {
+    let path = std::env::temp_dir().join(format!(
+        "friends-corrupt-{}-{tag}.bin",
+        std::process::id()
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    let r = io::load(&path);
+    std::fs::remove_file(&path).ok();
+    r.map(|_| ()).map_err(|e| e.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncating at any point either still parses (only possible for the
+    /// full length) or returns a structured error — never a panic.
+    #[test]
+    fn truncation_never_panics(cut in 0usize..=1usize << 16) {
+        let bytes = golden();
+        let cut = cut.min(bytes.len());
+        let r = load_bytes(&bytes[..cut], "trunc");
+        if cut == bytes.len() {
+            prop_assert!(r.is_ok());
+        } else {
+            prop_assert!(r.is_err(), "truncated at {cut} parsed successfully");
+        }
+    }
+
+    /// Flipping bytes anywhere never panics; it either errors or yields a
+    /// dataset (bit flips inside float payloads can be value-preservingly
+    /// harmless, which is acceptable — the guarantee is no UB/panic).
+    #[test]
+    fn byte_flips_never_panic(
+        pos in 0usize..1usize << 16,
+        val in any::<u8>(),
+    ) {
+        let mut bytes = golden().clone();
+        let pos = pos % bytes.len();
+        bytes[pos] = val;
+        // Must not panic; outcome may be Ok or Err.
+        let _ = load_bytes(&bytes, "flip");
+    }
+
+    /// Appending garbage is always rejected.
+    #[test]
+    fn trailing_garbage_rejected(extra in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut bytes = golden().clone();
+        bytes.extend(extra);
+        prop_assert!(load_bytes(&bytes, "trail").is_err());
+    }
+
+    /// Random prefixes of random bytes never panic the loader.
+    #[test]
+    fn random_blobs_never_panic(blob in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = load_bytes(&blob, "blob");
+    }
+}

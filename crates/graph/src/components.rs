@@ -1,0 +1,125 @@
+//! Connected components and component-level utilities.
+
+use crate::csr::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Result of a connected-components decomposition.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `labels[u]` is the component id of node `u`, in `0..count`.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// `sizes[c]` is the number of nodes in component `c`.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Id of the largest component (ties broken by lower id).
+    pub fn largest(&self) -> Option<u32> {
+        (0..self.count as u32).max_by_key(|&c| (self.sizes[c as usize], std::cmp::Reverse(c)))
+    }
+
+    /// Whether nodes `u` and `v` are in the same component.
+    pub fn same(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+}
+
+/// Computes connected components by repeated BFS. `O(n + m)`.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_nodes();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut q = VecDeque::new();
+    let mut next = 0u32;
+    for s in 0..n as NodeId {
+        if labels[s as usize] != u32::MAX {
+            continue;
+        }
+        let c = next;
+        next += 1;
+        labels[s as usize] = c;
+        let mut size = 1usize;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = c;
+                    size += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components {
+        labels,
+        count: next as usize,
+        sizes,
+    }
+}
+
+/// Fraction of nodes contained in the largest connected component
+/// (1.0 for connected graphs, 0.0 for empty ones).
+pub fn largest_component_fraction(g: &CsrGraph) -> f64 {
+    if g.num_nodes() == 0 {
+        return 0.0;
+    }
+    let c = connected_components(g);
+    let max = c.sizes.iter().copied().max().unwrap_or(0);
+    max as f64 / g.num_nodes() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn two_islands() {
+        let g = GraphBuilder::from_edges(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1,2}, {3,4}, {5}
+        assert!(c.same(0, 2));
+        assert!(c.same(3, 4));
+        assert!(!c.same(0, 3));
+        assert!(!c.same(4, 5));
+        let mut sz = c.sizes.clone();
+        sz.sort_unstable();
+        assert_eq!(sz, vec![1, 2, 3]);
+        assert_eq!(c.sizes[c.largest().unwrap() as usize], 3);
+    }
+
+    #[test]
+    fn empty_and_singletons() {
+        let g = CsrGraph::empty(4);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 4);
+        assert!(c.sizes.iter().all(|&s| s == 1));
+
+        let g0 = CsrGraph::empty(0);
+        let c0 = connected_components(&g0);
+        assert_eq!(c0.count, 0);
+        assert_eq!(c0.largest(), None);
+        assert_eq!(largest_component_fraction(&g0), 0.0);
+    }
+
+    #[test]
+    fn dense_er_is_connected() {
+        let g = generators::erdos_renyi(300, 0.05, 1);
+        assert!(largest_component_fraction(&g) > 0.99);
+    }
+
+    #[test]
+    fn labels_partition_nodes() {
+        let g = generators::erdos_renyi(100, 0.01, 9);
+        let c = connected_components(&g);
+        assert_eq!(c.labels.len(), 100);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 100);
+        for &l in &c.labels {
+            assert!((l as usize) < c.count);
+        }
+    }
+}

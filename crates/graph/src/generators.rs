@@ -1,0 +1,378 @@
+//! Synthetic social-network generators.
+//!
+//! The reproduction cannot ship the proprietary Delicious/Flickr/CiteULike
+//! crawls the paper family evaluates on, so these generators produce graphs
+//! matching the *structural properties* the algorithms are sensitive to:
+//!
+//! * power-law degree distribution — [`barabasi_albert`];
+//! * high clustering / small diameter — [`watts_strogatz`];
+//! * community structure — [`planted_partition`];
+//! * a null model — [`erdos_renyi`].
+//!
+//! All generators are deterministic given a seed.
+
+use crate::csr::{CsrGraph, GraphBuilder, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Erdős–Rényi `G(n, p)` using geometric edge skipping, `O(n + m)` expected.
+///
+/// Produces each of the `n(n-1)/2` candidate edges independently with
+/// probability `p`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                b.add_unweighted(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Walk the strictly-upper-triangular adjacency matrix in row-major order
+    // taking geometric jumps between successes (Batagelj–Brandes).
+    let log_1p = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log_1p).floor() as i64;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            b.add_unweighted(w as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: `n` nodes, each new node links
+/// to `m` existing nodes chosen proportionally to degree.
+///
+/// Uses the repeated-endpoints trick: sampling a uniform element of the arc
+/// endpoint list is exactly degree-proportional sampling.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "m must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_mul(m));
+    if n == 0 {
+        return b.build();
+    }
+    let seed_nodes = (m + 1).min(n);
+    // Fully connect the seed clique so every early node has nonzero degree.
+    for u in 0..seed_nodes as NodeId {
+        for v in (u + 1)..seed_nodes as NodeId {
+            b.add_unweighted(u, v);
+        }
+    }
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for u in 0..seed_nodes as NodeId {
+        for v in (u + 1)..seed_nodes as NodeId {
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in seed_nodes..n {
+        let u = u as NodeId;
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != u && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_unweighted(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: ring lattice of even degree `k`, each lattice
+/// edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even, got {k}");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    if n == 0 || k == 0 {
+        return b.build();
+    }
+    let half = (k / 2).min(n.saturating_sub(1));
+    for u in 0..n {
+        for d in 1..=half {
+            let v = (u + d) % n;
+            if u == v {
+                continue;
+            }
+            let (u32u, u32v) = (u as NodeId, v as NodeId);
+            if rng.gen_bool(beta) && n > 2 {
+                // Rewire the far endpoint to a uniform random node.
+                let mut t = rng.gen_range(0..n) as NodeId;
+                let mut guard = 0;
+                while (t == u32u || t == u32v) && guard < 32 {
+                    t = rng.gen_range(0..n) as NodeId;
+                    guard += 1;
+                }
+                if t != u32u {
+                    b.add_unweighted(u32u, t);
+                }
+            } else {
+                b.add_unweighted(u32u, u32v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Planted-partition stochastic block model: `communities` equal-size blocks;
+/// within-block edge probability `p_in`, cross-block `p_out`.
+///
+/// Returns the graph and the ground-truth community label of every node.
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> (CsrGraph, Vec<u32>) {
+    assert!(communities >= 1);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<u32> = (0..n).map(|i| (i % communities) as u32).collect();
+    let mut b = GraphBuilder::new(n);
+    // Expected edge count is small for the sparse regimes we use; for dense
+    // p_in within small blocks a quadratic scan per block is still cheap.
+    // Sample with geometric skipping over the flattened upper triangle.
+    let sample_pairs = |p: f64, b: &mut GraphBuilder, rng: &mut StdRng, same: bool| {
+        if p <= 0.0 {
+            return;
+        }
+        let log_1p = (1.0 - p).ln();
+        let mut v: i64 = 1;
+        let mut w: i64 = -1;
+        let n_i = n as i64;
+        while v < n_i {
+            if p >= 1.0 {
+                break;
+            }
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            w += 1 + (r.ln() / log_1p).floor() as i64;
+            while w >= v && v < n_i {
+                w -= v;
+                v += 1;
+            }
+            if v < n_i {
+                let (a, c) = (w as usize, v as usize);
+                if (labels[a] == labels[c]) == same {
+                    b.add_unweighted(a as NodeId, c as NodeId);
+                }
+            }
+        }
+    };
+    sample_pairs(p_in, &mut b, &mut rng, true);
+    sample_pairs(p_out, &mut b, &mut rng, false);
+    (b.build(), labels)
+}
+
+/// How edge weights (friendship strengths) are assigned after generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightModel {
+    /// All edges get weight 1.0 (pure topology).
+    Unit,
+    /// Independent uniform weights in `[lo, hi]`.
+    Uniform { lo: f32, hi: f32 },
+    /// Weight = Jaccard similarity of the endpoints' neighbor sets, floored
+    /// at `floor` so bridges keep nonzero strength. Models "interaction
+    /// strength correlates with shared friends".
+    Jaccard { floor: f32 },
+}
+
+/// Applies a [`WeightModel`] to an existing topology, returning a reweighted
+/// copy of the graph.
+pub fn assign_weights(g: &CsrGraph, model: WeightModel, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
+    for (u, v, w) in g.undirected_edges() {
+        let nw = match model {
+            WeightModel::Unit => 1.0,
+            WeightModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            WeightModel::Jaccard { floor } => {
+                let ju = jaccard(g.neighbors(u), g.neighbors(v));
+                (ju as f32).max(floor)
+            }
+        };
+        let _ = w;
+        b.add_edge(u, v, nw);
+    }
+    b.build()
+}
+
+/// Jaccard similarity of two sorted id slices.
+fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_is_deterministic() {
+        let a = erdos_renyi(200, 0.05, 7);
+        let b = erdos_renyi(200, 0.05, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for u in a.nodes() {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let n = 500;
+        let p = 0.02;
+        let g = erdos_renyi(n, p, 13);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn er_extremes() {
+        assert_eq!(erdos_renyi(50, 0.0, 1).num_edges(), 0);
+        let full = erdos_renyi(20, 1.0, 1);
+        assert_eq!(full.num_edges(), 20 * 19 / 2);
+        assert_eq!(erdos_renyi(0, 0.5, 1).num_nodes(), 0);
+        assert_eq!(erdos_renyi(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn ba_every_late_node_has_degree_at_least_m() {
+        let g = barabasi_albert(300, 3, 5);
+        for u in 10..300u32 {
+            assert!(g.degree(u) >= 3, "node {u} degree {}", g.degree(u));
+        }
+    }
+
+    #[test]
+    fn ba_degree_distribution_is_skewed() {
+        let g = barabasi_albert(2000, 2, 11);
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        let mean = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        // Hubs should be far above the mean degree in a scale-free network.
+        assert!(max_deg as f64 > 5.0 * mean, "max {max_deg}, mean {mean}");
+    }
+
+    #[test]
+    fn ba_small_n() {
+        let g = barabasi_albert(2, 3, 1);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(barabasi_albert(0, 2, 1).num_nodes(), 0);
+    }
+
+    #[test]
+    fn ws_zero_beta_is_ring_lattice() {
+        let g = watts_strogatz(30, 4, 0.0, 3);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4, "node {u}");
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 29));
+        assert!(!g.has_edge(0, 5));
+    }
+
+    #[test]
+    fn ws_rewiring_preserves_edge_budget_roughly() {
+        let g = watts_strogatz(200, 6, 0.3, 9);
+        // Rewiring can merge duplicates, so allow a small deficit.
+        assert!(g.num_edges() as f64 >= 0.9 * (200.0 * 3.0));
+        assert!(g.num_edges() <= 200 * 3);
+    }
+
+    #[test]
+    fn planted_partition_has_denser_blocks() {
+        let (g, labels) = planted_partition(600, 3, 0.08, 0.004, 17);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v, _) in g.undirected_edges() {
+            if labels[u as usize] == labels[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(
+            intra > 3 * inter,
+            "intra {intra} should dominate inter {inter}"
+        );
+    }
+
+    #[test]
+    fn planted_partition_labels_cover_all_nodes() {
+        let (g, labels) = planted_partition(100, 4, 0.1, 0.01, 2);
+        assert_eq!(labels.len(), g.num_nodes());
+        assert!(labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn weight_models() {
+        let g = barabasi_albert(100, 2, 21);
+        let unit = assign_weights(&g, WeightModel::Unit, 0);
+        assert!(unit
+            .undirected_edges()
+            .all(|(_, _, w)| (w - 1.0).abs() < 1e-9));
+
+        let uni = assign_weights(&g, WeightModel::Uniform { lo: 0.2, hi: 0.8 }, 0);
+        assert!(uni
+            .undirected_edges()
+            .all(|(_, _, w)| (0.2..=0.8).contains(&w)));
+
+        let jac = assign_weights(&g, WeightModel::Jaccard { floor: 0.05 }, 0);
+        assert!(jac
+            .undirected_edges()
+            .all(|(_, _, w)| (0.05..=1.0).contains(&w)));
+        assert_eq!(jac.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[], &[]), 0.0);
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert!((jaccard(&[1, 2], &[2, 3]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,222 @@
+//! Landmark-based distance oracle.
+//!
+//! The `ClusterIndex` processor needs fast distance *bounds* between a seeker
+//! and cluster representatives without running a BFS per query. A classic
+//! landmark sketch provides, after `L` BFS passes at build time:
+//!
+//! * an upper bound `d(u,v) ≤ min_l d(u,l) + d(l,v)` (triangle inequality);
+//! * a lower bound `d(u,v) ≥ max_l |d(u,l) − d(l,v)|`.
+//!
+//! Landmarks are selected by highest degree by default — hubs cover
+//! scale-free social networks well — with a random strategy for ablation.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::traversal::{bfs_into, UNREACHABLE};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Landmark selection strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LandmarkStrategy {
+    /// Highest-degree nodes (deduplicated).
+    HighestDegree,
+    /// Uniform random nodes.
+    Random { seed: u64 },
+}
+
+/// A distance sketch of `L` landmarks, each with a full BFS distance vector.
+#[derive(Clone, Debug)]
+pub struct LandmarkOracle {
+    landmarks: Vec<NodeId>,
+    /// `dist[l][u]` = hop distance from landmark `l` to node `u`.
+    dist: Vec<Vec<u32>>,
+}
+
+impl LandmarkOracle {
+    /// Builds an oracle with `count` landmarks (clamped to `num_nodes`).
+    pub fn build(g: &CsrGraph, count: usize, strategy: LandmarkStrategy) -> Self {
+        let n = g.num_nodes();
+        let count = count.min(n);
+        let landmarks: Vec<NodeId> = match strategy {
+            LandmarkStrategy::HighestDegree => {
+                let mut nodes: Vec<NodeId> = (0..n as NodeId).collect();
+                nodes.sort_unstable_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+                nodes.truncate(count);
+                nodes
+            }
+            LandmarkStrategy::Random { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut nodes: Vec<NodeId> = (0..n as NodeId).collect();
+                nodes.shuffle(&mut rng);
+                nodes.truncate(count);
+                nodes
+            }
+        };
+        let mut dist = Vec::with_capacity(landmarks.len());
+        let mut buf = vec![UNREACHABLE; n];
+        for &l in &landmarks {
+            buf.iter_mut().for_each(|d| *d = UNREACHABLE);
+            bfs_into(g, l, u32::MAX, &mut buf);
+            dist.push(buf.clone());
+        }
+        LandmarkOracle { landmarks, dist }
+    }
+
+    /// The selected landmark nodes.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Upper bound on the hop distance `d(u, v)`, or `None` if every landmark
+    /// path is broken (which implies the pair may be disconnected).
+    pub fn upper_bound(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        let mut best = None;
+        for d in &self.dist {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                let b = du + dv;
+                best = Some(best.map_or(b, |x: u32| x.min(b)));
+            }
+        }
+        best
+    }
+
+    /// Lower bound on the hop distance `d(u, v)` (0 when no landmark sees
+    /// both endpoints).
+    pub fn lower_bound(&self, u: NodeId, v: NodeId) -> u32 {
+        if u == v {
+            return 0;
+        }
+        let mut best = 0u32;
+        for d in &self.dist {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                best = best.max(du.abs_diff(dv));
+            }
+        }
+        best
+    }
+
+    /// Distances from node `u` to each landmark, in landmark order.
+    pub fn to_landmarks(&self, u: NodeId) -> Vec<u32> {
+        self.dist.iter().map(|d| d[u as usize]).collect()
+    }
+
+    /// Upper bound on `d(u, v)` where `from_dists` is `u`'s precomputed
+    /// landmark distance vector (from [`LandmarkOracle::to_landmarks`]).
+    /// Allocation-free variant of [`LandmarkOracle::upper_bound`] for hot
+    /// loops that probe many `v` against one fixed `u`.
+    pub fn upper_bound_from(&self, from_dists: &[u32], v: NodeId) -> Option<u32> {
+        debug_assert_eq!(from_dists.len(), self.dist.len());
+        let mut best: Option<u32> = None;
+        for (l, d) in self.dist.iter().enumerate() {
+            let (du, dv) = (from_dists[l], d[v as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                let b = du + dv;
+                best = Some(best.map_or(b, |x| x.min(b)));
+            }
+        }
+        best
+    }
+
+    /// Approximate resident memory, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.landmarks.len() * std::mem::size_of::<NodeId>()
+            + self
+                .dist
+                .iter()
+                .map(|d| d.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Whether the oracle has no landmarks.
+    pub fn is_empty(&self) -> bool {
+        self.landmarks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::bfs_distances;
+
+    #[test]
+    fn bounds_sandwich_true_distance() {
+        let g = generators::watts_strogatz(150, 4, 0.1, 6);
+        let oracle = LandmarkOracle::build(&g, 8, LandmarkStrategy::HighestDegree);
+        let truth = bfs_distances(&g, 0);
+        for v in [1u32, 10, 42, 99, 149] {
+            let t = truth[v as usize];
+            if t == UNREACHABLE {
+                continue;
+            }
+            let ub = oracle.upper_bound(0, v).unwrap();
+            let lb = oracle.lower_bound(0, v);
+            assert!(lb <= t, "lb {lb} > true {t} (v={v})");
+            assert!(ub >= t, "ub {ub} < true {t} (v={v})");
+        }
+    }
+
+    #[test]
+    fn identical_nodes_have_zero_bounds() {
+        let g = generators::erdos_renyi(50, 0.1, 3);
+        let oracle = LandmarkOracle::build(&g, 4, LandmarkStrategy::Random { seed: 1 });
+        assert_eq!(oracle.upper_bound(7, 7), Some(0));
+        assert_eq!(oracle.lower_bound(7, 7), 0);
+    }
+
+    #[test]
+    fn landmark_exact_for_landmark_pairs() {
+        let g = generators::watts_strogatz(80, 4, 0.2, 8);
+        let oracle = LandmarkOracle::build(&g, 5, LandmarkStrategy::HighestDegree);
+        // For (landmark, v), ub = d(l,l) + d(l,v) = exact distance.
+        let l = oracle.landmarks()[0];
+        let truth = bfs_distances(&g, l);
+        for v in 0..80u32 {
+            if truth[v as usize] != UNREACHABLE {
+                assert_eq!(oracle.upper_bound(l, v), Some(truth[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_return_none() {
+        use crate::csr::GraphBuilder;
+        let g = GraphBuilder::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]);
+        let oracle = LandmarkOracle::build(&g, 4, LandmarkStrategy::HighestDegree);
+        assert_eq!(oracle.upper_bound(0, 2), None);
+    }
+
+    #[test]
+    fn clamps_landmark_count() {
+        let g = generators::erdos_renyi(10, 0.3, 4);
+        let oracle = LandmarkOracle::build(&g, 100, LandmarkStrategy::HighestDegree);
+        assert_eq!(oracle.len(), 10);
+        assert!(!oracle.is_empty());
+    }
+
+    #[test]
+    fn highest_degree_picks_hubs() {
+        let g = generators::barabasi_albert(200, 2, 12);
+        let oracle = LandmarkOracle::build(&g, 3, LandmarkStrategy::HighestDegree);
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        assert_eq!(g.degree(oracle.landmarks()[0]), max_deg);
+    }
+
+    #[test]
+    fn memory_scales_with_landmarks() {
+        let g = generators::erdos_renyi(100, 0.05, 5);
+        let small = LandmarkOracle::build(&g, 2, LandmarkStrategy::HighestDegree);
+        let large = LandmarkOracle::build(&g, 8, LandmarkStrategy::HighestDegree);
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+}

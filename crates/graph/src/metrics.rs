@@ -1,0 +1,191 @@
+//! Descriptive graph metrics used for dataset statistics (Table 1) and for
+//! validating that synthetic generators have the intended shape.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::traversal::{bfs_distances, UNREACHABLE};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Summary statistics of the degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    pub p50: usize,
+    pub p90: usize,
+    pub p99: usize,
+}
+
+/// Computes [`DegreeStats`]. Returns zeros for an empty graph.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_nodes();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+        };
+    }
+    let mut degs: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    degs.sort_unstable();
+    let pct = |q: f64| degs[((q * (n - 1) as f64).round() as usize).min(n - 1)];
+    DegreeStats {
+        min: degs[0],
+        max: degs[n - 1],
+        mean: degs.iter().sum::<usize>() as f64 / n as f64,
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
+    }
+}
+
+/// Local clustering coefficient of node `u`: fraction of neighbor pairs that
+/// are themselves connected. 0 for degree < 2.
+pub fn local_clustering(g: &CsrGraph, u: NodeId) -> f64 {
+    let nbrs = g.neighbors(u);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..d {
+        for j in (i + 1)..d {
+            if g.has_edge(nbrs[i], nbrs[j]) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// Average local clustering coefficient estimated on a random sample of
+/// `samples` nodes (exact when `samples >= n`).
+pub fn avg_clustering(g: &CsrGraph, samples: usize, seed: u64) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    if samples >= n {
+        let total: f64 = g.nodes().map(|u| local_clustering(g, u)).sum();
+        return total / n as f64;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let u = rng.gen_range(0..n) as NodeId;
+        total += local_clustering(g, u);
+    }
+    total / samples as f64
+}
+
+/// Estimates the effective diameter (90th-percentile finite pairwise hop
+/// distance) by running BFS from `sources` random nodes.
+pub fn effective_diameter(g: &CsrGraph, sources: usize, seed: u64) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dists: Vec<u32> = Vec::new();
+    for _ in 0..sources.max(1) {
+        let s = rng.gen_range(0..n) as NodeId;
+        for d in bfs_distances(g, s) {
+            if d != UNREACHABLE && d > 0 {
+                dists.push(d);
+            }
+        }
+    }
+    if dists.is_empty() {
+        return 0.0;
+    }
+    dists.sort_unstable();
+    dists[((dists.len() - 1) as f64 * 0.9).round() as usize] as f64
+}
+
+/// One-line structural summary of a graph, used by the Table 1 harness.
+#[derive(Clone, Debug)]
+pub struct GraphSummary {
+    pub nodes: usize,
+    pub edges: usize,
+    pub degrees: DegreeStats,
+    pub clustering: f64,
+    pub effective_diameter: f64,
+}
+
+/// Builds a [`GraphSummary`] with sampled clustering/diameter estimators.
+pub fn summarize(g: &CsrGraph, seed: u64) -> GraphSummary {
+    GraphSummary {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        degrees: degree_stats(g),
+        clustering: avg_clustering(g, 500, seed),
+        effective_diameter: effective_diameter(g, 4, seed ^ 0x9E3779B97F4A7C15),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = GraphBuilder::from_edges(5, (1..5).map(|v| (0, v as NodeId, 1.0)));
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.p50, 1);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = degree_stats(&CsrGraph::empty(0));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn clustering_triangle_vs_star() {
+        let tri = GraphBuilder::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        assert_eq!(local_clustering(&tri, 0), 1.0);
+        let star = GraphBuilder::from_edges(4, [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]);
+        assert_eq!(local_clustering(&star, 0), 0.0);
+        assert_eq!(local_clustering(&star, 1), 0.0); // degree 1
+    }
+
+    #[test]
+    fn ws_has_higher_clustering_than_er() {
+        let ws = generators::watts_strogatz(400, 6, 0.05, 2);
+        let er = generators::erdos_renyi(400, 6.0 / 399.0, 2);
+        let cw = avg_clustering(&ws, 400, 1);
+        let ce = avg_clustering(&er, 400, 1);
+        assert!(cw > 3.0 * ce + 0.05, "ws {cw} vs er {ce}");
+    }
+
+    #[test]
+    fn effective_diameter_path_vs_clique() {
+        let path =
+            GraphBuilder::from_edges(50, (0..49).map(|i| (i as NodeId, i as NodeId + 1, 1.0)));
+        let clique = generators::erdos_renyi(50, 1.0, 0);
+        let dp = effective_diameter(&path, 8, 3);
+        let dc = effective_diameter(&clique, 8, 3);
+        assert!(dp > 10.0, "path diameter {dp}");
+        assert!((dc - 1.0).abs() < 1e-9, "clique diameter {dc}");
+    }
+
+    #[test]
+    fn summarize_populates_fields() {
+        let g = generators::barabasi_albert(300, 3, 5);
+        let s = summarize(&g, 1);
+        assert_eq!(s.nodes, 300);
+        assert!(s.edges > 0);
+        assert!(s.degrees.max >= s.degrees.p99);
+        assert!(s.effective_diameter > 0.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Graph traversals: BFS hop distances, weighted shortest paths (Dijkstra)
+//! and bidirectional BFS for point-to-point hop distance.
+//!
+//! Social proximity in `friends-core` is a *decreasing* function of distance,
+//! so both hop counts (for decay proximity) and weighted lengths (for
+//! strength-aware decay) are provided.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::OrdF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Sentinel hop distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Sentinel weighted distance for unreachable nodes.
+pub const UNREACHABLE_F: f64 = f64::INFINITY;
+
+/// Hop distances from `src` to every node (`UNREACHABLE` if disconnected).
+pub fn bfs_distances(g: &CsrGraph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    bfs_into(g, src, u32::MAX, &mut dist);
+    dist
+}
+
+/// Hop distances from `src`, exploring at most `max_hops` levels.
+/// Nodes beyond the horizon keep `UNREACHABLE`.
+pub fn bfs_limited(g: &CsrGraph, src: NodeId, max_hops: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    bfs_into(g, src, max_hops, &mut dist);
+    dist
+}
+
+/// BFS writing into a caller-provided distance buffer (must be pre-filled
+/// with `UNREACHABLE`, length `num_nodes`). Returns the number of reached
+/// nodes (including `src`). This is the allocation-free workhorse used by
+/// landmark construction, which runs thousands of BFS passes.
+pub fn bfs_into(g: &CsrGraph, src: NodeId, max_hops: u32, dist: &mut [u32]) -> usize {
+    assert_eq!(dist.len(), g.num_nodes());
+    if g.num_nodes() == 0 {
+        return 0;
+    }
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    let mut reached = 1usize;
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        if du >= max_hops {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                reached += 1;
+                q.push_back(v);
+            }
+        }
+    }
+    reached
+}
+
+/// Single-source weighted shortest paths.
+///
+/// `length` maps an edge weight (friendship *strength*) to a traversal
+/// *length*; the common choice in the reproduction is `|w| 1.0 / w.max(eps)`
+/// so strong ties are short. Lengths must be non-negative.
+pub fn dijkstra(g: &CsrGraph, src: NodeId, mut length: impl FnMut(f32) -> f64) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE_F; n];
+    if n == 0 {
+        return dist;
+    }
+    let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), src)));
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (v, w) in g.edges(u) {
+            let l = length(w);
+            debug_assert!(l >= 0.0, "negative edge length");
+            let nd = d + l;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((OrdF64(nd), v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between `s` and `t` via bidirectional BFS, or `None` if
+/// disconnected. Typically explores `O(b^(d/2))` nodes instead of `O(b^d)`.
+pub fn bidirectional_hops(g: &CsrGraph, s: NodeId, t: NodeId) -> Option<u32> {
+    if s == t {
+        return Some(0);
+    }
+    let n = g.num_nodes();
+    let mut ds = vec![UNREACHABLE; n];
+    let mut dt = vec![UNREACHABLE; n];
+    ds[s as usize] = 0;
+    dt[t as usize] = 0;
+    let mut qs = VecDeque::from([s]);
+    let mut qt = VecDeque::from([t]);
+    let mut best = UNREACHABLE;
+    while !qs.is_empty() && !qt.is_empty() {
+        // Expand the smaller frontier one full level.
+        let expand_s = qs.len() <= qt.len();
+        let (q, dist_this, dist_other) = if expand_s {
+            (&mut qs, &mut ds, &dt)
+        } else {
+            (&mut qt, &mut dt, &ds)
+        };
+        let level = dist_this[q.front().map(|&u| u as usize).unwrap()];
+        // If even the optimistic meet-up can't beat `best`, stop.
+        if best != UNREACHABLE && 2 * level + 1 >= best {
+            break;
+        }
+        let mut next = VecDeque::new();
+        while let Some(&u) = q.front() {
+            if dist_this[u as usize] != level {
+                break;
+            }
+            q.pop_front();
+            for &v in g.neighbors(u) {
+                if dist_this[v as usize] == UNREACHABLE {
+                    dist_this[v as usize] = level + 1;
+                    if dist_other[v as usize] != UNREACHABLE {
+                        best = best.min(level + 1 + dist_other[v as usize]);
+                    }
+                    next.push_back(v);
+                }
+            }
+        }
+        q.extend(next);
+    }
+    if best == UNREACHABLE {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+/// Nodes visited in best-first order of *decreasing proximity*, where
+/// proximity multiplies along edges: `prox(path) = Π decay(w_e)`.
+///
+/// This is the traversal kernel of the `FriendExpansion` processor: it yields
+/// `(node, proximity)` pairs such that the proximity of each yielded node is
+/// an upper bound on that of every node yielded later. Implemented as a
+/// Dijkstra over `-log prox`, surfaced through an iterator so the caller can
+/// stop as soon as its termination bound fires.
+pub struct ProximityOrder<'g, F> {
+    g: &'g CsrGraph,
+    decay: F,
+    best: Vec<f64>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<(OrdF64, NodeId)>,
+}
+
+impl<'g, F: FnMut(f32) -> f64> ProximityOrder<'g, F> {
+    /// Starts a proximity-ordered traversal from `src`. `decay` maps an edge
+    /// weight to a per-edge proximity multiplier in `(0, 1]`.
+    pub fn new(g: &'g CsrGraph, src: NodeId, decay: F) -> Self {
+        let n = g.num_nodes();
+        let mut best = vec![0.0f64; n];
+        let mut heap = BinaryHeap::new();
+        if n > 0 {
+            best[src as usize] = 1.0;
+            heap.push((OrdF64(1.0), src));
+        }
+        ProximityOrder {
+            g,
+            decay,
+            best,
+            settled: vec![false; n],
+            heap,
+        }
+    }
+
+    /// Proximity of the next node the iterator would yield, if any. This is
+    /// exactly the upper bound on all not-yet-yielded nodes.
+    pub fn peek_bound(&self) -> Option<f64> {
+        self.heap.peek().map(|&(OrdF64(p), _)| p)
+    }
+}
+
+impl<F: FnMut(f32) -> f64> Iterator for ProximityOrder<'_, F> {
+    type Item = (NodeId, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((OrdF64(p), u)) = self.heap.pop() {
+            if self.settled[u as usize] {
+                continue;
+            }
+            self.settled[u as usize] = true;
+            for (v, w) in self.g.edges(u) {
+                if self.settled[v as usize] {
+                    continue;
+                }
+                let mult = (self.decay)(w);
+                debug_assert!(
+                    (0.0..=1.0).contains(&mult),
+                    "decay must map into (0, 1], got {mult}"
+                );
+                let np = p * mult;
+                if np > self.best[v as usize] {
+                    self.best[v as usize] = np;
+                    self.heap.push((OrdF64(np), v));
+                }
+            }
+            return Some((u, p));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+    use crate::generators;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1, 1.0)))
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = GraphBuilder::from_edges(4, [(0, 1, 1.0)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_limited_respects_horizon() {
+        let g = path_graph(10);
+        let d = bfs_limited(&g, 0, 3);
+        assert_eq!(d[3], 3);
+        assert_eq!(d[4], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_into_returns_reach_count() {
+        let g = GraphBuilder::from_edges(5, [(0, 1, 1.0), (1, 2, 1.0)]);
+        let mut buf = vec![UNREACHABLE; 5];
+        let r = bfs_into(&g, 0, u32::MAX, &mut buf);
+        assert_eq!(r, 3);
+    }
+
+    #[test]
+    fn dijkstra_prefers_strong_ties() {
+        // 0 -(w=1.0)- 1 -(w=1.0)- 2   vs   0 -(w=0.1)- 2
+        let g = GraphBuilder::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 0.1)]);
+        let d = dijkstra(&g, 0, |w| 1.0 / w as f64);
+        // Two strong hops cost 2.0; the weak direct tie costs 10.0.
+        assert!((d[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_inf() {
+        let g = GraphBuilder::from_edges(3, [(0, 1, 1.0)]);
+        let d = dijkstra(&g, 0, |_| 1.0);
+        assert_eq!(d[2], UNREACHABLE_F);
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_lengths() {
+        let g = generators::erdos_renyi(150, 0.05, 3);
+        let bfs = bfs_distances(&g, 0);
+        let dij = dijkstra(&g, 0, |_| 1.0);
+        for u in 0..150usize {
+            if bfs[u] == UNREACHABLE {
+                assert_eq!(dij[u], UNREACHABLE_F);
+            } else {
+                assert!((dij[u] - bfs[u] as f64).abs() < 1e-9, "node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_matches_bfs() {
+        let g = generators::watts_strogatz(120, 4, 0.2, 4);
+        let d0 = bfs_distances(&g, 7);
+        for t in [0u32, 13, 50, 99, 119] {
+            let got = bidirectional_hops(&g, 7, t);
+            if d0[t as usize] == UNREACHABLE {
+                assert_eq!(got, None);
+            } else {
+                assert_eq!(got, Some(d0[t as usize]), "target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_same_node() {
+        let g = path_graph(3);
+        assert_eq!(bidirectional_hops(&g, 1, 1), Some(0));
+    }
+
+    #[test]
+    fn bidirectional_disconnected() {
+        let g = GraphBuilder::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]);
+        assert_eq!(bidirectional_hops(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn proximity_order_is_monotone_decreasing() {
+        let g = generators::barabasi_albert(200, 3, 8);
+        let it = ProximityOrder::new(&g, 0, |_| 0.5);
+        let seq: Vec<f64> = it.map(|(_, p)| p).collect();
+        assert!(!seq.is_empty());
+        for w in seq.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn proximity_order_unit_decay_on_path() {
+        let g = path_graph(4);
+        let order: Vec<(NodeId, f64)> = ProximityOrder::new(&g, 0, |_| 0.5).collect();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], (0, 1.0));
+        assert_eq!(order[1].0, 1);
+        assert!((order[1].1 - 0.5).abs() < 1e-12);
+        assert!((order[3].1 - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proximity_order_takes_best_path() {
+        // Direct weak edge vs two strong hops; multiplicative proximity
+        // should pick whichever product is larger.
+        let g = GraphBuilder::from_edges(3, [(0, 2, 0.2), (0, 1, 0.9), (1, 2, 0.9)]);
+        let order: Vec<(NodeId, f64)> = ProximityOrder::new(&g, 0, |w| w as f64).collect();
+        let p2 = order.iter().find(|&&(u, _)| u == 2).unwrap().1;
+        // Weights are f32, so 0.9 is not exactly representable; allow slack.
+        assert!((p2 - 0.81).abs() < 1e-6, "expected 0.9*0.9, got {p2}");
+    }
+
+    #[test]
+    fn proximity_peek_bound_is_upper_bound() {
+        let g = generators::watts_strogatz(100, 4, 0.1, 5);
+        let mut it = ProximityOrder::new(&g, 0, |_| 0.7);
+        let mut yielded = Vec::new();
+        loop {
+            let bound = it.peek_bound();
+            match it.next() {
+                Some((u, p)) => {
+                    assert!(bound.unwrap() >= p - 1e-12);
+                    yielded.push(u);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(yielded.len(), 100);
+    }
+
+    #[test]
+    fn proximity_order_empty_graph() {
+        let g = CsrGraph::empty(0);
+        // Constructing on an empty graph must not panic and yields nothing.
+        let mut it = ProximityOrder::new(&g, 0, |_| 0.5);
+        assert!(it.next().is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the graph substrate: structural invariants of
+//! the CSR builder, optimality of the traversals, and the probabilistic
+//! contracts of PPR and the landmark oracle.
+
+use friends_graph::csr::{CsrGraph, GraphBuilder, NodeId};
+use friends_graph::landmarks::{LandmarkOracle, LandmarkStrategy};
+use friends_graph::ppr::{forward_push_fresh, power_iteration};
+use friends_graph::traversal::{
+    bfs_distances, bidirectional_hops, dijkstra, ProximityOrder, UNREACHABLE, UNREACHABLE_F,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy: a random small graph as (n, edge list with weights).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId, f32)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edges =
+            proptest::collection::vec((0..n as NodeId, 0..n as NodeId, 0.05f32..1.0), 0..(n * 3));
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(NodeId, NodeId, f32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, w) in edges {
+        if u != v {
+            b.add_edge(u, v, w);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CSR stores exactly the deduplicated undirected edge set, with
+    /// symmetric adjacency and sorted neighbor lists.
+    #[test]
+    fn csr_preserves_edge_set((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let want: BTreeSet<(NodeId, NodeId)> = edges
+            .iter()
+            .filter(|&&(u, v, _)| u != v)
+            .map(|&(u, v, _)| (u.min(v), u.max(v)))
+            .collect();
+        let got: BTreeSet<(NodeId, NodeId)> =
+            g.undirected_edges().map(|(u, v, _)| (u, v)).collect();
+        prop_assert_eq!(want, got);
+        for u in g.nodes() {
+            let nb = g.neighbors(u);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted/dup at {}", u);
+            for &v in nb {
+                prop_assert!(g.has_edge(v, u), "asymmetric edge {} {}", u, v);
+                prop_assert_eq!(g.edge_weight(u, v), g.edge_weight(v, u));
+            }
+        }
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+    }
+
+    /// BFS distances satisfy the triangle property along every edge and are
+    /// exactly reproduced by unit-length Dijkstra and bidirectional BFS.
+    #[test]
+    fn traversals_agree((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let d = bfs_distances(&g, 0);
+        for (u, v, _) in g.undirected_edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+            } else {
+                // An edge cannot connect a reached and an unreached node.
+                prop_assert_eq!(du, dv);
+            }
+        }
+        let dij = dijkstra(&g, 0, |_| 1.0);
+        for u in 0..n {
+            if d[u] == UNREACHABLE {
+                prop_assert_eq!(dij[u], UNREACHABLE_F);
+            } else {
+                prop_assert!((dij[u] - d[u] as f64).abs() < 1e-9);
+            }
+        }
+        for t in 0..n as NodeId {
+            let bi = bidirectional_hops(&g, 0, t);
+            if d[t as usize] == UNREACHABLE {
+                prop_assert_eq!(bi, None);
+            } else {
+                prop_assert_eq!(bi, Some(d[t as usize]));
+            }
+        }
+    }
+
+    /// ProximityOrder yields every reachable node exactly once, in
+    /// non-increasing proximity, and its proximities match an independent
+    /// Dijkstra over -log(decay).
+    #[test]
+    fn proximity_order_is_dijkstra((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let alpha = 0.7f64;
+        let order: Vec<(NodeId, f64)> =
+            ProximityOrder::new(&g, 0, |w| alpha * w as f64).collect();
+        // Non-increasing.
+        for w in order.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+        // Unique nodes.
+        let ids: BTreeSet<NodeId> = order.iter().map(|&(u, _)| u).collect();
+        prop_assert_eq!(ids.len(), order.len());
+        // Agreement with additive Dijkstra on lengths -ln(alpha * w).
+        let lens = dijkstra(&g, 0, |w| -((alpha * w as f64).ln()));
+        for &(u, p) in &order {
+            let expect = (-lens[u as usize]).exp();
+            prop_assert!(
+                (p - expect).abs() < 1e-6 * (1.0 + expect),
+                "node {}: {} vs {}", u, p, expect
+            );
+        }
+        // Reachable set equals BFS reachable set.
+        let d = bfs_distances(&g, 0);
+        let reachable = d.iter().filter(|&&x| x != UNREACHABLE).count();
+        prop_assert_eq!(order.len(), reachable);
+    }
+
+    /// PPR estimates: power iteration is a distribution; forward push is a
+    /// sub-distribution lower bound within its additive guarantee.
+    #[test]
+    fn ppr_contracts((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let alpha = 0.25;
+        let exact = power_iteration(&g, 0, alpha, 120);
+        let sum: f64 = exact.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+        prop_assert!(exact.iter().all(|&x| x >= -1e-12));
+
+        let eps = 1e-4;
+        let approx = forward_push_fresh(&g, 0, alpha, eps);
+        let asum: f64 = approx.iter().map(|&(_, p)| p).sum();
+        prop_assert!(asum <= 1.0 + 1e-9);
+        let mut dense = vec![0.0f64; n];
+        for &(u, p) in &approx {
+            dense[u as usize] = p;
+        }
+        for u in 0..n {
+            let bound = eps * g.weighted_degree(u as NodeId) + 1e-9;
+            prop_assert!(
+                (dense[u] - exact[u]).abs() <= bound,
+                "node {}: {} vs {} (bound {})", u, dense[u], exact[u], bound
+            );
+        }
+    }
+
+    /// Landmark oracle bounds always sandwich the true distance.
+    #[test]
+    fn landmark_bounds_sandwich((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let oracle = LandmarkOracle::build(&g, 4, LandmarkStrategy::HighestDegree);
+        let truth = bfs_distances(&g, 0);
+        for v in 0..n as NodeId {
+            let t = truth[v as usize];
+            if t == UNREACHABLE {
+                continue;
+            }
+            prop_assert!(oracle.lower_bound(0, v) <= t);
+            if let Some(ub) = oracle.upper_bound(0, v) {
+                prop_assert!(ub >= t, "ub {} < true {} for {}", ub, t, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Score accumulation helpers: term-at-a-time (TAAT) and document-at-a-time
+//! (DAAT) full evaluation over posting lists.
+//!
+//! These are the *exhaustive* evaluation strategies — no early termination —
+//! used as correctness oracles and as the "no optimization" baselines in the
+//! ablation table.
+
+use crate::postings::PostingList;
+use crate::topk::TopK;
+use crate::{DocId, Score};
+use std::collections::HashMap;
+
+/// Term-at-a-time: accumulate every list fully into a hash map, then select
+/// the top-k. `O(total postings)` work, `O(distinct docs)` space.
+pub fn taat_topk(lists: &[&PostingList], k: usize) -> Vec<(DocId, Score)> {
+    let mut acc: HashMap<DocId, Score> = HashMap::new();
+    for list in lists {
+        let mut c = list.cursor();
+        while let Some(d) = c.doc() {
+            *acc.entry(d).or_insert(0.0) += c.score();
+            c.next();
+        }
+    }
+    let mut topk = TopK::new(k);
+    for (d, s) in acc {
+        topk.offer(d, s);
+    }
+    topk.into_sorted_vec()
+}
+
+/// Document-at-a-time: k-way merge of doc-sorted cursors, scoring each doc
+/// completely before moving on. `O(total postings · log #lists)` time,
+/// `O(k)` space.
+pub fn daat_topk(lists: &[&PostingList], k: usize) -> Vec<(DocId, Score)> {
+    let mut cursors: Vec<_> = lists.iter().map(|l| l.cursor()).collect();
+    let mut topk = TopK::new(k);
+    loop {
+        let mut min_doc: Option<DocId> = None;
+        for c in &cursors {
+            if let Some(d) = c.doc() {
+                min_doc = Some(min_doc.map_or(d, |m| m.min(d)));
+            }
+        }
+        let Some(doc) = min_doc else { break };
+        let mut score = 0.0f32;
+        for c in cursors.iter_mut() {
+            if c.doc() == Some(doc) {
+                score += c.score();
+                c.next();
+            }
+        }
+        topk.offer(doc, score);
+    }
+    topk.into_sorted_vec()
+}
+
+/// Dense accumulator over a known doc-id universe: faster than a hash map
+/// when the universe is small relative to the posting volume. Reusable
+/// across queries (the `touched` list makes resets `O(result size)`).
+pub struct DenseAccumulator {
+    scores: Vec<Score>,
+    touched: Vec<DocId>,
+}
+
+impl DenseAccumulator {
+    /// Creates an accumulator for doc ids in `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        DenseAccumulator {
+            scores: vec![0.0; universe],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Adds `s` to `doc`'s accumulated score.
+    #[inline]
+    pub fn add(&mut self, doc: DocId, s: Score) {
+        let slot = &mut self.scores[doc as usize];
+        if *slot == 0.0 {
+            self.touched.push(doc);
+        }
+        *slot += s;
+    }
+
+    /// Current score of `doc`.
+    #[inline]
+    pub fn get(&self, doc: DocId) -> Score {
+        self.scores[doc as usize]
+    }
+
+    /// Number of docs with nonzero accumulated score.
+    pub fn num_touched(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// The docs touched since the last drain, in first-touch order.
+    pub fn touched(&self) -> &[DocId] {
+        &self.touched
+    }
+
+    /// Extracts the top-k and resets the accumulator for reuse.
+    pub fn drain_topk(&mut self, k: usize) -> Vec<(DocId, Score)> {
+        let mut topk = TopK::new(k);
+        for &d in &self.touched {
+            topk.offer(d, self.scores[d as usize]);
+        }
+        for &d in &self.touched {
+            self.scores[d as usize] = 0.0;
+        }
+        self.touched.clear();
+        topk.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postings::PostingConfig;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn lists(seed: u64) -> Vec<PostingList> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..3)
+            .map(|_| {
+                let mut entries: Vec<(DocId, Score)> = Vec::new();
+                for d in 0..500u32 {
+                    if rng.gen_bool(0.3) {
+                        entries.push((d, rng.gen_range(0.01f32..2.0)));
+                    }
+                }
+                PostingList::build(entries, PostingConfig::default())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn taat_equals_daat() {
+        for seed in 0..5u64 {
+            let ls = lists(seed);
+            let refs: Vec<&PostingList> = ls.iter().collect();
+            let a = taat_topk(&refs, 10);
+            let b = daat_topk(&refs, 10);
+            assert_eq!(
+                a.iter().map(|h| h.0).collect::<Vec<_>>(),
+                b.iter().map(|h| h.0).collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.1 - y.1).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_accumulator_matches_hash_taat() {
+        let ls = lists(42);
+        let refs: Vec<&PostingList> = ls.iter().collect();
+        let want = taat_topk(&refs, 7);
+        let mut acc = DenseAccumulator::new(500);
+        for l in &refs {
+            let mut c = l.cursor();
+            while let Some(d) = c.doc() {
+                acc.add(d, c.score());
+                c.next();
+            }
+        }
+        let got = acc.drain_topk(7);
+        assert_eq!(
+            got.iter().map(|h| h.0).collect::<Vec<_>>(),
+            want.iter().map(|h| h.0).collect::<Vec<_>>()
+        );
+        // Reusable after drain.
+        assert_eq!(acc.num_touched(), 0);
+        acc.add(3, 1.0);
+        assert_eq!(acc.drain_topk(1), vec![(3, 1.0)]);
+    }
+
+    #[test]
+    fn empty_lists() {
+        assert!(taat_topk(&[], 5).is_empty());
+        assert!(daat_topk(&[], 5).is_empty());
+        let empty = PostingList::build(vec![], PostingConfig::default());
+        assert!(daat_topk(&[&empty], 5).is_empty());
+    }
+
+    #[test]
+    fn accumulator_zero_score_add_still_counts_once() {
+        let mut acc = DenseAccumulator::new(4);
+        acc.add(2, 0.5);
+        acc.add(2, 0.5);
+        assert_eq!(acc.num_touched(), 1);
+        assert_eq!(acc.get(2), 1.0);
+    }
+}

@@ -1,0 +1,551 @@
+//! Posting lists: blocks of `(doc, score)` pairs sorted by document id, with
+//! per-block skip metadata (first/last doc, max score) enabling `advance()`
+//! seeks and WAND-style block-max pruning.
+//!
+//! Document ids can be stored raw (`u32` per entry) or delta-varint
+//! compressed per block; scores are always raw `f32` (float compression is
+//! out of scope — the Table 3 ablation measures doc-id compression only).
+
+use crate::varint;
+use crate::{DocId, Score};
+use serde::{Deserialize, Serialize};
+
+/// Default number of entries per block. 128 balances skip granularity
+/// against decode overhead, matching common practice (e.g. Lucene).
+pub const DEFAULT_BLOCK_LEN: usize = 128;
+
+/// Document-id storage format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Encoding {
+    /// 4 bytes per doc id; fastest decode.
+    Raw,
+    /// Per-block delta varint; ~1 byte per id for dense lists.
+    DeltaVarint,
+}
+
+/// Build-time options for a posting list.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PostingConfig {
+    pub encoding: Encoding,
+    /// Entries per block (must be ≥ 1).
+    pub block_len: usize,
+    /// When false, [`PostingCursor::advance`] scans linearly instead of
+    /// binary-searching block metadata — the "no skip pointers" ablation.
+    pub skips_enabled: bool,
+}
+
+impl Default for PostingConfig {
+    fn default() -> Self {
+        PostingConfig {
+            encoding: Encoding::DeltaVarint,
+            block_len: DEFAULT_BLOCK_LEN,
+            skips_enabled: true,
+        }
+    }
+}
+
+/// Per-block skip entry.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct BlockMeta {
+    first_doc: DocId,
+    last_doc: DocId,
+    max_score: Score,
+    /// Byte offset into `data` (DeltaVarint) — unused for Raw.
+    byte_start: u32,
+    /// Element offset of the block start within the list.
+    elem_start: u32,
+    /// Entries in this block.
+    count: u32,
+}
+
+/// An immutable posting list sorted by document id.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PostingList {
+    config: PostingConfig,
+    len: usize,
+    max_score: Score,
+    blocks: Vec<BlockMeta>,
+    /// Raw doc ids (Raw encoding) — empty for DeltaVarint.
+    docs: Vec<DocId>,
+    /// Compressed doc ids (DeltaVarint) — empty for Raw.
+    data: Vec<u8>,
+    /// Scores for all entries, in doc order.
+    scores: Vec<Score>,
+}
+
+impl PostingList {
+    /// Builds a list from `(doc, score)` pairs. Pairs may be unsorted and may
+    /// contain duplicate docs, whose scores are **summed** (a tag applied by
+    /// several users accumulates weight).
+    pub fn build(mut entries: Vec<(DocId, Score)>, config: PostingConfig) -> Self {
+        assert!(config.block_len >= 1, "block_len must be >= 1");
+        entries.sort_unstable_by_key(|&(d, _)| d);
+        entries.dedup_by(|next, kept| {
+            if next.0 == kept.0 {
+                kept.1 += next.1;
+                true
+            } else {
+                false
+            }
+        });
+        let len = entries.len();
+        let mut blocks = Vec::with_capacity(len.div_ceil(config.block_len));
+        let mut docs = Vec::new();
+        let mut data = Vec::new();
+        let mut scores = Vec::with_capacity(len);
+        let mut max_score = 0.0f32;
+        for (bi, chunk) in entries.chunks(config.block_len).enumerate() {
+            let ids: Vec<DocId> = chunk.iter().map(|&(d, _)| d).collect();
+            let block_max = chunk
+                .iter()
+                .map(|&(_, s)| s)
+                .fold(f32::NEG_INFINITY, f32::max);
+            max_score = max_score.max(block_max);
+            blocks.push(BlockMeta {
+                first_doc: ids[0],
+                last_doc: *ids.last().unwrap(),
+                max_score: block_max,
+                byte_start: data.len() as u32,
+                elem_start: (bi * config.block_len) as u32,
+                count: ids.len() as u32,
+            });
+            match config.encoding {
+                Encoding::Raw => docs.extend_from_slice(&ids),
+                Encoding::DeltaVarint => varint::encode_sorted(&ids, &mut data),
+            }
+            scores.extend(chunk.iter().map(|&(_, s)| s));
+        }
+        if len == 0 {
+            max_score = 0.0;
+        }
+        PostingList {
+            config,
+            len,
+            max_score,
+            blocks,
+            docs,
+            data,
+            scores,
+        }
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest single score in the list (0.0 when empty) — the list-level
+    /// upper bound used by TA/WAND.
+    pub fn max_score(&self) -> Score {
+        self.max_score
+    }
+
+    /// Build configuration.
+    pub fn config(&self) -> PostingConfig {
+        self.config
+    }
+
+    /// Approximate resident memory in bytes (payload + skip metadata).
+    pub fn memory_bytes(&self) -> usize {
+        self.docs.len() * 4
+            + self.data.len()
+            + self.scores.len() * 4
+            + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    }
+
+    /// Opens a cursor positioned on the first posting.
+    pub fn cursor(&self) -> PostingCursor<'_> {
+        let mut c = PostingCursor {
+            list: self,
+            block: 0,
+            decoded: Vec::new(),
+            pos: 0,
+            exhausted: self.len == 0,
+        };
+        if !c.exhausted {
+            c.load_block(0);
+        }
+        c
+    }
+
+    /// Random-access score lookup by binary search over blocks then within
+    /// the block. `O(log #blocks + block_len)` (decode) — used by TA.
+    pub fn score_of(&self, doc: DocId) -> Option<Score> {
+        if self.len == 0 {
+            return None;
+        }
+        let bi = match self.blocks.binary_search_by(|b| {
+            if doc < b.first_doc {
+                std::cmp::Ordering::Greater
+            } else if doc > b.last_doc {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => i,
+            Err(_) => return None,
+        };
+        let b = &self.blocks[bi];
+        match self.config.encoding {
+            Encoding::Raw => {
+                let start = b.elem_start as usize;
+                let ids = &self.docs[start..start + b.count as usize];
+                ids.binary_search(&doc).ok().map(|i| self.scores[start + i])
+            }
+            Encoding::DeltaVarint => {
+                let mut buf = &self.data[b.byte_start as usize..];
+                let ids = varint::decode_sorted(&mut buf, b.count as usize)
+                    .expect("corrupt posting block");
+                ids.binary_search(&doc)
+                    .ok()
+                    .map(|i| self.scores[b.elem_start as usize + i])
+            }
+        }
+    }
+
+    /// Decodes the whole list into `(doc, score)` pairs (tests/debugging).
+    pub fn to_vec(&self) -> Vec<(DocId, Score)> {
+        let mut c = self.cursor();
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(d) = c.doc() {
+            out.push((d, c.score()));
+            c.next();
+        }
+        out
+    }
+}
+
+/// Forward cursor over a [`PostingList`], in document-id order.
+pub struct PostingCursor<'a> {
+    list: &'a PostingList,
+    block: usize,
+    /// Decoded doc ids of the current block (DeltaVarint only).
+    decoded: Vec<DocId>,
+    /// Position within the current block.
+    pos: usize,
+    exhausted: bool,
+}
+
+impl<'a> PostingCursor<'a> {
+    fn load_block(&mut self, bi: usize) {
+        self.block = bi;
+        self.pos = 0;
+        let b = &self.list.blocks[bi];
+        if self.list.config.encoding == Encoding::DeltaVarint {
+            let mut buf = &self.list.data[b.byte_start as usize..];
+            self.decoded =
+                varint::decode_sorted(&mut buf, b.count as usize).expect("corrupt posting block");
+        }
+    }
+
+    /// Current document id, or `None` when exhausted.
+    #[inline]
+    pub fn doc(&self) -> Option<DocId> {
+        if self.exhausted {
+            return None;
+        }
+        let b = &self.list.blocks[self.block];
+        Some(match self.list.config.encoding {
+            Encoding::Raw => self.list.docs[b.elem_start as usize + self.pos],
+            Encoding::DeltaVarint => self.decoded[self.pos],
+        })
+    }
+
+    /// Score of the current posting.
+    ///
+    /// # Panics
+    /// Panics if the cursor is exhausted.
+    #[inline]
+    pub fn score(&self) -> Score {
+        assert!(!self.exhausted, "cursor exhausted");
+        let b = &self.list.blocks[self.block];
+        self.list.scores[b.elem_start as usize + self.pos]
+    }
+
+    /// Max score of the current block (block-max pruning bound).
+    pub fn block_max(&self) -> Score {
+        if self.exhausted {
+            0.0
+        } else {
+            self.list.blocks[self.block].max_score
+        }
+    }
+
+    /// List-level max score.
+    pub fn list_max(&self) -> Score {
+        self.list.max_score()
+    }
+
+    /// Advances to the next posting.
+    pub fn next(&mut self) {
+        if self.exhausted {
+            return;
+        }
+        self.pos += 1;
+        if self.pos >= self.list.blocks[self.block].count as usize {
+            if self.block + 1 < self.list.blocks.len() {
+                let nb = self.block + 1;
+                self.load_block(nb);
+            } else {
+                self.exhausted = true;
+            }
+        }
+    }
+
+    /// Advances to the first posting with `doc >= target` (no-op if already
+    /// there). Uses skip metadata when enabled, linear scan otherwise.
+    pub fn advance(&mut self, target: DocId) {
+        if self.exhausted {
+            return;
+        }
+        if let Some(d) = self.doc() {
+            if d >= target {
+                return;
+            }
+        }
+        if self.list.config.skips_enabled {
+            // Find first block whose last_doc >= target, at or after current.
+            let blocks = &self.list.blocks;
+            if blocks[self.block].last_doc < target {
+                let rel = blocks[self.block + 1..].partition_point(|b| b.last_doc < target);
+                let bi = self.block + 1 + rel;
+                if bi >= blocks.len() {
+                    self.exhausted = true;
+                    return;
+                }
+                self.load_block(bi);
+            }
+            // Binary search inside the block.
+            let b = &self.list.blocks[self.block];
+            let idx = match self.list.config.encoding {
+                Encoding::Raw => {
+                    let start = b.elem_start as usize;
+                    let ids = &self.list.docs[start..start + b.count as usize];
+                    ids.partition_point(|&d| d < target)
+                }
+                Encoding::DeltaVarint => self.decoded.partition_point(|&d| d < target),
+            };
+            if idx >= b.count as usize {
+                // target falls past this block (only possible when we didn't
+                // move blocks); step into the next one.
+                self.pos = b.count as usize - 1;
+                self.next();
+                self.advance(target);
+            } else {
+                self.pos = idx;
+            }
+        } else {
+            while let Some(d) = self.doc() {
+                if d >= target {
+                    return;
+                }
+                self.next();
+            }
+        }
+    }
+
+    /// Whether the cursor has passed the last posting.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries(n: u32, stride: u32) -> Vec<(DocId, Score)> {
+        (0..n)
+            .map(|i| (i * stride + 1, (i % 17) as f32 + 0.5))
+            .collect()
+    }
+
+    fn configs() -> Vec<PostingConfig> {
+        vec![
+            PostingConfig::default(),
+            PostingConfig {
+                encoding: Encoding::Raw,
+                block_len: 128,
+                skips_enabled: true,
+            },
+            PostingConfig {
+                encoding: Encoding::DeltaVarint,
+                block_len: 7,
+                skips_enabled: true,
+            },
+            PostingConfig {
+                encoding: Encoding::Raw,
+                block_len: 3,
+                skips_enabled: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_configs() {
+        let entries = sample_entries(500, 3);
+        for cfg in configs() {
+            let list = PostingList::build(entries.clone(), cfg);
+            assert_eq!(list.len(), 500);
+            assert_eq!(list.to_vec(), entries, "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = PostingList::build(vec![], PostingConfig::default());
+        assert!(list.is_empty());
+        assert_eq!(list.max_score(), 0.0);
+        let mut c = list.cursor();
+        assert_eq!(c.doc(), None);
+        c.next();
+        c.advance(10);
+        assert!(c.is_exhausted());
+        assert_eq!(list.score_of(5), None);
+    }
+
+    #[test]
+    fn unsorted_input_with_duplicates_sums() {
+        let list = PostingList::build(
+            vec![(5, 1.0), (2, 2.0), (5, 0.5), (9, 1.0), (2, 1.0)],
+            PostingConfig::default(),
+        );
+        assert_eq!(list.to_vec(), vec![(2, 3.0), (5, 1.5), (9, 1.0)]);
+    }
+
+    #[test]
+    fn max_score_tracks_largest() {
+        let list = PostingList::build(sample_entries(100, 2), PostingConfig::default());
+        let expect = list
+            .to_vec()
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(list.max_score(), expect);
+    }
+
+    #[test]
+    fn score_of_random_access() {
+        let entries = sample_entries(300, 5);
+        for cfg in configs() {
+            let list = PostingList::build(entries.clone(), cfg);
+            for &(d, s) in &entries {
+                assert_eq!(list.score_of(d), Some(s), "doc {d} cfg {cfg:?}");
+            }
+            assert_eq!(list.score_of(0), None);
+            assert_eq!(list.score_of(2), None); // gap
+            assert_eq!(list.score_of(10_000_000), None);
+        }
+    }
+
+    #[test]
+    fn advance_semantics() {
+        let entries = sample_entries(200, 4); // docs 1, 5, 9, ...
+        for cfg in configs() {
+            let list = PostingList::build(entries.clone(), cfg);
+            let mut c = list.cursor();
+            c.advance(6);
+            assert_eq!(c.doc(), Some(9), "cfg {cfg:?}");
+            c.advance(9); // already there: no-op
+            assert_eq!(c.doc(), Some(9));
+            c.advance(700);
+            assert_eq!(c.doc(), Some(701));
+            c.advance(1_000_000);
+            assert!(c.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn advance_matches_linear_reference() {
+        let entries = sample_entries(512, 3);
+        let with_skips = PostingList::build(entries.clone(), PostingConfig::default());
+        let without = PostingList::build(
+            entries,
+            PostingConfig {
+                skips_enabled: false,
+                ..PostingConfig::default()
+            },
+        );
+        for target in [0u32, 1, 2, 100, 511, 512, 513, 1535, 1536, 9999] {
+            let mut a = with_skips.cursor();
+            let mut b = without.cursor();
+            a.advance(target);
+            b.advance(target);
+            assert_eq!(a.doc(), b.doc(), "target {target}");
+        }
+    }
+
+    #[test]
+    fn interleaved_next_and_advance() {
+        let entries = sample_entries(100, 7);
+        let list = PostingList::build(
+            entries.clone(),
+            PostingConfig {
+                block_len: 8,
+                ..PostingConfig::default()
+            },
+        );
+        let mut c = list.cursor();
+        c.next();
+        c.next();
+        assert_eq!(c.doc(), Some(15));
+        c.advance(16);
+        assert_eq!(c.doc(), Some(22));
+        c.next();
+        assert_eq!(c.doc(), Some(29));
+    }
+
+    #[test]
+    fn compression_shrinks_dense_lists() {
+        let entries: Vec<(DocId, Score)> = (0..10_000).map(|i| (i, 1.0)).collect();
+        let raw = PostingList::build(
+            entries.clone(),
+            PostingConfig {
+                encoding: Encoding::Raw,
+                ..PostingConfig::default()
+            },
+        );
+        let packed = PostingList::build(entries, PostingConfig::default());
+        assert!(
+            (packed.memory_bytes() as f64) < 0.7 * raw.memory_bytes() as f64,
+            "packed {} vs raw {}",
+            packed.memory_bytes(),
+            raw.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn block_max_is_upper_bound_within_block() {
+        let list = PostingList::build(
+            sample_entries(300, 2),
+            PostingConfig {
+                block_len: 16,
+                ..PostingConfig::default()
+            },
+        );
+        let mut c = list.cursor();
+        while let Some(_d) = c.doc() {
+            assert!(c.score() <= c.block_max() + 1e-6);
+            assert!(c.block_max() <= c.list_max() + 1e-6);
+            c.next();
+        }
+    }
+
+    #[test]
+    fn single_entry_list() {
+        let list = PostingList::build(vec![(7, 2.5)], PostingConfig::default());
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.max_score(), 2.5);
+        let mut c = list.cursor();
+        assert_eq!(c.doc(), Some(7));
+        assert_eq!(c.score(), 2.5);
+        c.next();
+        assert!(c.is_exhausted());
+    }
+}

@@ -1,0 +1,203 @@
+//! LEB128 variable-length integers and delta coding for sorted id sequences.
+//!
+//! Posting lists store document ids as deltas between consecutive (sorted)
+//! ids, then varint-encode the deltas: small gaps — the common case for
+//! popular tags — take one byte instead of four.
+
+use bytes::{Buf, BufMut};
+
+/// Appends `v` to `out` as an unsigned LEB128 varint (1–5 bytes for `u32`).
+pub fn write_u32(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+/// Appends `v` as an unsigned LEB128 varint (1–10 bytes for `u64`).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a `u32` varint from the front of `buf`, advancing it.
+///
+/// Returns `None` on truncated input or overflow (more than 5 bytes).
+pub fn read_u32(buf: &mut &[u8]) -> Option<u32> {
+    let mut result: u32 = 0;
+    let mut shift = 0u32;
+    for _ in 0..5 {
+        if !buf.has_remaining() {
+            return None;
+        }
+        let byte = buf.get_u8();
+        result |= ((byte & 0x7F) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return Some(result);
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Reads a `u64` varint from the front of `buf`, advancing it.
+pub fn read_u64(buf: &mut &[u8]) -> Option<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..10 {
+        if !buf.has_remaining() {
+            return None;
+        }
+        let byte = buf.get_u8();
+        result |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(result);
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Number of bytes `write_u32` would emit for `v`.
+pub fn len_u32(v: u32) -> usize {
+    match v {
+        0..=0x7F => 1,
+        0x80..=0x3FFF => 2,
+        0x4000..=0x1F_FFFF => 3,
+        0x20_0000..=0xFFF_FFFF => 4,
+        _ => 5,
+    }
+}
+
+/// Delta-encodes a strictly increasing sequence of ids into varints.
+///
+/// The first id is stored verbatim, each following id as `id − prev`.
+///
+/// # Panics
+/// Panics (debug) if the input is not strictly increasing.
+pub fn encode_sorted(ids: &[u32], out: &mut Vec<u8>) {
+    let mut prev = 0u32;
+    for (i, &id) in ids.iter().enumerate() {
+        if i == 0 {
+            write_u32(out, id);
+        } else {
+            debug_assert!(id > prev, "ids must be strictly increasing");
+            write_u32(out, id - prev);
+        }
+        prev = id;
+    }
+}
+
+/// Decodes `count` delta-varint ids produced by [`encode_sorted`].
+pub fn decode_sorted(buf: &mut &[u8], count: usize) -> Option<Vec<u32>> {
+    let mut out = Vec::with_capacity(count);
+    let mut prev = 0u32;
+    for i in 0..count {
+        let d = read_u32(buf)?;
+        let id = if i == 0 { d } else { prev.checked_add(d)? };
+        out.push(id);
+        prev = id;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_round_trip_corner_values() {
+        for v in [0u32, 1, 127, 128, 16_383, 16_384, u32::MAX - 1, u32::MAX] {
+            let mut buf = Vec::new();
+            write_u32(&mut buf, v);
+            assert_eq!(buf.len(), len_u32(v), "length mismatch for {v}");
+            let mut s = buf.as_slice();
+            assert_eq!(read_u32(&mut s), Some(v));
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 300, 1 << 35, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_u64(&mut s), Some(v));
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 1_000_000);
+        let mut s = &buf[..buf.len() - 1];
+        assert_eq!(read_u32(&mut s), None);
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_u32(&mut empty), None);
+    }
+
+    #[test]
+    fn overlong_encoding_rejected() {
+        let bad = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut s = bad.as_slice();
+        assert_eq!(read_u32(&mut s), None);
+    }
+
+    #[test]
+    fn sorted_round_trip() {
+        let ids = vec![3u32, 4, 10, 1_000, 1_001, 500_000];
+        let mut buf = Vec::new();
+        encode_sorted(&ids, &mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(decode_sorted(&mut s, ids.len()), Some(ids));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sorted_empty_and_single() {
+        let mut buf = Vec::new();
+        encode_sorted(&[], &mut buf);
+        assert!(buf.is_empty());
+        let mut s = buf.as_slice();
+        assert_eq!(decode_sorted(&mut s, 0), Some(vec![]));
+
+        buf.clear();
+        encode_sorted(&[42], &mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(decode_sorted(&mut s, 1), Some(vec![42]));
+    }
+
+    #[test]
+    fn dense_ids_compress_well() {
+        let ids: Vec<u32> = (1_000_000..1_000_000 + 1000).collect();
+        let mut buf = Vec::new();
+        encode_sorted(&ids, &mut buf);
+        // 999 single-byte deltas + one multi-byte head.
+        assert!(buf.len() < 1010, "got {} bytes", buf.len());
+    }
+
+    #[test]
+    fn multiple_values_stream() {
+        let mut buf = Vec::new();
+        for v in 0..200u32 {
+            write_u32(&mut buf, v * 37);
+        }
+        let mut s = buf.as_slice();
+        for v in 0..200u32 {
+            assert_eq!(read_u32(&mut s), Some(v * 37));
+        }
+    }
+}

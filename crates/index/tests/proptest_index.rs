@@ -1,0 +1,165 @@
+//! Property-based tests for the IR substrate: codec round-trips, cursor
+//! semantics against a naive reference, and agreement of all top-k
+//! algorithms with brute force.
+
+use friends_index::accumulate::{daat_topk, taat_topk};
+use friends_index::postings::{Encoding, PostingConfig, PostingList};
+use friends_index::topk::{brute_force_topk, nra_topk, ta_topk, wand_topk, ScoreSortedList};
+use friends_index::varint;
+use friends_index::{DocId, Score};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = PostingConfig> {
+    (
+        prop_oneof![Just(Encoding::Raw), Just(Encoding::DeltaVarint)],
+        1usize..40,
+        any::<bool>(),
+    )
+        .prop_map(|(encoding, block_len, skips_enabled)| PostingConfig {
+            encoding,
+            block_len,
+            skips_enabled,
+        })
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<(DocId, Score)>> {
+    proptest::collection::vec((0u32..500, 0.01f32..5.0), 0..200)
+}
+
+/// Reference semantics: sorted by doc, duplicate scores summed.
+fn reference(entries: &[(DocId, Score)]) -> Vec<(DocId, Score)> {
+    let mut m: std::collections::BTreeMap<DocId, f32> = std::collections::BTreeMap::new();
+    for &(d, s) in entries {
+        *m.entry(d).or_insert(0.0) += s;
+    }
+    m.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn varint_u32_round_trip(v in any::<u32>()) {
+        let mut buf = Vec::new();
+        varint::write_u32(&mut buf, v);
+        prop_assert_eq!(buf.len(), varint::len_u32(v));
+        let mut s = buf.as_slice();
+        prop_assert_eq!(varint::read_u32(&mut s), Some(v));
+        prop_assert!(s.is_empty());
+    }
+
+    #[test]
+    fn varint_u64_round_trip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let mut s = buf.as_slice();
+        prop_assert_eq!(varint::read_u64(&mut s), Some(v));
+    }
+
+    #[test]
+    fn delta_coding_round_trip(mut ids in proptest::collection::btree_set(0u32..1_000_000, 0..300)) {
+        let ids: Vec<u32> = std::mem::take(&mut ids).into_iter().collect();
+        let mut buf = Vec::new();
+        varint::encode_sorted(&ids, &mut buf);
+        let mut s = buf.as_slice();
+        prop_assert_eq!(varint::decode_sorted(&mut s, ids.len()), Some(ids));
+    }
+
+    /// Posting lists reproduce the reference under every configuration, and
+    /// random access agrees with the decoded content.
+    #[test]
+    fn postings_round_trip(entries in arb_entries(), cfg in arb_config()) {
+        let want = reference(&entries);
+        let list = PostingList::build(entries, cfg);
+        let got = list.to_vec();
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.0, w.0);
+            prop_assert!((g.1 - w.1).abs() < 1e-4);
+        }
+        for &(d, s) in &want {
+            let q = list.score_of(d).expect("present doc");
+            prop_assert!((q - s).abs() < 1e-4);
+        }
+        prop_assert_eq!(list.score_of(1_000_000), None);
+    }
+
+    /// `advance(target)` lands on the first doc >= target, matching a naive
+    /// scan, from any starting position.
+    #[test]
+    fn cursor_advance_matches_naive(
+        entries in arb_entries(),
+        cfg in arb_config(),
+        targets in proptest::collection::vec(0u32..600, 1..20),
+    ) {
+        let want = reference(&entries);
+        let list = PostingList::build(entries, cfg);
+        let mut cur = list.cursor();
+        let mut sorted_targets = targets;
+        sorted_targets.sort_unstable();
+        for &t in &sorted_targets {
+            cur.advance(t);
+            let expect = want.iter().map(|&(d, _)| d).find(|&d| d >= t);
+            prop_assert_eq!(cur.doc(), expect, "target {}", t);
+            if let Some(d) = cur.doc() {
+                let s = want.iter().find(|&&(x, _)| x == d).unwrap().1;
+                prop_assert!((cur.score() - s).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// TA, NRA, WAND, TAAT and DAAT all agree with brute force on the
+    /// returned doc set (scores within tolerance; near-ties may permute).
+    #[test]
+    fn all_topk_algorithms_agree(
+        lists_raw in proptest::collection::vec(arb_entries(), 1..4),
+        k in 1usize..12,
+    ) {
+        let sorted: Vec<ScoreSortedList> =
+            lists_raw.iter().cloned().map(ScoreSortedList::build).collect();
+        let plists: Vec<PostingList> = lists_raw
+            .iter()
+            .cloned()
+            .map(|e| PostingList::build(e, PostingConfig::default()))
+            .collect();
+        let prefs: Vec<&PostingList> = plists.iter().collect();
+
+        let want = brute_force_topk(&sorted, k);
+        let want_scores: std::collections::HashMap<DocId, f32> =
+            want.iter().copied().collect();
+        let check = |got: Vec<(DocId, Score)>, name: &str| -> Result<(), TestCaseError> {
+            prop_assert_eq!(got.len(), want.len(), "{} length", name);
+            for (d, s) in &got {
+                match want_scores.get(d) {
+                    Some(ws) => prop_assert!((*ws - *s).abs() < 1e-3,
+                        "{}: doc {} score {} vs {}", name, d, s, ws),
+                    None => {
+                        // Tie at the boundary: the score must equal the
+                        // k-th best within tolerance.
+                        let kth = want.last().unwrap().1;
+                        prop_assert!((kth - *s).abs() < 1e-3,
+                            "{}: unexpected doc {} (score {})", name, d, s);
+                    }
+                }
+            }
+            Ok(())
+        };
+        check(ta_topk(&sorted, k).0, "TA")?;
+        check(nra_topk(&sorted, k).0, "NRA")?;
+        check(wand_topk(&prefs, k).0, "WAND")?;
+        check(taat_topk(&prefs, k), "TAAT")?;
+        check(daat_topk(&prefs, k), "DAAT")?;
+    }
+
+    /// The list-level max score really bounds every posting.
+    #[test]
+    fn max_score_is_sound(entries in arb_entries(), cfg in arb_config()) {
+        let list = PostingList::build(entries, cfg);
+        let mut cur = list.cursor();
+        while let Some(_d) = cur.doc() {
+            prop_assert!(cur.score() <= list.max_score() + 1e-6);
+            prop_assert!(cur.score() <= cur.block_max() + 1e-6);
+            cur.next();
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Serving-style throughput: answer a whole query log with one processor
+//! per worker thread, comparing single-threaded and parallel throughput.
+//!
+//! ```sh
+//! cargo run --release --example batch_throughput
+//! ```
+
+use friends::core::batch::par_batch;
+use friends::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(11);
+    let corpus = Corpus::new(ds.graph, ds.store);
+    let workload = QueryWorkload::generate(
+        &corpus.graph,
+        &corpus.store,
+        &QueryParams {
+            count: 400,
+            k: 10,
+            ..QueryParams::default()
+        },
+        3,
+    );
+    println!(
+        "{} queries over {} users / {} taggings ({} hardware threads)\n",
+        workload.len(),
+        corpus.num_users(),
+        corpus.store.num_taggings(),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    println!("{:<10} {:>12} {:>12}", "threads", "elapsed ms", "queries/s");
+    let mut baseline = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let results = par_batch(&workload.queries, threads, || {
+            FriendExpansion::new(
+                &corpus,
+                ExpansionConfig {
+                    alpha: 0.5,
+                    ..ExpansionConfig::default()
+                },
+            )
+        });
+        let elapsed = start.elapsed();
+        assert_eq!(results.len(), workload.len());
+        if threads == 1 {
+            baseline = results.iter().map(|r| r.item_ids()).collect();
+        } else {
+            // Parallel execution must not change any answer.
+            for (r, b) in results.iter().zip(&baseline) {
+                assert_eq!(&r.item_ids(), b);
+            }
+        }
+        println!(
+            "{:<10} {:>12.1} {:>12.0}",
+            threads,
+            elapsed.as_secs_f64() * 1e3,
+            workload.len() as f64 / elapsed.as_secs_f64()
+        );
+    }
+    println!(
+        "\n(answers verified identical across thread counts; speedup is\n\
+         bounded by the hardware thread count printed above)"
+    );
+}

@@ -1,0 +1,230 @@
+//! `friends` — command-line interface to the network-aware search engine.
+//!
+//! ```sh
+//! friends generate --family delicious --scale tiny --seed 42 --out world.bin
+//! friends stats    --data world.bin
+//! friends query    --data world.bin --seeker 7 --tags 3,5 --k 10 --processor expansion
+//! friends experts  --data world.bin --seeker 7 --tag 3 --k 5
+//! ```
+
+use friends::data::io;
+use friends::prelude::*;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n\
+         friends generate --family delicious|flickr|citeulike --scale tiny|small|medium|<N> \\\n\
+         \t--seed <u64> --out <file>\n\
+         friends stats   --data <file>\n\
+         friends query   --data <file> --seeker <id> --tags <t1,t2,..> [--k 10]\n\
+         \t[--processor global|exact|expansion|cluster|hybrid|gbta] [--alpha 0.5]\n\
+         friends experts --data <file> --seeker <id> --tag <t> [--k 5] [--alpha 0.5]"
+    );
+    exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args(std::collections::HashMap<String, String>);
+
+impl Args {
+    fn parse(rest: &[String]) -> Self {
+        let mut m = std::collections::HashMap::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let k = rest[i].strip_prefix("--").unwrap_or_else(|| usage());
+            let v = rest.get(i + 1).unwrap_or_else(|| usage());
+            m.insert(k.to_owned(), v.clone());
+            i += 2;
+        }
+        Args(m)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn required(&self, key: &str) -> &str {
+        self.get(key).unwrap_or_else(|| {
+            eprintln!("missing required flag --{key}");
+            usage()
+        })
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {v}");
+                usage()
+            }),
+        }
+    }
+}
+
+fn load_corpus(args: &Args) -> Corpus {
+    let path = PathBuf::from(args.required("data"));
+    match io::load(&path) {
+        Ok((graph, store)) => Corpus::new(graph, store),
+        Err(e) => {
+            eprintln!("failed to load {}: {e}", path.display());
+            exit(1);
+        }
+    }
+}
+
+fn cmd_generate(args: &Args) {
+    let scale = match args.required("scale") {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "large" => Scale::Large,
+        n => Scale::Custom(n.parse().unwrap_or_else(|_| usage())),
+    };
+    let spec = match args.required("family") {
+        "delicious" => DatasetSpec::delicious_like(scale),
+        "flickr" => DatasetSpec::flickr_like(scale),
+        "citeulike" => DatasetSpec::citeulike_like(scale),
+        _ => usage(),
+    };
+    let seed = args.num("seed", 42u64);
+    let out = PathBuf::from(args.required("out"));
+    eprintln!("generating {} (seed {seed})...", spec.name());
+    let ds = spec.build(seed);
+    if let Err(e) = io::save(&out, &ds.graph, &ds.store) {
+        eprintln!("failed to write {}: {e}", out.display());
+        exit(1);
+    }
+    println!(
+        "wrote {}: {} users, {} edges, {} taggings",
+        out.display(),
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        ds.store.num_taggings()
+    );
+}
+
+fn cmd_stats(args: &Args) {
+    let corpus = load_corpus(args);
+    let g = friends::graph::metrics::summarize(&corpus.graph, 1);
+    let s = corpus.store.stats();
+    println!("users              {}", g.nodes);
+    println!("edges              {}", g.edges);
+    println!(
+        "degree p50/p90/p99 {}/{}/{}",
+        g.degrees.p50, g.degrees.p90, g.degrees.p99
+    );
+    println!("clustering         {:.3}", g.clustering);
+    println!("effective diameter {:.1}", g.effective_diameter);
+    println!("items              {}", s.items);
+    println!("tags               {}", s.tags);
+    println!("taggings           {}", s.taggings);
+    println!("taggings/user mean {:.1}", s.taggings_per_user_mean);
+}
+
+fn cmd_query(args: &Args) {
+    let corpus = load_corpus(args);
+    let seeker: UserId = args.num("seeker", 0);
+    if seeker >= corpus.num_users() {
+        eprintln!(
+            "seeker {seeker} out of range (have {} users)",
+            corpus.num_users()
+        );
+        exit(1);
+    }
+    let tags: Vec<TagId> = args
+        .required("tags")
+        .split(',')
+        .map(|t| t.parse().unwrap_or_else(|_| usage()))
+        .collect();
+    let k = args.num("k", 10usize);
+    let alpha = args.num("alpha", 0.5f64);
+    let q = Query { seeker, tags, k };
+    let start = std::time::Instant::now();
+    let result = match args.get("processor").unwrap_or("expansion") {
+        "global" => GlobalProcessor::new(&corpus, IndexConfig::default()).query(&q),
+        "exact" => ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha }).query(&q),
+        "expansion" => FriendExpansion::new(
+            &corpus,
+            ExpansionConfig {
+                alpha,
+                ..ExpansionConfig::default()
+            },
+        )
+        .query(&q),
+        "cluster" => ClusterIndex::build(
+            &corpus,
+            ClusterConfig {
+                alpha,
+                ..ClusterConfig::default()
+            },
+        )
+        .query(&q),
+        "hybrid" => Hybrid::build(
+            &corpus,
+            HybridConfig {
+                alpha,
+                ..HybridConfig::default()
+            },
+        )
+        .query(&q),
+        "gbta" => GlobalBoundTA::new(&corpus, ProximityModel::WeightedDecay { alpha }).query(&q),
+        _ => usage(),
+    };
+    let elapsed = start.elapsed();
+    println!(
+        "{} results in {:.2} ms (visited {}, postings {}, early-term {})",
+        result.items.len(),
+        elapsed.as_secs_f64() * 1e3,
+        result.stats.users_visited,
+        result.stats.postings_scanned,
+        result.stats.early_terminated
+    );
+    for (rank, (item, score)) in result.items.iter().enumerate() {
+        println!("#{:<3} item {:<8} score {score:.4}", rank + 1, item);
+    }
+}
+
+fn cmd_experts(args: &Args) {
+    let corpus = load_corpus(args);
+    let seeker: UserId = args.num("seeker", 0);
+    let tag: TagId = args.num("tag", 0);
+    let k = args.num("k", 5usize);
+    let alpha = args.num("alpha", 0.5f64);
+    let sigma = ProximityModel::WeightedDecay { alpha }.materialize(&corpus.graph, seeker);
+    let mut experts: Vec<(UserId, f64)> = (0..corpus.num_users())
+        .filter(|&v| v != seeker)
+        .map(|v| {
+            let mass: f64 = corpus
+                .store
+                .user_tag_taggings(v, tag)
+                .iter()
+                .map(|t| t.weight as f64)
+                .sum();
+            (v, sigma[v as usize] * mass)
+        })
+        .filter(|&(_, s)| s > 0.0)
+        .collect();
+    experts.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    experts.truncate(k);
+    if experts.is_empty() {
+        println!("no reachable experts for tag {tag}");
+    }
+    for (rank, (v, score)) in experts.iter().enumerate() {
+        println!("#{:<3} user {:<8} score {score:.4}", rank + 1, v);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let args = Args::parse(&argv[1..]);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "query" => cmd_query(&args),
+        "experts" => cmd_experts(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,51 @@
+//! # friends
+//!
+//! *With a little help from my friends* — network-aware social search.
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`graph`] — social-graph substrate (CSR storage, generators,
+//!   traversals, PPR, landmarks, communities);
+//! * [`index`] — IR substrate (compressed postings, inverted index,
+//!   TA/NRA/WAND);
+//! * [`data`] — tagging store, synthetic datasets, query workloads;
+//! * [`core`] — the network-aware query processors and proximity models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use friends::prelude::*;
+//!
+//! // 1. Materialize a synthetic Delicious-like dataset.
+//! let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
+//! let corpus = Corpus::new(ds.graph, ds.store);
+//!
+//! // 2. Build a processor and ask a personalized question.
+//! let mut engine = FriendExpansion::new(&corpus, ExpansionConfig::default());
+//! let result = engine.query(&Query { seeker: 7, tags: vec![3, 5], k: 10 });
+//!
+//! assert!(result.items.len() <= 10);
+//! println!("visited {} of {} users", result.stats.users_visited, corpus.num_users());
+//! ```
+
+pub use friends_core as core;
+pub use friends_data as data;
+pub use friends_graph as graph;
+pub use friends_index as index;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use friends_core::corpus::{Corpus, QueryStats, SearchResult};
+    pub use friends_core::eval::{kendall_tau, ndcg_at_k, precision_at_k};
+    pub use friends_core::processors::{
+        ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA,
+        GlobalProcessor, Hybrid, HybridConfig, Processor,
+    };
+    pub use friends_core::proximity::ProximityModel;
+    pub use friends_data::datasets::{Dataset, DatasetSpec, Family, Scale};
+    pub use friends_data::queries::{Query, QueryParams, QueryWorkload};
+    pub use friends_data::store::TagStore;
+    pub use friends_data::{ItemId, TagId, Tagging, UserId};
+    pub use friends_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use friends_index::inverted::{IndexConfig, InvertedIndex};
+}

@@ -1,0 +1,172 @@
+//! End-to-end integration: dataset generation → corpus → every processor,
+//! checking the cross-processor contracts the evaluation relies on.
+
+use friends::prelude::*;
+
+fn corpus(seed: u64) -> Corpus {
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(seed);
+    Corpus::new(ds.graph, ds.store)
+}
+
+fn workload(c: &Corpus, count: usize, k: usize, seed: u64) -> QueryWorkload {
+    QueryWorkload::generate(
+        &c.graph,
+        &c.store,
+        &QueryParams {
+            count,
+            k,
+            ..QueryParams::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn global_processor_equals_exact_with_global_model() {
+    let c = corpus(11);
+    let mut global = GlobalProcessor::new(&c, IndexConfig::default());
+    let mut exact = ExactOnline::new(&c, ProximityModel::Global);
+    for q in &workload(&c, 30, 10, 5).queries {
+        let a = global.query(q);
+        let b = exact.query(q);
+        assert_eq!(a.item_ids(), b.item_ids(), "query {q:?}");
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert!((x.1 - y.1).abs() < 1e-3, "{x:?} vs {y:?}");
+        }
+    }
+}
+
+#[test]
+fn expansion_exhaustive_equals_exact_weighted_decay() {
+    let c = corpus(13);
+    let alpha = 0.45;
+    let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha });
+    let mut exp = FriendExpansion::new(
+        &c,
+        ExpansionConfig {
+            alpha,
+            exhaustive: true,
+            ..ExpansionConfig::default()
+        },
+    );
+    for q in &workload(&c, 30, 10, 6).queries {
+        // The two exact implementations accumulate f32 scores in different
+        // orders, so near-ties may swap ranks; compare sets and score values.
+        let a = exact.query(q);
+        let b = exp.query(q);
+        let sa: std::collections::BTreeSet<ItemId> = a.item_ids().into_iter().collect();
+        let sb: std::collections::BTreeSet<ItemId> = b.item_ids().into_iter().collect();
+        assert_eq!(sa, sb, "query {q:?}");
+        let mb: std::collections::HashMap<ItemId, f32> = b.items.iter().copied().collect();
+        for (item, s) in &a.items {
+            assert!(
+                (mb[item] - s).abs() < 1e-3,
+                "item {item}: {s} vs {}",
+                mb[item]
+            );
+        }
+    }
+}
+
+#[test]
+fn early_terminating_expansion_preserves_topk_set() {
+    let c = corpus(17);
+    let alpha = 0.35;
+    let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha });
+    let mut exp = FriendExpansion::new(
+        &c,
+        ExpansionConfig {
+            alpha,
+            exhaustive: false,
+            check_interval: 8,
+        },
+    );
+    for q in &workload(&c, 50, 5, 7).queries {
+        let want: std::collections::BTreeSet<ItemId> =
+            exact.query(q).item_ids().into_iter().collect();
+        let got: std::collections::BTreeSet<ItemId> = exp.query(q).item_ids().into_iter().collect();
+        assert_eq!(want, got, "query {q:?}");
+    }
+}
+
+#[test]
+fn prefix_consistency_across_k() {
+    // The top-5 of any exact processor must be a prefix of its top-10.
+    let c = corpus(19);
+    let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha: 0.5 });
+    for q in &workload(&c, 20, 10, 9).queries {
+        let big = exact.query(q).item_ids();
+        let mut q5 = q.clone();
+        q5.k = 5;
+        let small = exact.query(&q5).item_ids();
+        assert_eq!(&big[..small.len().min(5)], &small[..]);
+    }
+}
+
+#[test]
+fn cluster_index_quality_is_reasonable() {
+    let c = corpus(23);
+    let alpha = 0.5;
+    let mut exact = ExactOnline::new(&c, ProximityModel::DistanceDecay { alpha });
+    let mut cluster = ClusterIndex::build(
+        &c,
+        ClusterConfig {
+            alpha,
+            num_landmarks: 24,
+            ..ClusterConfig::default()
+        },
+    );
+    let w = workload(&c, 30, 10, 11);
+    let mut ps = Vec::new();
+    for q in &w.queries {
+        let truth = exact.query(q);
+        let approx = cluster.query(q);
+        ps.push(precision_at_k(&approx.item_ids(), &truth.item_ids(), q.k));
+    }
+    let avg = ps.iter().sum::<f64>() / ps.len() as f64;
+    assert!(avg > 0.55, "cluster precision collapsed: {avg}");
+}
+
+#[test]
+fn hybrid_always_answers_and_routes_sensibly() {
+    let c = corpus(29);
+    let mut hybrid = Hybrid::build(&c, HybridConfig::default());
+    for q in &workload(&c, 40, 10, 13).queries {
+        let r = hybrid.query(q);
+        assert!(r.items.len() <= q.k);
+        assert!(r.items.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_ne!(hybrid.last_route(), "unrouted");
+    }
+}
+
+#[test]
+fn personalization_diverges_from_global_under_homophily() {
+    // On a homophilous dataset, personalized and global rankings must not be
+    // identical for most seekers (otherwise the whole premise is vacuous).
+    let c = corpus(31);
+    let mut global = GlobalProcessor::new(&c, IndexConfig::default());
+    let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha: 0.4 });
+    let w = workload(&c, 40, 10, 15);
+    let mut diverged = 0;
+    for q in &w.queries {
+        if global.query(q).item_ids() != exact.query(q).item_ids() {
+            diverged += 1;
+        }
+    }
+    assert!(
+        diverged * 2 > w.len(),
+        "only {diverged}/{} queries diverged",
+        w.len()
+    );
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let c = corpus(37);
+    let mut exp = FriendExpansion::new(&c, ExpansionConfig::default());
+    for q in &workload(&c, 20, 10, 17).queries {
+        let r = exp.query(q);
+        assert!(r.stats.users_visited <= c.num_users() as usize);
+        assert!(r.stats.postings_scanned <= c.store.num_taggings());
+    }
+}

@@ -1,0 +1,187 @@
+//! Cross-crate property-based tests: random graphs + random tagging stores,
+//! checking the algebraic contracts between processors.
+
+use friends::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random corpus (graph + taggings) plus a query.
+fn arb_corpus_and_query() -> impl Strategy<Value = (Corpus, Query)> {
+    (
+        3usize..40, // users
+        1u32..30,   // items
+        1u32..8,    // tags
+        proptest::collection::vec((0u32..40, 0u32..30, 0u32..8, 0.01f32..2.0), 0..120),
+        proptest::collection::vec((0u32..40, 0u32..40, 0.05f32..1.0), 0..80),
+        0u32..40,                                 // seeker (mod users)
+        proptest::collection::vec(0u32..8, 1..4), // query tags
+        1usize..8,                                // k
+    )
+        .prop_map(
+            |(n, items, tags, raw_taggings, raw_edges, seeker, qtags, k)| {
+                let n = n.max(2);
+                let mut b = GraphBuilder::new(n);
+                for (u, v, w) in raw_edges {
+                    let (u, v) = (u % n as u32, v % n as u32);
+                    if u != v {
+                        b.add_edge(u, v, w);
+                    }
+                }
+                let graph = b.build();
+                let taggings: Vec<Tagging> = raw_taggings
+                    .into_iter()
+                    .map(|(u, i, t, w)| Tagging {
+                        user: u % n as u32,
+                        item: i % items,
+                        tag: t % tags,
+                        weight: w,
+                    })
+                    .collect();
+                let store = TagStore::build(n as u32, items, tags, taggings);
+                let corpus = Corpus::new(graph, store);
+                let mut qtags: Vec<TagId> = qtags.into_iter().map(|t| t % tags).collect();
+                qtags.sort_unstable();
+                qtags.dedup();
+                let query = Query {
+                    seeker: seeker % n as u32,
+                    tags: qtags,
+                    k,
+                };
+                (corpus, query)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FriendExpansion run to exhaustion computes exactly the WeightedDecay
+    /// scores of the reference ExactOnline processor.
+    #[test]
+    fn expansion_exhaustive_equals_exact((corpus, query) in arb_corpus_and_query()) {
+        let alpha = 0.5;
+        let mut exact = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha });
+        let mut exp = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig { alpha, exhaustive: true, ..ExpansionConfig::default() },
+        );
+        let a = exact.query(&query);
+        let b = exp.query(&query);
+        // f32 accumulation order differs between the implementations, so
+        // near-ties may swap ranks: compare sets and per-item scores.
+        let sa: std::collections::BTreeSet<ItemId> = a.item_ids().into_iter().collect();
+        let sb: std::collections::BTreeSet<ItemId> = b.item_ids().into_iter().collect();
+        prop_assert_eq!(sa, sb);
+        let mb: std::collections::HashMap<ItemId, f32> = b.items.iter().copied().collect();
+        for (item, s) in &a.items {
+            prop_assert!((mb[item] - s).abs() < 1e-4, "item {}: {} vs {}", item, s, mb[item]);
+        }
+    }
+
+    /// Early termination never changes the returned top-k *set*.
+    #[test]
+    fn expansion_early_stop_preserves_set((corpus, query) in arb_corpus_and_query()) {
+        let alpha = 0.5;
+        let mut full = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig { alpha, exhaustive: true, ..ExpansionConfig::default() },
+        );
+        let mut eager = FriendExpansion::new(
+            &corpus,
+            ExpansionConfig { alpha, exhaustive: false, check_interval: 2 },
+        );
+        let want: std::collections::BTreeSet<ItemId> =
+            full.query(&query).item_ids().into_iter().collect();
+        let got: std::collections::BTreeSet<ItemId> =
+            eager.query(&query).item_ids().into_iter().collect();
+        prop_assert_eq!(want, got);
+    }
+
+    /// The global inverted-index processor agrees with ExactOnline under the
+    /// Global proximity model (two independent implementations of the same
+    /// semantics: WAND over postings vs dense accumulation).
+    #[test]
+    fn global_paths_agree((corpus, query) in arb_corpus_and_query()) {
+        let mut wand = GlobalProcessor::new(&corpus, IndexConfig::default());
+        let mut dense = ExactOnline::new(&corpus, ProximityModel::Global);
+        let a = wand.query(&query);
+        let b = dense.query(&query);
+        prop_assert_eq!(a.item_ids(), b.item_ids());
+        for (x, y) in a.items.iter().zip(&b.items) {
+            prop_assert!((x.1 - y.1).abs() < 1e-4, "{:?} vs {:?}", x, y);
+        }
+    }
+
+    /// Scores are monotone in alpha: raising the decay base never lowers any
+    /// item's exact score (proximities only grow).
+    #[test]
+    fn scores_monotone_in_alpha((corpus, query) in arb_corpus_and_query()) {
+        let mut lo = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha: 0.3 });
+        let mut hi = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha: 0.7 });
+        let a = lo.query(&query);
+        let b = hi.query(&query);
+        // Compare per-item: every item in the low-alpha result has a
+        // greater-or-equal score in the high-alpha world.
+        let hi_scores: std::collections::HashMap<ItemId, f32> =
+            b.items.iter().copied().collect();
+        for (item, s_lo) in &a.items {
+            if let Some(s_hi) = hi_scores.get(item) {
+                prop_assert!(
+                    *s_hi >= *s_lo - 1e-5,
+                    "item {} lo {} hi {}", item, s_lo, s_hi
+                );
+            }
+        }
+    }
+
+    /// GlobalBoundTA — a third independent implementation of the exact
+    /// semantics (candidate generation from the global index) — agrees with
+    /// ExactOnline for every proximity model with σ ≤ 1.
+    #[test]
+    fn global_bound_ta_agrees((corpus, query) in arb_corpus_and_query()) {
+        for model in [
+            ProximityModel::FriendsOnly,
+            ProximityModel::DistanceDecay { alpha: 0.6 },
+            ProximityModel::AdamicAdar,
+        ] {
+            let mut gb = GlobalBoundTA::new(&corpus, model);
+            let mut exact = ExactOnline::new(&corpus, model);
+            let a = gb.query(&query);
+            let b = exact.query(&query);
+            let sa: std::collections::BTreeSet<ItemId> =
+                a.item_ids().into_iter().collect();
+            let sb: std::collections::BTreeSet<ItemId> =
+                b.item_ids().into_iter().collect();
+            prop_assert_eq!(sa, sb, "{}", model.name());
+            let mb: std::collections::HashMap<ItemId, f32> =
+                b.items.iter().copied().collect();
+            for (item, s) in &a.items {
+                prop_assert!((mb[item] - s).abs() < 1e-4,
+                    "{}: item {} {} vs {}", model.name(), item, s, mb[item]);
+            }
+        }
+    }
+
+    /// k monotonicity: top-k is always a prefix of top-(k+5).
+    #[test]
+    fn topk_prefix_consistency((corpus, query) in arb_corpus_and_query()) {
+        let mut exact = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha: 0.5 });
+        let small = exact.query(&query).item_ids();
+        let mut q2 = query.clone();
+        q2.k += 5;
+        let big = exact.query(&q2).item_ids();
+        prop_assert!(big.len() >= small.len());
+        prop_assert_eq!(&big[..small.len()], &small[..]);
+    }
+
+    /// Results are sorted by (score desc, item asc) and bounded by k.
+    #[test]
+    fn result_ordering_contract((corpus, query) in arb_corpus_and_query()) {
+        let mut hybrid = Hybrid::build(&corpus, HybridConfig::default());
+        let r = hybrid.query(&query);
+        prop_assert!(r.items.len() <= query.k);
+        for w in r.items.windows(2) {
+            let ord_ok = w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0);
+            prop_assert!(ord_ok, "bad ordering: {:?}", r.items);
+        }
+    }
+}
