@@ -1,0 +1,71 @@
+//! Fig 9 kernel: the zero-allocation query hot path under Zipf-skewed
+//! seeker traffic.
+//!
+//! Three σ paths over the same batch, per sparse-support-friendly model:
+//!
+//! * `dense`      — legacy per-query `O(n)` materialize + full posting scan;
+//! * `workspace`  — epoch-stamped `SigmaWorkspace` (sparse support where the
+//!   model allows), zero per-query `O(n)` allocations;
+//! * `cached`     — workspace plus the sharded seeker-proximity cache shared
+//!   across `par_batch` workers.
+//!
+//! `report --exp fig9` prints the same comparison with throughput numbers
+//! and the correctness cross-check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_bench::{zipf_seeker_workload, DenseMaterializeExact};
+use friends_core::batch::{par_batch, par_batch_with_cache};
+use friends_core::cache::ProximityCache;
+use friends_core::corpus::Corpus;
+use friends_core::processors::ExactOnline;
+use friends_core::proximity::ProximityModel;
+use friends_data::datasets::{DatasetSpec, Scale};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
+    let corpus = Corpus::new(ds.graph, ds.store);
+    let w = zipf_seeker_workload(&corpus, 128, 10, 1.1, 7);
+    let threads = 4;
+    let mut group = c.benchmark_group("fig9_hot_path");
+    group.sample_size(10);
+
+    for model in [
+        ProximityModel::FriendsOnly,
+        ProximityModel::WeightedDecay { alpha: 0.5 },
+        ProximityModel::Ppr {
+            alpha: 0.2,
+            epsilon: 1e-4,
+        },
+    ] {
+        group.bench_with_input(BenchmarkId::new("dense", model.name()), &w, |b, w| {
+            b.iter(|| {
+                std::hint::black_box(par_batch(&w.queries, threads, || {
+                    DenseMaterializeExact::new(&corpus, model)
+                }))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("workspace", model.name()), &w, |b, w| {
+            b.iter(|| {
+                std::hint::black_box(par_batch(&w.queries, threads, || {
+                    ExactOnline::new(&corpus, model)
+                }))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cached", model.name()), &w, |b, w| {
+            let cache = Arc::new(ProximityCache::new(corpus.num_users() as usize));
+            b.iter(|| {
+                std::hint::black_box(par_batch_with_cache(
+                    &w.queries,
+                    threads,
+                    &cache,
+                    |shared| ExactOnline::with_cache(&corpus, model, shared),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

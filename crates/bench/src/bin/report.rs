@@ -3,23 +3,44 @@
 //! ```sh
 //! cargo run --release -p friends-bench --bin report -- --exp all
 //! cargo run --release -p friends-bench --bin report -- --exp fig3 --profile full
+//! cargo run --release -p friends-bench --bin report -- --exp all --json target/report.json
 //! ```
+//!
+//! `--json <path>` additionally writes a machine-readable summary (one entry
+//! per experiment with its wall-clock time), giving future PRs a perf
+//! trajectory to diff against.
 
 use friends_bench::experiments::{self, Profile};
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: report [--exp <name>|all] [--profile quick|full]\n\
+        "usage: report [--exp <name>|all] [--profile quick|full] [--json <path>]\n\
          experiments: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
 }
 
+/// Minimal JSON string escaping (the report emits only names and numbers,
+/// but be safe about it).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp = "all".to_owned();
     let mut profile = Profile::Full;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,6 +56,10 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -49,13 +74,46 @@ fn main() {
     } else {
         vec![exp.as_str()]
     };
+    let mut summary: Vec<(String, f64, usize)> = Vec::new();
     for name in names {
+        let start = Instant::now();
         match experiments::run(name, profile) {
-            Some(out) => println!("{out}"),
+            Some(out) => {
+                let elapsed = start.elapsed();
+                println!("{out}");
+                summary.push((name.to_owned(), elapsed.as_secs_f64() * 1e3, out.len()));
+            }
             None => {
                 eprintln!("unknown experiment `{name}`");
                 usage();
             }
         }
+    }
+
+    if let Some(path) = json_path {
+        let profile_name = match profile {
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+        };
+        let entries: Vec<String> = summary
+            .iter()
+            .map(|(name, ms, bytes)| {
+                format!(
+                    "  {{\"experiment\": \"{}\", \"elapsed_ms\": {:.3}, \"output_bytes\": {}}}",
+                    json_escape(name),
+                    ms,
+                    bytes
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\n\"profile\": \"{profile_name}\",\n\"experiments\": [\n{}\n]\n}}\n",
+            entries.join(",\n")
+        );
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote bench summary to {path}");
     }
 }

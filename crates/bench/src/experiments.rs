@@ -731,9 +731,83 @@ pub fn table3(profile: Profile) -> String {
     format!("Table 3 — ablations ({:?})\n\n{}", profile.scale(), out)
 }
 
+// ------------------------------------------------------------------ Fig 9
+
+/// Fig 9: the query hot path under Zipf-skewed seeker traffic — batch
+/// throughput of the legacy dense-materialize path vs the epoch-stamped
+/// workspace path (sparse support where the model allows it) vs the
+/// workspace plus a shared seeker-proximity cache. Rankings are asserted
+/// identical across the three paths while measuring.
+pub fn fig9(profile: Profile) -> String {
+    let c = corpus_for(&DatasetSpec::delicious_like(profile.scale()));
+    let (count, threads) = match profile {
+        Profile::Quick => (300, 4),
+        Profile::Full => (3_000, 4),
+    };
+    let w = crate::zipf_seeker_workload(&c, count, 10, 1.1, SEED ^ 0xF19);
+    let models = [
+        ProximityModel::FriendsOnly,
+        ProximityModel::WeightedDecay { alpha: 0.5 },
+        ProximityModel::Ppr {
+            alpha: 0.2,
+            epsilon: 1e-4,
+        },
+        ProximityModel::AdamicAdar,
+    ];
+    let mut t = TextTable::new(&[
+        "model",
+        "dense q/s",
+        "workspace q/s",
+        "cached q/s",
+        "ws speedup",
+        "cache speedup",
+        "hit rate",
+    ]);
+    for model in models {
+        let (dense_r, dense_d) = timed(|| {
+            friends_core::batch::par_batch(&w.queries, threads, || {
+                crate::DenseMaterializeExact::new(&c, model)
+            })
+        });
+        let (ws_r, ws_d) = timed(|| {
+            friends_core::batch::par_batch(&w.queries, threads, || ExactOnline::new(&c, model))
+        });
+        let cache = std::sync::Arc::new(friends_core::cache::ProximityCache::new(
+            c.num_users() as usize
+        ));
+        let (cached_r, cached_d) = timed(|| {
+            friends_core::batch::par_batch_with_cache(&w.queries, threads, &cache, |shared| {
+                ExactOnline::with_cache(&c, model, shared)
+            })
+        });
+        // The three paths must agree item-for-item — this is measured code,
+        // but correctness is free to check here.
+        for ((a, b), d) in dense_r.iter().zip(&ws_r).zip(&cached_r) {
+            assert_eq!(a.items, b.items, "workspace path diverged ({model:?})");
+            assert_eq!(a.items, d.items, "cached path diverged ({model:?})");
+        }
+        let qps = |d: Duration| count as f64 / d.as_secs_f64();
+        let (dq, wq, cq) = (qps(dense_d), qps(ws_d), qps(cached_d));
+        t.row(vec![
+            model.name().into(),
+            format!("{dq:.0}"),
+            format!("{wq:.0}"),
+            format!("{cq:.0}"),
+            format!("{:.1}x", wq / dq),
+            format!("{:.1}x", cq / dq),
+            format!("{:.0}%", 100.0 * cache.stats().hit_rate()),
+        ]);
+    }
+    format!(
+        "Fig 9 — hot-path throughput, Zipf(1.1) seekers ({:?}, {count} queries, {threads} threads)\n{}",
+        profile.scale(),
+        t.render()
+    )
+}
+
 /// All experiment names, in report order.
 pub const ALL: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3",
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3",
 ];
 
 /// Dispatches an experiment by name.
@@ -747,6 +821,7 @@ pub fn run(name: &str, profile: Profile) -> Option<String> {
         "fig6" => fig6(profile),
         "fig7" => fig7(profile),
         "fig8" => fig8(profile),
+        "fig9" => fig9(profile),
         "table3" => table3(profile),
         _ => return None,
     })

@@ -1,0 +1,68 @@
+//! Vendored stand-in for `crossbeam`: the `thread::scope` subset, layered on
+//! `std::thread::scope` (stabilized after crossbeam's API was designed).
+//! Like upstream, `scope` returns `Err` instead of unwinding when a spawned
+//! thread panics.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure (crossbeam lets children spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing-from-the-stack threads can be
+    /// spawned; joins them all before returning. A panic in any spawned
+    /// thread surfaces as `Err` with the panic payload.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    sum.fetch_add(
+                        chunk.iter().sum::<usize>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.into_inner(), 10);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

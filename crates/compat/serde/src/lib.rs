@@ -1,0 +1,14 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace annotates a few data types with `Serialize`/`Deserialize`
+//! for forward compatibility but performs all persistence through its own
+//! binary format (`friends_data::io`), so marker traits and no-op derives
+//! are sufficient for the offline build.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,44 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde` stub.
+//!
+//! The workspace derives these traits for forward compatibility but never
+//! drives an actual serializer, so the derives only need to emit marker
+//! impls. The input is scanned token-by-token for the `struct`/`enum` name;
+//! generic type parameters are not supported (none of the derived types in
+//! this workspace have any).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following the `struct` or `enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        // Anything else (attribute groups, doc comments, punctuation) is
+        // skipped.
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl failed to parse")
+}

@@ -3,13 +3,15 @@
 //! Processors hold per-query scratch state (`&mut self`), so the natural
 //! parallelism unit is *one processor instance per worker thread*. The
 //! executor chunks a workload, builds a processor in each worker via the
-//! caller's factory, and reassembles results in query order — the pattern a
-//! serving deployment of this system would use.
+//! caller's factory, and writes results into pre-allocated per-chunk output
+//! slots — no shared mutex, no post-hoc reordering — the pattern a serving
+//! deployment of this system would use.
 
+use crate::cache::ProximityCache;
 use crate::corpus::SearchResult;
 use crate::processors::Processor;
 use friends_data::queries::Query;
-use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Runs `queries` across `threads` workers, each with its own processor
 /// built by `factory`. Results come back in input order.
@@ -23,28 +25,53 @@ where
     P: Processor,
     F: Fn() -> P + Sync,
 {
+    par_batch_impl(queries, threads, &factory)
+}
+
+/// [`par_batch`] with a shared seeker-proximity cache threaded through the
+/// factory: every worker's processor reads and feeds the same cache, so a
+/// skewed workload pays each `(seeker, model)` materialization once across
+/// the whole batch instead of once per worker per occurrence.
+pub fn par_batch_with_cache<P, F>(
+    queries: &[Query],
+    threads: usize,
+    cache: &Arc<ProximityCache>,
+    factory: F,
+) -> Vec<SearchResult>
+where
+    P: Processor,
+    F: Fn(Arc<ProximityCache>) -> P + Sync,
+{
+    let make = || factory(Arc::clone(cache));
+    par_batch_impl(queries, threads, &make)
+}
+
+fn par_batch_impl<P, F>(queries: &[Query], threads: usize, factory: &F) -> Vec<SearchResult>
+where
+    P: Processor,
+    F: Fn() -> P + Sync,
+{
     let threads = threads.max(1).min(queries.len().max(1));
     if threads <= 1 {
         let mut p = factory();
         return queries.iter().map(|q| p.query(q)).collect();
     }
     let chunk_len = queries.len().div_ceil(threads);
-    let collected: Mutex<Vec<(usize, Vec<SearchResult>)>> = Mutex::new(Vec::new());
+    // One pre-allocated output slot per chunk: workers write disjoint slots,
+    // so no synchronization or re-sorting is needed to restore input order.
+    let mut slots: Vec<Vec<SearchResult>> = Vec::new();
+    slots.resize_with(queries.len().div_ceil(chunk_len), Vec::new);
     crossbeam::thread::scope(|scope| {
-        for (ci, chunk) in queries.chunks(chunk_len).enumerate() {
-            let collected = &collected;
-            let factory = &factory;
+        for (chunk, slot) in queries.chunks(chunk_len).zip(slots.iter_mut()) {
             scope.spawn(move |_| {
                 let mut p = factory();
-                let results: Vec<SearchResult> = chunk.iter().map(|q| p.query(q)).collect();
-                collected.lock().push((ci, results));
+                slot.reserve_exact(chunk.len());
+                slot.extend(chunk.iter().map(|q| p.query(q)));
             });
         }
     })
     .expect("worker thread panicked");
-    let mut chunks = collected.into_inner();
-    chunks.sort_unstable_by_key(|&(ci, _)| ci);
-    chunks.into_iter().flat_map(|(_, rs)| rs).collect()
+    slots.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -134,5 +161,32 @@ mod tests {
         });
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].items, r[1].items);
+    }
+
+    #[test]
+    fn cached_batch_matches_uncached_and_hits() {
+        let (corpus, w) = fixture();
+        let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+        let plain = par_batch(&w.queries, 4, || ExactOnline::new(&corpus, model));
+        let cache = Arc::new(ProximityCache::new(256));
+        let cached = par_batch_with_cache(&w.queries, 4, &cache, |c| {
+            ExactOnline::with_cache(&corpus, model, c)
+        });
+        assert_eq!(plain.len(), cached.len());
+        for (a, b) in plain.iter().zip(&cached) {
+            assert_eq!(a.items, b.items);
+        }
+        // Run the same workload again: every seeker is now cached.
+        let again = par_batch_with_cache(&w.queries, 4, &cache, |c| {
+            ExactOnline::with_cache(&corpus, model, c)
+        });
+        for (a, b) in plain.iter().zip(&again) {
+            assert_eq!(a.items, b.items);
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hits >= w.len() as u64,
+            "second pass should hit for every query: {stats:?}"
+        );
     }
 }

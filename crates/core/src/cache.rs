@@ -1,0 +1,304 @@
+//! A sharded, LRU seeker-proximity cache.
+//!
+//! Real query traffic is heavily skewed toward repeat seekers (the Zipf
+//! workload of Fig 7 / `fig9_hot_path`), and `σ(seeker, ·)` depends only on
+//! `(graph, seeker, model)` — never on the query's tags or `k`. Caching the
+//! materialized [`ProximityVec`] therefore converts the dominant per-query
+//! cost (a graph traversal) into an `Arc` clone for every repeated seeker.
+//!
+//! The cache is sharded by key hash so `par_batch` workers contend only
+//! 1/`shards` of the time; each shard is an exact LRU (hash map + recency
+//! index, both `O(log n)` worst case per touch).
+
+use crate::proximity::{ProximityModel, ProximityVec};
+use friends_graph::{CsrGraph, NodeId};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// `(graph, seeker, model)` identity: the graph contributes its
+/// process-unique token (so one cache shared across corpora can never serve
+/// σ computed on a different graph), the model its variant + exact
+/// parameter bits (so e.g. `Ppr{eps=1e-4}` and `Ppr{eps=1e-5}` never alias).
+type Key = (u64, NodeId, u8, u64, u64);
+
+fn key_of(graph: &CsrGraph, seeker: NodeId, model: ProximityModel) -> Key {
+    let (tag, a, b) = model.key_bits();
+    (graph.token(), seeker, tag, a, b)
+}
+
+struct Slot {
+    value: Arc<ProximityVec>,
+    /// Recency stamp; also the key into the shard's recency index.
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, Slot>,
+    /// stamp → key, oldest first: the eviction order.
+    recency: BTreeMap<u64, Key>,
+    tick: u64,
+}
+
+/// Aggregate counters, cheap enough to read in a serving loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when the cache was never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded LRU cache of materialized proximity vectors, shared across batch
+/// workers via `Arc<ProximityCache>`.
+pub struct ProximityCache {
+    shards: Box<[Mutex<Shard>]>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ProximityCache {
+    /// Default shard count: enough to make worker contention negligible
+    /// without fragmenting tiny caches.
+    const DEFAULT_SHARDS: usize = 16;
+
+    /// Creates a cache holding at most `capacity` proximity vectors overall.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, Self::DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (rounded up to ≥ 1; the
+    /// per-shard capacity is `ceil(capacity / shards)`, minimum 1).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity_per_shard = capacity.div_ceil(shards).max(1);
+        ProximityCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &Key) -> &Mutex<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up `σ(seeker, ·)` on `graph` under `model`, refreshing its
+    /// recency. One hash lookup and two `O(log n)` recency updates, all
+    /// under the shard lock — the whole cost of a hit.
+    pub fn get(
+        &self,
+        graph: &CsrGraph,
+        seeker: NodeId,
+        model: ProximityModel,
+    ) -> Option<Arc<ProximityVec>> {
+        let key = key_of(graph, seeker, model);
+        let mut guard = self.shard_of(&key).lock();
+        let shard = &mut *guard;
+        if let Some(slot) = shard.map.get_mut(&key) {
+            shard.tick += 1;
+            shard.recency.remove(&slot.stamp);
+            slot.stamp = shard.tick;
+            shard.recency.insert(shard.tick, key);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(Arc::clone(&slot.value))
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Inserts (or refreshes) a materialized vector, evicting the least
+    /// recently used entry of the target shard when it is full.
+    pub fn insert(
+        &self,
+        graph: &CsrGraph,
+        seeker: NodeId,
+        model: ProximityModel,
+        value: Arc<ProximityVec>,
+    ) {
+        let key = key_of(graph, seeker, model);
+        let mut guard = self.shard_of(&key).lock();
+        let shard = &mut *guard;
+        if let Some(slot) = shard.map.get_mut(&key) {
+            slot.value = value;
+            shard.tick += 1;
+            shard.recency.remove(&slot.stamp);
+            slot.stamp = shard.tick;
+            shard.recency.insert(shard.tick, key);
+            return;
+        }
+        if shard.map.len() >= self.capacity_per_shard {
+            if let Some((&oldest, _)) = shard.recency.iter().next() {
+                let victim = shard.recency.remove(&oldest).unwrap();
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.tick += 1;
+        let stamp = shard.tick;
+        shard.map.insert(key, Slot { value, stamp });
+        shard.recency.insert(stamp, key);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of cached vectors.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            let mut s = s.lock();
+            s.map.clear();
+            s.recency.clear();
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_for(u: NodeId) -> Arc<ProximityVec> {
+        Arc::new(ProximityVec::Sparse(vec![(u, 1.0)]))
+    }
+
+    fn graph() -> CsrGraph {
+        CsrGraph::empty(64)
+    }
+
+    const MODEL: ProximityModel = ProximityModel::FriendsOnly;
+
+    #[test]
+    fn get_after_insert_hits() {
+        let g = graph();
+        let c = ProximityCache::new(8);
+        assert!(c.get(&g, 3, MODEL).is_none());
+        c.insert(&g, 3, MODEL, vec_for(3));
+        let v = c.get(&g, 3, MODEL).expect("hit");
+        assert_eq!(v.get(3), 1.0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn model_parameters_do_not_alias() {
+        let g = graph();
+        let c = ProximityCache::new(8);
+        let m1 = ProximityModel::DistanceDecay { alpha: 0.5 };
+        let m2 = ProximityModel::DistanceDecay { alpha: 0.6 };
+        c.insert(&g, 1, m1, vec_for(1));
+        assert!(c.get(&g, 1, m2).is_none());
+        assert!(c.get(&g, 1, m1).is_some());
+    }
+
+    #[test]
+    fn distinct_graphs_do_not_alias() {
+        // Two graphs with identical shape are still different graphs: a
+        // cache shared across corpora must never serve one's σ for the
+        // other.
+        let g1 = graph();
+        let g2 = graph();
+        let c = ProximityCache::new(8);
+        c.insert(&g1, 1, MODEL, vec_for(1));
+        assert!(c.get(&g2, 1, MODEL).is_none());
+        assert!(c.get(&g1, 1, MODEL).is_some());
+        // A clone IS the same graph and must hit.
+        let g1c = g1.clone();
+        assert!(c.get(&g1c, 1, MODEL).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        // Single shard so the LRU order is globally observable.
+        let g = graph();
+        let c = ProximityCache::with_shards(2, 1);
+        c.insert(&g, 1, MODEL, vec_for(1));
+        c.insert(&g, 2, MODEL, vec_for(2));
+        assert!(c.get(&g, 1, MODEL).is_some()); // refresh 1 → 2 is now oldest
+        c.insert(&g, 3, MODEL, vec_for(3));
+        assert!(c.get(&g, 2, MODEL).is_none(), "LRU entry must be evicted");
+        assert!(c.get(&g, 1, MODEL).is_some());
+        assert!(c.get(&g, 3, MODEL).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let g = graph();
+        let c = ProximityCache::with_shards(4, 1);
+        c.insert(&g, 1, MODEL, vec_for(1));
+        c.insert(&g, 1, MODEL, vec_for(1));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let g = graph();
+        let c = Arc::new(ProximityCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = Arc::clone(&c);
+                let g = &g;
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let seeker = (t * 37 + i) % 50;
+                        match c.get(g, seeker, MODEL) {
+                            Some(v) => assert_eq!(v.get(seeker), 1.0),
+                            None => c.insert(g, seeker, MODEL, vec_for(seeker)),
+                        }
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert!(s.hits > 0 && s.insertions > 0);
+        assert!(c.len() <= 64);
+        assert!(s.hit_rate() > 0.0 && s.hit_rate() < 1.0);
+    }
+}

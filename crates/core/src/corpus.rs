@@ -45,7 +45,12 @@ impl Corpus {
 pub struct QueryStats {
     /// Users whose tagging profiles were scanned.
     pub users_visited: usize,
-    /// Individual annotations read.
+    /// Individual annotations actually read. Processors that skip postings
+    /// by construction (e.g. `ExactOnline`'s support-driven scan, which
+    /// probes only the seeker's neighborhood) report correspondingly lower
+    /// counts — this measures postings touched, not an
+    /// implementation-independent cost model, so compare it across
+    /// strategies with that in mind (index-probe overhead is not included).
     pub postings_scanned: usize,
     /// Clusters touched (cluster index only).
     pub clusters_touched: usize,

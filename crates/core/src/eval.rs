@@ -87,9 +87,57 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Whether `got` is a valid top-k *set* for the reference ranking `want`
+/// up to ties at the k-th score.
+///
+/// The exact top-k set is only unique when the k-th score is untied: with a
+/// tie at the boundary (which includes bit-equal f32 accumulations of the
+/// same terms in different orders), either tied item is a correct answer.
+/// Items outside the intersection must therefore carry the boundary score
+/// within f32-accumulation tolerance; `wide` supplies scores beyond the
+/// top-k (e.g. the reference processor re-run with a larger `k` — it must
+/// cover every item of `got`, otherwise the comparison fails closed).
+pub fn topk_sets_equal_up_to_ties(
+    want: &[(ItemId, f32)],
+    got: &[ItemId],
+    wide: &[(ItemId, f32)],
+) -> bool {
+    let a: std::collections::BTreeSet<ItemId> = want.iter().map(|&(i, _)| i).collect();
+    let b: std::collections::BTreeSet<ItemId> = got.iter().copied().collect();
+    if a == b {
+        return true;
+    }
+    let Some(&(_, kth)) = want.last() else {
+        return false; // sets differ but the reference is empty
+    };
+    let scores: HashMap<ItemId, f32> = wide.iter().copied().collect();
+    a.symmetric_difference(&b).all(|i| {
+        scores
+            .get(i)
+            .is_some_and(|&s| (s - kth).abs() <= 1e-5 * kth.abs().max(1e-3))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn topk_tie_equivalence() {
+        let want = [(1u32, 3.0f32), (2, 2.0), (3, 1.0)];
+        let wide = [(1u32, 3.0f32), (2, 2.0), (3, 1.0), (4, 1.0), (5, 0.5)];
+        // Identical sets (any order).
+        assert!(topk_sets_equal_up_to_ties(&want, &[3, 1, 2], &wide));
+        // Item 4 ties the k-th score: a valid substitute for item 3.
+        assert!(topk_sets_equal_up_to_ties(&want, &[1, 2, 4], &wide));
+        // Item 5 does not tie the boundary.
+        assert!(!topk_sets_equal_up_to_ties(&want, &[1, 2, 5], &wide));
+        // Unknown item fails closed.
+        assert!(!topk_sets_equal_up_to_ties(&want, &[1, 2, 99], &wide));
+        // Empty reference only matches an empty result.
+        assert!(topk_sets_equal_up_to_ties(&[], &[], &wide));
+        assert!(!topk_sets_equal_up_to_ties(&[], &[1], &wide));
+    }
 
     #[test]
     fn precision_basics() {

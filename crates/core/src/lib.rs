@@ -42,10 +42,14 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod corpus;
 pub mod eval;
 pub mod processors;
 pub mod proximity;
 
+pub use batch::{par_batch, par_batch_with_cache};
+pub use cache::{CacheStats, ProximityCache};
 pub use corpus::{Corpus, QueryStats, SearchResult};
 pub use processors::Processor;
+pub use proximity::{ProximityVec, Sigma, SigmaWorkspace};

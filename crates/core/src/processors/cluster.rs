@@ -16,7 +16,7 @@
 //! Fig 6 quantifies the ranking quality against [`super::ExactOnline`].
 
 use crate::corpus::{Corpus, QueryStats, SearchResult};
-use crate::processors::Processor;
+use crate::processors::{kth_and_next, Processor};
 use friends_data::queries::Query;
 use friends_data::{TagId, UserId};
 use friends_graph::community::{cap_community_size, label_propagation, Partition};
@@ -79,6 +79,11 @@ pub struct ClusterIndex<'a> {
     slice_index: std::collections::HashMap<(TagId, u32), (u32, u32)>,
     acc: DenseAccumulator,
     scores_scratch: Vec<f32>,
+    /// Per-query scratch, reused so the query path allocates nothing warm:
+    /// the seeker's landmark distances, validated tags and ranked clusters.
+    ld_scratch: Vec<u32>,
+    tags_scratch: Vec<TagId>,
+    cands: Vec<(usize, f64, f64)>,
 }
 
 impl<'a> ClusterIndex<'a> {
@@ -165,6 +170,9 @@ impl<'a> ClusterIndex<'a> {
         }
         ClusterIndex {
             acc: DenseAccumulator::new(corpus.num_items() as usize),
+            ld_scratch: Vec::new(),
+            tags_scratch: Vec::new(),
+            cands: Vec::new(),
             corpus,
             config,
             partition,
@@ -232,34 +240,6 @@ impl<'a> ClusterIndex<'a> {
         }
         lb
     }
-
-    /// `(θ, η)` selection, shared logic with FriendExpansion.
-    fn kth_and_next(&mut self, k: usize) -> (f32, f32) {
-        if k == 0 {
-            return (f32::INFINITY, 0.0);
-        }
-        let touched = self.acc.touched();
-        if touched.len() < k {
-            return (f32::NEG_INFINITY, 0.0);
-        }
-        self.scores_scratch.clear();
-        self.scores_scratch
-            .extend(touched.iter().map(|&d| self.acc.get(d)));
-        let n = self.scores_scratch.len();
-        let (_, kth, _) = self
-            .scores_scratch
-            .select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
-        let theta = *kth;
-        let eta = if n > k {
-            self.scores_scratch[k..]
-                .iter()
-                .copied()
-                .fold(0.0f32, f32::max)
-        } else {
-            0.0
-        };
-        (theta, eta)
-    }
 }
 
 impl Processor for ClusterIndex<'_> {
@@ -270,28 +250,27 @@ impl Processor for ClusterIndex<'_> {
     fn query(&mut self, q: &Query) -> SearchResult {
         let mut stats = QueryStats::default();
         let store = &self.corpus.store;
-        let tags: Vec<TagId> = q
-            .tags
-            .iter()
-            .copied()
-            .filter(|&t| t < store.num_tags())
-            .collect();
-        if tags.is_empty() || self.corpus.graph.num_nodes() == 0 {
+        self.tags_scratch.clear();
+        self.tags_scratch
+            .extend(q.tags.iter().copied().filter(|&t| t < store.num_tags()));
+        if self.tags_scratch.is_empty() || self.corpus.graph.num_nodes() == 0 {
             return SearchResult {
                 items: Vec::new(),
                 stats,
             };
         }
-        let ld = self.oracle.to_landmarks(q.seeker);
+        self.oracle
+            .to_landmarks_into(q.seeker, &mut self.ld_scratch);
         let seeker_cluster = self.partition.labels[q.seeker as usize] as usize;
 
         // Rank candidate clusters by potential = σ_ub(c) · mass(c, Q); the
         // termination bound uses the per-item bound σ_ub(c) · Σ_t itemmax.
-        let mut cands: Vec<(usize, f64, f64)> = Vec::new();
+        let mut cands = std::mem::take(&mut self.cands);
+        cands.clear();
         for c in 0..self.num_clusters() {
             let mut total = 0.0f64;
             let mut item_bound = 0.0f64;
-            for &t in &tags {
+            for &t in &self.tags_scratch {
                 let (tot, imax) = self.mass(c, t);
                 total += tot as f64;
                 item_bound += imax as f64;
@@ -304,7 +283,7 @@ impl Processor for ClusterIndex<'_> {
             } else {
                 self.config
                     .alpha
-                    .powi(self.cluster_lower_bound(&ld, c) as i32)
+                    .powi(self.cluster_lower_bound(&self.ld_scratch, c) as i32)
             };
             cands.push((c, sigma_ub * total, sigma_ub * item_bound));
         }
@@ -316,7 +295,8 @@ impl Processor for ClusterIndex<'_> {
             // Scan only the cluster's *relevant* postings (materialized by
             // (tag, cluster) at build time), computing each tagger's
             // proximity once per user run (slices are user-grouped).
-            for &t in &tags {
+            for ti in 0..self.tags_scratch.len() {
+                let t = self.tags_scratch[ti];
                 let Some(&(s, e)) = self.slice_index.get(&(t, c as u32)) else {
                     continue;
                 };
@@ -329,7 +309,7 @@ impl Processor for ClusterIndex<'_> {
                         sigma = if tg.user == q.seeker {
                             1.0
                         } else {
-                            match self.oracle.upper_bound_from(&ld, tg.user) {
+                            match self.oracle.upper_bound_from(&self.ld_scratch, tg.user) {
                                 Some(d) => self.config.alpha.powi(d as i32),
                                 None => 0.0,
                             }
@@ -344,7 +324,7 @@ impl Processor for ClusterIndex<'_> {
             }
             remaining -= item_bound;
             stats.bound_checks += 1;
-            let (theta, eta) = self.kth_and_next(q.k);
+            let (theta, eta) = kth_and_next(&self.acc, &mut self.scores_scratch, q.k);
             if theta > f32::NEG_INFINITY && eta + remaining as f32 <= theta {
                 if stats.clusters_touched < cands.len() {
                     stats.early_terminated = true;
@@ -352,6 +332,7 @@ impl Processor for ClusterIndex<'_> {
                 break;
             }
         }
+        self.cands = cands;
         SearchResult {
             items: self.acc.drain_topk(q.k),
             stats,

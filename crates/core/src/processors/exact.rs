@@ -1,33 +1,77 @@
-//! The exact personalized baseline: materialize the seeker's full proximity
-//! vector, then scan every posting of every query tag.
+//! The exact personalized baseline: materialize the seeker's proximity,
+//! then score every relevant annotation of every query tag.
 //!
 //! This is the correctness oracle for all network-aware processors and the
 //! "no early termination" baseline of Figs 3–5: always exact, cost
-//! `O(proximity materialization + Σ_t |postings(t)|)` per query.
+//! `O(proximity materialization + scoring)` per query.
+//!
+//! The hot path is allocation-free: proximity goes through a reusable
+//! epoch-stamped [`SigmaWorkspace`], scores through the epoch-stamped
+//! [`DenseAccumulator`], and distinct-tagger counting through a
+//! [`StampedSet`]. For sparse-support models (FriendsOnly, PPR, AdamicAdar)
+//! the scan is *support-driven* — only the seeker's neighborhood's postings
+//! are read, not whole tag posting lists. Per item, contributions still
+//! arrive in ascending-user order exactly like the posting-driven scan, so
+//! both paths accumulate bit-identical f32 scores and return identical
+//! rankings. An optional shared [`ProximityCache`] short-circuits
+//! materialization entirely for repeated seekers.
 
+use crate::cache::ProximityCache;
 use crate::corpus::{Corpus, QueryStats, SearchResult};
 use crate::processors::Processor;
-use crate::proximity::ProximityModel;
+use crate::proximity::{ProximityModel, Sigma, SigmaWorkspace};
 use friends_data::queries::Query;
-use friends_index::accumulate::DenseAccumulator;
+use friends_index::accumulate::{DenseAccumulator, StampedSet};
+use std::sync::Arc;
 
 /// Exact network-aware top-k by full evaluation.
 pub struct ExactOnline<'a> {
     corpus: &'a Corpus,
     model: ProximityModel,
     acc: DenseAccumulator,
+    sigma: SigmaWorkspace,
+    seen_users: StampedSet,
+    cache: Option<Arc<ProximityCache>>,
 }
 
 impl<'a> ExactOnline<'a> {
-    /// Creates the processor with a reusable item accumulator.
+    /// Creates the processor with reusable scratch (accumulator + σ
+    /// workspace) and no cache.
     pub fn new(corpus: &'a Corpus, model: ProximityModel) -> Self {
-        let acc = DenseAccumulator::new(corpus.num_items() as usize);
-        ExactOnline { corpus, model, acc }
+        let mut seen_users = StampedSet::new();
+        seen_users.ensure(corpus.num_users() as usize);
+        ExactOnline {
+            acc: DenseAccumulator::new(corpus.num_items() as usize),
+            sigma: SigmaWorkspace::new(),
+            seen_users,
+            corpus,
+            model,
+            cache: None,
+        }
+    }
+
+    /// Like [`ExactOnline::new`], sharing a seeker-proximity cache (typically
+    /// across `par_batch` workers).
+    pub fn with_cache(
+        corpus: &'a Corpus,
+        model: ProximityModel,
+        cache: Arc<ProximityCache>,
+    ) -> Self {
+        let mut p = ExactOnline::new(corpus, model);
+        p.cache = Some(cache);
+        p
     }
 
     /// The proximity model in use.
     pub fn model(&self) -> ProximityModel {
         self.model
+    }
+
+    /// Buffer-growth events across all per-query scratch; constant once the
+    /// processor is warm (the zero-allocation contract, see
+    /// `tests/hot_path_alloc.rs`).
+    pub fn allocation_count(&self) -> u64 {
+        self.sigma.allocation_count() + self.acc.allocation_count()
     }
 }
 
@@ -37,23 +81,87 @@ impl Processor for ExactOnline<'_> {
     }
 
     fn query(&mut self, q: &Query) -> SearchResult {
-        let sigma = self.model.materialize(&self.corpus.graph, q.seeker);
         let mut stats = QueryStats::default();
-        let mut users = std::collections::HashSet::new();
-        for &tag in &q.tags {
-            if tag >= self.corpus.store.num_tags() {
-                continue;
+        // Resolve σ: cache hit → shared vector, miss → materialize into the
+        // workspace (and publish a snapshot for the next worker).
+        let cached = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.get(&self.corpus.graph, q.seeker, self.model));
+        let sigma = match &cached {
+            Some(v) => Sigma::Shared(v.as_ref()),
+            None => {
+                self.model
+                    .materialize_into(&self.corpus.graph, q.seeker, &mut self.sigma);
+                if let Some(c) = &self.cache {
+                    c.insert(
+                        &self.corpus.graph,
+                        q.seeker,
+                        self.model,
+                        Arc::new(self.sigma.snapshot(self.corpus.graph.num_nodes())),
+                    );
+                }
+                Sigma::Workspace(&self.sigma)
             }
-            for t in self.corpus.store.tag_taggings(tag) {
-                stats.postings_scanned += 1;
-                let s = sigma[t.user as usize];
-                if s > 0.0 {
-                    self.acc.add(t.item, (s * t.weight as f64) as f32);
-                    users.insert(t.user);
+        };
+        self.seen_users.ensure(self.corpus.num_users() as usize);
+        self.seen_users.clear();
+        let store = &self.corpus.store;
+        // Support-driven scoring probes `|support| · |tags|` user profiles
+        // (binary searches); posting-driven scans every posting of every
+        // query tag with O(1) σ lookups. Both accumulate bit-identical
+        // scores (per item, contributions arrive in the same ascending-user
+        // order), so pick whichever is cheaper: a huge support (e.g. PPR
+        // with a loose epsilon on a small graph) should not probe more than
+        // the posting lists contain.
+        let posting_total: usize = q
+            .tags
+            .iter()
+            .filter(|&&t| t < store.num_tags())
+            .map(|&t| store.tag_taggings(t).len())
+            .sum();
+        let support_probes = |s: &[_]| s.len().saturating_mul(q.tags.len());
+        match sigma
+            .support()
+            .filter(|s| support_probes(s) <= posting_total)
+        {
+            // Support-driven: probe only the neighborhood's postings.
+            Some(support) => {
+                for &tag in &q.tags {
+                    if tag >= store.num_tags() {
+                        continue;
+                    }
+                    for &(user, s) in support {
+                        let slice = store.user_tag_taggings(user, tag);
+                        if slice.is_empty() {
+                            continue;
+                        }
+                        self.seen_users.insert(user);
+                        for t in slice {
+                            stats.postings_scanned += 1;
+                            self.acc.add(t.item, (s * t.weight as f64) as f32);
+                        }
+                    }
+                }
+            }
+            // Posting-driven: scan each tag list, O(1) σ lookups.
+            None => {
+                for &tag in &q.tags {
+                    if tag >= store.num_tags() {
+                        continue;
+                    }
+                    for t in store.tag_taggings(tag) {
+                        stats.postings_scanned += 1;
+                        let s = sigma.get(t.user);
+                        if s > 0.0 {
+                            self.acc.add(t.item, (s * t.weight as f64) as f32);
+                            self.seen_users.insert(t.user);
+                        }
+                    }
                 }
             }
         }
-        stats.users_visited = users.len();
+        stats.users_visited = self.seen_users.len();
         SearchResult {
             items: self.acc.drain_topk(q.k),
             stats,
@@ -119,6 +227,9 @@ mod tests {
             k: 5,
         });
         assert_eq!(r.item_ids(), vec![0]); // stranger's item invisible
+                                           // Support-driven scan never reads the stranger's posting.
+        assert_eq!(r.stats.postings_scanned, 1);
+        assert_eq!(r.stats.users_visited, 1);
     }
 
     #[test]
@@ -177,5 +288,35 @@ mod tests {
             k: 5,
         });
         assert_eq!(r.item_ids(), vec![0]);
+    }
+
+    #[test]
+    fn cached_queries_return_identical_results() {
+        use friends_data::datasets::{DatasetSpec, Scale};
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(4);
+        let corpus = Corpus::new(ds.graph, ds.store);
+        let cache = Arc::new(ProximityCache::new(64));
+        for model in [
+            ProximityModel::FriendsOnly,
+            ProximityModel::WeightedDecay { alpha: 0.5 },
+            ProximityModel::Ppr {
+                alpha: 0.2,
+                epsilon: 1e-4,
+            },
+        ] {
+            let mut plain = ExactOnline::new(&corpus, model);
+            let mut cached = ExactOnline::with_cache(&corpus, model, Arc::clone(&cache));
+            let q = Query {
+                seeker: 7,
+                tags: vec![0, 1, 2],
+                k: 10,
+            };
+            let want = plain.query(&q);
+            let miss = cached.query(&q); // populates
+            let hit = cached.query(&q); // served from cache
+            assert_eq!(want.items, miss.items, "{}", model.name());
+            assert_eq!(want.items, hit.items, "{}", model.name());
+        }
+        assert!(cache.stats().hits >= 3);
     }
 }

@@ -15,12 +15,16 @@
 //! the seeker's taste is far from the mainstream — exactly complementary to
 //! [`super::FriendExpansion`], which is what motivates [`super::Hybrid`].
 
+use crate::cache::ProximityCache;
 use crate::corpus::{Corpus, QueryStats, SearchResult};
 use crate::processors::Processor;
-use crate::proximity::ProximityModel;
+use crate::proximity::{ProximityModel, Sigma, SigmaWorkspace};
 use friends_data::queries::Query;
+use friends_data::store::TagStore;
 use friends_data::{ItemId, TagId};
+use friends_index::accumulate::StampedSet;
 use friends_index::topk::TopK;
+use std::sync::Arc;
 
 /// Global-index-driven exact personalized top-k.
 pub struct GlobalBoundTA<'a> {
@@ -28,6 +32,10 @@ pub struct GlobalBoundTA<'a> {
     model: ProximityModel,
     /// Per tag: `(item, global mass)` sorted by mass desc, item asc.
     lists: Vec<Vec<(ItemId, f32)>>,
+    sigma: SigmaWorkspace,
+    seen_items: StampedSet,
+    tags_scratch: Vec<TagId>,
+    cache: Option<Arc<ProximityCache>>,
 }
 
 impl<'a> GlobalBoundTA<'a> {
@@ -44,11 +52,28 @@ impl<'a> GlobalBoundTA<'a> {
                 v
             })
             .collect();
+        let mut seen_items = StampedSet::new();
+        seen_items.ensure(corpus.num_items() as usize);
         GlobalBoundTA {
             corpus,
             model,
             lists,
+            sigma: SigmaWorkspace::new(),
+            seen_items,
+            tags_scratch: Vec::new(),
+            cache: None,
         }
+    }
+
+    /// Like [`GlobalBoundTA::new`], sharing a seeker-proximity cache.
+    pub fn with_cache(
+        corpus: &'a Corpus,
+        model: ProximityModel,
+        cache: Arc<ProximityCache>,
+    ) -> Self {
+        let mut p = GlobalBoundTA::new(corpus, model);
+        p.cache = Some(cache);
+        p
     }
 
     /// The proximity model in use.
@@ -58,20 +83,20 @@ impl<'a> GlobalBoundTA<'a> {
 
     /// Exact personalized score of `item`, probing its taggers.
     fn score_item(
-        &self,
-        sigma: &[f64],
+        store: &TagStore,
+        sigma: &Sigma<'_>,
         tags: &[TagId],
         item: ItemId,
         stats: &mut QueryStats,
     ) -> f32 {
         let mut score = 0.0f64;
         for &t in tags {
-            let slice = self.corpus.store.tag_taggings(t);
+            let slice = store.tag_taggings(t);
             // Slice is sorted by (item, user): binary search the item range.
             let lo = slice.partition_point(|x| x.item < item);
             let hi = slice.partition_point(|x| x.item <= item);
             for tg in &slice[lo..hi] {
-                score += sigma[tg.user as usize] * tg.weight as f64;
+                score += sigma.get(tg.user) * tg.weight as f64;
             }
             stats.postings_scanned += hi - lo;
         }
@@ -86,25 +111,46 @@ impl Processor for GlobalBoundTA<'_> {
 
     fn query(&mut self, q: &Query) -> SearchResult {
         let mut stats = QueryStats::default();
-        let tags: Vec<TagId> = q
-            .tags
-            .iter()
-            .copied()
-            .filter(|&t| t < self.corpus.store.num_tags())
-            .collect();
-        if tags.is_empty() || self.corpus.graph.num_nodes() == 0 || q.k == 0 {
+        self.tags_scratch.clear();
+        self.tags_scratch.extend(
+            q.tags
+                .iter()
+                .copied()
+                .filter(|&t| t < self.corpus.store.num_tags()),
+        );
+        if self.tags_scratch.is_empty() || self.corpus.graph.num_nodes() == 0 || q.k == 0 {
             return SearchResult {
                 items: Vec::new(),
                 stats,
             };
         }
-        let sigma = self.model.materialize(&self.corpus.graph, q.seeker);
-        debug_assert!(
-            sigma.iter().all(|&s| s <= 1.0 + 1e-9),
-            "GlobalBoundTA requires σ ≤ 1"
-        );
+        let cached = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.get(&self.corpus.graph, q.seeker, self.model));
+        let sigma = match &cached {
+            Some(v) => Sigma::Shared(v.as_ref()),
+            None => {
+                self.model
+                    .materialize_into(&self.corpus.graph, q.seeker, &mut self.sigma);
+                if let Some(c) = &self.cache {
+                    c.insert(
+                        &self.corpus.graph,
+                        q.seeker,
+                        self.model,
+                        Arc::new(self.sigma.snapshot(self.corpus.graph.num_nodes())),
+                    );
+                }
+                Sigma::Workspace(&self.sigma)
+            }
+        };
+        // τ only bounds unseen items' personalized scores when σ ≤ 1 —
+        // check on every resolved σ source, cached vectors included.
+        sigma.debug_assert_at_most_one();
+        let tags = &self.tags_scratch;
         let mut topk = TopK::new(q.k);
-        let mut seen: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
+        self.seen_items.ensure(self.corpus.num_items() as usize);
+        self.seen_items.clear();
         let max_len = tags
             .iter()
             .map(|&t| self.lists[t as usize].len())
@@ -113,15 +159,16 @@ impl Processor for GlobalBoundTA<'_> {
         for depth in 0..max_len {
             let mut tau = 0.0f32;
             let mut any = false;
-            for &t in &tags {
+            for &t in tags {
                 if let Some(&(item, mass)) = self.lists[t as usize].get(depth) {
                     any = true;
                     tau += mass;
-                    if seen.insert(item) {
+                    if self.seen_items.insert(item) {
                         // `users_visited` counts scored candidates here (the
                         // processor never walks the graph).
                         stats.users_visited += 1;
-                        let s = self.score_item(&sigma, &tags, item, &mut stats);
+                        let s =
+                            Self::score_item(&self.corpus.store, &sigma, tags, item, &mut stats);
                         if s > 0.0 {
                             // Zero-score candidates (no reachable tagger)
                             // are not results, matching ExactOnline.

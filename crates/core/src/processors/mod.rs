@@ -16,6 +16,7 @@ pub use hybrid::{Hybrid, HybridConfig};
 
 use crate::corpus::SearchResult;
 use friends_data::queries::Query;
+use friends_index::accumulate::DenseAccumulator;
 
 /// A top-k query processor.
 ///
@@ -27,4 +28,32 @@ pub trait Processor {
 
     /// Executes one query.
     fn query(&mut self, q: &Query) -> SearchResult;
+}
+
+/// `(θ, η)` over an accumulator's touched docs: the k-th best accumulated
+/// score and the best score *outside* the current top-k (0.0 when fewer than
+/// `k + 1` docs are touched). Shared by the early-terminating processors;
+/// `scratch` is reused across queries.
+pub(crate) fn kth_and_next(acc: &DenseAccumulator, scratch: &mut Vec<f32>, k: usize) -> (f32, f32) {
+    if k == 0 {
+        // Nothing to return: any bound justifies stopping immediately.
+        return (f32::INFINITY, 0.0);
+    }
+    let touched = acc.touched();
+    if touched.len() < k {
+        return (f32::NEG_INFINITY, 0.0);
+    }
+    scratch.clear();
+    scratch.extend(touched.iter().map(|&d| acc.get(d)));
+    let n = scratch.len();
+    // k-th largest = element at index k-1 of descending order.
+    let (_, kth, _rest) = scratch.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+    let theta = *kth;
+    let eta = if n > k {
+        // Largest of the remaining (non-top-k) elements.
+        scratch[k..].iter().copied().fold(0.0f32, f32::max)
+    } else {
+        0.0
+    };
+    (theta, eta)
 }

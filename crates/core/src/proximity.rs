@@ -5,9 +5,22 @@
 //! themself fully), except PPR whose natural normalization is a probability
 //! distribution (the evaluation treats PPR scores as-is; rankings are
 //! scale-invariant).
+//!
+//! ## Hot-path materialization
+//!
+//! [`ProximityModel::materialize`] returns a fresh dense `Vec<f64>` — simple,
+//! but `O(n)` allocation + zero-fill per query. The query hot path instead
+//! uses [`ProximityModel::materialize_into`] with a caller-owned
+//! [`SigmaWorkspace`]: buffers are recycled across queries via epoch stamps
+//! (a generation counter instead of clearing), and models whose support is a
+//! small neighborhood of the seeker (FriendsOnly, AdamicAdar, PPR) expose a
+//! sorted sparse support list so processors can skip non-taggers entirely.
+//! [`ProximityVec`] is the owned, shareable form the
+//! [`crate::cache::ProximityCache`] stores; [`Sigma`] unifies the two for
+//! processors.
 
-use friends_graph::ppr::{forward_push, PushWorkspace};
-use friends_graph::traversal::{bfs_distances, ProximityOrder, UNREACHABLE};
+use friends_graph::ppr::{forward_push_into, PushWorkspace};
+use friends_graph::traversal::{bfs_stamped, BfsWorkspace, ProximityScan, ProximityWorkspace};
 use friends_graph::{CsrGraph, NodeId};
 
 /// A proximity model. See module docs.
@@ -48,61 +61,103 @@ impl ProximityModel {
         }
     }
 
+    /// Whether this model's support is a small neighborhood of the seeker,
+    /// in which case the workspace exposes a sparse support list and
+    /// processors can iterate taggers instead of postings.
+    pub fn has_sparse_support(&self) -> bool {
+        matches!(
+            self,
+            ProximityModel::FriendsOnly | ProximityModel::Ppr { .. } | ProximityModel::AdamicAdar
+        )
+    }
+
+    /// A hashable identity for cache keys: the variant discriminant plus the
+    /// exact bit patterns of its parameters.
+    pub(crate) fn key_bits(&self) -> (u8, u64, u64) {
+        match *self {
+            ProximityModel::Global => (0, 0, 0),
+            ProximityModel::FriendsOnly => (1, 0, 0),
+            ProximityModel::DistanceDecay { alpha } => (2, alpha.to_bits(), 0),
+            ProximityModel::WeightedDecay { alpha } => (3, alpha.to_bits(), 0),
+            ProximityModel::Ppr { alpha, epsilon } => (4, alpha.to_bits(), epsilon.to_bits()),
+            ProximityModel::AdamicAdar => (5, 0, 0),
+        }
+    }
+
     /// Materializes the dense proximity vector `σ(seeker, ·)`.
     ///
     /// Cost: `O(n)` for Global/FriendsOnly, one BFS for DistanceDecay, one
-    /// full proximity-Dijkstra for WeightedDecay, one forward push for PPR.
+    /// full proximity-Dijkstra for WeightedDecay, one forward push for PPR —
+    /// plus an `O(n)` allocation every call. Query loops should prefer
+    /// [`ProximityModel::materialize_into`].
     pub fn materialize(&self, g: &CsrGraph, seeker: NodeId) -> Vec<f64> {
+        let mut ws = SigmaWorkspace::new();
+        self.materialize_into(g, seeker, &mut ws);
+        ws.to_dense(g.num_nodes())
+    }
+
+    /// Materializes `σ(seeker, ·)` into a reusable workspace. After the
+    /// call, `ws` answers [`SigmaWorkspace::get`] for every node and, for
+    /// sparse-support models, exposes [`SigmaWorkspace::support`]. Once the
+    /// workspace has warmed up to the graph size, no allocation occurs.
+    pub fn materialize_into(&self, g: &CsrGraph, seeker: NodeId, ws: &mut SigmaWorkspace) {
         let n = g.num_nodes();
+        ws.begin(n);
         match *self {
-            ProximityModel::Global => vec![1.0; n],
+            ProximityModel::Global => {
+                ws.kind = SigmaKind::AllOnes;
+            }
             ProximityModel::FriendsOnly => {
-                let mut v = vec![0.0; n];
+                ws.kind = SigmaKind::Sparse;
                 if n > 0 {
-                    v[seeker as usize] = 1.0;
+                    ws.set(seeker, 1.0);
                     for &f in g.neighbors(seeker) {
-                        v[f as usize] = 1.0;
+                        ws.set(f, 1.0);
                     }
+                    ws.build_entries_from_touched();
                 }
-                v
             }
             ProximityModel::DistanceDecay { alpha } => {
                 assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
-                let d = bfs_distances(g, seeker);
-                d.into_iter()
-                    .map(|h| {
-                        if h == UNREACHABLE {
-                            0.0
-                        } else {
-                            alpha.powi(h as i32)
-                        }
-                    })
-                    .collect()
+                ws.kind = SigmaKind::Dense;
+                if n > 0 {
+                    let mut bfs = std::mem::take(&mut ws.bfs);
+                    bfs_stamped(g, seeker, u32::MAX, &mut bfs);
+                    for &u in bfs.touched() {
+                        let h = bfs.dist(u).expect("touched node has a distance");
+                        ws.set(u, alpha.powi(h as i32));
+                    }
+                    ws.bfs = bfs;
+                }
             }
             ProximityModel::WeightedDecay { alpha } => {
                 assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
-                let mut v = vec![0.0; n];
+                ws.kind = SigmaKind::Dense;
                 if n > 0 {
-                    for (u, p) in ProximityOrder::new(g, seeker, edge_decay(alpha)) {
-                        v[u as usize] = p;
+                    let mut prox = std::mem::take(&mut ws.prox);
+                    for (u, p) in ProximityScan::new(g, seeker, edge_decay(alpha), &mut prox) {
+                        ws.set(u, p);
                     }
+                    ws.prox = prox;
                 }
-                v
             }
             ProximityModel::Ppr { alpha, epsilon } => {
-                let mut v = vec![0.0; n];
+                ws.kind = SigmaKind::Sparse;
                 if n > 0 {
-                    let mut ws = PushWorkspace::new(n);
-                    for (u, p) in forward_push(g, seeker, alpha, epsilon, &mut ws) {
-                        v[u as usize] = p;
+                    let mut push = std::mem::take(&mut ws.push);
+                    let mut entries = std::mem::take(&mut ws.entries);
+                    forward_push_into(g, seeker, alpha, epsilon, &mut push, &mut entries);
+                    for &(u, p) in &entries {
+                        ws.set(u, p);
                     }
+                    ws.push = push;
+                    ws.entries = entries;
                 }
-                v
             }
             ProximityModel::AdamicAdar => {
-                let mut v = vec![0.0; n];
+                ws.kind = SigmaKind::Sparse;
                 if n == 0 {
-                    return v;
+                    return;
                 }
                 // Accumulate AA over the 2-hop neighborhood: every middle
                 // node w contributes 1/ln(1 + deg(w)) to each of its
@@ -111,21 +166,26 @@ impl ProximityModel {
                     let contrib = 1.0 / (1.0 + g.degree(w) as f64).ln();
                     for &x in g.neighbors(w) {
                         if x != seeker {
-                            v[x as usize] += contrib;
+                            ws.accumulate(x, contrib);
                         }
                     }
                     // Direct friends always have nonzero proximity, even
                     // without any common neighbor.
-                    v[w as usize] += contrib * f64::EPSILON.max(1e-9);
+                    ws.accumulate(w, contrib * f64::EPSILON.max(1e-9));
                 }
-                let max = v.iter().copied().fold(0.0f64, f64::max);
+                let max = ws
+                    .touched
+                    .iter()
+                    .map(|&u| ws.values[u as usize])
+                    .fold(0.0f64, f64::max);
                 if max > 0.0 {
-                    for x in v.iter_mut() {
-                        *x /= max;
+                    for i in 0..ws.touched.len() {
+                        let u = ws.touched[i] as usize;
+                        ws.values[u] /= max;
                     }
                 }
-                v[seeker as usize] = 1.0;
-                v
+                ws.set(seeker, 1.0);
+                ws.build_entries_from_touched();
             }
         }
     }
@@ -138,6 +198,260 @@ pub fn edge_decay(alpha: f64) -> impl FnMut(f32) -> f64 {
     move |w: f32| alpha * (w as f64).clamp(0.0, 1.0)
 }
 
+/// How the current epoch's σ is represented inside a [`SigmaWorkspace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SigmaKind {
+    /// `σ ≡ 1` — nothing stored.
+    AllOnes,
+    /// Epoch-stamped values for every reached node; unreached nodes read 0.
+    Dense,
+    /// Like `Dense`, plus a sorted `(node, σ)` support list for
+    /// support-driven scoring.
+    Sparse,
+}
+
+/// Reusable, epoch-stamped scratch for proximity materialization.
+///
+/// One workspace per processor instance; each query calls
+/// [`ProximityModel::materialize_into`] which bumps the epoch (invalidating
+/// the previous query's values in `O(1)`) and refills only the touched
+/// nodes. All traversal scratch (BFS queues, Dijkstra heaps, push residuals)
+/// is owned here and persists across queries.
+pub struct SigmaWorkspace {
+    values: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Nodes written this epoch, in write order.
+    touched: Vec<NodeId>,
+    /// Sparse support, sorted by node id (kind == Sparse only).
+    entries: Vec<(NodeId, f64)>,
+    kind: SigmaKind,
+    bfs: BfsWorkspace,
+    prox: ProximityWorkspace,
+    push: PushWorkspace,
+    allocations: u64,
+}
+
+impl Default for SigmaWorkspace {
+    fn default() -> Self {
+        SigmaWorkspace::new()
+    }
+}
+
+impl SigmaWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        SigmaWorkspace {
+            values: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
+            touched: Vec::new(),
+            entries: Vec::new(),
+            kind: SigmaKind::AllOnes,
+            bfs: BfsWorkspace::new(),
+            prox: ProximityWorkspace::new(),
+            push: PushWorkspace::default(),
+            allocations: 0,
+        }
+    }
+
+    /// Total buffer growth events across the workspace and its owned
+    /// traversal scratch. A warm query loop must keep this constant — the
+    /// zero-allocation property the hot path is built around.
+    pub fn allocation_count(&self) -> u64 {
+        self.allocations
+            + self.bfs.allocation_count()
+            + self.prox.allocation_count()
+            + self.push.allocation_count()
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.values.len() < n {
+            self.values.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+            self.allocations += 1;
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+        self.entries.clear();
+        self.kind = SigmaKind::Dense;
+    }
+
+    #[inline]
+    fn set(&mut self, u: NodeId, v: f64) {
+        let i = u as usize;
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.touched.push(u);
+        }
+        self.values[i] = v;
+    }
+
+    #[inline]
+    fn accumulate(&mut self, u: NodeId, delta: f64) {
+        let i = u as usize;
+        if self.stamp[i] == self.epoch {
+            self.values[i] += delta;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.values[i] = delta;
+            self.touched.push(u);
+        }
+    }
+
+    fn build_entries_from_touched(&mut self) {
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        self.entries.clear();
+        let values = &self.values;
+        self.entries
+            .extend(self.touched.iter().map(|&u| (u, values[u as usize])));
+    }
+
+    /// `σ(seeker, u)` for the most recent materialization.
+    #[inline]
+    pub fn get(&self, u: NodeId) -> f64 {
+        match self.kind {
+            SigmaKind::AllOnes => 1.0,
+            _ => {
+                if self.stamp[u as usize] == self.epoch {
+                    self.values[u as usize]
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The sorted `(node, σ)` support list, when the materialized model has
+    /// sparse support (σ is zero everywhere else). `None` for dense models,
+    /// whose support may be the whole graph.
+    pub fn support(&self) -> Option<&[(NodeId, f64)]> {
+        match self.kind {
+            SigmaKind::Sparse => Some(&self.entries),
+            _ => None,
+        }
+    }
+
+    /// Expands the current epoch into a dense vector of length `n`.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        match self.kind {
+            SigmaKind::AllOnes => vec![1.0; n],
+            _ => {
+                let mut v = vec![0.0; n];
+                for &u in &self.touched {
+                    v[u as usize] = self.values[u as usize];
+                }
+                v
+            }
+        }
+    }
+
+    /// Snapshots the current epoch into an owned, shareable
+    /// [`ProximityVec`] (what the cache stores). This is the one `O(support)`
+    /// allocation on a cache miss; hits skip materialization entirely.
+    pub fn snapshot(&self, n: usize) -> ProximityVec {
+        match self.kind {
+            SigmaKind::AllOnes => ProximityVec::AllOnes,
+            SigmaKind::Dense => ProximityVec::Dense(self.to_dense(n)),
+            SigmaKind::Sparse => ProximityVec::Sparse(self.entries.clone()),
+        }
+    }
+}
+
+/// An owned proximity vector in the cheapest faithful representation:
+/// the shareable form stored by [`crate::cache::ProximityCache`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProximityVec {
+    /// `σ ≡ 1` (the Global model).
+    AllOnes,
+    /// Dense `σ` over all nodes.
+    Dense(Vec<f64>),
+    /// Sorted `(node, σ)` pairs with `σ > 0`; all other nodes are 0.
+    Sparse(Vec<(NodeId, f64)>),
+}
+
+impl ProximityVec {
+    /// `σ(seeker, u)`.
+    #[inline]
+    pub fn get(&self, u: NodeId) -> f64 {
+        match self {
+            ProximityVec::AllOnes => 1.0,
+            ProximityVec::Dense(v) => v.get(u as usize).copied().unwrap_or(0.0),
+            ProximityVec::Sparse(e) => match e.binary_search_by_key(&u, |&(n, _)| n) {
+                Ok(i) => e[i].1,
+                Err(_) => 0.0,
+            },
+        }
+    }
+
+    /// The sorted support list, for sparse vectors.
+    pub fn support(&self) -> Option<&[(NodeId, f64)]> {
+        match self {
+            ProximityVec::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Approximate resident memory, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            ProximityVec::AllOnes => 0,
+            ProximityVec::Dense(v) => v.len() * std::mem::size_of::<f64>(),
+            ProximityVec::Sparse(e) => e.len() * std::mem::size_of::<(NodeId, f64)>(),
+        }
+    }
+}
+
+/// A borrowed view over either a processor's own [`SigmaWorkspace`] or a
+/// shared cached [`ProximityVec`]: the single σ interface the processors
+/// score against, guaranteeing identical values (and therefore identical
+/// rankings) on both paths.
+pub enum Sigma<'a> {
+    Workspace(&'a SigmaWorkspace),
+    Shared(&'a ProximityVec),
+}
+
+impl Sigma<'_> {
+    /// `σ(seeker, u)`.
+    #[inline]
+    pub fn get(&self, u: NodeId) -> f64 {
+        match self {
+            Sigma::Workspace(ws) => ws.get(u),
+            Sigma::Shared(v) => v.get(u),
+        }
+    }
+
+    /// Sorted sparse support, when available (see
+    /// [`SigmaWorkspace::support`]).
+    pub fn support(&self) -> Option<&[(NodeId, f64)]> {
+        match self {
+            Sigma::Workspace(ws) => ws.support(),
+            Sigma::Shared(v) => v.support(),
+        }
+    }
+
+    /// Debug-build check that every `σ ≤ 1`: the precondition of
+    /// global-score thresholding (`personalized(i) ≤ global(i)` in
+    /// `GlobalBoundTA`). A no-op in release builds.
+    pub fn debug_assert_at_most_one(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let ok = match self {
+                Sigma::Workspace(ws) => ws.touched.iter().all(|&u| ws.get(u) <= 1.0 + 1e-9),
+                Sigma::Shared(ProximityVec::AllOnes) => true,
+                Sigma::Shared(ProximityVec::Dense(v)) => v.iter().all(|&s| s <= 1.0 + 1e-9),
+                Sigma::Shared(ProximityVec::Sparse(e)) => e.iter().all(|&(_, s)| s <= 1.0 + 1e-9),
+            };
+            assert!(ok, "global-bound thresholding requires σ ≤ 1");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +460,20 @@ mod tests {
 
     fn chain() -> CsrGraph {
         GraphBuilder::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    }
+
+    fn all_models() -> Vec<ProximityModel> {
+        vec![
+            ProximityModel::Global,
+            ProximityModel::FriendsOnly,
+            ProximityModel::DistanceDecay { alpha: 0.5 },
+            ProximityModel::WeightedDecay { alpha: 0.5 },
+            ProximityModel::Ppr {
+                alpha: 0.2,
+                epsilon: 1e-4,
+            },
+            ProximityModel::AdamicAdar,
+        ]
     }
 
     #[test]
@@ -211,17 +539,7 @@ mod tests {
     #[test]
     fn all_models_handle_empty_graph() {
         let g = CsrGraph::empty(0);
-        for m in [
-            ProximityModel::Global,
-            ProximityModel::FriendsOnly,
-            ProximityModel::DistanceDecay { alpha: 0.5 },
-            ProximityModel::WeightedDecay { alpha: 0.5 },
-            ProximityModel::Ppr {
-                alpha: 0.2,
-                epsilon: 1e-4,
-            },
-            ProximityModel::AdamicAdar,
-        ] {
+        for m in all_models() {
             assert!(m.materialize(&g, 0).is_empty(), "{}", m.name());
         }
     }
@@ -278,5 +596,115 @@ mod tests {
         ];
         let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn workspace_agrees_with_dense_materialize_for_every_model() {
+        let g = generators::watts_strogatz(120, 4, 0.2, 17);
+        let mut ws = SigmaWorkspace::new();
+        for m in all_models() {
+            for seeker in [0u32, 17, 119] {
+                let dense = m.materialize(&g, seeker);
+                m.materialize_into(&g, seeker, &mut ws);
+                for u in 0..120u32 {
+                    assert_eq!(
+                        dense[u as usize].to_bits(),
+                        ws.get(u).to_bits(),
+                        "{} seeker {seeker} node {u}",
+                        m.name()
+                    );
+                }
+                // Sparse support must enumerate exactly the nonzero entries.
+                if let Some(support) = ws.support() {
+                    assert!(m.has_sparse_support());
+                    assert!(support.windows(2).all(|w| w[0].0 < w[1].0), "unsorted");
+                    let nonzero = dense.iter().filter(|&&x| x > 0.0).count();
+                    assert_eq!(support.len(), nonzero, "{}", m.name());
+                    for &(u, s) in support {
+                        assert_eq!(s.to_bits(), dense[u as usize].to_bits());
+                    }
+                }
+                // Snapshot (the cached form) must agree everywhere too.
+                let snap = ws.snapshot(120);
+                for u in 0..120u32 {
+                    assert_eq!(
+                        snap.get(u).to_bits(),
+                        ws.get(u).to_bits(),
+                        "{} snapshot node {u}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean_and_allocation_free() {
+        let g = generators::barabasi_albert(150, 3, 23);
+        let mut ws = SigmaWorkspace::new();
+        // Interleave models to stress epoch invalidation across kinds.
+        let models = all_models();
+        for m in &models {
+            m.materialize_into(&g, 0, &mut ws);
+        }
+        let warm = ws.allocation_count();
+        for round in 0..5 {
+            for m in &models {
+                let seeker = (round * 31) % 150;
+                let want = m.materialize(&g, seeker);
+                m.materialize_into(&g, seeker, &mut ws);
+                for u in 0..150u32 {
+                    assert_eq!(
+                        want[u as usize].to_bits(),
+                        ws.get(u).to_bits(),
+                        "{} leaked state at node {u}",
+                        m.name()
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            ws.allocation_count(),
+            warm,
+            "warm workspace must not allocate"
+        );
+    }
+
+    #[test]
+    fn proximity_vec_lookups() {
+        assert_eq!(ProximityVec::AllOnes.get(7), 1.0);
+        let d = ProximityVec::Dense(vec![0.0, 0.5]);
+        assert_eq!(d.get(1), 0.5);
+        assert_eq!(d.get(9), 0.0);
+        let s = ProximityVec::Sparse(vec![(2, 0.25), (9, 0.75)]);
+        assert_eq!(s.get(2), 0.25);
+        assert_eq!(s.get(3), 0.0);
+        assert_eq!(s.get(9), 0.75);
+        assert!(s.support().is_some() && d.support().is_none());
+        assert!(s.memory_bytes() > 0 && ProximityVec::AllOnes.memory_bytes() == 0);
+    }
+
+    #[test]
+    fn key_bits_distinguish_models_and_parameters() {
+        let keys = [
+            ProximityModel::Global.key_bits(),
+            ProximityModel::FriendsOnly.key_bits(),
+            ProximityModel::DistanceDecay { alpha: 0.5 }.key_bits(),
+            ProximityModel::DistanceDecay { alpha: 0.6 }.key_bits(),
+            ProximityModel::WeightedDecay { alpha: 0.5 }.key_bits(),
+            ProximityModel::Ppr {
+                alpha: 0.2,
+                epsilon: 1e-4,
+            }
+            .key_bits(),
+            ProximityModel::Ppr {
+                alpha: 0.2,
+                epsilon: 1e-5,
+            }
+            .key_bits(),
+            ProximityModel::AdamicAdar.key_bits(),
+        ];
+        let set: std::collections::BTreeSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
     }
 }

@@ -1,0 +1,88 @@
+//! The zero-allocation contract of the query hot path: once a processor has
+//! served one query (sizing its epoch-stamped workspaces to the corpus), a
+//! steady-state query stream must never grow an `O(n)` buffer again. The
+//! workspaces count their growth events explicitly, so this is a
+//! deterministic test, not a heap-profiler heuristic.
+
+use friends_core::corpus::Corpus;
+use friends_core::processors::{ExactOnline, ExpansionConfig, FriendExpansion, Processor};
+use friends_core::proximity::{ProximityModel, SigmaWorkspace};
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_data::queries::{QueryParams, QueryWorkload};
+
+fn fixture() -> (Corpus, QueryWorkload) {
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(41);
+    let corpus = Corpus::new(ds.graph, ds.store);
+    let w = QueryWorkload::generate(
+        &corpus.graph,
+        &corpus.store,
+        &QueryParams {
+            count: 40,
+            ..QueryParams::default()
+        },
+        19,
+    );
+    (corpus, w)
+}
+
+fn all_models() -> Vec<ProximityModel> {
+    vec![
+        ProximityModel::Global,
+        ProximityModel::FriendsOnly,
+        ProximityModel::DistanceDecay { alpha: 0.5 },
+        ProximityModel::WeightedDecay { alpha: 0.5 },
+        ProximityModel::Ppr {
+            alpha: 0.2,
+            epsilon: 1e-4,
+        },
+        ProximityModel::AdamicAdar,
+    ]
+}
+
+#[test]
+fn exact_online_steady_state_is_allocation_free() {
+    let (corpus, w) = fixture();
+    for model in all_models() {
+        let mut p = ExactOnline::new(&corpus, model);
+        p.query(&w.queries[0]);
+        let warm = p.allocation_count();
+        for q in &w.queries[1..] {
+            p.query(q);
+        }
+        assert_eq!(
+            p.allocation_count(),
+            warm,
+            "{} grew an O(n) buffer mid-stream",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn friend_expansion_steady_state_is_allocation_free() {
+    let (corpus, w) = fixture();
+    let mut p = FriendExpansion::new(&corpus, ExpansionConfig::default());
+    p.query(&w.queries[0]);
+    let warm = p.allocation_count();
+    for q in &w.queries[1..] {
+        p.query(q);
+    }
+    assert_eq!(p.allocation_count(), warm);
+}
+
+#[test]
+fn sigma_workspace_steady_state_is_allocation_free() {
+    let (corpus, w) = fixture();
+    let mut ws = SigmaWorkspace::new();
+    // Warm every model's private scratch (BFS / Dijkstra / push buffers).
+    for model in all_models() {
+        model.materialize_into(&corpus.graph, 0, &mut ws);
+    }
+    let warm = ws.allocation_count();
+    for q in &w.queries {
+        for model in all_models() {
+            model.materialize_into(&corpus.graph, q.seeker, &mut ws);
+        }
+    }
+    assert_eq!(ws.allocation_count(), warm);
+}

@@ -21,10 +21,8 @@ fn golden() -> &'static Vec<u8> {
 }
 
 fn load_bytes(bytes: &[u8], tag: &str) -> Result<(), String> {
-    let path = std::env::temp_dir().join(format!(
-        "friends-corrupt-{}-{tag}.bin",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("friends-corrupt-{}-{tag}.bin", std::process::id()));
     std::fs::write(&path, bytes).unwrap();
     let r = io::load(&path);
     std::fs::remove_file(&path).ok();

@@ -26,6 +26,16 @@ pub struct CsrGraph {
     targets: Vec<NodeId>,
     /// `weights[i]` is the weight of the arc `targets[i]`.
     weights: Vec<f32>,
+    /// Process-unique identity token, assigned at construction and shared by
+    /// clones (a clone *is* the same graph). Caches keyed on derived data
+    /// (e.g. seeker proximity) include it so entries can never be served for
+    /// a different graph.
+    token: u64,
+}
+
+fn next_graph_token() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 impl CsrGraph {
@@ -35,7 +45,15 @@ impl CsrGraph {
             offsets: vec![0; n + 1],
             targets: Vec::new(),
             weights: Vec::new(),
+            token: next_graph_token(),
         }
+    }
+
+    /// The graph's process-unique identity token (stable across clones,
+    /// distinct for every separately constructed graph).
+    #[inline]
+    pub fn token(&self) -> u64 {
+        self.token
     }
 
     /// Number of nodes, including isolated ones.
@@ -146,6 +164,9 @@ impl CsrGraph {
                 self.weights[i] = f(a, b, self.weights[i]);
             }
         }
+        // Weights changed ⇒ derived data (e.g. cached proximity) is stale:
+        // re-identify the graph so token-keyed caches miss.
+        self.token = next_graph_token();
     }
 }
 
@@ -217,8 +238,7 @@ impl GraphBuilder {
         // Sort canonical (min, max) pairs, then merge duplicates keeping the
         // max weight: a pair of users connected through several channels is
         // at least as close as its strongest channel.
-        self.edges
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.edges.sort_unstable_by_key(|a| (a.0, a.1));
         self.edges.dedup_by(|next, kept| {
             if next.0 == kept.0 && next.1 == kept.1 {
                 kept.2 = kept.2.max(next.2);
@@ -258,6 +278,7 @@ impl GraphBuilder {
             offsets,
             targets,
             weights,
+            token: next_graph_token(),
         };
         for u in 0..n {
             let lo = g.offsets[u];

@@ -102,7 +102,16 @@ impl LandmarkOracle {
 
     /// Distances from node `u` to each landmark, in landmark order.
     pub fn to_landmarks(&self, u: NodeId) -> Vec<u32> {
-        self.dist.iter().map(|d| d[u as usize]).collect()
+        let mut out = Vec::new();
+        self.to_landmarks_into(u, &mut out);
+        out
+    }
+
+    /// [`LandmarkOracle::to_landmarks`] into a caller-owned buffer (cleared,
+    /// then filled), so per-query hot paths reuse one allocation.
+    pub fn to_landmarks_into(&self, u: NodeId, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.dist.iter().map(|d| d[u as usize]));
     }
 
     /// Upper bound on `d(u, v)` where `from_dists` is `u`'s precomputed

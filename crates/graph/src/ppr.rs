@@ -63,23 +63,39 @@ pub fn power_iteration(g: &CsrGraph, src: NodeId, alpha: f64, iters: usize) -> V
 }
 
 /// Reusable scratch space for [`forward_push`], so repeated queries do not
-/// re-allocate `O(n)` buffers.
+/// re-allocate `O(n)` buffers. Sizes itself lazily to the largest graph it
+/// has seen; `allocation_count` exposes growth for zero-allocation tests.
+#[derive(Default)]
 pub struct PushWorkspace {
     residual: Vec<f64>,
     estimate: Vec<f64>,
     touched: Vec<NodeId>,
     on_queue: Vec<bool>,
+    queue: Vec<NodeId>,
+    allocations: u64,
 }
 
 impl PushWorkspace {
     /// Creates a workspace for graphs with up to `n` nodes.
     pub fn new(n: usize) -> Self {
-        PushWorkspace {
-            residual: vec![0.0; n],
-            estimate: vec![0.0; n],
-            touched: Vec::new(),
-            on_queue: vec![false; n],
+        let mut ws = PushWorkspace::default();
+        ws.ensure(n);
+        ws
+    }
+
+    /// Grows the buffers to hold `n` nodes (no-op when already large enough).
+    pub fn ensure(&mut self, n: usize) {
+        if self.residual.len() < n {
+            self.residual.resize(n, 0.0);
+            self.estimate.resize(n, 0.0);
+            self.on_queue.resize(n, false);
+            self.allocations += 1;
         }
+    }
+
+    /// Number of times the workspace grew its buffers.
+    pub fn allocation_count(&self) -> u64 {
+        self.allocations
     }
 
     fn reset(&mut self) {
@@ -111,19 +127,38 @@ pub fn forward_push(
     epsilon: f64,
     ws: &mut PushWorkspace,
 ) -> SparseVec {
+    let mut out = Vec::new();
+    forward_push_into(g, src, alpha, epsilon, ws, &mut out);
+    out
+}
+
+/// [`forward_push`] writing into a caller-owned buffer: the allocation-free
+/// variant for hot query paths (`out` is cleared, then filled sorted by node
+/// id, keeping its capacity across calls).
+pub fn forward_push_into(
+    g: &CsrGraph,
+    src: NodeId,
+    alpha: f64,
+    epsilon: f64,
+    ws: &mut PushWorkspace,
+    out: &mut SparseVec,
+) {
     assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
     assert!(epsilon > 0.0, "epsilon must be positive");
+    out.clear();
     let n = g.num_nodes();
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    assert!(ws.residual.len() >= n, "workspace too small");
+    ws.ensure(n);
     ws.reset();
     let wdeg = |u: NodeId| g.weighted_degree(u);
 
     ws.touch(src);
     ws.residual[src as usize] = 1.0;
-    let mut queue: Vec<NodeId> = vec![src];
+    let mut queue = std::mem::take(&mut ws.queue);
+    queue.clear();
+    queue.push(src);
     ws.on_queue[src as usize] = true;
     let mut head = 0usize;
     while head < queue.len() {
@@ -155,14 +190,14 @@ pub fn forward_push(
             }
         }
     }
-    let mut out: SparseVec = ws
-        .touched
-        .iter()
-        .filter(|&&u| ws.estimate[u as usize] > 0.0)
-        .map(|&u| (u, ws.estimate[u as usize]))
-        .collect();
+    ws.queue = queue;
+    out.extend(
+        ws.touched
+            .iter()
+            .filter(|&&u| ws.estimate[u as usize] > 0.0)
+            .map(|&u| (u, ws.estimate[u as usize])),
+    );
     out.sort_unstable_by_key(|&(u, _)| u);
-    out
 }
 
 /// Convenience wrapper allocating a fresh workspace.

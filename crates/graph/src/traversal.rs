@@ -144,6 +144,188 @@ pub fn bidirectional_hops(g: &CsrGraph, s: NodeId, t: NodeId) -> Option<u32> {
     }
 }
 
+/// Reusable epoch-stamped scratch for [`bfs_stamped`]: distances are valid
+/// only for the current epoch, so starting a new traversal is `O(1)` instead
+/// of an `O(n)` re-fill with `UNREACHABLE`.
+#[derive(Debug, Default)]
+pub struct BfsWorkspace {
+    dist: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<NodeId>,
+    touched: Vec<NodeId>,
+    allocations: u64,
+}
+
+impl BfsWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        BfsWorkspace::default()
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, 0);
+            self.stamp.resize(n, 0);
+            self.allocations += 1;
+        }
+        if self.epoch == u32::MAX {
+            // Epoch wrap: invalidate every stamp once per 2^32 traversals.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.queue.clear();
+        self.touched.clear();
+    }
+
+    /// Hop distance of `u` in the most recent traversal, or `None` if it was
+    /// not reached.
+    #[inline]
+    pub fn dist(&self, u: NodeId) -> Option<u32> {
+        if self.stamp[u as usize] == self.epoch {
+            Some(self.dist[u as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Nodes reached by the most recent traversal, in discovery order
+    /// (source first).
+    pub fn touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// Number of times the workspace grew its buffers (a steady-state query
+    /// loop must not increase this).
+    pub fn allocation_count(&self) -> u64 {
+        self.allocations
+    }
+
+    #[inline]
+    fn visit(&mut self, u: NodeId, d: u32) {
+        self.dist[u as usize] = d;
+        self.stamp[u as usize] = self.epoch;
+        self.touched.push(u);
+        self.queue.push_back(u);
+    }
+}
+
+/// BFS from `src` into an epoch-stamped workspace: the allocation-free
+/// equivalent of [`bfs_limited`] for hot query paths. Returns the number of
+/// reached nodes; distances are read back through [`BfsWorkspace::dist`].
+pub fn bfs_stamped(g: &CsrGraph, src: NodeId, max_hops: u32, ws: &mut BfsWorkspace) -> usize {
+    ws.begin(g.num_nodes());
+    if g.num_nodes() == 0 {
+        return 0;
+    }
+    ws.visit(src, 0);
+    while let Some(u) = ws.queue.pop_front() {
+        let du = ws.dist[u as usize];
+        if du >= max_hops {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if ws.stamp[v as usize] != ws.epoch {
+                ws.visit(v, du + 1);
+            }
+        }
+    }
+    ws.touched.len()
+}
+
+/// Reusable epoch-stamped scratch for proximity-ordered traversals: the
+/// tentative-proximity array, the settled set and the frontier heap survive
+/// across queries, so starting a traversal allocates nothing once warm.
+#[derive(Debug, Default)]
+pub struct ProximityWorkspace {
+    best: Vec<f64>,
+    best_stamp: Vec<u32>,
+    settled_stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<(OrdF64, NodeId)>,
+    allocations: u64,
+}
+
+impl ProximityWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        ProximityWorkspace::default()
+    }
+
+    /// Number of times the workspace grew its buffers.
+    pub fn allocation_count(&self) -> u64 {
+        self.allocations
+    }
+
+    fn begin(&mut self, src: NodeId, n: usize) {
+        if self.best.len() < n {
+            self.best.resize(n, 0.0);
+            self.best_stamp.resize(n, 0);
+            self.settled_stamp.resize(n, 0);
+            self.allocations += 1;
+        }
+        if self.epoch == u32::MAX {
+            self.best_stamp.iter_mut().for_each(|s| *s = 0);
+            self.settled_stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.heap.clear();
+        if n > 0 {
+            self.best[src as usize] = 1.0;
+            self.best_stamp[src as usize] = self.epoch;
+            self.heap.push((OrdF64(1.0), src));
+        }
+    }
+
+    #[inline]
+    fn best_of(&self, u: NodeId) -> f64 {
+        if self.best_stamp[u as usize] == self.epoch {
+            self.best[u as usize]
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn is_settled(&self, u: NodeId) -> bool {
+        self.settled_stamp[u as usize] == self.epoch
+    }
+
+    fn bound(&self) -> Option<f64> {
+        self.heap.peek().map(|&(OrdF64(p), _)| p)
+    }
+
+    /// One best-first step: settles and returns the next-closest node.
+    fn step<F: FnMut(f32) -> f64>(&mut self, g: &CsrGraph, decay: &mut F) -> Option<(NodeId, f64)> {
+        while let Some((OrdF64(p), u)) = self.heap.pop() {
+            if self.is_settled(u) {
+                continue;
+            }
+            self.settled_stamp[u as usize] = self.epoch;
+            for (v, w) in g.edges(u) {
+                if self.is_settled(v) {
+                    continue;
+                }
+                let mult = decay(w);
+                debug_assert!(
+                    (0.0..=1.0).contains(&mult),
+                    "decay must map into (0, 1], got {mult}"
+                );
+                let np = p * mult;
+                if np > self.best_of(v) {
+                    self.best[v as usize] = np;
+                    self.best_stamp[v as usize] = self.epoch;
+                    self.heap.push((OrdF64(np), v));
+                }
+            }
+            return Some((u, p));
+        }
+        None
+    }
+}
+
 /// Nodes visited in best-first order of *decreasing proximity*, where
 /// proximity multiplies along edges: `prox(path) = Π decay(w_e)`.
 ///
@@ -152,38 +334,30 @@ pub fn bidirectional_hops(g: &CsrGraph, s: NodeId, t: NodeId) -> Option<u32> {
 /// an upper bound on that of every node yielded later. Implemented as a
 /// Dijkstra over `-log prox`, surfaced through an iterator so the caller can
 /// stop as soon as its termination bound fires.
+///
+/// `ProximityOrder` owns its scratch state; query loops that run many
+/// traversals should hold a [`ProximityWorkspace`] and use
+/// [`ProximityScan`] instead, which borrows the workspace and allocates
+/// nothing once warm.
 pub struct ProximityOrder<'g, F> {
     g: &'g CsrGraph,
     decay: F,
-    best: Vec<f64>,
-    settled: Vec<bool>,
-    heap: BinaryHeap<(OrdF64, NodeId)>,
+    ws: ProximityWorkspace,
 }
 
 impl<'g, F: FnMut(f32) -> f64> ProximityOrder<'g, F> {
     /// Starts a proximity-ordered traversal from `src`. `decay` maps an edge
     /// weight to a per-edge proximity multiplier in `(0, 1]`.
     pub fn new(g: &'g CsrGraph, src: NodeId, decay: F) -> Self {
-        let n = g.num_nodes();
-        let mut best = vec![0.0f64; n];
-        let mut heap = BinaryHeap::new();
-        if n > 0 {
-            best[src as usize] = 1.0;
-            heap.push((OrdF64(1.0), src));
-        }
-        ProximityOrder {
-            g,
-            decay,
-            best,
-            settled: vec![false; n],
-            heap,
-        }
+        let mut ws = ProximityWorkspace::new();
+        ws.begin(src, g.num_nodes());
+        ProximityOrder { g, decay, ws }
     }
 
     /// Proximity of the next node the iterator would yield, if any. This is
     /// exactly the upper bound on all not-yet-yielded nodes.
     pub fn peek_bound(&self) -> Option<f64> {
-        self.heap.peek().map(|&(OrdF64(p), _)| p)
+        self.ws.bound()
     }
 }
 
@@ -191,29 +365,38 @@ impl<F: FnMut(f32) -> f64> Iterator for ProximityOrder<'_, F> {
     type Item = (NodeId, f64);
 
     fn next(&mut self) -> Option<Self::Item> {
-        while let Some((OrdF64(p), u)) = self.heap.pop() {
-            if self.settled[u as usize] {
-                continue;
-            }
-            self.settled[u as usize] = true;
-            for (v, w) in self.g.edges(u) {
-                if self.settled[v as usize] {
-                    continue;
-                }
-                let mult = (self.decay)(w);
-                debug_assert!(
-                    (0.0..=1.0).contains(&mult),
-                    "decay must map into (0, 1], got {mult}"
-                );
-                let np = p * mult;
-                if np > self.best[v as usize] {
-                    self.best[v as usize] = np;
-                    self.heap.push((OrdF64(np), v));
-                }
-            }
-            return Some((u, p));
-        }
-        None
+        self.ws.step(self.g, &mut self.decay)
+    }
+}
+
+/// The allocation-free counterpart of [`ProximityOrder`]: identical
+/// iteration order and bounds, borrowing a caller-owned
+/// [`ProximityWorkspace`] whose buffers are recycled across traversals via
+/// epoch stamps.
+pub struct ProximityScan<'g, 'w, F> {
+    g: &'g CsrGraph,
+    decay: F,
+    ws: &'w mut ProximityWorkspace,
+}
+
+impl<'g, 'w, F: FnMut(f32) -> f64> ProximityScan<'g, 'w, F> {
+    /// Starts a traversal from `src`, recycling `ws`'s buffers.
+    pub fn new(g: &'g CsrGraph, src: NodeId, decay: F, ws: &'w mut ProximityWorkspace) -> Self {
+        ws.begin(src, g.num_nodes());
+        ProximityScan { g, decay, ws }
+    }
+
+    /// Upper bound on the proximity of every not-yet-yielded node.
+    pub fn peek_bound(&self) -> Option<f64> {
+        self.ws.bound()
+    }
+}
+
+impl<F: FnMut(f32) -> f64> Iterator for ProximityScan<'_, '_, F> {
+    type Item = (NodeId, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.ws.step(self.g, &mut self.decay)
     }
 }
 
@@ -372,5 +555,72 @@ mod tests {
         // Constructing on an empty graph must not panic and yields nothing.
         let mut it = ProximityOrder::new(&g, 0, |_| 0.5);
         assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn bfs_stamped_matches_bfs_distances_across_reuse() {
+        let g = generators::watts_strogatz(150, 4, 0.2, 6);
+        let mut ws = BfsWorkspace::new();
+        for src in [0u32, 7, 149, 0] {
+            let reached = bfs_stamped(&g, src, u32::MAX, &mut ws);
+            let want = bfs_distances(&g, src);
+            assert_eq!(reached, want.iter().filter(|&&d| d != UNREACHABLE).count());
+            for u in 0..150u32 {
+                let got = ws.dist(u);
+                if want[u as usize] == UNREACHABLE {
+                    assert_eq!(got, None, "node {u}");
+                } else {
+                    assert_eq!(got, Some(want[u as usize]), "node {u}");
+                }
+            }
+        }
+        // Buffers were sized exactly once despite four traversals.
+        assert_eq!(ws.allocation_count(), 1);
+    }
+
+    #[test]
+    fn bfs_stamped_respects_horizon_and_disconnection() {
+        let g = GraphBuilder::from_edges(6, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let mut ws = BfsWorkspace::new();
+        bfs_stamped(&g, 0, 2, &mut ws);
+        assert_eq!(ws.dist(2), Some(2));
+        assert_eq!(ws.dist(3), None); // beyond horizon
+        assert_eq!(ws.dist(5), None); // disconnected
+        assert_eq!(ws.touched(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn proximity_scan_equals_proximity_order() {
+        let g = generators::barabasi_albert(250, 3, 11);
+        let mut ws = ProximityWorkspace::new();
+        for src in [0u32, 42, 0, 199] {
+            let want: Vec<(NodeId, f64)> =
+                ProximityOrder::new(&g, src, |w| 0.6 * w as f64).collect();
+            let got: Vec<(NodeId, f64)> =
+                ProximityScan::new(&g, src, |w| 0.6 * w as f64, &mut ws).collect();
+            assert_eq!(want, got, "src {src}");
+        }
+        assert_eq!(ws.allocation_count(), 1, "scan reallocated while warm");
+    }
+
+    #[test]
+    fn proximity_scan_peek_bound_is_upper_bound() {
+        let g = generators::watts_strogatz(80, 4, 0.15, 9);
+        let mut ws = ProximityWorkspace::new();
+        let mut it = ProximityScan::new(&g, 3, |_| 0.7, &mut ws);
+        loop {
+            let bound = it.peek_bound();
+            match it.next() {
+                Some((_, p)) => assert!(bound.unwrap() >= p - 1e-12),
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn proximity_scan_empty_graph() {
+        let g = CsrGraph::empty(0);
+        let mut ws = ProximityWorkspace::new();
+        assert!(ProximityScan::new(&g, 0, |_| 0.5, &mut ws).next().is_none());
     }
 }

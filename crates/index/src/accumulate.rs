@@ -56,10 +56,16 @@ pub fn daat_topk(lists: &[&PostingList], k: usize) -> Vec<(DocId, Score)> {
 
 /// Dense accumulator over a known doc-id universe: faster than a hash map
 /// when the universe is small relative to the posting volume. Reusable
-/// across queries (the `touched` list makes resets `O(result size)`).
+/// across queries: slots are invalidated by bumping an epoch counter, so a
+/// drain touches no per-slot state at all (not even the touched list's
+/// entries) — the scheme every workspace on the query hot path follows.
 pub struct DenseAccumulator {
     scores: Vec<Score>,
+    /// `scores[d]` is live iff `stamp[d] == epoch`.
+    stamp: Vec<u32>,
+    epoch: u32,
     touched: Vec<DocId>,
+    allocations: u64,
 }
 
 impl DenseAccumulator {
@@ -67,27 +73,42 @@ impl DenseAccumulator {
     pub fn new(universe: usize) -> Self {
         DenseAccumulator {
             scores: vec![0.0; universe],
+            stamp: vec![0; universe],
+            epoch: 1,
             touched: Vec::new(),
+            allocations: 1,
         }
+    }
+
+    /// Number of times the accumulator (re)sized its buffers.
+    pub fn allocation_count(&self) -> u64 {
+        self.allocations
     }
 
     /// Adds `s` to `doc`'s accumulated score.
     #[inline]
     pub fn add(&mut self, doc: DocId, s: Score) {
-        let slot = &mut self.scores[doc as usize];
-        if *slot == 0.0 {
+        let d = doc as usize;
+        if self.stamp[d] == self.epoch {
+            self.scores[d] += s;
+        } else {
+            self.stamp[d] = self.epoch;
+            self.scores[d] = s;
             self.touched.push(doc);
         }
-        *slot += s;
     }
 
-    /// Current score of `doc`.
+    /// Current score of `doc` (0.0 when untouched this epoch).
     #[inline]
     pub fn get(&self, doc: DocId) -> Score {
-        self.scores[doc as usize]
+        if self.stamp[doc as usize] == self.epoch {
+            self.scores[doc as usize]
+        } else {
+            0.0
+        }
     }
 
-    /// Number of docs with nonzero accumulated score.
+    /// Number of docs touched since the last drain.
     pub fn num_touched(&self) -> usize {
         self.touched.len()
     }
@@ -97,17 +118,95 @@ impl DenseAccumulator {
         &self.touched
     }
 
-    /// Extracts the top-k and resets the accumulator for reuse.
+    /// Extracts the top-k and resets the accumulator for reuse. The reset is
+    /// a single epoch bump — `O(1)` regardless of how many docs were touched.
     pub fn drain_topk(&mut self, k: usize) -> Vec<(DocId, Score)> {
         let mut topk = TopK::new(k);
         for &d in &self.touched {
             topk.offer(d, self.scores[d as usize]);
         }
-        for &d in &self.touched {
-            self.scores[d as usize] = 0.0;
-        }
         self.touched.clear();
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
         topk.into_sorted_vec()
+    }
+}
+
+/// An epoch-stamped membership set over a `u32` id universe: `O(1)` insert
+/// and contains, `O(1)` clear, no per-query allocation. The hot-path
+/// replacement for per-query `HashSet<u32>`s in the processors.
+pub struct StampedSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+    len: usize,
+}
+
+impl Default for StampedSet {
+    fn default() -> Self {
+        StampedSet::new()
+    }
+}
+
+impl StampedSet {
+    /// Creates an empty set; the universe grows lazily with `ensure`.
+    pub fn new() -> Self {
+        StampedSet {
+            stamp: Vec::new(),
+            // Stamps start at 0, so the live epoch must start above it.
+            epoch: 1,
+            len: 0,
+        }
+    }
+
+    /// Grows the universe to ids `0..n` (no-op when already large enough).
+    pub fn ensure(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Empties the set in `O(1)`.
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.len = 0;
+    }
+
+    /// Inserts `id`, returning whether it was newly added.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let slot = &mut self.stamp[id as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Whether `id` is in the set.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.stamp
+            .get(id as usize)
+            .is_some_and(|&s| s == self.epoch)
+    }
+
+    /// Number of ids currently in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -190,5 +289,37 @@ mod tests {
         acc.add(2, 0.5);
         assert_eq!(acc.num_touched(), 1);
         assert_eq!(acc.get(2), 1.0);
+    }
+
+    #[test]
+    fn accumulator_drain_is_epoch_clean() {
+        let mut acc = DenseAccumulator::new(8);
+        acc.add(3, 2.0);
+        acc.add(5, 1.0);
+        assert_eq!(acc.drain_topk(10), vec![(3, 2.0), (5, 1.0)]);
+        // Stale slots from the previous epoch must read as zero.
+        assert_eq!(acc.get(3), 0.0);
+        assert_eq!(acc.num_touched(), 0);
+        acc.add(3, 0.25);
+        assert_eq!(acc.get(3), 0.25);
+        assert_eq!(acc.drain_topk(10), vec![(3, 0.25)]);
+        assert_eq!(acc.allocation_count(), 1, "drain must never reallocate");
+    }
+
+    #[test]
+    fn stamped_set_semantics() {
+        let mut s = StampedSet::new();
+        s.ensure(10);
+        assert!(!s.contains(4), "fresh set must be empty");
+        assert!(s.insert(4));
+        assert!(!s.insert(4));
+        assert!(s.contains(4));
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(!s.contains(4));
+        assert!(s.is_empty());
+        assert!(s.insert(4));
+        // Out-of-universe contains is false rather than a panic.
+        assert!(!s.contains(9999));
     }
 }

@@ -35,13 +35,18 @@ pub use friends_index as index;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use friends_core::batch::{par_batch, par_batch_with_cache};
+    pub use friends_core::cache::{CacheStats, ProximityCache};
     pub use friends_core::corpus::{Corpus, QueryStats, SearchResult};
-    pub use friends_core::eval::{kendall_tau, ndcg_at_k, precision_at_k};
+    pub use friends_core::eval::{
+        kendall_tau, ndcg_at_k, precision_at_k, topk_sets_equal_up_to_ties,
+    };
     pub use friends_core::processors::{
         ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA,
         GlobalProcessor, Hybrid, HybridConfig, Processor,
     };
     pub use friends_core::proximity::ProximityModel;
+    pub use friends_core::proximity::{ProximityVec, Sigma, SigmaWorkspace};
     pub use friends_data::datasets::{Dataset, DatasetSpec, Family, Scale};
     pub use friends_data::queries::{Query, QueryParams, QueryWorkload};
     pub use friends_data::store::TagStore;

@@ -82,10 +82,19 @@ fn early_terminating_expansion_preserves_topk_set() {
         },
     );
     for q in &workload(&c, 50, 5, 7).queries {
-        let want: std::collections::BTreeSet<ItemId> =
-            exact.query(q).item_ids().into_iter().collect();
-        let got: std::collections::BTreeSet<ItemId> = exp.query(q).item_ids().into_iter().collect();
-        assert_eq!(want, got, "query {q:?}");
+        // The exact top-k *set* is only unique up to ties at the k-th score:
+        // when the boundary is tied, either tied item is a correct answer
+        // (bit-equal ties do occur on generated corpora).
+        let want = exact.query(q);
+        let got = exp.query(q).item_ids();
+        let mut wide_q = q.clone();
+        wide_q.k = q.k + 32;
+        let wide = exact.query(&wide_q);
+        assert!(
+            topk_sets_equal_up_to_ties(&want.items, &got, &wide.items),
+            "top-k sets differ beyond boundary ties for {q:?}: {:?} vs {got:?}",
+            want.item_ids()
+        );
     }
 }
 
