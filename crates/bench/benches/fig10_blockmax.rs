@@ -1,0 +1,58 @@
+//! Fig 10 kernel: the three exact scoring strategies over σ-weighted
+//! postings, at controlled tag selectivity.
+//!
+//! * `scan`     — full posting scan, `O(1)` σ lookups per posting;
+//! * `support`  — probe only the seeker's σ-support postings (sparse
+//!   models);
+//! * `blockmax` — block-max σ-aware WAND over the σ-aware posting index,
+//!   skipping whole blocks whose `sigma_base · σ-range-max` cannot reach
+//!   the running k-th threshold.
+//!
+//! `report --exp fig10` prints the same comparison with the correctness
+//! cross-check; `fig10_blockmax_gate` (ignored test in the bench lib) pins
+//! the low-selectivity speedup at serving scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_bench::selectivity_workload;
+use friends_core::corpus::Corpus;
+use friends_core::processors::{ExactOnline, Processor, ScoringStrategy};
+use friends_core::proximity::ProximityModel;
+use friends_data::datasets::{DatasetSpec, Scale};
+
+fn bench(c: &mut Criterion) {
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
+    let corpus = Corpus::new(ds.graph, ds.store);
+    corpus.sigma_index(); // shared build, outside the timed region
+    let w = selectivity_workload(&corpus, 64, 10, true, 21);
+    let mut group = c.benchmark_group("fig10_blockmax");
+    group.sample_size(10);
+
+    for model in [
+        ProximityModel::FriendsOnly,
+        ProximityModel::DistanceDecay { alpha: 0.3 },
+        ProximityModel::WeightedDecay { alpha: 0.5 },
+        ProximityModel::AdamicAdar,
+    ] {
+        for (sname, strategy) in [
+            ("scan", ScoringStrategy::PostingScan),
+            ("support", ScoringStrategy::SupportProbe),
+            ("blockmax", ScoringStrategy::BlockMax),
+        ] {
+            if sname == "support" && !model.has_sparse_support() {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(sname, model.name()), &w, |b, w| {
+                let mut p = ExactOnline::with_strategy(&corpus, model, strategy);
+                b.iter(|| {
+                    for q in &w.queries {
+                        std::hint::black_box(p.query(q));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -106,9 +106,24 @@ fn main() {
                 )
             })
             .collect();
+        // Standing perf notes future PRs should read alongside the numbers.
+        let notes = [
+            "cache policy: global and friends-only bypass the ProximityCache \
+             (cache_worthy=false) - a shard-mutex hit costs about what their \
+             materialization does, so their fig9 'cached' column equals the \
+             workspace path by design",
+            "fig10: block-max sigma-aware WAND vs posting scan / support \
+             probe; the ignored fig10_blockmax_gate test pins the \
+             low-selectivity speedup at serving scale",
+        ];
+        let notes_json: Vec<String> = notes
+            .iter()
+            .map(|n| format!("  \"{}\"", json_escape(n)))
+            .collect();
         let doc = format!(
-            "{{\n\"profile\": \"{profile_name}\",\n\"experiments\": [\n{}\n]\n}}\n",
-            entries.join(",\n")
+            "{{\n\"profile\": \"{profile_name}\",\n\"experiments\": [\n{}\n],\n\"notes\": [\n{}\n]\n}}\n",
+            entries.join(",\n"),
+            notes_json.join(",\n")
         );
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

@@ -8,7 +8,7 @@ use friends_core::corpus::{Corpus, QueryStats};
 use friends_core::eval::{kendall_tau, mean, ndcg_at_k, precision_at_k};
 use friends_core::processors::{
     ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA,
-    GlobalProcessor, Hybrid, HybridConfig, Processor,
+    GlobalProcessor, Hybrid, HybridConfig, Processor, ScoringStrategy,
 };
 use friends_core::proximity::ProximityModel;
 use friends_data::datasets::{DatasetSpec, Scale};
@@ -77,6 +77,7 @@ fn drive(p: &mut dyn Processor, w: &QueryWorkload) -> (Vec<Duration>, QueryStats
         agg.postings_scanned += r.stats.postings_scanned;
         agg.clusters_touched += r.stats.clusters_touched;
         agg.bound_checks += r.stats.bound_checks;
+        agg.blocks_skipped += r.stats.blocks_skipped;
         if r.stats.early_terminated {
             agg.early_terminated = true;
         }
@@ -805,9 +806,86 @@ pub fn fig9(profile: Profile) -> String {
     )
 }
 
+// ----------------------------------------------------------------- Fig 10
+
+/// Fig 10: the three exact scoring strategies — full posting scan, support
+/// probe and block-max σ-aware WAND — across proximity models and tag
+/// selectivities. "Head" queries draw popular tags (long posting lists, the
+/// low-selectivity regime block-max targets); "tail" queries draw unpopular
+/// ones. Rankings are asserted identical across strategies while measuring.
+pub fn fig10(profile: Profile) -> String {
+    let c = corpus_for(&DatasetSpec::delicious_like(profile.scale()));
+    c.sigma_index(); // built once, outside the timed region
+    let n_q = profile.queries();
+    let mut t = TextTable::new(&[
+        "workload",
+        "model",
+        "scan us",
+        "support us",
+        "blockmax us",
+        "bm/scan",
+        "bm postings/q",
+        "bm skips/q",
+    ]);
+    for (wname, w) in [
+        (
+            "head",
+            crate::selectivity_workload(&c, n_q, 10, true, SEED ^ 0xF10),
+        ),
+        (
+            "tail",
+            crate::selectivity_workload(&c, n_q, 10, false, SEED ^ 0xF11),
+        ),
+    ] {
+        for model in [
+            ProximityModel::FriendsOnly,
+            ProximityModel::DistanceDecay { alpha: 0.3 },
+            ProximityModel::WeightedDecay { alpha: 0.5 },
+            ProximityModel::AdamicAdar,
+        ] {
+            let mut scan = ExactOnline::with_strategy(&c, model, ScoringStrategy::PostingScan);
+            let mut bm = ExactOnline::with_strategy(&c, model, ScoringStrategy::BlockMax);
+            let (scan_lat, _) = drive(&mut scan, &w);
+            let (bm_lat, bm_stats) = drive(&mut bm, &w);
+            // Strategies must agree item-for-item (measured code, but the
+            // differential contract is free to check here).
+            for q in &w.queries {
+                assert_eq!(
+                    scan.query(q).items,
+                    bm.query(q).items,
+                    "block-max diverged ({} {q:?})",
+                    model.name()
+                );
+            }
+            let support_cell = if model.has_sparse_support() {
+                let mut sup = ExactOnline::with_strategy(&c, model, ScoringStrategy::SupportProbe);
+                let (sup_lat, _) = drive(&mut sup, &w);
+                format!("{:.0}", mean_us(&sup_lat))
+            } else {
+                "-".into()
+            };
+            t.row(vec![
+                wname.into(),
+                model.name().into(),
+                format!("{:.0}", mean_us(&scan_lat)),
+                support_cell,
+                format!("{:.0}", mean_us(&bm_lat)),
+                format!("{:.2}x", mean_us(&scan_lat) / mean_us(&bm_lat).max(1e-9)),
+                format!("{:.0}", bm_stats.postings_scanned as f64 / w.len() as f64),
+                format!("{:.1}", bm_stats.blocks_skipped as f64 / w.len() as f64),
+            ]);
+        }
+    }
+    format!(
+        "Fig 10 — scan vs support-probe vs block-max σ-aware WAND ({:?}, {n_q} queries, k=10)\n{}",
+        profile.scale(),
+        t.render()
+    )
+}
+
 /// All experiment names, in report order.
 pub const ALL: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3",
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table3",
 ];
 
 /// Dispatches an experiment by name.
@@ -822,6 +900,7 @@ pub fn run(name: &str, profile: Profile) -> Option<String> {
         "fig7" => fig7(profile),
         "fig8" => fig8(profile),
         "fig9" => fig9(profile),
+        "fig10" => fig10(profile),
         "table3" => table3(profile),
         _ => return None,
     })

@@ -11,7 +11,7 @@ use friends_data::queries::{Query, QueryWorkload};
 use friends_data::zipf::Zipf;
 use friends_index::accumulate::DenseAccumulator;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// A Zipf-skewed query workload: seekers drawn Zipf(θ) over the user
@@ -46,6 +46,51 @@ pub fn zipf_seeker_workload(
             tags: qtags,
             k,
         });
+    }
+    QueryWorkload { queries }
+}
+
+/// A tag-selectivity-controlled workload for the strategy comparison
+/// (fig10): every query draws 1–2 tags from either the **head** (most
+/// heavily used tags — long posting lists, the low-selectivity regime where
+/// block-max pruning matters) or the **tail** (rarely used tags) of the
+/// corpus's tag-popularity ranking, with uniformly random seekers.
+pub fn selectivity_workload(
+    corpus: &Corpus,
+    count: usize,
+    k: usize,
+    head: bool,
+    seed: u64,
+) -> QueryWorkload {
+    let mut by_len: Vec<u32> = (0..corpus.store.num_tags())
+        .filter(|&t| !corpus.store.tag_taggings(t).is_empty())
+        .collect();
+    assert!(
+        !by_len.is_empty() && corpus.num_users() > 0,
+        "need a non-empty corpus"
+    );
+    by_len.sort_unstable_by_key(|&t| std::cmp::Reverse(corpus.store.tag_taggings(t).len()));
+    let pool: Vec<u32> = if head {
+        by_len
+            .iter()
+            .copied()
+            .take((by_len.len() / 8).max(2))
+            .collect()
+    } else {
+        let skip = by_len.len() / 2;
+        by_len.iter().copied().skip(skip).collect()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let seeker = rng.gen_range(0..corpus.num_users());
+        let mut tags = vec![pool[rng.gen_range(0..pool.len())]];
+        if pool.len() > 1 && rng.gen_bool(0.5) {
+            tags.push(pool[rng.gen_range(0..pool.len())]);
+            tags.sort_unstable();
+            tags.dedup();
+        }
+        queries.push(Query { seeker, tags, k });
     }
     QueryWorkload { queries }
 }
@@ -265,13 +310,21 @@ mod tests {
         let ds = DatasetSpec::delicious_like(Scale::Custom(10_000)).build(42);
         let corpus = Corpus::new(ds.graph, ds.store);
         let w = zipf_seeker_workload(&corpus, 2_000, 10, 1.4, 7);
-        for model in [
-            ProximityModel::FriendsOnly,
-            ProximityModel::WeightedDecay { alpha: 0.5 },
-            ProximityModel::Ppr {
-                alpha: 0.2,
-                epsilon: 1e-4,
-            },
+        // Cache-worthy models must win ≥ 2× through the shared cache.
+        // FriendsOnly bypasses the cache by policy (a hit costs about as
+        // much as materializing), so its bar is the workspace path at a
+        // slightly lower threshold — the bypass must not lose what the
+        // cache used to provide.
+        for (model, bar) in [
+            (ProximityModel::FriendsOnly, 1.5),
+            (ProximityModel::WeightedDecay { alpha: 0.5 }, 2.0),
+            (
+                ProximityModel::Ppr {
+                    alpha: 0.2,
+                    epsilon: 1e-4,
+                },
+                2.0,
+            ),
         ] {
             let best = (0..3)
                 .map(|_| {
@@ -292,8 +345,103 @@ mod tests {
                 })
                 .fold(0.0f64, f64::max);
             assert!(
-                best >= 2.0,
-                "{}: cached path only {best:.2}x over dense-materialize",
+                best >= bar,
+                "{}: cached path only {best:.2}x over dense-materialize (bar {bar}x)",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn selectivity_workload_is_well_formed() {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(3);
+        let corpus = Corpus::new(ds.graph, ds.store);
+        let head = selectivity_workload(&corpus, 200, 10, true, 5);
+        let tail = selectivity_workload(&corpus, 200, 10, false, 5);
+        let volume = |w: &QueryWorkload| -> usize {
+            w.queries
+                .iter()
+                .flat_map(|q| q.tags.iter())
+                .map(|&t| corpus.store.tag_taggings(t).len())
+                .sum()
+        };
+        for w in [&head, &tail] {
+            assert_eq!(w.len(), 200);
+            for q in &w.queries {
+                assert!(q.seeker < corpus.num_users());
+                assert!(!q.tags.is_empty() && q.tags.len() <= 2);
+                assert!(q.tags.iter().all(|&t| t < corpus.store.num_tags()));
+            }
+        }
+        assert!(
+            volume(&head) > 2 * volume(&tail),
+            "head workload must carry far more postings: {} vs {}",
+            volume(&head),
+            volume(&tail)
+        );
+    }
+
+    /// The fig10 acceptance gate: on low-selectivity personalized queries —
+    /// popular tags whose posting lists dwarf the graph, so scoring (not σ
+    /// materialization) dominates — the block-max σ-aware WAND strategy must
+    /// beat the full posting scan for the decay models: the pruning the
+    /// σ-aware block metadata exists to enable. Best-of-3 trials absorb
+    /// scheduler noise; machine-sensitive, so `#[ignore]`d for CI like fig9
+    /// (run via `cargo test --release -p friends-bench -- --ignored`).
+    #[test]
+    #[ignore]
+    fn fig10_blockmax_gate() {
+        use friends_core::processors::{ExactOnline, Processor, ScoringStrategy};
+        use friends_data::generator::{generate, WorkloadParams};
+        use friends_graph::generators::{self, WeightModel};
+        let base = generators::barabasi_albert(10_000, 8, 42);
+        let graph = generators::assign_weights(&base, WeightModel::Jaccard { floor: 0.1 }, 42);
+        let store = generate(
+            &graph,
+            &WorkloadParams {
+                num_items: 50_000,
+                num_tags: 16, // few, heavy tags: every query is low-selectivity
+                mean_taggings_per_user: 150.0,
+                item_theta: 1.1,
+                tag_theta: 1.0,
+                homophily: 0.5,
+                weighted: true,
+            },
+            42,
+        );
+        let corpus = Corpus::new(graph, store);
+        corpus.sigma_index(); // shared build, outside the timed region
+        let w = selectivity_workload(&corpus, 400, 10, true, 17);
+        // DistanceDecay is the pruning-friendly regime (σ takes a few
+        // discrete levels, so the envelope is tight); WeightedDecay's
+        // high-variance σ keeps range bounds loose — it stays exact but is
+        // not gated (ROADMAP: tagger-id clustering would recover it).
+        for model in [
+            ProximityModel::DistanceDecay { alpha: 0.3 },
+            ProximityModel::DistanceDecay { alpha: 0.5 },
+        ] {
+            let best = (0..3)
+                .map(|_| {
+                    let mut scan =
+                        ExactOnline::with_strategy(&corpus, model, ScoringStrategy::PostingScan);
+                    let mut bm =
+                        ExactOnline::with_strategy(&corpus, model, ScoringStrategy::BlockMax);
+                    let (_, scan_d) = timed(|| {
+                        for q in &w.queries {
+                            std::hint::black_box(scan.query(q));
+                        }
+                    });
+                    let (_, bm_d) = timed(|| {
+                        for q in &w.queries {
+                            std::hint::black_box(bm.query(q));
+                        }
+                    });
+                    scan_d.as_secs_f64() / bm_d.as_secs_f64()
+                })
+                .fold(0.0f64, f64::max);
+            assert!(
+                best >= 1.2,
+                "{}: block-max only {best:.2}x over full posting scan",
                 model.name()
             );
         }

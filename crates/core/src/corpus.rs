@@ -4,6 +4,15 @@
 use friends_data::store::TagStore;
 use friends_data::ItemId;
 use friends_graph::CsrGraph;
+use friends_index::inverted::{IndexConfig, InvertedIndex};
+use friends_index::postings::PostingConfig;
+use std::sync::OnceLock;
+
+/// Block length of the σ-aware posting index. Smaller than the classical
+/// 128-entry default: σ-aware pruning skips at block granularity, and the
+/// per-block tagger ranges and mass maxima tighten considerably with fewer
+/// docs per block, at a modest skip-metadata cost.
+pub const SIGMA_INDEX_BLOCK_LEN: usize = 32;
 
 /// A queryable dataset: the social graph and the tagging store, with users
 /// of the store identified with nodes of the graph.
@@ -11,6 +20,11 @@ use friends_graph::CsrGraph;
 pub struct Corpus {
     pub graph: CsrGraph,
     pub store: TagStore,
+    /// Lazily built σ-aware posting index (tag → doc-sorted list with
+    /// per-entry tagger groups and per-block tagger ranges), shared by every
+    /// processor running block-max scoring over this corpus. Built once on
+    /// first use — `par_batch` workers share it through `&Corpus`.
+    sigma_index: OnceLock<InvertedIndex>,
 }
 
 impl Corpus {
@@ -25,7 +39,11 @@ impl Corpus {
             store.num_users(),
             "graph nodes and store users must coincide"
         );
-        Corpus { graph, store }
+        Corpus {
+            graph,
+            store,
+            sigma_index: OnceLock::new(),
+        }
     }
 
     /// Number of users.
@@ -36,6 +54,28 @@ impl Corpus {
     /// Number of items.
     pub fn num_items(&self) -> u32 {
         self.store.num_items()
+    }
+
+    /// The σ-aware posting index over `(tag; item, tagger, weight)`,
+    /// building it on first call (thread-safe; subsequent calls are a load).
+    pub fn sigma_index(&self) -> &InvertedIndex {
+        self.sigma_index.get_or_init(|| {
+            let quads = (0..self.store.num_tags()).flat_map(|t| {
+                self.store
+                    .tag_taggings(t)
+                    .iter()
+                    .map(move |tg| (t, tg.item, tg.user, tg.weight))
+            });
+            InvertedIndex::build_with_taggers(
+                quads,
+                IndexConfig {
+                    postings: PostingConfig {
+                        block_len: SIGMA_INDEX_BLOCK_LEN,
+                        ..PostingConfig::default()
+                    },
+                },
+            )
+        })
     }
 }
 
@@ -56,6 +96,8 @@ pub struct QueryStats {
     pub clusters_touched: usize,
     /// Termination-bound evaluations performed.
     pub bound_checks: usize,
+    /// Posting blocks skipped without decoding (block-max strategy only).
+    pub blocks_skipped: usize,
     /// Whether the processor terminated before exhausting its input.
     pub early_terminated: bool,
 }

@@ -18,11 +18,18 @@
 
 use crate::cache::ProximityCache;
 use crate::corpus::{Corpus, QueryStats, SearchResult};
-use crate::processors::Processor;
+use crate::processors::{Processor, ScoringStrategy};
 use crate::proximity::{ProximityModel, Sigma, SigmaWorkspace};
 use friends_data::queries::Query;
 use friends_index::accumulate::{DenseAccumulator, StampedSet};
+use friends_index::postings::PostingList;
+use friends_index::topk::{BlockMaxWand, SigmaAccum};
 use std::sync::Arc;
+
+/// Above this many postings per query, a pruning-capable model routes to
+/// block-max instead of a full scan (when no cheaper support probe exists).
+/// Below it, the scan's lower constant factor wins.
+const BLOCKMAX_MIN_POSTINGS: usize = 512;
 
 /// Exact network-aware top-k by full evaluation.
 pub struct ExactOnline<'a> {
@@ -32,6 +39,12 @@ pub struct ExactOnline<'a> {
     sigma: SigmaWorkspace,
     seen_users: StampedSet,
     cache: Option<Arc<ProximityCache>>,
+    strategy: ScoringStrategy,
+    bmw: BlockMaxWand,
+    /// Query-tag posting lists handed to the operator; reused across
+    /// queries (capacity growth is counted as an allocation event).
+    bmw_lists: Vec<&'a PostingList>,
+    scratch_allocs: u64,
 }
 
 impl<'a> ExactOnline<'a> {
@@ -47,11 +60,17 @@ impl<'a> ExactOnline<'a> {
             corpus,
             model,
             cache: None,
+            strategy: ScoringStrategy::Auto,
+            bmw: BlockMaxWand::new(),
+            bmw_lists: Vec::new(),
+            scratch_allocs: 0,
         }
     }
 
     /// Like [`ExactOnline::new`], sharing a seeker-proximity cache (typically
-    /// across `par_batch` workers).
+    /// across `par_batch` workers). Models whose materialization is about as
+    /// cheap as a cache hit ([`ProximityModel::cache_worthy`] is false)
+    /// bypass the cache entirely — no shard lock is ever taken for them.
     pub fn with_cache(
         corpus: &'a Corpus,
         model: ProximityModel,
@@ -62,16 +81,38 @@ impl<'a> ExactOnline<'a> {
         p
     }
 
+    /// Like [`ExactOnline::new`] with a forced [`ScoringStrategy`].
+    /// `GlobalTa` is not an `ExactOnline` strategy and behaves like `Auto`;
+    /// `SupportProbe` on a dense-σ model falls back to a posting scan (there
+    /// is no support list to probe).
+    pub fn with_strategy(
+        corpus: &'a Corpus,
+        model: ProximityModel,
+        strategy: ScoringStrategy,
+    ) -> Self {
+        let mut p = ExactOnline::new(corpus, model);
+        p.strategy = strategy;
+        p
+    }
+
     /// The proximity model in use.
     pub fn model(&self) -> ProximityModel {
         self.model
+    }
+
+    /// The configured scoring strategy.
+    pub fn strategy(&self) -> ScoringStrategy {
+        self.strategy
     }
 
     /// Buffer-growth events across all per-query scratch; constant once the
     /// processor is warm (the zero-allocation contract, see
     /// `tests/hot_path_alloc.rs`).
     pub fn allocation_count(&self) -> u64 {
-        self.sigma.allocation_count() + self.acc.allocation_count()
+        self.sigma.allocation_count()
+            + self.acc.allocation_count()
+            + self.bmw.allocation_count()
+            + self.scratch_allocs
     }
 }
 
@@ -83,23 +124,30 @@ impl Processor for ExactOnline<'_> {
     fn query(&mut self, q: &Query) -> SearchResult {
         let mut stats = QueryStats::default();
         // Resolve σ: cache hit → shared vector, miss → materialize into the
-        // workspace (and publish a snapshot for the next worker).
-        let cached = self
-            .cache
-            .as_ref()
-            .and_then(|c| c.get(&self.corpus.graph, q.seeker, self.model));
+        // workspace (and publish a snapshot for the next worker). Models
+        // that are cheaper to rebuild than to fetch skip the cache entirely.
+        let use_cache = self.model.cache_worthy();
+        let cached = if use_cache {
+            self.cache
+                .as_ref()
+                .and_then(|c| c.get(&self.corpus.graph, q.seeker, self.model))
+        } else {
+            None
+        };
         let sigma = match &cached {
             Some(v) => Sigma::Shared(v.as_ref()),
             None => {
                 self.model
                     .materialize_into(&self.corpus.graph, q.seeker, &mut self.sigma);
-                if let Some(c) = &self.cache {
-                    c.insert(
-                        &self.corpus.graph,
-                        q.seeker,
-                        self.model,
-                        Arc::new(self.sigma.snapshot(self.corpus.graph.num_nodes())),
-                    );
+                if use_cache {
+                    if let Some(c) = &self.cache {
+                        c.insert(
+                            &self.corpus.graph,
+                            q.seeker,
+                            self.model,
+                            Arc::new(self.sigma.snapshot(self.corpus.graph.num_nodes())),
+                        );
+                    }
                 }
                 Sigma::Workspace(&self.sigma)
             }
@@ -109,11 +157,15 @@ impl Processor for ExactOnline<'_> {
         let store = &self.corpus.store;
         // Support-driven scoring probes `|support| · |tags|` user profiles
         // (binary searches); posting-driven scans every posting of every
-        // query tag with O(1) σ lookups. Both accumulate bit-identical
-        // scores (per item, contributions arrive in the same ascending-user
-        // order), so pick whichever is cheaper: a huge support (e.g. PPR
-        // with a loose epsilon on a small graph) should not probe more than
-        // the posting lists contain.
+        // query tag with O(1) σ lookups; block-max runs σ-aware WAND over
+        // the corpus's σ-aware posting index, skipping whole blocks the
+        // seeker cannot score into. All three accumulate bit-identical
+        // scores (per item, contributions arrive in the same tag-major,
+        // ascending-user order — see `tests/proptest_proximity.rs`), so the
+        // choice is purely a cost decision: support probing when the
+        // neighborhood is smaller than the posting volume, block-max when a
+        // pruning-capable model faces a large posting volume, a plain scan
+        // otherwise.
         let posting_total: usize = q
             .tags
             .iter()
@@ -121,10 +173,51 @@ impl Processor for ExactOnline<'_> {
             .map(|&t| store.tag_taggings(t).len())
             .sum();
         let support_probes = |s: &[_]| s.len().saturating_mul(q.tags.len());
-        match sigma
+        let support_cheaper = sigma
             .support()
-            .filter(|s| support_probes(s) <= posting_total)
-        {
+            .is_some_and(|s| support_probes(s) <= posting_total);
+        // Auto routes to block-max only where it measurably wins (the fig10
+        // gate regime): DistanceDecay's few discrete σ levels give tight
+        // envelope bounds, so long lists prune hard. WeightedDecay's
+        // high-variance σ and the sparse models' wide per-block tagger
+        // ranges keep bounds loose today (see ROADMAP: tagger-id
+        // clustering), so they stay on their scan/support paths; forcing
+        // `BlockMax` remains available — and exact — for every model.
+        let use_blockmax = match self.strategy {
+            ScoringStrategy::BlockMax => true,
+            ScoringStrategy::PostingScan | ScoringStrategy::SupportProbe => false,
+            _ => {
+                !support_cheaper
+                    && matches!(self.model, ProximityModel::DistanceDecay { .. })
+                    && posting_total > BLOCKMAX_MIN_POSTINGS
+            }
+        };
+        if use_blockmax {
+            let index = self.corpus.sigma_index();
+            let cap = self.bmw_lists.capacity();
+            self.bmw_lists.clear();
+            self.bmw_lists
+                .extend(q.tags.iter().filter_map(|&t| index.postings(t)));
+            if self.bmw_lists.capacity() != cap {
+                self.scratch_allocs += 1;
+            }
+            let bound = self.model.sigma_bound(q.seeker, &sigma);
+            let (items, st) = self
+                .bmw
+                .search(&self.bmw_lists, &bound, q.k, SigmaAccum::F32);
+            stats.postings_scanned = st.sorted_accesses;
+            stats.bound_checks = st.random_accesses;
+            stats.blocks_skipped = st.blocks_skipped;
+            stats.early_terminated = st.blocks_skipped > 0;
+            return SearchResult { items, stats };
+        }
+        let force_support =
+            self.strategy == ScoringStrategy::SupportProbe && sigma.support().is_some();
+        match sigma.support().filter(|s| {
+            force_support
+                || (self.strategy != ScoringStrategy::PostingScan
+                    && support_probes(s) <= posting_total)
+        }) {
             // Support-driven: probe only the neighborhood's postings.
             Some(support) => {
                 for &tag in &q.tags {
@@ -312,11 +405,41 @@ mod tests {
                 k: 10,
             };
             let want = plain.query(&q);
-            let miss = cached.query(&q); // populates
+            let miss = cached.query(&q); // populates (cache-worthy models)
             let hit = cached.query(&q); // served from cache
             assert_eq!(want.items, miss.items, "{}", model.name());
             assert_eq!(want.items, hit.items, "{}", model.name());
         }
-        assert!(cache.stats().hits >= 3);
+        // WeightedDecay and PPR each hit on their second query; FriendsOnly
+        // is not cache-worthy and must bypass the cache entirely.
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn cheap_models_bypass_the_cache() {
+        use friends_data::datasets::{DatasetSpec, Scale};
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(4);
+        let corpus = Corpus::new(ds.graph, ds.store);
+        let q = Query {
+            seeker: 3,
+            tags: vec![0, 1],
+            k: 10,
+        };
+        for model in [ProximityModel::FriendsOnly, ProximityModel::Global] {
+            let cache = Arc::new(ProximityCache::new(64));
+            let mut plain = ExactOnline::new(&corpus, model);
+            let mut cached = ExactOnline::with_cache(&corpus, model, Arc::clone(&cache));
+            let want = plain.query(&q);
+            for _ in 0..3 {
+                assert_eq!(want.items, cached.query(&q).items, "{}", model.name());
+            }
+            let stats = cache.stats();
+            assert_eq!(
+                (stats.hits, stats.misses, stats.insertions, stats.entries),
+                (0, 0, 0, 0),
+                "{}: cache must never be touched",
+                model.name()
+            );
+        }
     }
 }

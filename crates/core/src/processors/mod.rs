@@ -18,6 +18,30 @@ use crate::corpus::SearchResult;
 use friends_data::queries::Query;
 use friends_index::accumulate::DenseAccumulator;
 
+/// How a processor evaluates one query's σ-weighted scores. All strategies
+/// of a given processor return **bit-identical rankings** (pinned by the
+/// differential property suites); the choice is purely a cost decision.
+///
+/// `ExactOnline` honors `PostingScan` / `SupportProbe` / `BlockMax`;
+/// `GlobalBoundTA` honors `GlobalTa` / `BlockMax`. `Auto` (the default)
+/// lets the processor pick per query from the model's support shape and the
+/// posting volume; forcing a strategy a processor does not implement falls
+/// back to `Auto` (documented per processor).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScoringStrategy {
+    /// Per-query adaptive choice (the default).
+    #[default]
+    Auto,
+    /// Scan every posting of every query tag, `O(1)` σ lookups.
+    PostingScan,
+    /// Probe only the seeker's σ-support postings (sparse models).
+    SupportProbe,
+    /// Block-max σ-aware WAND over the corpus's σ-aware posting index.
+    BlockMax,
+    /// Global-index-driven TA with σ probes (`GlobalBoundTA`'s native path).
+    GlobalTa,
+}
+
 /// A top-k query processor.
 ///
 /// `query` takes `&mut self` so processors can reuse per-query scratch

@@ -22,6 +22,7 @@
 use friends_graph::ppr::{forward_push_into, PushWorkspace};
 use friends_graph::traversal::{bfs_stamped, BfsWorkspace, ProximityScan, ProximityWorkspace};
 use friends_graph::{CsrGraph, NodeId};
+use friends_index::topk::SigmaBound;
 
 /// A proximity model. See module docs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -69,6 +70,56 @@ impl ProximityModel {
             self,
             ProximityModel::FriendsOnly | ProximityModel::Ppr { .. } | ProximityModel::AdamicAdar
         )
+    }
+
+    /// Whether caching this model's materialized vector pays for itself.
+    ///
+    /// A [`crate::cache::ProximityCache`] hit costs a shard-mutex round trip
+    /// plus two `O(log n)` recency updates. For `Global` (nothing to
+    /// materialize) and `FriendsOnly` (one adjacency-slice walk) that is
+    /// about what materializing costs, so processors bypass the cache for
+    /// them entirely — no lock traffic, no recency churn, no capacity spent
+    /// on vectors that are cheaper to rebuild than to fetch.
+    pub fn cache_worthy(&self) -> bool {
+        !matches!(self, ProximityModel::Global | ProximityModel::FriendsOnly)
+    }
+
+    /// The decay envelope: an upper bound on `σ(seeker, v)` for any
+    /// `v ≠ seeker`. Exact-support models answer range bounds from their
+    /// support list instead (see [`ProximityModel::sigma_bound`]); the
+    /// envelope is what the dense decay models fall back to — one hop
+    /// already multiplies by `alpha`, so no non-seeker node can exceed it.
+    fn envelope(&self) -> f64 {
+        match *self {
+            ProximityModel::DistanceDecay { alpha } | ProximityModel::WeightedDecay { alpha } => {
+                alpha
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// A [`SigmaBound`] view over a materialized σ, for block-max pruning:
+    /// exact sparse-support range maxima for FriendsOnly/PPR/AdamicAdar and
+    /// an envelope for the dense models, or 1.0 whenever the queried range
+    /// covers the seeker.
+    ///
+    /// DistanceDecay's envelope is `alpha` itself (every non-seeker node
+    /// sits at ≥ 1 hop), read in O(1). WeightedDecay — whose σ peaks at
+    /// `alpha · w_max`, often far below `alpha` — additionally caps the
+    /// envelope by the materialized vector's actual non-seeker maximum: one
+    /// pass over the touched values (or the cached dense vector), paid only
+    /// on this model's block-max route, which `Auto` never takes.
+    pub fn sigma_bound<'a>(&self, seeker: NodeId, sigma: &'a Sigma<'a>) -> ModelSigmaBound<'a> {
+        let envelope = match *self {
+            _ if sigma.support().is_some() => 1.0, // sparse: answered from support
+            ProximityModel::WeightedDecay { alpha } => alpha.min(sigma.max_excluding(seeker)),
+            _ => self.envelope(),
+        };
+        ModelSigmaBound {
+            sigma,
+            seeker,
+            envelope,
+        }
     }
 
     /// A hashable identity for cache keys: the variant discriminant plus the
@@ -435,6 +486,35 @@ impl Sigma<'_> {
         }
     }
 
+    /// Largest σ over every node except `exclude` — the exact dense-model
+    /// envelope for σ-aware pruning. One pass over the touched values
+    /// (workspace / sparse vector) or the dense vector.
+    pub fn max_excluding(&self, exclude: NodeId) -> f64 {
+        match self {
+            Sigma::Workspace(ws) => match ws.kind {
+                SigmaKind::AllOnes => 1.0,
+                _ => ws
+                    .touched
+                    .iter()
+                    .filter(|&&u| u != exclude)
+                    .map(|&u| ws.get(u))
+                    .fold(0.0, f64::max),
+            },
+            Sigma::Shared(ProximityVec::AllOnes) => 1.0,
+            Sigma::Shared(ProximityVec::Dense(v)) => v
+                .iter()
+                .enumerate()
+                .filter(|&(u, _)| u != exclude as usize)
+                .map(|(_, &s)| s)
+                .fold(0.0, f64::max),
+            Sigma::Shared(ProximityVec::Sparse(e)) => e
+                .iter()
+                .filter(|&&(u, _)| u != exclude)
+                .map(|&(_, s)| s)
+                .fold(0.0, f64::max),
+        }
+    }
+
     /// Debug-build check that every `σ ≤ 1`: the precondition of
     /// global-score thresholding (`personalized(i) ≤ global(i)` in
     /// `GlobalBoundTA`). A no-op in release builds.
@@ -448,6 +528,49 @@ impl Sigma<'_> {
                 Sigma::Shared(ProximityVec::Sparse(e)) => e.iter().all(|&(_, s)| s <= 1.0 + 1e-9),
             };
             assert!(ok, "global-bound thresholding requires σ ≤ 1");
+        }
+    }
+}
+
+/// A [`SigmaBound`] over a materialized [`Sigma`]: the bridge between the
+/// proximity models and `friends_index`'s block-max σ-aware WAND operator.
+///
+/// * `sigma(u)` is the exact materialized value — bit-equal to what the
+///   scan paths read, so block-max rankings are bit-identical to theirs.
+/// * `max_in_range(lo, hi)` is exact for sparse-support models (a scan of
+///   the sorted support restricted to the range — zero when the range misses
+///   the support entirely, which is what lets whole blocks of stranger
+///   taggings be skipped), and the decay envelope for dense models (`1.0`
+///   when the range covers the seeker, `alpha` otherwise).
+pub struct ModelSigmaBound<'a> {
+    sigma: &'a Sigma<'a>,
+    seeker: NodeId,
+    envelope: f64,
+}
+
+impl SigmaBound for ModelSigmaBound<'_> {
+    #[inline]
+    fn sigma(&self, tagger: u32) -> f64 {
+        self.sigma.get(tagger)
+    }
+
+    fn max_in_range(&self, lo: u32, hi: u32) -> f64 {
+        match self.sigma.support() {
+            Some(support) => {
+                let start = support.partition_point(|&(u, _)| u < lo);
+                support[start..]
+                    .iter()
+                    .take_while(|&&(u, _)| u <= hi)
+                    .map(|&(_, s)| s)
+                    .fold(0.0, f64::max)
+            }
+            None => {
+                if (lo..=hi).contains(&self.seeker) {
+                    1.0
+                } else {
+                    self.envelope
+                }
+            }
         }
     }
 }
@@ -682,6 +805,45 @@ mod tests {
         assert_eq!(s.get(9), 0.75);
         assert!(s.support().is_some() && d.support().is_none());
         assert!(s.memory_bytes() > 0 && ProximityVec::AllOnes.memory_bytes() == 0);
+    }
+
+    #[test]
+    fn sigma_bound_dominates_every_range() {
+        let g = generators::watts_strogatz(120, 4, 0.2, 31);
+        let mut ws = SigmaWorkspace::new();
+        for m in all_models() {
+            for seeker in [0u32, 17, 119] {
+                m.materialize_into(&g, seeker, &mut ws);
+                let sigma = Sigma::Workspace(&ws);
+                let bound = m.sigma_bound(seeker, &sigma);
+                for (lo, hi) in [(0u32, 119u32), (5, 40), (60, 60), (17, 17), (100, 119)] {
+                    let true_max = (lo..=hi).map(|u| ws.get(u)).fold(0.0f64, f64::max);
+                    let b = bound.max_in_range(lo, hi);
+                    assert!(
+                        b >= true_max,
+                        "{} seeker {seeker} range [{lo},{hi}]: bound {b} < max {true_max}",
+                        m.name()
+                    );
+                }
+                for u in 0..120u32 {
+                    assert_eq!(bound.sigma(u).to_bits(), ws.get(u).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_worthiness_policy() {
+        assert!(!ProximityModel::Global.cache_worthy());
+        assert!(!ProximityModel::FriendsOnly.cache_worthy());
+        assert!(ProximityModel::DistanceDecay { alpha: 0.5 }.cache_worthy());
+        assert!(ProximityModel::WeightedDecay { alpha: 0.5 }.cache_worthy());
+        assert!(ProximityModel::Ppr {
+            alpha: 0.2,
+            epsilon: 1e-4
+        }
+        .cache_worthy());
+        assert!(ProximityModel::AdamicAdar.cache_worthy());
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! deterministic test, not a heap-profiler heuristic.
 
 use friends_core::corpus::Corpus;
-use friends_core::processors::{ExactOnline, ExpansionConfig, FriendExpansion, Processor};
+use friends_core::processors::{
+    ExactOnline, ExpansionConfig, FriendExpansion, Processor, ScoringStrategy,
+};
 use friends_core::proximity::{ProximityModel, SigmaWorkspace};
 use friends_data::datasets::{DatasetSpec, Scale};
 use friends_data::queries::{QueryParams, QueryWorkload};
@@ -44,15 +46,45 @@ fn exact_online_steady_state_is_allocation_free() {
     let (corpus, w) = fixture();
     for model in all_models() {
         let mut p = ExactOnline::new(&corpus, model);
-        p.query(&w.queries[0]);
+        // Warm pass: every per-query buffer — σ workspaces, accumulators and
+        // (for queries the Auto strategy routes to block-max) the operator's
+        // cursor states and block decode buffers — reaches its steady size.
+        for q in &w.queries {
+            p.query(q);
+        }
         let warm = p.allocation_count();
-        for q in &w.queries[1..] {
+        for q in &w.queries {
             p.query(q);
         }
         assert_eq!(
             p.allocation_count(),
             warm,
             "{} grew an O(n) buffer mid-stream",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn block_max_steady_state_is_allocation_free() {
+    // The forced block-max path: block metadata and decode buffers must be
+    // reused across queries — no per-query skip-list or cursor allocations
+    // once the operator has served the workload once.
+    let (corpus, w) = fixture();
+    corpus.sigma_index(); // shared index builds once, outside the contract
+    for model in all_models() {
+        let mut p = ExactOnline::with_strategy(&corpus, model, ScoringStrategy::BlockMax);
+        for q in &w.queries {
+            p.query(q);
+        }
+        let warm = p.allocation_count();
+        for q in &w.queries {
+            p.query(q);
+        }
+        assert_eq!(
+            p.allocation_count(),
+            warm,
+            "{} block-max path grew a buffer mid-stream",
             model.name()
         );
     }

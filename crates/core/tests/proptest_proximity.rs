@@ -7,7 +7,7 @@
 
 use friends_core::cache::ProximityCache;
 use friends_core::corpus::Corpus;
-use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor};
+use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor, ScoringStrategy};
 use friends_core::proximity::ProximityModel;
 use friends_data::queries::Query;
 use friends_data::store::TagStore;
@@ -155,7 +155,12 @@ proptest! {
             let miss = cached.query(&query);
             assert_byte_identical(&want, &miss.items, model.name())?;
             let hit = cached.query(&query);
-            prop_assert!(cache.stats().hits > 0, "{}: no cache hit", model.name());
+            if model.cache_worthy() {
+                prop_assert!(cache.stats().hits > 0, "{}: no cache hit", model.name());
+            } else {
+                // Cheap models must bypass the shard mutex entirely.
+                prop_assert_eq!(cache.stats().hits + cache.stats().misses, 0);
+            }
             assert_byte_identical(&want, &hit.items, model.name())?;
         }
     }
@@ -177,8 +182,60 @@ proptest! {
             let miss = cached.query(&query);
             assert_byte_identical(&want.items, &miss.items, model.name())?;
             let hit = cached.query(&query);
-            prop_assert!(cache.stats().hits > 0, "{}: no cache hit", model.name());
+            if model.cache_worthy() {
+                prop_assert!(cache.stats().hits > 0, "{}: no cache hit", model.name());
+            } else {
+                prop_assert_eq!(cache.stats().hits + cache.stats().misses, 0);
+            }
             assert_byte_identical(&want.items, &hit.items, model.name())?;
+        }
+    }
+
+    /// The three `ExactOnline` scoring strategies — posting scan, support
+    /// probe (sparse-σ models) and block-max σ-aware WAND — return
+    /// byte-identical rankings for every model, including when the query is
+    /// served twice (epoch-stamped reuse and warm block cursors).
+    #[test]
+    fn exact_online_strategies_are_byte_identical((corpus, query) in arb_corpus_and_query()) {
+        for model in all_models() {
+            let want = dense_materialize_reference(&corpus, model, &query);
+
+            let mut scan =
+                ExactOnline::with_strategy(&corpus, model, ScoringStrategy::PostingScan);
+            assert_byte_identical(&want, &scan.query(&query).items,
+                &format!("{} scan", model.name()))?;
+
+            let mut bm = ExactOnline::with_strategy(&corpus, model, ScoringStrategy::BlockMax);
+            // Twice: the second run exercises reused block cursors/buffers.
+            bm.query(&query);
+            assert_byte_identical(&want, &bm.query(&query).items,
+                &format!("{} block-max", model.name()))?;
+
+            if model.has_sparse_support() {
+                let mut sup =
+                    ExactOnline::with_strategy(&corpus, model, ScoringStrategy::SupportProbe);
+                assert_byte_identical(&want, &sup.query(&query).items,
+                    &format!("{} support", model.name()))?;
+            }
+        }
+    }
+
+    /// `GlobalBoundTA`'s native global-driven TA and its block-max strategy
+    /// return byte-identical rankings for the five σ ≤ 1 models.
+    #[test]
+    fn global_bound_ta_strategies_are_byte_identical((corpus, query) in arb_corpus_and_query()) {
+        for model in all_models() {
+            if matches!(model, ProximityModel::Ppr { .. }) {
+                continue; // the native τ bound requires σ ≤ 1
+            }
+            let mut native =
+                GlobalBoundTA::with_strategy(&corpus, model, ScoringStrategy::GlobalTa);
+            let want = native.query(&query);
+
+            let mut bm = GlobalBoundTA::with_strategy(&corpus, model, ScoringStrategy::BlockMax);
+            bm.query(&query);
+            assert_byte_identical(&want.items, &bm.query(&query).items,
+                &format!("{} gbta block-max", model.name()))?;
         }
     }
 

@@ -57,6 +57,42 @@ impl InvertedIndex {
         }
     }
 
+    /// Builds a **σ-aware** index from `(term, doc, tagger, weight)` quads:
+    /// every term's list carries per-entry tagger groups and per-block
+    /// tagger-id ranges (see [`PostingList::build_with_taggers`]), the
+    /// substrate the block-max σ-aware WAND operator prunes over. Duplicate
+    /// `(term, doc, tagger)` quads accumulate their weights.
+    pub fn build_with_taggers(
+        quads: impl IntoIterator<Item = (TermId, DocId, u32, Score)>,
+        config: IndexConfig,
+    ) -> Self {
+        let mut per_term: Vec<Vec<(DocId, u32, Score)>> = Vec::new();
+        let mut num_docs = 0;
+        let mut num_postings = 0usize;
+        for (t, d, u, w) in quads {
+            let ti = t as usize;
+            if ti >= per_term.len() {
+                per_term.resize_with(ti + 1, Vec::new);
+            }
+            per_term[ti].push((d, u, w));
+            num_docs = num_docs.max(d + 1);
+        }
+        let lists: Vec<PostingList> = per_term
+            .into_iter()
+            .map(|entries| {
+                let l = PostingList::build_with_taggers(entries, config.postings);
+                num_postings += l.len();
+                l
+            })
+            .collect();
+        InvertedIndex {
+            config,
+            lists,
+            num_docs,
+            num_postings,
+        }
+    }
+
     /// Number of terms (including empty ones up to the max seen id).
     pub fn num_terms(&self) -> usize {
         self.lists.len()
@@ -128,6 +164,27 @@ mod tests {
         assert_eq!(s.at(0), Some((5, 2.5)));
         assert_eq!(s.at(1), Some((2, 2.0)));
         assert_eq!(s.score_of(2), 2.0);
+    }
+
+    #[test]
+    fn sigma_index_carries_groups() {
+        let idx = InvertedIndex::build_with_taggers(
+            [
+                (0u32, 5u32, 3u32, 1.0f32),
+                (0, 5, 1, 0.5),
+                (0, 2, 7, 2.0),
+                (2, 5, 1, 0.5),
+                (0, 5, 1, 0.25), // duplicate (term, doc, tagger): accumulates
+            ],
+            IndexConfig::default(),
+        );
+        assert_eq!(idx.num_terms(), 3);
+        assert_eq!(idx.num_postings(), 3);
+        let l0 = idx.postings(0).unwrap();
+        assert!(l0.has_taggers());
+        assert_eq!(l0.to_vec(), vec![(2, 2.0), (5, 1.75)]);
+        assert_eq!(l0.taggers_of(1), &[(1, 0.75), (3, 1.0)]);
+        assert_eq!(l0.tagger_range(), (1, 7));
     }
 
     #[test]

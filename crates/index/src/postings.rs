@@ -56,6 +56,18 @@ struct BlockMeta {
     elem_start: u32,
     /// Entries in this block.
     count: u32,
+    /// Smallest tagger id contributing to any entry of this block
+    /// (`0` for lists built without tagger groups).
+    min_tagger: u32,
+    /// Largest tagger id contributing to any entry of this block
+    /// (`u32::MAX` for lists built without tagger groups — an unconstrained
+    /// range, so σ-aware bounds degrade soundly to the global bound).
+    max_tagger: u32,
+    /// Conservative upper bound on any single entry's score as *accumulated
+    /// by a scorer* (see [`PostingList::build_with_taggers`]): the largest
+    /// per-doc weight mass in the block, inflated to absorb f32 summation
+    /// rounding. Equals `max_score` for lists built without tagger groups.
+    sigma_base: Score,
 }
 
 /// An immutable posting list sorted by document id.
@@ -71,6 +83,37 @@ pub struct PostingList {
     data: Vec<u8>,
     /// Scores for all entries, in doc order.
     scores: Vec<Score>,
+    /// Per-entry tagger-group offsets into `taggers`
+    /// (`tagger_offsets[i]..tagger_offsets[i+1]` is entry `i`'s group).
+    /// Empty for lists built without tagger groups.
+    tagger_offsets: Vec<u32>,
+    /// `(tagger, weight)` pairs, ascending tagger id within each group.
+    taggers: Vec<(u32, Score)>,
+    /// List-level tagger range and σ-aware score bound, folded over the
+    /// blocks at build time so per-query reads are O(1).
+    list_min_tagger: u32,
+    list_max_tagger: u32,
+    list_sigma_base: Score,
+}
+
+/// Public snapshot of one block's skip metadata — what block-skipping
+/// operators and the block-boundary fuzz tests consume.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockInfo {
+    pub first_doc: DocId,
+    pub last_doc: DocId,
+    pub max_score: Score,
+    /// See the `sigma_base` field docs on the block metadata: a rounding-safe
+    /// upper bound on any entry's accumulated score in this block.
+    pub sigma_base: Score,
+    pub min_tagger: u32,
+    pub max_tagger: u32,
+    /// Element offset of the block start within the list.
+    pub elem_start: usize,
+    /// Entries in this block.
+    pub count: usize,
+    /// Byte offset of the block into the varint stream (0 for Raw).
+    pub byte_start: usize,
 }
 
 impl PostingList {
@@ -108,6 +151,9 @@ impl PostingList {
                 byte_start: data.len() as u32,
                 elem_start: (bi * config.block_len) as u32,
                 count: ids.len() as u32,
+                min_tagger: 0,
+                max_tagger: u32::MAX,
+                sigma_base: block_max,
             });
             match config.encoding {
                 Encoding::Raw => docs.extend_from_slice(&ids),
@@ -126,6 +172,130 @@ impl PostingList {
             docs,
             data,
             scores,
+            tagger_offsets: Vec::new(),
+            taggers: Vec::new(),
+            list_min_tagger: 0,
+            list_max_tagger: u32::MAX,
+            list_sigma_base: max_score,
+        }
+    }
+
+    /// Builds a **σ-aware** list from `(doc, tagger, weight)` triples: one
+    /// entry per doc whose *score* is the doc's total weight mass (the
+    /// f32-accumulated `Σ_tagger weight`, ascending tagger order — bit-equal
+    /// to a tag-slice scan), carrying the per-doc `(tagger, weight)` group so
+    /// a scorer can evaluate `Σ_tagger σ(tagger) · weight` exactly. Duplicate
+    /// `(doc, tagger)` pairs have their weights summed.
+    ///
+    /// Every block additionally records the min/max tagger id over the
+    /// groups it covers and a rounding-safe `sigma_base` bound, enabling
+    /// sound per-block upper bounds `sigma_base · max σ over [min, max]` for
+    /// block-max pruning under seeker-dependent weights.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative weights.
+    pub fn build_with_taggers(
+        mut entries: Vec<(DocId, u32, Score)>,
+        config: PostingConfig,
+    ) -> Self {
+        assert!(config.block_len >= 1, "block_len must be >= 1");
+        for &(_, _, w) in &entries {
+            assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+        }
+        entries.sort_unstable_by_key(|&(d, u, _)| (d, u));
+        entries.dedup_by(|next, kept| {
+            if next.0 == kept.0 && next.1 == kept.1 {
+                kept.2 += next.2;
+                true
+            } else {
+                false
+            }
+        });
+        // Collapse to per-doc entries, tracking each doc's group extent.
+        // `docs_meta[i] = (doc, mass_f32, group_start, group_len)`.
+        let mut taggers: Vec<(u32, Score)> = Vec::with_capacity(entries.len());
+        let mut docs_meta: Vec<(DocId, Score, usize, usize)> = Vec::new();
+        for (d, u, w) in entries {
+            match docs_meta.last_mut() {
+                Some(m) if m.0 == d => {
+                    m.1 += w;
+                    m.3 += 1;
+                }
+                _ => docs_meta.push((d, w, taggers.len(), 1)),
+            }
+            taggers.push((u, w));
+        }
+        let len = docs_meta.len();
+        let mut blocks = Vec::with_capacity(len.div_ceil(config.block_len));
+        let mut docs = Vec::new();
+        let mut data = Vec::new();
+        let mut scores = Vec::with_capacity(len);
+        let mut tagger_offsets = Vec::with_capacity(len + 1);
+        tagger_offsets.push(0u32);
+        let mut max_score = 0.0f32;
+        for (bi, chunk) in docs_meta.chunks(config.block_len).enumerate() {
+            let ids: Vec<DocId> = chunk.iter().map(|&(d, ..)| d).collect();
+            let mut block_max = f32::NEG_INFINITY;
+            let mut sigma_base = 0.0f32;
+            let mut min_tagger = u32::MAX;
+            let mut max_tagger = 0u32;
+            for &(_, mass, gs, gl) in chunk {
+                block_max = block_max.max(mass);
+                // Exact f64 mass inflated by a bound on the f32 accumulation
+                // error of `gl` rounded nonnegative terms (≤ (m+1)·2⁻²³
+                // relative, covering both the per-term f64→f32 casts and the
+                // running-sum roundings), so `sigma_base · σmax` provably
+                // dominates any σ-weighted f32 or f64 accumulation of the
+                // dominated per-tagger terms.
+                let exact: f64 = taggers[gs..gs + gl].iter().map(|&(_, w)| w as f64).sum();
+                let inflated = exact * (1.0 + (gl as f64 + 2.0) * 2.0f64.powi(-23));
+                sigma_base = sigma_base.max(inflated as f32);
+                min_tagger = min_tagger.min(taggers[gs].0);
+                max_tagger = max_tagger.max(taggers[gs + gl - 1].0);
+            }
+            max_score = max_score.max(block_max);
+            blocks.push(BlockMeta {
+                first_doc: ids[0],
+                last_doc: *ids.last().unwrap(),
+                max_score: block_max,
+                byte_start: data.len() as u32,
+                elem_start: (bi * config.block_len) as u32,
+                count: ids.len() as u32,
+                min_tagger,
+                max_tagger,
+                sigma_base,
+            });
+            match config.encoding {
+                Encoding::Raw => docs.extend_from_slice(&ids),
+                Encoding::DeltaVarint => varint::encode_sorted(&ids, &mut data),
+            }
+            scores.extend(chunk.iter().map(|&(_, mass, ..)| mass));
+            tagger_offsets.extend(chunk.iter().map(|&(.., gs, gl)| (gs + gl) as u32));
+        }
+        if len == 0 {
+            max_score = 0.0;
+        }
+        let mut list_min_tagger = u32::MAX;
+        let mut list_max_tagger = 0u32;
+        let mut list_sigma_base = 0.0f32;
+        for b in &blocks {
+            list_min_tagger = list_min_tagger.min(b.min_tagger);
+            list_max_tagger = list_max_tagger.max(b.max_tagger);
+            list_sigma_base = list_sigma_base.max(b.sigma_base);
+        }
+        PostingList {
+            config,
+            len,
+            max_score,
+            blocks,
+            docs,
+            data,
+            scores,
+            tagger_offsets,
+            taggers,
+            list_min_tagger,
+            list_max_tagger,
+            list_sigma_base,
         }
     }
 
@@ -156,6 +326,99 @@ impl PostingList {
             + self.data.len()
             + self.scores.len() * 4
             + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+            + self.tagger_offsets.len() * 4
+            + self.taggers.len() * std::mem::size_of::<(u32, Score)>()
+    }
+
+    /// Whether the list was built with per-entry tagger groups
+    /// ([`PostingList::build_with_taggers`]).
+    pub fn has_taggers(&self) -> bool {
+        !self.tagger_offsets.is_empty()
+    }
+
+    /// The `(tagger, weight)` group of entry `idx` (element index within the
+    /// list), ascending tagger id. Empty for lists built without taggers.
+    #[inline]
+    pub fn taggers_of(&self, idx: usize) -> &[(u32, Score)] {
+        if self.tagger_offsets.is_empty() {
+            return &[];
+        }
+        let lo = self.tagger_offsets[idx] as usize;
+        let hi = self.tagger_offsets[idx + 1] as usize;
+        &self.taggers[lo..hi]
+    }
+
+    /// Number of skip blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Skip metadata of block `bi`.
+    pub fn block(&self, bi: usize) -> BlockInfo {
+        let b = &self.blocks[bi];
+        BlockInfo {
+            first_doc: b.first_doc,
+            last_doc: b.last_doc,
+            max_score: b.max_score,
+            sigma_base: b.sigma_base,
+            min_tagger: b.min_tagger,
+            max_tagger: b.max_tagger,
+            elem_start: b.elem_start as usize,
+            count: b.count as usize,
+            byte_start: b.byte_start as usize,
+        }
+    }
+
+    /// The varint byte range of block `bi` (empty for Raw encoding) — the
+    /// skip-pointer target the block-boundary fuzz tests decode from.
+    pub fn block_bytes(&self, bi: usize) -> &[u8] {
+        if self.config.encoding != Encoding::DeltaVarint {
+            return &[];
+        }
+        let start = self.blocks[bi].byte_start as usize;
+        let end = self
+            .blocks
+            .get(bi + 1)
+            .map_or(self.data.len(), |b| b.byte_start as usize);
+        &self.data[start..end]
+    }
+
+    /// Decodes the doc ids of block `bi` into `out` (cleared first; capacity
+    /// reused). Reads straight from the raw array for `Raw` encoding.
+    pub fn block_docs_into(&self, bi: usize, out: &mut Vec<DocId>) {
+        let b = &self.blocks[bi];
+        match self.config.encoding {
+            Encoding::Raw => {
+                out.clear();
+                let start = b.elem_start as usize;
+                out.extend_from_slice(&self.docs[start..start + b.count as usize]);
+            }
+            Encoding::DeltaVarint => {
+                let mut buf = &self.data[b.byte_start as usize..];
+                varint::decode_sorted_into(&mut buf, b.count as usize, out)
+                    .expect("corrupt posting block");
+            }
+        }
+    }
+
+    /// Score of entry `idx` (element index within the list).
+    #[inline]
+    pub fn score_at(&self, idx: usize) -> Score {
+        self.scores[idx]
+    }
+
+    /// The min/max tagger id across the whole list — `(0, u32::MAX)` for
+    /// lists without tagger groups (an unconstrained range), and
+    /// `(u32::MAX, 0)` for empty tagger-built lists (an empty range).
+    /// Precomputed at build time; O(1).
+    pub fn tagger_range(&self) -> (u32, u32) {
+        (self.list_min_tagger, self.list_max_tagger)
+    }
+
+    /// Largest per-block `sigma_base` — the list-level σ-aware score bound
+    /// (0.0 when empty). Precomputed at build time; O(1).
+    pub fn sigma_base(&self) -> Score {
+        self.list_sigma_base
     }
 
     /// Opens a cursor positioned on the first posting.
@@ -239,9 +502,25 @@ impl<'a> PostingCursor<'a> {
         let b = &self.list.blocks[bi];
         if self.list.config.encoding == Encoding::DeltaVarint {
             let mut buf = &self.list.data[b.byte_start as usize..];
-            self.decoded =
-                varint::decode_sorted(&mut buf, b.count as usize).expect("corrupt posting block");
+            varint::decode_sorted_into(&mut buf, b.count as usize, &mut self.decoded)
+                .expect("corrupt posting block");
         }
+    }
+
+    /// Index of the block the cursor currently sits in.
+    pub fn block_index(&self) -> usize {
+        self.block
+    }
+
+    /// The `(tagger, weight)` group of the current entry (empty for lists
+    /// without tagger groups).
+    ///
+    /// # Panics
+    /// Panics if the cursor is exhausted.
+    pub fn taggers(&self) -> &[(u32, Score)] {
+        assert!(!self.exhausted, "cursor exhausted");
+        let b = &self.list.blocks[self.block];
+        self.list.taggers_of(b.elem_start as usize + self.pos)
     }
 
     /// Current document id, or `None` when exhausted.
@@ -534,6 +813,84 @@ mod tests {
             assert!(c.score() <= c.block_max() + 1e-6);
             assert!(c.block_max() <= c.list_max() + 1e-6);
             c.next();
+        }
+    }
+
+    #[test]
+    fn tagger_build_groups_and_masses() {
+        // doc 4 tagged by users 9 and 2 (dup (4, 2) merges), doc 1 by user 5.
+        let list = PostingList::build_with_taggers(
+            vec![(4, 9, 1.0), (1, 5, 2.0), (4, 2, 0.5), (4, 2, 0.25)],
+            PostingConfig::default(),
+        );
+        assert!(list.has_taggers());
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.to_vec(), vec![(1, 2.0), (4, 1.75)]);
+        let mut c = list.cursor();
+        assert_eq!(c.taggers(), &[(5, 2.0)]);
+        c.next();
+        assert_eq!(c.taggers(), &[(2, 0.75), (9, 1.0)]);
+        assert_eq!(list.tagger_range(), (2, 9));
+        assert!(list.sigma_base() >= list.max_score());
+    }
+
+    #[test]
+    fn tagger_blocks_carry_sound_ranges_and_bounds() {
+        // Many docs, 3 taggers each, small blocks: every block's tagger
+        // range must cover its groups and sigma_base must dominate masses.
+        let mut triples = Vec::new();
+        for d in 0..200u32 {
+            for t in 0..3u32 {
+                triples.push((d, (d * 7 + t * 13) % 64, 0.1 + (t as f32) * 0.3));
+            }
+        }
+        let list = PostingList::build_with_taggers(
+            triples,
+            PostingConfig {
+                block_len: 9,
+                ..PostingConfig::default()
+            },
+        );
+        for bi in 0..list.num_blocks() {
+            let b = list.block(bi);
+            let mut mass_max = 0.0f32;
+            for i in b.elem_start..b.elem_start + b.count {
+                let group = list.taggers_of(i);
+                assert!(!group.is_empty());
+                assert!(group.windows(2).all(|w| w[0].0 < w[1].0), "unsorted group");
+                for &(u, _) in group {
+                    assert!((b.min_tagger..=b.max_tagger).contains(&u));
+                }
+                mass_max = mass_max.max(group.iter().map(|&(_, w)| w).sum());
+            }
+            assert!(b.sigma_base >= mass_max, "block {bi}");
+            assert!(b.sigma_base >= b.max_score);
+        }
+    }
+
+    #[test]
+    fn taggerless_lists_have_unconstrained_ranges() {
+        let list = PostingList::build(sample_entries(50, 2), PostingConfig::default());
+        assert!(!list.has_taggers());
+        assert_eq!(list.tagger_range(), (0, u32::MAX));
+        assert_eq!(list.sigma_base(), list.max_score());
+        assert!(list.taggers_of(0).is_empty());
+    }
+
+    #[test]
+    fn block_docs_into_matches_cursor_walk() {
+        let entries = sample_entries(300, 3);
+        for cfg in configs() {
+            let list = PostingList::build(entries.clone(), cfg);
+            let want: Vec<DocId> = list.to_vec().iter().map(|&(d, _)| d).collect();
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            for bi in 0..list.num_blocks() {
+                list.block_docs_into(bi, &mut buf);
+                assert_eq!(buf.len(), list.block(bi).count);
+                got.extend_from_slice(&buf);
+            }
+            assert_eq!(got, want, "cfg {cfg:?}");
         }
     }
 

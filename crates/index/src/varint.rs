@@ -103,6 +103,16 @@ pub fn encode_sorted(ids: &[u32], out: &mut Vec<u8>) {
 /// Decodes `count` delta-varint ids produced by [`encode_sorted`].
 pub fn decode_sorted(buf: &mut &[u8], count: usize) -> Option<Vec<u32>> {
     let mut out = Vec::with_capacity(count);
+    decode_sorted_into(buf, count, &mut out)?;
+    Some(out)
+}
+
+/// Like [`decode_sorted`], decoding into a caller-owned buffer (cleared
+/// first). Reuses the buffer's capacity, so a warm decode loop — e.g. a
+/// posting cursor walking blocks — performs no allocation.
+pub fn decode_sorted_into(buf: &mut &[u8], count: usize, out: &mut Vec<u32>) -> Option<()> {
+    out.clear();
+    out.reserve(count);
     let mut prev = 0u32;
     for i in 0..count {
         let d = read_u32(buf)?;
@@ -110,7 +120,7 @@ pub fn decode_sorted(buf: &mut &[u8], count: usize) -> Option<Vec<u32>> {
         out.push(id);
         prev = id;
     }
-    Some(out)
+    Some(())
 }
 
 #[cfg(test)]

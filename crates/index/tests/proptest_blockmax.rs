@@ -1,0 +1,325 @@
+//! Differential property suite for the block-max σ-aware WAND operator:
+//! for random σ-aware posting lists, random block geometries and random σ
+//! assignments (sparse supports and decay envelopes), [`BlockMaxWand`] must
+//! return **byte-identical** rankings — same docs, same order, bit-equal
+//! f32 scores — to a naive full-scan reference, under both accumulation
+//! modes. Deterministic adversarial cases (all-ties corpora, single-block
+//! lists, blocks straddling the support range) pin the edges the random
+//! generator is unlikely to hit.
+
+use friends_index::postings::{Encoding, PostingConfig, PostingList};
+use friends_index::topk::{BlockMaxWand, SigmaAccum, SigmaBound, TopK, UnitSigma};
+use friends_index::{DocId, Score};
+use proptest::prelude::*;
+
+/// Sorted sparse σ: exact range max by scan (mirrors the support-backed
+/// bound in `friends-core`).
+struct SparseSigma(Vec<(u32, f64)>);
+
+impl SigmaBound for SparseSigma {
+    fn sigma(&self, tagger: u32) -> f64 {
+        match self.0.binary_search_by_key(&tagger, |&(u, _)| u) {
+            Ok(i) => self.0[i].1,
+            Err(_) => 0.0,
+        }
+    }
+    fn max_in_range(&self, lo: u32, hi: u32) -> f64 {
+        let start = self.0.partition_point(|&(u, _)| u < lo);
+        self.0[start..]
+            .iter()
+            .take_while(|&&(u, _)| u <= hi)
+            .map(|&(_, s)| s)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Dense decay-style σ: `1.0` for the seeker, `alpha · pseudo(u)` elsewhere,
+/// with the envelope range bound the decay models use (`1.0` when the range
+/// covers the seeker, `alpha` otherwise).
+struct EnvelopeSigma {
+    seeker: u32,
+    alpha: f64,
+}
+
+impl EnvelopeSigma {
+    fn pseudo(u: u32) -> f64 {
+        // Deterministic value in [0, 1] with plenty of exact zeros.
+        let h = u.wrapping_mul(2654435761) >> 16;
+        if h.is_multiple_of(5) {
+            0.0
+        } else {
+            (h % 1000) as f64 / 1000.0
+        }
+    }
+}
+
+impl SigmaBound for EnvelopeSigma {
+    fn sigma(&self, tagger: u32) -> f64 {
+        if tagger == self.seeker {
+            1.0
+        } else {
+            self.alpha * Self::pseudo(tagger)
+        }
+    }
+    fn max_in_range(&self, lo: u32, hi: u32) -> f64 {
+        if (lo..=hi).contains(&self.seeker) {
+            1.0
+        } else {
+            self.alpha
+        }
+    }
+}
+
+/// Naive reference: merge duplicate `(doc, tagger)` pairs per list, score
+/// each doc list-major with ascending-tagger groups, in the requested
+/// accumulation mode — exactly the operator's documented semantics.
+fn reference(
+    lists: &[Vec<(DocId, u32, Score)>],
+    sigma: &dyn SigmaBound,
+    k: usize,
+    accum: SigmaAccum,
+) -> Vec<(DocId, Score)> {
+    let mut per_doc: std::collections::BTreeMap<DocId, (f32, f64, bool)> =
+        std::collections::BTreeMap::new();
+    for raw in lists {
+        let mut sorted = raw.clone();
+        sorted.sort_unstable_by_key(|&(d, u, _)| (d, u));
+        sorted.dedup_by(|n, kept| {
+            if n.0 == kept.0 && n.1 == kept.1 {
+                kept.2 += n.2;
+                true
+            } else {
+                false
+            }
+        });
+        for (d, u, w) in sorted {
+            let s = sigma.sigma(u);
+            if s > 0.0 {
+                let e = per_doc.entry(d).or_insert((0.0, 0.0, false));
+                e.0 += (s * w as f64) as f32;
+                e.1 += s * w as f64;
+                e.2 = true;
+            }
+        }
+    }
+    let mut topk = TopK::new(k);
+    for (d, (s32, s64, touched)) in per_doc {
+        match accum {
+            SigmaAccum::F32 => {
+                if touched {
+                    topk.offer(d, s32);
+                }
+            }
+            SigmaAccum::F64 => {
+                let sc = s64 as f32;
+                if sc > 0.0 {
+                    topk.offer(d, sc);
+                }
+            }
+        }
+    }
+    topk.into_sorted_vec()
+}
+
+fn assert_byte_identical(
+    want: &[(DocId, Score)],
+    got: &[(DocId, Score)],
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(want.len(), got.len(), "{}: length", label);
+    for (w, g) in want.iter().zip(got) {
+        prop_assert_eq!(w.0, g.0, "{}: doc ids diverge", label);
+        prop_assert_eq!(
+            w.1.to_bits(),
+            g.1.to_bits(),
+            "{}: score bits diverge on doc {} ({} vs {})",
+            label,
+            w.0,
+            w.1,
+            g.1
+        );
+    }
+    Ok(())
+}
+
+fn build_all(
+    lists: &[Vec<(DocId, u32, Score)>],
+    block_len: usize,
+    encoding: Encoding,
+) -> Vec<PostingList> {
+    let cfg = PostingConfig {
+        encoding,
+        block_len,
+        skips_enabled: true,
+    };
+    lists
+        .iter()
+        .map(|l| PostingList::build_with_taggers(l.clone(), cfg))
+        .collect()
+}
+
+fn check_both_modes(
+    lists_raw: &[Vec<(DocId, u32, Score)>],
+    block_len: usize,
+    encoding: Encoding,
+    sigma: &dyn SigmaBound,
+    k: usize,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let plists = build_all(lists_raw, block_len, encoding);
+    let refs: Vec<&PostingList> = plists.iter().collect();
+    let mut bmw = BlockMaxWand::new();
+    for accum in [SigmaAccum::F32, SigmaAccum::F64] {
+        let want = reference(lists_raw, sigma, k, accum);
+        // Twice per mode: the second run reuses warm cursors and buffers.
+        bmw.search(&refs, sigma, k, accum);
+        let (got, _) = bmw.search(&refs, sigma, k, accum);
+        assert_byte_identical(&want, &got, &format!("{label} {accum:?}"))?;
+    }
+    Ok(())
+}
+
+fn arb_lists() -> impl Strategy<Value = Vec<Vec<(DocId, u32, Score)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..120, 0u32..48, 0.01f32..4.0), 0..140),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random sparse supports × random block geometry, both encodings.
+    #[test]
+    fn blockmax_matches_reference_sparse_sigma(
+        lists_raw in arb_lists(),
+        support_raw in proptest::collection::btree_set(0u32..48, 0..12),
+        values in proptest::collection::vec(0.01f64..1.0, 12),
+        block_len in 1usize..40,
+        raw_encoding in any::<bool>(),
+        k in 1usize..16,
+    ) {
+        let support: Vec<(u32, f64)> = support_raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| (u, values[i % values.len()]))
+            .collect();
+        let sigma = SparseSigma(support);
+        let encoding = if raw_encoding { Encoding::Raw } else { Encoding::DeltaVarint };
+        check_both_modes(&lists_raw, block_len, encoding, &sigma, k, "sparse")?;
+    }
+
+    /// Decay-envelope σ (dense, nonzero almost everywhere) and the unit σ.
+    #[test]
+    fn blockmax_matches_reference_envelope_and_unit(
+        lists_raw in arb_lists(),
+        seeker in 0u32..48,
+        alpha_m in 1u32..9,
+        block_len in 1usize..40,
+        k in 1usize..16,
+    ) {
+        let sigma = EnvelopeSigma { seeker, alpha: alpha_m as f64 / 10.0 };
+        check_both_modes(&lists_raw, block_len, Encoding::DeltaVarint, &sigma, k, "envelope")?;
+        check_both_modes(&lists_raw, block_len, Encoding::DeltaVarint, &UnitSigma, k, "unit")?;
+    }
+
+    /// All-ties corpora: every weight and every σ value identical, so every
+    /// doc's score ties and the ranking is decided purely by the doc-id
+    /// tie-break — the regime where an unsound "skip on equality" would
+    /// silently reorder results.
+    #[test]
+    fn blockmax_all_ties_corpora(
+        docs in proptest::collection::btree_set(0u32..100, 1..60),
+        taggers in proptest::collection::btree_set(0u32..32, 1..6),
+        block_len in 1usize..20,
+        k in 1usize..12,
+    ) {
+        let lists_raw = vec![docs
+            .iter()
+            .flat_map(|&d| taggers.iter().map(move |&u| (d, u, 1.0f32)))
+            .collect::<Vec<_>>()];
+        let support: Vec<(u32, f64)> = taggers.iter().map(|&u| (u, 0.5)).collect();
+        let sigma = SparseSigma(support);
+        check_both_modes(&lists_raw, block_len, Encoding::DeltaVarint, &sigma, k, "ties")?;
+    }
+}
+
+/// Single-block lists: `block_len` larger than the whole list, so shallow
+/// seeks, skip targets and the support prune all act on one block.
+#[test]
+fn single_block_lists() {
+    let lists_raw: Vec<Vec<(DocId, u32, Score)>> = vec![
+        (0..50u32)
+            .map(|d| (d, d % 7, 1.0 + (d % 3) as f32))
+            .collect(),
+        (10..40u32).map(|d| (d, 6 - (d % 7), 0.5)).collect(),
+    ];
+    let sigma = SparseSigma(vec![(2, 0.25), (5, 1.0)]);
+    for accum in [SigmaAccum::F32, SigmaAccum::F64] {
+        let plists = build_all(&lists_raw, 10_000, Encoding::DeltaVarint);
+        let refs: Vec<&PostingList> = plists.iter().collect();
+        assert_eq!(refs[0].num_blocks(), 1);
+        let mut bmw = BlockMaxWand::new();
+        let (got, _) = bmw.search(&refs, &sigma, 8, accum);
+        let want = reference(&lists_raw, &sigma, 8, accum);
+        assert_eq!(
+            want.iter()
+                .map(|&(d, s)| (d, s.to_bits()))
+                .collect::<Vec<_>>(),
+            got.iter()
+                .map(|&(d, s)| (d, s.to_bits()))
+                .collect::<Vec<_>>(),
+            "{accum:?}"
+        );
+    }
+}
+
+/// Blocks straddling the seeker's support range: the support occupies a
+/// narrow tagger-id band, tagger ids alternate in and out of it per block,
+/// and block boundaries cut through the band. Blocks fully outside must be
+/// support-pruned; straddling blocks must still be scored exactly.
+#[test]
+fn blocks_straddling_support_range() {
+    // Tagger of doc d is d % 100: docs 0..1000 cycle through the band.
+    let lists_raw: Vec<Vec<(DocId, u32, Score)>> =
+        vec![(0..1000u32).map(|d| (d, d % 100, 1.0)).collect()];
+    // Support band [40, 44]: only taggers 40..=44 matter.
+    let support: Vec<(u32, f64)> = (40..=44u32).map(|u| (u, 0.9)).collect();
+    let sigma = SparseSigma(support);
+    for block_len in [3usize, 7, 32] {
+        let plists = build_all(&lists_raw, block_len, Encoding::DeltaVarint);
+        let refs: Vec<&PostingList> = plists.iter().collect();
+        let mut bmw = BlockMaxWand::new();
+        let (got, stats) = bmw.search(&refs, &sigma, 20, SigmaAccum::F32);
+        let want = reference(&lists_raw, &sigma, 20, SigmaAccum::F32);
+        assert_eq!(
+            want.iter()
+                .map(|&(d, s)| (d, s.to_bits()))
+                .collect::<Vec<_>>(),
+            got.iter()
+                .map(|&(d, s)| (d, s.to_bits()))
+                .collect::<Vec<_>>(),
+            "block_len {block_len}"
+        );
+        assert_eq!(got.len(), 20);
+        // 95% of taggings fall outside the band; a sound support prune must
+        // have skipped at least some blocks without touching their groups.
+        assert!(
+            stats.blocks_skipped > 0,
+            "block_len {block_len}: no blocks skipped ({stats:?})"
+        );
+    }
+}
+
+/// Forcing σ = 0 everywhere returns nothing, never touching a posting.
+#[test]
+fn zero_sigma_everywhere_returns_empty() {
+    let lists_raw: Vec<Vec<(DocId, u32, Score)>> =
+        vec![(0..300u32).map(|d| (d, d % 50, 2.0)).collect()];
+    let plists = build_all(&lists_raw, 16, Encoding::DeltaVarint);
+    let refs: Vec<&PostingList> = plists.iter().collect();
+    let mut bmw = BlockMaxWand::new();
+    let (got, stats) = bmw.search(&refs, &SparseSigma(Vec::new()), 10, SigmaAccum::F32);
+    assert!(got.is_empty());
+    assert_eq!(stats.sorted_accesses, 0);
+}

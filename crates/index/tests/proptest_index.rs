@@ -162,4 +162,114 @@ proptest! {
             cur.next();
         }
     }
+
+    /// `decode_sorted_into` equals `decode_sorted` and reuses its buffer:
+    /// repeated decodes into one scratch vector reproduce every sequence.
+    #[test]
+    fn decode_into_matches_decode(
+        seqs in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..1_000_000, 0..120), 1..6),
+    ) {
+        let mut scratch = Vec::new();
+        for ids in &seqs {
+            let ids: Vec<u32> = ids.iter().copied().collect();
+            let mut buf = Vec::new();
+            varint::encode_sorted(&ids, &mut buf);
+            let mut a = buf.as_slice();
+            let mut b = buf.as_slice();
+            let want = varint::decode_sorted(&mut a, ids.len());
+            prop_assert_eq!(
+                varint::decode_sorted_into(&mut b, ids.len(), &mut scratch),
+                want.as_ref().map(|_| ())
+            );
+            prop_assert_eq!(Some(&scratch), want.as_ref());
+            prop_assert!(a.is_empty() && b.is_empty());
+        }
+    }
+
+    /// Block-boundary decode: starting a decode at any block's skip-pointer
+    /// byte offset reproduces exactly that block's slice of the full-stream
+    /// decode — the precondition for sound block skipping (and for any
+    /// future SIMD group decode that processes one block at a time).
+    #[test]
+    fn block_offset_decode_equals_full_stream(
+        entries in arb_entries(),
+        block_len in 1usize..40,
+    ) {
+        let cfg = PostingConfig {
+            encoding: Encoding::DeltaVarint,
+            block_len,
+            skips_enabled: true,
+        };
+        let list = PostingList::build(entries, cfg);
+        let full: Vec<DocId> = list.to_vec().iter().map(|&(d, _)| d).collect();
+        let mut scratch = Vec::new();
+        for bi in 0..list.num_blocks() {
+            let b = list.block(bi);
+            // Decode from the raw skip-pointer bytes…
+            let mut bytes = list.block_bytes(bi);
+            let decoded = varint::decode_sorted(&mut bytes, b.count)
+                .expect("block decode failed");
+            prop_assert!(bytes.is_empty(), "block {} bytes not fully consumed", bi);
+            prop_assert_eq!(&decoded, &full[b.elem_start..b.elem_start + b.count]);
+            // …and through the block accessor used by the operator.
+            list.block_docs_into(bi, &mut scratch);
+            prop_assert_eq!(&scratch, &decoded);
+            prop_assert_eq!(decoded.first().copied(), Some(b.first_doc));
+            prop_assert_eq!(decoded.last().copied(), Some(b.last_doc));
+        }
+    }
+
+    /// σ-aware builds agree with plain builds on the doc/score content for
+    /// identical input, regardless of block geometry, and their per-block
+    /// tagger ranges cover every group member.
+    #[test]
+    fn sigma_build_agrees_with_plain_build(
+        triples in proptest::collection::vec((0u32..300, 0u32..40, 0.01f32..3.0), 0..150),
+        block_len in 1usize..40,
+        raw_encoding in any::<bool>(),
+    ) {
+        let cfg = PostingConfig {
+            encoding: if raw_encoding { Encoding::Raw } else { Encoding::DeltaVarint },
+            block_len,
+            skips_enabled: true,
+        };
+        let sigma_list = PostingList::build_with_taggers(triples.clone(), cfg);
+        // Reference masses: merge (doc, tagger) duplicates, then f32-sum per
+        // doc in ascending tagger order — the documented accumulation order.
+        let mut merged = triples;
+        merged.sort_unstable_by_key(|&(d, u, _)| (d, u));
+        merged.dedup_by(|n, kept| {
+            if n.0 == kept.0 && n.1 == kept.1 {
+                kept.2 += n.2;
+                true
+            } else {
+                false
+            }
+        });
+        let mut want: Vec<(DocId, f32)> = Vec::new();
+        for &(d, _, w) in &merged {
+            match want.last_mut() {
+                Some(last) if last.0 == d => last.1 += w,
+                _ => want.push((d, w)),
+            }
+        }
+        let got = sigma_list.to_vec();
+        prop_assert_eq!(got.len(), want.len());
+        for ((da, sa), (db, sb)) in got.iter().zip(&want) {
+            prop_assert_eq!(da, db);
+            prop_assert_eq!(sa.to_bits(), sb.to_bits(), "doc {} mass bits", da);
+        }
+        for bi in 0..sigma_list.num_blocks() {
+            let blk = sigma_list.block(bi);
+            for i in blk.elem_start..blk.elem_start + blk.count {
+                let group = sigma_list.taggers_of(i);
+                prop_assert!(group.windows(2).all(|w| w[0].0 < w[1].0));
+                for &(u, _) in group {
+                    prop_assert!((blk.min_tagger..=blk.max_tagger).contains(&u));
+                }
+                prop_assert!(sigma_list.score_at(i) <= blk.sigma_base);
+            }
+        }
+    }
 }
