@@ -1,0 +1,73 @@
+//! Fig 11 kernel: the serving tier under a Zipf repeat-query request
+//! stream.
+//!
+//! Two ways to answer the same stream, per model:
+//!
+//! * `batch`   — the pre-PR path: `par_batch_with_cache`, a flat chunk
+//!   split over one shared sharded cache;
+//! * `service` — `friends_service`: seeker-affinity shard routing, batched
+//!   dispatch with duplicate-request coalescing, and private
+//!   admission-controlled caches per shard.
+//!
+//! `report --exp fig11` prints the same comparison with throughput numbers,
+//! service stats and the correctness cross-check; the ignored
+//! `fig11_service_gate` test pins the serving-scale speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use friends_bench::serving_corpus;
+use friends_core::batch::par_batch_with_cache;
+use friends_core::cache::ProximityCache;
+use friends_core::processors::ExactOnline;
+use friends_core::proximity::ProximityModel;
+use friends_data::requests::{RequestParams, RequestStream};
+use friends_service::{exact_factory, par_batch_served};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let corpus = Arc::new(serving_corpus(1_000, 42));
+    corpus.sigma_index();
+    let stream = RequestStream::generate(
+        &corpus.graph,
+        &corpus.store,
+        &RequestParams {
+            count: 128,
+            seeker_theta: 1.1,
+            ..RequestParams::default()
+        },
+        7,
+    );
+    let queries = stream.queries();
+    let shards = 4;
+    let mut group = c.benchmark_group("fig11_service");
+    group.sample_size(10);
+
+    for model in [
+        ProximityModel::DistanceDecay { alpha: 0.3 },
+        ProximityModel::Ppr {
+            alpha: 0.2,
+            epsilon: 1e-4,
+        },
+    ] {
+        group.bench_with_input(BenchmarkId::new("batch", model.name()), &queries, |b, q| {
+            let cache = Arc::new(ProximityCache::new(corpus.num_users() as usize));
+            b.iter(|| {
+                std::hint::black_box(par_batch_with_cache(q, shards, &cache, |shared| {
+                    ExactOnline::with_cache(&corpus, model, shared)
+                }))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("service", model.name()),
+            &queries,
+            |b, q| {
+                b.iter(|| {
+                    std::hint::black_box(par_batch_served(&corpus, q, shards, exact_factory(model)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

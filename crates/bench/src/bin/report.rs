@@ -115,13 +115,39 @@ fn main() {
             "fig10: block-max sigma-aware WAND vs posting scan / support \
              probe; the ignored fig10_blockmax_gate test pins the \
              low-selectivity speedup at serving scale",
+            "fig11: friends_service (seeker-affinity shards + request \
+             coalescing + TinyLFU-admission shard caches) vs the flat \
+             par_batch_with_cache split; the ignored fig11_service_gate \
+             test pins the >=1.3x serving-scale win with zero deadline \
+             misses",
         ];
         let notes_json: Vec<String> = notes
             .iter()
             .map(|n| format!("  \"{}\"", json_escape(n)))
             .collect();
+        // The serving tier's shard-cache counters over a FIXED synthetic
+        // probe workload (Tiny corpus, 300 requests twice, 16-entry
+        // caches) — a behavioral fingerprint of the admission/TTL/LRU
+        // policy, deliberately independent of whichever experiments ran
+        // above so it is diffable across PRs. Not a measurement of this
+        // run's experiments.
+        let cs = friends_bench::service_cache_probe();
+        let cache_json = format!(
+            "{{\"workload\": \"fixed synthetic probe (not this run's experiments)\", \
+             \"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
+             \"rejections\": {}, \"expirations\": {}, \"entries\": {}, \"hit_rate\": {:.4}}}",
+            cs.hits,
+            cs.misses,
+            cs.insertions,
+            cs.evictions,
+            cs.rejections,
+            cs.expirations,
+            cs.entries,
+            cs.hit_rate()
+        );
         let doc = format!(
-            "{{\n\"profile\": \"{profile_name}\",\n\"experiments\": [\n{}\n],\n\"notes\": [\n{}\n]\n}}\n",
+            "{{\n\"profile\": \"{profile_name}\",\n\"experiments\": [\n{}\n],\n\
+             \"service_cache_probe\": {cache_json},\n\"notes\": [\n{}\n]\n}}\n",
             entries.join(",\n"),
             notes_json.join(",\n")
         );

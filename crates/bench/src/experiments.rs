@@ -740,7 +740,7 @@ pub fn table3(profile: Profile) -> String {
 /// workspace plus a shared seeker-proximity cache. Rankings are asserted
 /// identical across the three paths while measuring.
 pub fn fig9(profile: Profile) -> String {
-    let c = corpus_for(&DatasetSpec::delicious_like(profile.scale()));
+    let c = std::sync::Arc::new(corpus_for(&DatasetSpec::delicious_like(profile.scale())));
     let (count, threads) = match profile {
         Profile::Quick => (300, 4),
         Profile::Full => (3_000, 4),
@@ -760,6 +760,7 @@ pub fn fig9(profile: Profile) -> String {
         "dense q/s",
         "workspace q/s",
         "cached q/s",
+        "service q/s",
         "ws speedup",
         "cache speedup",
         "hit rate",
@@ -781,19 +782,31 @@ pub fn fig9(profile: Profile) -> String {
                 ExactOnline::with_cache(&c, model, shared)
             })
         });
-        // The three paths must agree item-for-item — this is measured code,
+        // The serving path: the same workload through the seeker-affinity
+        // broker (coalescing + shard-private caches).
+        let (served_r, served_d) = timed(|| {
+            friends_service::par_batch_served(
+                &c,
+                &w.queries,
+                threads,
+                friends_service::exact_factory(model),
+            )
+        });
+        // The four paths must agree item-for-item — this is measured code,
         // but correctness is free to check here.
-        for ((a, b), d) in dense_r.iter().zip(&ws_r).zip(&cached_r) {
+        for (((a, b), d), s) in dense_r.iter().zip(&ws_r).zip(&cached_r).zip(&served_r) {
             assert_eq!(a.items, b.items, "workspace path diverged ({model:?})");
             assert_eq!(a.items, d.items, "cached path diverged ({model:?})");
+            assert_eq!(a.items, s.items, "service path diverged ({model:?})");
         }
         let qps = |d: Duration| count as f64 / d.as_secs_f64();
-        let (dq, wq, cq) = (qps(dense_d), qps(ws_d), qps(cached_d));
+        let (dq, wq, cq, sq) = (qps(dense_d), qps(ws_d), qps(cached_d), qps(served_d));
         t.row(vec![
             model.name().into(),
             format!("{dq:.0}"),
             format!("{wq:.0}"),
             format!("{cq:.0}"),
+            format!("{sq:.0}"),
             format!("{:.1}x", wq / dq),
             format!("{:.1}x", cq / dq),
             format!("{:.0}%", 100.0 * cache.stats().hit_rate()),
@@ -883,9 +896,115 @@ pub fn fig10(profile: Profile) -> String {
     )
 }
 
+// ----------------------------------------------------------------- Fig 11
+
+/// Fig 11: the serving tier — seeker-affinity `friends_service` vs the flat
+/// `par_batch_with_cache` chunk split, on a Zipf(1.1) request stream with
+/// per-seeker repeat queries (the [`friends_data::requests`] traffic shape).
+/// The service coalesces duplicate in-flight requests, keeps each seeker's
+/// σ on one shard's private admission-controlled cache, and sheds nothing
+/// at the default deadline. Rankings are asserted identical while
+/// measuring.
+pub fn fig11(profile: Profile) -> String {
+    use friends_core::batch::par_batch_with_cache;
+    use friends_core::cache::ProximityCache;
+    use friends_data::requests::{RequestParams, RequestStream};
+    use friends_service::{exact_factory, FriendsService, ServiceConfig};
+    use std::sync::Arc;
+
+    // The serving regime (see [`crate::serving_corpus`]): heavy tags, so
+    // per-request cost is scoring — the work coalescing removes.
+    let (users, count, workers) = match profile {
+        Profile::Quick => (1_000, 400, 4),
+        Profile::Full => (10_000, 2_000, 4),
+    };
+    let c = Arc::new(crate::serving_corpus(users, SEED));
+    c.sigma_index(); // shared lazy build, outside every timed region
+    let stream = RequestStream::generate(
+        &c.graph,
+        &c.store,
+        &RequestParams {
+            count,
+            seeker_theta: 1.1,
+            ..RequestParams::default()
+        },
+        SEED ^ 0xF11A,
+    );
+    let queries = stream.queries();
+    let mut t = TextTable::new(&[
+        "model",
+        "batch q/s",
+        "service q/s",
+        "speedup",
+        "coalesced %",
+        "hit %",
+        "admit rejects",
+        "deadline miss",
+        "max depth",
+    ]);
+    for model in [
+        ProximityModel::DistanceDecay { alpha: 0.3 },
+        ProximityModel::Ppr {
+            alpha: 0.2,
+            epsilon: 1e-4,
+        },
+    ] {
+        // Pre-PR baseline: flat chunk split over a shared sharded cache.
+        let cache = Arc::new(ProximityCache::new(c.num_users() as usize));
+        let (base_r, base_d) = timed(|| {
+            par_batch_with_cache(&queries, workers, &cache, |shared| {
+                ExactOnline::with_cache(&c, model, shared)
+            })
+        });
+        // The service: affinity routing + coalescing + private caches.
+        let svc = FriendsService::start(
+            Arc::clone(&c),
+            ServiceConfig {
+                shards: workers,
+                ..ServiceConfig::default()
+            },
+            exact_factory(model),
+        );
+        let (replies, svc_d) = timed(|| svc.submit_batch(&queries));
+        let stats = svc.shutdown().totals();
+        // Measured code, but the differential contract is free to check:
+        // routing/coalescing must never change an *answer*. Requests shed
+        // at the default deadline (possible on a very loaded machine) are
+        // reported in the table column instead of aborting the report —
+        // the zero-miss requirement is pinned by `fig11_service_gate`.
+        for (a, b) in base_r.iter().zip(&replies) {
+            if let Some(served) = b.outcome.result() {
+                assert_eq!(a.items, served.items, "service diverged ({model:?})");
+            }
+        }
+        let qps = |d: Duration| queries.len() as f64 / d.as_secs_f64();
+        let (bq, sq) = (qps(base_d), qps(svc_d));
+        t.row(vec![
+            model.name().into(),
+            format!("{bq:.0}"),
+            format!("{sq:.0}"),
+            format!("{:.2}x", sq / bq),
+            format!(
+                "{:.0}%",
+                100.0 * stats.coalesced as f64 / stats.submitted as f64
+            ),
+            format!("{:.0}%", 100.0 * stats.cache.hit_rate()),
+            stats.cache.rejections.to_string(),
+            stats.deadline_misses.to_string(),
+            stats.max_queue_depth.to_string(),
+        ]);
+    }
+    format!(
+        "Fig 11 — serving tier: seeker-affinity service vs flat cached batch \
+         (Zipf(1.1) repeat-query stream, {users} users, {count} requests, {workers} shards)\n{}",
+        t.render()
+    )
+}
+
 /// All experiment names, in report order.
 pub const ALL: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table3",
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "table3",
 ];
 
 /// Dispatches an experiment by name.
@@ -901,6 +1020,7 @@ pub fn run(name: &str, profile: Profile) -> Option<String> {
         "fig8" => fig8(profile),
         "fig9" => fig9(profile),
         "fig10" => fig10(profile),
+        "fig11" => fig11(profile),
         "table3" => table3(profile),
         _ => return None,
     })

@@ -1,4 +1,5 @@
-//! A sharded, LRU seeker-proximity cache.
+//! A sharded, LRU seeker-proximity cache with optional admission control
+//! and TTL expiry.
 //!
 //! Real query traffic is heavily skewed toward repeat seekers (the Zipf
 //! workload of Fig 7 / `fig9_hot_path`), and `σ(seeker, ·)` depends only on
@@ -8,7 +9,21 @@
 //!
 //! The cache is sharded by key hash so `par_batch` workers contend only
 //! 1/`shards` of the time; each shard is an exact LRU (hash map + recency
-//! index, both `O(log n)` worst case per touch).
+//! index, both `O(log n)` worst case per touch). `friends_service` workers
+//! instead use [`ProximityCache::unsharded`] — one shard owned by one
+//! worker, so the lock is always uncontended.
+//!
+//! [`CachePolicy`] adds two serving-era behaviors on top of plain LRU:
+//!
+//! * **TinyLFU-style admission** — each shard keeps a 4-bit count-min
+//!   sketch of key access frequencies (periodically halved, so estimates
+//!   age). When a full shard would evict its LRU victim for a new key, the
+//!   insert is *rejected* unless the new key has been asked for more often
+//!   than the victim: one-hit wonders cannot wash a skewed working set out
+//!   of a small cache.
+//! * **TTL** — entries older than the configured lifetime are treated as
+//!   misses and dropped on access: the invalidation hook a mutable graph
+//!   will need (σ staleness is bounded by the TTL).
 
 use crate::proximity::{ProximityModel, ProximityVec};
 use friends_graph::{CsrGraph, NodeId};
@@ -17,6 +32,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// `(graph, seeker, model)` identity: the graph contributes its
 /// process-unique token (so one cache shared across corpora can never serve
@@ -29,18 +45,109 @@ fn key_of(graph: &CsrGraph, seeker: NodeId, model: ProximityModel) -> Key {
     (graph.token(), seeker, tag, a, b)
 }
 
+fn hash_key(key: &Key) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Optional cache behaviors layered over the LRU core; the default policy
+/// (`admission` off, no `ttl`) is the pre-existing plain-LRU behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// TinyLFU-style admission: a full shard admits a new key only when the
+    /// frequency sketch has seen it more often than the would-be victim.
+    pub admission: bool,
+    /// Entries older than this are dropped on access (counted as a miss
+    /// plus an expiration).
+    pub ttl: Option<Duration>,
+}
+
+/// A 4-bit count-min sketch over key hashes — the frequency memory behind
+/// TinyLFU admission. Counters saturate at 15 and are halved once the number
+/// of recorded accesses reaches the sample period, so the sketch tracks
+/// *recent* popularity rather than all-time counts.
+struct FreqSketch {
+    /// Two 4-bit counters per byte; `width` nibble slots per row, 4 rows.
+    table: Vec<u8>,
+    width_mask: u64,
+    ops: u64,
+    sample_period: u64,
+}
+
+impl FreqSketch {
+    const ROWS: u64 = 4;
+
+    fn new(capacity: usize) -> Self {
+        let width = (capacity.max(8) * 8).next_power_of_two() as u64;
+        FreqSketch {
+            table: vec![0u8; (width * Self::ROWS / 2) as usize],
+            width_mask: width - 1,
+            ops: 0,
+            sample_period: (capacity.max(8) as u64) * 10,
+        }
+    }
+
+    /// Row-local nibble slot for `hash` in `row` (independent per-row mix).
+    fn slot(&self, hash: u64, row: u64) -> usize {
+        let mixed = hash
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15u64.wrapping_add(row * 2 + 1))
+            .rotate_left(21 + 7 * row as u32);
+        (row * (self.width_mask + 1) + (mixed & self.width_mask)) as usize
+    }
+
+    fn read(&self, slot: usize) -> u8 {
+        (self.table[slot / 2] >> ((slot & 1) * 4)) & 0xF
+    }
+
+    fn bump(&mut self, slot: usize) {
+        let cur = self.read(slot);
+        if cur < 15 {
+            self.table[slot / 2] += 1 << ((slot & 1) * 4);
+        }
+    }
+
+    /// Records one access of `hash`, halving every counter at the end of
+    /// each sample period (the aging step).
+    fn record(&mut self, hash: u64) {
+        for row in 0..Self::ROWS {
+            let s = self.slot(hash, row);
+            self.bump(s);
+        }
+        self.ops += 1;
+        if self.ops >= self.sample_period {
+            self.ops = 0;
+            for b in self.table.iter_mut() {
+                // Halve both 4-bit counters in place (0x77 clears the bits
+                // that cross a nibble boundary under the shift).
+                *b = (*b >> 1) & 0x77;
+            }
+        }
+    }
+
+    /// Count-min frequency estimate of `hash`.
+    fn estimate(&self, hash: u64) -> u8 {
+        (0..Self::ROWS)
+            .map(|row| self.read(self.slot(hash, row)))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
 struct Slot {
     value: Arc<ProximityVec>,
     /// Recency stamp; also the key into the shard's recency index.
     stamp: u64,
+    inserted_at: Instant,
 }
 
-#[derive(Default)]
 struct Shard {
     map: HashMap<Key, Slot>,
     /// stamp → key, oldest first: the eviction order.
     recency: BTreeMap<u64, Key>,
     tick: u64,
+    /// Present iff the policy enables admission.
+    sketch: Option<FreqSketch>,
 }
 
 /// Aggregate counters, cheap enough to read in a serving loop.
@@ -50,6 +157,12 @@ pub struct CacheStats {
     pub misses: u64,
     pub insertions: u64,
     pub evictions: u64,
+    /// Inserts refused by TinyLFU admission (the key was colder than the
+    /// would-be eviction victim). Always 0 without `CachePolicy::admission`.
+    pub rejections: u64,
+    /// Entries dropped because they outlived `CachePolicy::ttl` (each also
+    /// counts as a miss on the access that found it stale).
+    pub expirations: u64,
     pub entries: usize,
 }
 
@@ -63,17 +176,34 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Folds another stats snapshot into this one (entries are summed:
+    /// intended for aggregating disjoint caches, e.g. one per service
+    /// shard).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.rejections += other.rejections;
+        self.expirations += other.expirations;
+        self.entries += other.entries;
+    }
 }
 
 /// Sharded LRU cache of materialized proximity vectors, shared across batch
-/// workers via `Arc<ProximityCache>`.
+/// workers via `Arc<ProximityCache>`. See the module docs for the optional
+/// admission/TTL policy.
 pub struct ProximityCache {
     shards: Box<[Mutex<Shard>]>,
     capacity_per_shard: usize,
+    policy: CachePolicy,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    rejections: AtomicU64,
+    expirations: AtomicU64,
 }
 
 impl ProximityCache {
@@ -83,33 +213,64 @@ impl ProximityCache {
 
     /// Creates a cache holding at most `capacity` proximity vectors overall.
     pub fn new(capacity: usize) -> Self {
-        Self::with_shards(capacity, Self::DEFAULT_SHARDS)
+        Self::with_policy(capacity, Self::DEFAULT_SHARDS, CachePolicy::default())
     }
 
     /// Creates a cache with an explicit shard count (rounded up to ≥ 1; the
     /// per-shard capacity is `ceil(capacity / shards)`, minimum 1).
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        Self::with_policy(capacity, shards, CachePolicy::default())
+    }
+
+    /// Creates a single-shard cache — the shape `friends_service` workers
+    /// own privately: exactly one thread ever takes the (then uncontended)
+    /// lock, so a hit costs a hash lookup plus two `O(log n)` recency
+    /// updates and nothing else.
+    pub fn unsharded(capacity: usize, policy: CachePolicy) -> Self {
+        Self::with_policy(capacity, 1, policy)
+    }
+
+    /// Fully explicit constructor: total capacity, shard count and policy.
+    pub fn with_policy(capacity: usize, shards: usize, policy: CachePolicy) -> Self {
         let shards = shards.max(1);
         let capacity_per_shard = capacity.div_ceil(shards).max(1);
         ProximityCache {
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        recency: BTreeMap::new(),
+                        tick: 0,
+                        sketch: policy
+                            .admission
+                            .then(|| FreqSketch::new(capacity_per_shard)),
+                    })
+                })
+                .collect(),
             capacity_per_shard,
+            policy,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
         }
     }
 
-    fn shard_of(&self, key: &Key) -> &Mutex<Shard> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+    /// The configured policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    fn shard_of(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash as usize) % self.shards.len()]
     }
 
     /// Looks up `σ(seeker, ·)` on `graph` under `model`, refreshing its
     /// recency. One hash lookup and two `O(log n)` recency updates, all
-    /// under the shard lock — the whole cost of a hit.
+    /// under the shard lock — the whole cost of a hit. Under a TTL policy,
+    /// an entry past its lifetime is dropped and reported as a miss.
     pub fn get(
         &self,
         graph: &CsrGraph,
@@ -117,9 +278,25 @@ impl ProximityCache {
         model: ProximityModel,
     ) -> Option<Arc<ProximityVec>> {
         let key = key_of(graph, seeker, model);
-        let mut guard = self.shard_of(&key).lock();
+        let hash = hash_key(&key);
+        let mut guard = self.shard_of(hash).lock();
         let shard = &mut *guard;
+        if let Some(sketch) = shard.sketch.as_mut() {
+            sketch.record(hash);
+        }
         if let Some(slot) = shard.map.get_mut(&key) {
+            if self
+                .policy
+                .ttl
+                .is_some_and(|ttl| slot.inserted_at.elapsed() > ttl)
+            {
+                let stamp = slot.stamp;
+                shard.map.remove(&key);
+                shard.recency.remove(&stamp);
+                self.expirations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
             shard.tick += 1;
             shard.recency.remove(&slot.stamp);
             slot.stamp = shard.tick;
@@ -133,7 +310,9 @@ impl ProximityCache {
     }
 
     /// Inserts (or refreshes) a materialized vector, evicting the least
-    /// recently used entry of the target shard when it is full.
+    /// recently used entry of the target shard when it is full — unless the
+    /// admission policy finds the new key colder than the victim, in which
+    /// case the insert is rejected and the resident entry survives.
     pub fn insert(
         &self,
         graph: &CsrGraph,
@@ -142,10 +321,12 @@ impl ProximityCache {
         value: Arc<ProximityVec>,
     ) {
         let key = key_of(graph, seeker, model);
-        let mut guard = self.shard_of(&key).lock();
+        let hash = hash_key(&key);
+        let mut guard = self.shard_of(hash).lock();
         let shard = &mut *guard;
         if let Some(slot) = shard.map.get_mut(&key) {
             slot.value = value;
+            slot.inserted_at = Instant::now();
             shard.tick += 1;
             shard.recency.remove(&slot.stamp);
             slot.stamp = shard.tick;
@@ -153,15 +334,47 @@ impl ProximityCache {
             return;
         }
         if shard.map.len() >= self.capacity_per_shard {
-            if let Some((&oldest, _)) = shard.recency.iter().next() {
-                let victim = shard.recency.remove(&oldest).unwrap();
-                shard.map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+            let victim = shard.recency.iter().next().map(|(&stamp, &k)| (stamp, k));
+            if let Some((oldest, victim_key)) = victim {
+                // An expired victim is unconditionally evictable: its sketch
+                // estimate may still be high, but it can never be served
+                // again, so it must not win the admission comparison and
+                // wedge the shard full of stale entries.
+                let victim_expired = self.policy.ttl.is_some_and(|ttl| {
+                    shard
+                        .map
+                        .get(&victim_key)
+                        .is_some_and(|s| s.inserted_at.elapsed() > ttl)
+                });
+                if !victim_expired {
+                    if let Some(sketch) = shard.sketch.as_ref() {
+                        // TinyLFU gate: admit only keys strictly hotter than
+                        // the LRU victim.
+                        if sketch.estimate(hash) <= sketch.estimate(hash_key(&victim_key)) {
+                            self.rejections.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                shard.recency.remove(&oldest);
+                shard.map.remove(&victim_key);
+                if victim_expired {
+                    self.expirations.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         shard.tick += 1;
         let stamp = shard.tick;
-        shard.map.insert(key, Slot { value, stamp });
+        shard.map.insert(
+            key,
+            Slot {
+                value,
+                stamp,
+                inserted_at: Instant::now(),
+            },
+        );
         shard.recency.insert(stamp, key);
         self.insertions.fetch_add(1, Ordering::Relaxed);
     }
@@ -192,6 +405,8 @@ impl ProximityCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -275,6 +490,139 @@ mod tests {
         assert_eq!(c.len(), 1);
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn admission_protects_hot_entries_from_one_hit_wonders() {
+        let g = graph();
+        let policy = CachePolicy {
+            admission: true,
+            ttl: None,
+        };
+        let c = ProximityCache::unsharded(2, policy);
+        // Make seekers 1 and 2 hot: several lookups each feed the sketch.
+        for _ in 0..6 {
+            let _ = c.get(&g, 1, MODEL);
+            let _ = c.get(&g, 2, MODEL);
+        }
+        c.insert(&g, 1, MODEL, vec_for(1));
+        c.insert(&g, 2, MODEL, vec_for(2));
+        // A cold scan of never-repeated seekers must not displace them.
+        for u in 10..30 {
+            let _ = c.get(&g, u, MODEL);
+            c.insert(&g, u, MODEL, vec_for(u));
+        }
+        assert!(c.get(&g, 1, MODEL).is_some(), "hot entry 1 evicted");
+        assert!(c.get(&g, 2, MODEL).is_some(), "hot entry 2 evicted");
+        let s = c.stats();
+        assert!(s.rejections > 0, "cold keys should have been rejected");
+        assert_eq!(s.evictions, 0, "no hot entry should have been evicted");
+    }
+
+    #[test]
+    fn admission_lets_hotter_keys_replace_colder_residents() {
+        let g = graph();
+        let policy = CachePolicy {
+            admission: true,
+            ttl: None,
+        };
+        let c = ProximityCache::unsharded(1, policy);
+        let _ = c.get(&g, 1, MODEL); // one access for the resident…
+        c.insert(&g, 1, MODEL, vec_for(1));
+        for _ in 0..8 {
+            let _ = c.get(&g, 2, MODEL); // …many for the challenger
+        }
+        c.insert(&g, 2, MODEL, vec_for(2));
+        assert!(c.get(&g, 2, MODEL).is_some(), "hotter key must be admitted");
+        assert!(c.get(&g, 1, MODEL).is_none(), "colder resident evicted");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn ttl_expires_stale_entries() {
+        let g = graph();
+        let policy = CachePolicy {
+            admission: false,
+            ttl: Some(std::time::Duration::from_millis(20)),
+        };
+        let c = ProximityCache::unsharded(8, policy);
+        c.insert(&g, 1, MODEL, vec_for(1));
+        assert!(c.get(&g, 1, MODEL).is_some(), "fresh entry must hit");
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(c.get(&g, 1, MODEL).is_none(), "stale entry must expire");
+        let s = c.stats();
+        assert_eq!(s.expirations, 1);
+        assert_eq!(s.entries, 0, "expired entry is dropped eagerly");
+        // Re-insert resets the clock.
+        c.insert(&g, 1, MODEL, vec_for(1));
+        assert!(c.get(&g, 1, MODEL).is_some());
+    }
+
+    #[test]
+    fn expired_residents_cannot_win_the_admission_gate() {
+        // Admission + TTL together: once the hot working set expires, new
+        // (cold) keys must still get in — an unservable stale entry must
+        // never block a fresh insert, however hot its sketch estimate is.
+        let g = graph();
+        let policy = CachePolicy {
+            admission: true,
+            ttl: Some(std::time::Duration::from_millis(15)),
+        };
+        let c = ProximityCache::unsharded(2, policy);
+        for _ in 0..8 {
+            let _ = c.get(&g, 1, MODEL); // make 1 and 2 very hot
+            let _ = c.get(&g, 2, MODEL);
+        }
+        c.insert(&g, 1, MODEL, vec_for(1));
+        c.insert(&g, 2, MODEL, vec_for(2));
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        // Traffic shifts: a brand-new seeker with a single prior lookup.
+        let _ = c.get(&g, 30, MODEL);
+        c.insert(&g, 30, MODEL, vec_for(30));
+        assert!(
+            c.get(&g, 30, MODEL).is_some(),
+            "fresh insert blocked by an expired resident: {:?}",
+            c.stats()
+        );
+        assert!(c.stats().expirations > 0, "{:?}", c.stats());
+    }
+
+    #[test]
+    fn default_policy_preserves_plain_lru_counters() {
+        let g = graph();
+        let c = ProximityCache::new(8);
+        assert_eq!(c.policy(), CachePolicy::default());
+        let _ = c.get(&g, 1, MODEL);
+        c.insert(&g, 1, MODEL, vec_for(1));
+        let _ = c.get(&g, 1, MODEL);
+        let s = c.stats();
+        assert_eq!((s.rejections, s.expirations), (0, 0));
+        let mut merged = s;
+        merged.merge(&s);
+        assert_eq!(merged.hits, 2 * s.hits);
+        assert_eq!(merged.entries, 2 * s.entries);
+    }
+
+    #[test]
+    fn freq_sketch_tracks_and_ages() {
+        let mut sk = FreqSketch::new(16);
+        for _ in 0..10 {
+            sk.record(0xABCD);
+        }
+        sk.record(0x1234);
+        assert!(sk.estimate(0xABCD) > sk.estimate(0x1234));
+        assert_eq!(sk.estimate(0x9999), 0);
+        // Saturation: never above 15.
+        for _ in 0..100 {
+            sk.record(0xABCD);
+        }
+        assert!(sk.estimate(0xABCD) <= 15);
+        // Aging: a full sample period halves everything.
+        let before = sk.estimate(0xABCD);
+        for i in 0..sk.sample_period {
+            sk.record(0x5000 + (i % 13));
+        }
+        assert!(sk.estimate(0xABCD) < before, "aging must decay counters");
     }
 
     #[test]

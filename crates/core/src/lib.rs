@@ -49,7 +49,7 @@ pub mod processors;
 pub mod proximity;
 
 pub use batch::{par_batch, par_batch_with_cache};
-pub use cache::{CacheStats, ProximityCache};
+pub use cache::{CachePolicy, CacheStats, ProximityCache};
 pub use corpus::{Corpus, QueryStats, SearchResult};
 pub use processors::Processor;
 pub use proximity::{ProximityVec, Sigma, SigmaWorkspace};

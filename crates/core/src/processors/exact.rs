@@ -121,6 +121,10 @@ impl Processor for ExactOnline<'_> {
         "exact-online"
     }
 
+    fn set_strategy(&mut self, strategy: ScoringStrategy) {
+        self.strategy = strategy;
+    }
+
     fn query(&mut self, q: &Query) -> SearchResult {
         let mut stats = QueryStats::default();
         // Resolve σ: cache hit → shared vector, miss → materialize into the

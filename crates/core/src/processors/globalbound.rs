@@ -135,6 +135,10 @@ impl Processor for GlobalBoundTA<'_> {
         "global-bound-ta"
     }
 
+    fn set_strategy(&mut self, strategy: ScoringStrategy) {
+        self.strategy = strategy;
+    }
+
     fn query(&mut self, q: &Query) -> SearchResult {
         let mut stats = QueryStats::default();
         self.tags_scratch.clear();

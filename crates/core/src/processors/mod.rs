@@ -27,7 +27,7 @@ use friends_index::accumulate::DenseAccumulator;
 /// lets the processor pick per query from the model's support shape and the
 /// posting volume; forcing a strategy a processor does not implement falls
 /// back to `Auto` (documented per processor).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ScoringStrategy {
     /// Per-query adaptive choice (the default).
     #[default]
@@ -52,6 +52,15 @@ pub trait Processor {
 
     /// Executes one query.
     fn query(&mut self, q: &Query) -> SearchResult;
+
+    /// Applies a per-request [`ScoringStrategy`] hint ahead of the next
+    /// [`Processor::query`] call — the entry point `friends_service`
+    /// requests carry their hint through. Processors with a single
+    /// execution path ignore it (the default); `ExactOnline` and
+    /// `GlobalBoundTA` honor it exactly like their `with_strategy`
+    /// constructors (every strategy returns byte-identical rankings, so
+    /// the hint is purely a cost decision).
+    fn set_strategy(&mut self, _strategy: ScoringStrategy) {}
 }
 
 /// `(θ, η)` over an accumulator's touched docs: the k-th best accumulated

@@ -207,38 +207,38 @@ impl ProximityModel {
             }
             ProximityModel::AdamicAdar => {
                 ws.kind = SigmaKind::Sparse;
-                if n == 0 {
-                    return;
-                }
-                // Accumulate AA over the 2-hop neighborhood: every middle
-                // node w contributes 1/ln(1 + deg(w)) to each of its
-                // neighbors (the common-neighbor identity).
-                for &w in g.neighbors(seeker) {
-                    let contrib = 1.0 / (1.0 + g.degree(w) as f64).ln();
-                    for &x in g.neighbors(w) {
-                        if x != seeker {
-                            ws.accumulate(x, contrib);
+                if n > 0 {
+                    // Accumulate AA over the 2-hop neighborhood: every middle
+                    // node w contributes 1/ln(1 + deg(w)) to each of its
+                    // neighbors (the common-neighbor identity).
+                    for &w in g.neighbors(seeker) {
+                        let contrib = 1.0 / (1.0 + g.degree(w) as f64).ln();
+                        for &x in g.neighbors(w) {
+                            if x != seeker {
+                                ws.accumulate(x, contrib);
+                            }
+                        }
+                        // Direct friends always have nonzero proximity, even
+                        // without any common neighbor.
+                        ws.accumulate(w, contrib * f64::EPSILON.max(1e-9));
+                    }
+                    let max = ws
+                        .touched
+                        .iter()
+                        .map(|&u| ws.values[u as usize])
+                        .fold(0.0f64, f64::max);
+                    if max > 0.0 {
+                        for i in 0..ws.touched.len() {
+                            let u = ws.touched[i] as usize;
+                            ws.values[u] /= max;
                         }
                     }
-                    // Direct friends always have nonzero proximity, even
-                    // without any common neighbor.
-                    ws.accumulate(w, contrib * f64::EPSILON.max(1e-9));
+                    ws.set(seeker, 1.0);
+                    ws.build_entries_from_touched();
                 }
-                let max = ws
-                    .touched
-                    .iter()
-                    .map(|&u| ws.values[u as usize])
-                    .fold(0.0f64, f64::max);
-                if max > 0.0 {
-                    for i in 0..ws.touched.len() {
-                        let u = ws.touched[i] as usize;
-                        ws.values[u] /= max;
-                    }
-                }
-                ws.set(seeker, 1.0);
-                ws.build_entries_from_touched();
             }
         }
+        ws.finish(seeker);
     }
 }
 
@@ -277,6 +277,12 @@ pub struct SigmaWorkspace {
     /// Sparse support, sorted by node id (kind == Sparse only).
     entries: Vec<(NodeId, f64)>,
     kind: SigmaKind,
+    /// The seeker of the current epoch's materialization, and the largest σ
+    /// over every *other* node — precomputed once per materialization so
+    /// [`Sigma::max_excluding`] (the WeightedDecay block-max envelope cap)
+    /// is `O(1)` instead of a per-query rescan.
+    seeker: NodeId,
+    non_seeker_max: f64,
     bfs: BfsWorkspace,
     prox: ProximityWorkspace,
     push: PushWorkspace,
@@ -299,6 +305,8 @@ impl SigmaWorkspace {
             touched: Vec::new(),
             entries: Vec::new(),
             kind: SigmaKind::AllOnes,
+            seeker: NodeId::MAX,
+            non_seeker_max: 1.0,
             bfs: BfsWorkspace::new(),
             prox: ProximityWorkspace::new(),
             push: PushWorkspace::default(),
@@ -352,6 +360,23 @@ impl SigmaWorkspace {
             self.values[i] = delta;
             self.touched.push(u);
         }
+    }
+
+    /// Seals a materialization: records the seeker and precomputes the
+    /// non-seeker σ maximum (one pass over the nodes this epoch already
+    /// touched, paid once per materialization so later
+    /// [`Sigma::max_excluding`] reads are `O(1)`).
+    fn finish(&mut self, seeker: NodeId) {
+        self.seeker = seeker;
+        self.non_seeker_max = match self.kind {
+            SigmaKind::AllOnes => 1.0,
+            _ => self
+                .touched
+                .iter()
+                .filter(|&&u| u != seeker)
+                .map(|&u| self.values[u as usize])
+                .fold(0.0, f64::max),
+        };
     }
 
     fn build_entries_from_touched(&mut self) {
@@ -408,7 +433,11 @@ impl SigmaWorkspace {
     pub fn snapshot(&self, n: usize) -> ProximityVec {
         match self.kind {
             SigmaKind::AllOnes => ProximityVec::AllOnes,
-            SigmaKind::Dense => ProximityVec::Dense(self.to_dense(n)),
+            SigmaKind::Dense => ProximityVec::Dense {
+                values: self.to_dense(n),
+                seeker: self.seeker,
+                non_seeker_max: self.non_seeker_max,
+            },
             SigmaKind::Sparse => ProximityVec::Sparse(self.entries.clone()),
         }
     }
@@ -420,8 +449,14 @@ impl SigmaWorkspace {
 pub enum ProximityVec {
     /// `σ ≡ 1` (the Global model).
     AllOnes,
-    /// Dense `σ` over all nodes.
-    Dense(Vec<f64>),
+    /// Dense `σ` over all nodes, carrying the seeker it was materialized
+    /// for and the precomputed non-seeker maximum so
+    /// [`Sigma::max_excluding`] answers in `O(1)` on cached vectors too.
+    Dense {
+        values: Vec<f64>,
+        seeker: NodeId,
+        non_seeker_max: f64,
+    },
     /// Sorted `(node, σ)` pairs with `σ > 0`; all other nodes are 0.
     Sparse(Vec<(NodeId, f64)>),
 }
@@ -432,7 +467,7 @@ impl ProximityVec {
     pub fn get(&self, u: NodeId) -> f64 {
         match self {
             ProximityVec::AllOnes => 1.0,
-            ProximityVec::Dense(v) => v.get(u as usize).copied().unwrap_or(0.0),
+            ProximityVec::Dense { values, .. } => values.get(u as usize).copied().unwrap_or(0.0),
             ProximityVec::Sparse(e) => match e.binary_search_by_key(&u, |&(n, _)| n) {
                 Ok(i) => e[i].1,
                 Err(_) => 0.0,
@@ -452,7 +487,7 @@ impl ProximityVec {
     pub fn memory_bytes(&self) -> usize {
         match self {
             ProximityVec::AllOnes => 0,
-            ProximityVec::Dense(v) => v.len() * std::mem::size_of::<f64>(),
+            ProximityVec::Dense { values, .. } => values.len() * std::mem::size_of::<f64>(),
             ProximityVec::Sparse(e) => e.len() * std::mem::size_of::<(NodeId, f64)>(),
         }
     }
@@ -487,12 +522,15 @@ impl Sigma<'_> {
     }
 
     /// Largest σ over every node except `exclude` — the exact dense-model
-    /// envelope for σ-aware pruning. One pass over the touched values
-    /// (workspace / sparse vector) or the dense vector.
+    /// envelope for σ-aware pruning. `O(1)` when `exclude` is the seeker
+    /// the σ was materialized for (the only caller on the hot path — both
+    /// the workspace and dense snapshots store the non-seeker maximum);
+    /// one pass over the values otherwise.
     pub fn max_excluding(&self, exclude: NodeId) -> f64 {
         match self {
             Sigma::Workspace(ws) => match ws.kind {
                 SigmaKind::AllOnes => 1.0,
+                _ if exclude == ws.seeker => ws.non_seeker_max,
                 _ => ws
                     .touched
                     .iter()
@@ -501,12 +539,22 @@ impl Sigma<'_> {
                     .fold(0.0, f64::max),
             },
             Sigma::Shared(ProximityVec::AllOnes) => 1.0,
-            Sigma::Shared(ProximityVec::Dense(v)) => v
-                .iter()
-                .enumerate()
-                .filter(|&(u, _)| u != exclude as usize)
-                .map(|(_, &s)| s)
-                .fold(0.0, f64::max),
+            Sigma::Shared(ProximityVec::Dense {
+                values,
+                seeker,
+                non_seeker_max,
+            }) => {
+                if exclude == *seeker {
+                    *non_seeker_max
+                } else {
+                    values
+                        .iter()
+                        .enumerate()
+                        .filter(|&(u, _)| u != exclude as usize)
+                        .map(|(_, &s)| s)
+                        .fold(0.0, f64::max)
+                }
+            }
             Sigma::Shared(ProximityVec::Sparse(e)) => e
                 .iter()
                 .filter(|&&(u, _)| u != exclude)
@@ -524,7 +572,9 @@ impl Sigma<'_> {
             let ok = match self {
                 Sigma::Workspace(ws) => ws.touched.iter().all(|&u| ws.get(u) <= 1.0 + 1e-9),
                 Sigma::Shared(ProximityVec::AllOnes) => true,
-                Sigma::Shared(ProximityVec::Dense(v)) => v.iter().all(|&s| s <= 1.0 + 1e-9),
+                Sigma::Shared(ProximityVec::Dense { values, .. }) => {
+                    values.iter().all(|&s| s <= 1.0 + 1e-9)
+                }
                 Sigma::Shared(ProximityVec::Sparse(e)) => e.iter().all(|&(_, s)| s <= 1.0 + 1e-9),
             };
             assert!(ok, "global-bound thresholding requires σ ≤ 1");
@@ -796,7 +846,11 @@ mod tests {
     #[test]
     fn proximity_vec_lookups() {
         assert_eq!(ProximityVec::AllOnes.get(7), 1.0);
-        let d = ProximityVec::Dense(vec![0.0, 0.5]);
+        let d = ProximityVec::Dense {
+            values: vec![0.0, 0.5],
+            seeker: 0,
+            non_seeker_max: 0.5,
+        };
         assert_eq!(d.get(1), 0.5);
         assert_eq!(d.get(9), 0.0);
         let s = ProximityVec::Sparse(vec![(2, 0.25), (9, 0.75)]);
@@ -828,6 +882,46 @@ mod tests {
                 for u in 0..120u32 {
                     assert_eq!(bound.sigma(u).to_bits(), ws.get(u).to_bits());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn max_excluding_o1_path_matches_scan_everywhere() {
+        let g = generators::watts_strogatz(90, 4, 0.3, 7);
+        let mut ws = SigmaWorkspace::new();
+        for m in all_models() {
+            for seeker in [0u32, 13, 89] {
+                m.materialize_into(&g, seeker, &mut ws);
+                let brute = (0..90u32)
+                    .filter(|&u| u != seeker)
+                    .map(|u| ws.get(u))
+                    .fold(0.0f64, f64::max);
+                // Workspace fast path (exclude == seeker) is exact…
+                let sigma = Sigma::Workspace(&ws);
+                assert_eq!(
+                    sigma.max_excluding(seeker).to_bits(),
+                    brute.to_bits(),
+                    "{} seeker {seeker} workspace",
+                    m.name()
+                );
+                // …and so is the snapshot (the cached, shareable form).
+                let snap = ws.snapshot(90);
+                let shared = Sigma::Shared(&snap);
+                assert_eq!(
+                    shared.max_excluding(seeker).to_bits(),
+                    brute.to_bits(),
+                    "{} seeker {seeker} snapshot",
+                    m.name()
+                );
+                // Excluding some *other* node still answers correctly via
+                // the fallback scan.
+                let other = if seeker == 0 { 1 } else { 0 };
+                let brute_other = (0..90u32)
+                    .filter(|&u| u != other)
+                    .map(|u| ws.get(u))
+                    .fold(0.0f64, f64::max);
+                assert_eq!(sigma.max_excluding(other).to_bits(), brute_other.to_bits());
             }
         }
     }

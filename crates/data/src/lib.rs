@@ -23,6 +23,7 @@ pub mod generator;
 pub mod ids;
 pub mod io;
 pub mod queries;
+pub mod requests;
 pub mod store;
 pub mod zipf;
 

@@ -12,8 +12,9 @@ use friends_graph::CsrGraph;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-/// A top-k query: seeker + conjunction-free tag bag + k.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A top-k query: seeker + conjunction-free tag bag + k. `Hash`/`Eq` make
+/// the query usable as a request-coalescing key in the service layer.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Query {
     pub seeker: UserId,
     pub tags: Vec<TagId>,

@@ -1,0 +1,278 @@
+//! Serving-workload generation: timed request streams.
+//!
+//! [`crate::queries::QueryWorkload`] models an *offline* batch — every query
+//! independent, seekers near-uniform. A serving tier sees something quite
+//! different: seekers arrive Zipf-skewed (a head of heavy users dominates),
+//! a given user **re-issues a small set of personal queries** (their
+//! searches track their standing interests, so exact repeats are common),
+//! and requests are spaced by think time rather than delivered as one flat
+//! slab. This module generates that shape deterministically, for driving
+//! the `friends_service` broker: the seeker skew is what affinity routing
+//! exploits, the repeats are what request coalescing and the admission-
+//! controlled caches exploit, and the think times turn a batch into a
+//! stream.
+
+use crate::queries::Query;
+use crate::store::TagStore;
+use crate::zipf::Zipf;
+use crate::{TagId, UserId};
+use friends_graph::CsrGraph;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One request of a stream: the query plus the client's think time *before*
+/// issuing it (the gap to the previous request of the stream).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedRequest {
+    pub query: Query,
+    pub think_time: Duration,
+}
+
+/// Parameters for [`RequestStream::generate`].
+#[derive(Clone, Debug)]
+pub struct RequestParams {
+    /// Number of requests in the stream.
+    pub count: usize,
+    /// Zipf exponent of the seeker popularity ranking (rank = user id).
+    /// 1.0–1.4 matches measured social-search traffic skew.
+    pub seeker_theta: f64,
+    /// How many distinct personal queries a seeker rotates between. Each
+    /// request draws one of the seeker's profiles Zipf(1.0)-skewed, so the
+    /// first profile dominates — exact repeats are common, as in real
+    /// traffic.
+    pub profiles_per_seeker: usize,
+    /// Tags per profile are drawn uniformly from `1..=max_tags` out of the
+    /// seeker's neighborhood vocabulary.
+    pub max_tags: usize,
+    /// Result size carried by every query.
+    pub k: usize,
+    /// Mean think time between consecutive requests (exponentially
+    /// distributed). `Duration::ZERO` produces a flood — the closed-loop
+    /// throughput shape the fig11 gate measures.
+    pub mean_think_time: Duration,
+}
+
+impl Default for RequestParams {
+    fn default() -> Self {
+        RequestParams {
+            count: 1_000,
+            seeker_theta: 1.1,
+            profiles_per_seeker: 3,
+            max_tags: 3,
+            k: 10,
+            mean_think_time: Duration::ZERO,
+        }
+    }
+}
+
+/// A reproducible timed request stream. See the module docs for the traffic
+/// shape.
+#[derive(Clone, Debug)]
+pub struct RequestStream {
+    pub requests: Vec<TimedRequest>,
+}
+
+impl RequestStream {
+    /// Generates a stream over `graph`/`store`. Seekers with no usable
+    /// neighborhood vocabulary are skipped (they cannot form a query), so
+    /// tiny or disconnected corpora may yield fewer than `count` requests.
+    pub fn generate(graph: &CsrGraph, store: &TagStore, params: &RequestParams, seed: u64) -> Self {
+        assert!(params.max_tags >= 1 && params.profiles_per_seeker >= 1);
+        let n = graph.num_nodes();
+        let mut requests = Vec::with_capacity(params.count);
+        if n == 0 {
+            return RequestStream { requests };
+        }
+        let seeker_z = Zipf::new(n, params.seeker_theta);
+        let profile_z = Zipf::new(params.profiles_per_seeker, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Per-seeker query profiles, built lazily on first appearance.
+        let mut profiles: HashMap<UserId, Vec<Vec<TagId>>> = HashMap::new();
+        let mut guard = 0usize;
+        while requests.len() < params.count && guard < params.count * 50 {
+            guard += 1;
+            let seeker = seeker_z.sample(&mut rng) as UserId;
+            let entry = profiles
+                .entry(seeker)
+                .or_insert_with(|| build_profiles(graph, store, seeker, params, &mut rng));
+            if entry.is_empty() {
+                continue;
+            }
+            let tags = entry[profile_z.sample(&mut rng).min(entry.len() - 1)].clone();
+            let think_time = sample_exponential(params.mean_think_time, &mut rng);
+            requests.push(TimedRequest {
+                query: Query {
+                    seeker,
+                    tags,
+                    k: params.k,
+                },
+                think_time,
+            });
+        }
+        RequestStream { requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The bare queries, in stream order (think times dropped) — the form
+    /// batch APIs accept.
+    pub fn queries(&self) -> Vec<Query> {
+        self.requests.iter().map(|r| r.query.clone()).collect()
+    }
+}
+
+/// The seeker's standing queries: distinct sorted tag bags over their
+/// neighborhood vocabulary (own tags + friends' tags — the regime where
+/// network-aware search matters). Empty when the seeker has no vocabulary.
+fn build_profiles(
+    graph: &CsrGraph,
+    store: &TagStore,
+    seeker: UserId,
+    params: &RequestParams,
+    rng: &mut StdRng,
+) -> Vec<Vec<TagId>> {
+    let mut vocab: Vec<TagId> = store.user_taggings(seeker).iter().map(|t| t.tag).collect();
+    for &f in graph.neighbors(seeker) {
+        vocab.extend(store.user_taggings(f).iter().map(|t| t.tag));
+    }
+    vocab.sort_unstable();
+    vocab.dedup();
+    if vocab.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<Vec<TagId>> = Vec::with_capacity(params.profiles_per_seeker);
+    for _ in 0..params.profiles_per_seeker {
+        let want = rng.gen_range(1..=params.max_tags).min(vocab.len());
+        vocab.shuffle(rng);
+        let mut tags: Vec<TagId> = vocab[..want].to_vec();
+        tags.sort_unstable();
+        if !out.contains(&tags) {
+            out.push(tags);
+        }
+    }
+    out
+}
+
+/// Exponentially distributed think time with the given mean (`ZERO` → zero).
+fn sample_exponential(mean: Duration, rng: &mut StdRng) -> Duration {
+    if mean.is_zero() {
+        return Duration::ZERO;
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    Duration::from_secs_f64(mean.as_secs_f64() * -(1.0 - u).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{DatasetSpec, Scale};
+
+    fn fixture() -> (CsrGraph, TagStore) {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(5);
+        (ds.graph, ds.store)
+    }
+
+    #[test]
+    fn stream_is_well_formed_and_deterministic() {
+        let (g, s) = fixture();
+        let p = RequestParams {
+            count: 300,
+            ..RequestParams::default()
+        };
+        let a = RequestStream::generate(&g, &s, &p, 11);
+        let b = RequestStream::generate(&g, &s, &p, 11);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.len(), 300);
+        for r in &a.requests {
+            assert!((r.query.seeker as usize) < g.num_nodes());
+            assert!(!r.query.tags.is_empty() && r.query.tags.len() <= 3);
+            assert!(r.query.tags.windows(2).all(|t| t[0] < t[1]));
+            assert!(r.query.tags.iter().all(|&t| t < s.num_tags()));
+            assert_eq!(r.query.k, 10);
+            assert_eq!(r.think_time, Duration::ZERO);
+        }
+        let c = RequestStream::generate(&g, &s, &p, 12);
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn stream_repeats_queries_exactly() {
+        // The serving shape: Zipf seekers × few profiles each ⇒ many exact
+        // duplicate queries — what coalescing and caching exploit.
+        let (g, s) = fixture();
+        let p = RequestParams {
+            count: 400,
+            seeker_theta: 1.2,
+            ..RequestParams::default()
+        };
+        let w = RequestStream::generate(&g, &s, &p, 3);
+        let distinct: std::collections::HashSet<&Query> =
+            w.requests.iter().map(|r| &r.query).collect();
+        assert!(
+            distinct.len() * 2 < w.len(),
+            "only {} distinct queries over {} requests — no repeat traffic",
+            distinct.len(),
+            w.len()
+        );
+        // Seeker skew: far fewer distinct seekers than requests.
+        let seekers: std::collections::HashSet<UserId> =
+            w.requests.iter().map(|r| r.query.seeker).collect();
+        assert!(seekers.len() * 2 < w.len());
+    }
+
+    #[test]
+    fn think_times_follow_the_requested_mean() {
+        let (g, s) = fixture();
+        let p = RequestParams {
+            count: 500,
+            mean_think_time: Duration::from_millis(10),
+            ..RequestParams::default()
+        };
+        let w = RequestStream::generate(&g, &s, &p, 7);
+        let mean_ms = w
+            .requests
+            .iter()
+            .map(|r| r.think_time.as_secs_f64() * 1e3)
+            .sum::<f64>()
+            / w.len() as f64;
+        assert!(
+            (5.0..20.0).contains(&mean_ms),
+            "mean think time {mean_ms:.2} ms far from 10 ms"
+        );
+        assert!(w.requests.iter().any(|r| !r.think_time.is_zero()));
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_stream() {
+        let g = CsrGraph::empty(0);
+        let s = TagStore::build(0, 1, 1, vec![]);
+        let w = RequestStream::generate(&g, &s, &RequestParams::default(), 1);
+        assert!(w.is_empty());
+        assert!(w.queries().is_empty());
+    }
+
+    #[test]
+    fn queries_projection_preserves_order() {
+        let (g, s) = fixture();
+        let p = RequestParams {
+            count: 50,
+            ..RequestParams::default()
+        };
+        let w = RequestStream::generate(&g, &s, &p, 2);
+        let qs = w.queries();
+        assert_eq!(qs.len(), w.len());
+        for (q, r) in qs.iter().zip(&w.requests) {
+            assert_eq!(q, &r.query);
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! The broker: shard routing, worker loops, batched dispatch, coalescing,
+//! deadline shedding and drain-based shutdown.
+
+use crate::request::{Job, Outcome, Reply, Request, Ticket};
+use crate::stats::{ServiceStats, ShardState};
+use crossbeam::channel;
+use friends_core::cache::{CachePolicy, ProximityCache};
+use friends_core::corpus::{Corpus, SearchResult};
+use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor, ScoringStrategy};
+use friends_core::proximity::ProximityModel;
+use friends_data::queries::Query;
+use friends_data::UserId;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Broker tuning. The defaults are the serving posture: one shard per
+/// hardware thread, admission-controlled caches, coalescing on, a generous
+/// default deadline.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker shard count (≥ 1). Requests route by `hash(seeker) % shards`.
+    pub shards: usize,
+    /// Per-shard queue bound; 0 means unbounded. A bounded queue makes
+    /// `submit` exert backpressure instead of buffering without limit.
+    pub queue_capacity: usize,
+    /// Capacity of each shard's private proximity cache, in entries.
+    pub cache_capacity: usize,
+    /// Policy of the shard-private caches (TinyLFU admission on by
+    /// default; no TTL).
+    pub cache_policy: CachePolicy,
+    /// Deadline budget applied to requests that don't carry their own;
+    /// `None` disables shedding for them.
+    pub default_deadline: Option<Duration>,
+    /// Most requests drained into one dispatch cycle.
+    pub max_batch: usize,
+    /// Whether duplicate in-flight `(seeker, tags, k, strategy)` requests
+    /// are executed once and fanned out. Disabling is only useful for
+    /// measurement.
+    pub coalesce: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 0,
+            cache_capacity: 1024,
+            cache_policy: CachePolicy {
+                admission: true,
+                ttl: None,
+            },
+            default_deadline: Some(Duration::from_secs(5)),
+            max_batch: 256,
+            coalesce: true,
+        }
+    }
+}
+
+/// What a worker hands the processor factory besides the corpus: the shard
+/// index and the shard's private cache.
+pub struct ShardContext {
+    pub shard: usize,
+    /// The shard-private cache. Single-owner by construction (only this
+    /// worker ever touches it), so every access is an uncontended lock.
+    pub cache: Arc<ProximityCache>,
+}
+
+/// Builds one processor per worker, borrowing the service-owned corpus.
+/// Blanket-implemented for closures of the matching shape; see
+/// [`exact_factory`] / [`global_bound_factory`] for ready-made ones.
+pub trait ProcessorFactory:
+    for<'c> Fn(&'c Corpus, ShardContext) -> Box<dyn Processor + 'c> + Send + Sync + 'static
+{
+}
+
+impl<T> ProcessorFactory for T where
+    T: for<'c> Fn(&'c Corpus, ShardContext) -> Box<dyn Processor + 'c> + Send + Sync + 'static
+{
+}
+
+/// Factory for [`ExactOnline`] under `model`, wired to the shard cache.
+pub fn exact_factory(model: ProximityModel) -> impl ProcessorFactory {
+    move |corpus: &Corpus, ctx: ShardContext| {
+        Box::new(ExactOnline::with_cache(corpus, model, ctx.cache)) as Box<dyn Processor + '_>
+    }
+}
+
+/// Factory for [`GlobalBoundTA`] under `model`, wired to the shard cache.
+pub fn global_bound_factory(model: ProximityModel) -> impl ProcessorFactory {
+    move |corpus: &Corpus, ctx: ShardContext| {
+        Box::new(GlobalBoundTA::with_cache(corpus, model, ctx.cache)) as Box<dyn Processor + '_>
+    }
+}
+
+/// The running service: N worker shards behind MPMC queues. Dropping the
+/// handle without [`FriendsService::shutdown`] also drains (workers finish
+/// queued work before exiting), but `shutdown` additionally joins and
+/// returns the final stats.
+pub struct FriendsService {
+    senders: Vec<channel::Sender<Job>>,
+    shards: Vec<Arc<ShardState>>,
+    workers: Vec<JoinHandle<()>>,
+    default_deadline: Option<Duration>,
+}
+
+impl FriendsService {
+    /// Starts `config.shards` workers over `corpus`. Each worker builds its
+    /// own processor through `factory` (one call per shard, so build cost —
+    /// e.g. `GlobalBoundTA`'s candidate lists — is paid per shard).
+    pub fn start<F: ProcessorFactory>(
+        corpus: Arc<Corpus>,
+        config: ServiceConfig,
+        factory: F,
+    ) -> Self {
+        let shards = config.shards.max(1);
+        let factory = Arc::new(factory);
+        let mut senders = Vec::with_capacity(shards);
+        let mut states = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = if config.queue_capacity == 0 {
+                channel::unbounded()
+            } else {
+                channel::bounded(config.queue_capacity)
+            };
+            let cache = Arc::new(ProximityCache::unsharded(
+                config.cache_capacity,
+                config.cache_policy,
+            ));
+            let state = Arc::new(ShardState::new(Arc::clone(&cache)));
+            let corpus = Arc::clone(&corpus);
+            let factory = Arc::clone(&factory);
+            let worker_state = Arc::clone(&state);
+            let handle = std::thread::Builder::new()
+                .name(format!("friends-svc-{shard}"))
+                .spawn(move || {
+                    let ctx = ShardContext {
+                        shard,
+                        cache: Arc::clone(&worker_state.cache),
+                    };
+                    let mut processor = factory(corpus.as_ref(), ctx);
+                    worker_loop(processor.as_mut(), &rx, &worker_state, shard, &config);
+                })
+                .expect("spawn service worker");
+            senders.push(tx);
+            states.push(state);
+            workers.push(handle);
+        }
+        FriendsService {
+            senders,
+            shards: states,
+            workers,
+            default_deadline: config.default_deadline,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard `seeker` routes to: affinity is a pure function of the
+    /// seeker, so one user's traffic always lands on one worker.
+    pub fn shard_of(&self, seeker: UserId) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        seeker.hash(&mut h);
+        (h.finish() as usize) % self.senders.len()
+    }
+
+    /// Enqueues one request, returning the [`Ticket`] to wait on.
+    pub fn submit(&self, request: Request) -> Ticket {
+        let shard = self.shard_of(request.query.seeker);
+        let (tx, rx) = channel::bounded(1);
+        let now = Instant::now();
+        let deadline = match request.deadline {
+            crate::request::Deadline::Default => self.default_deadline.map(|b| now + b),
+            crate::request::Deadline::Unbounded => None,
+            crate::request::Deadline::Budget(b) => Some(now + b),
+        };
+        let state = &self.shards[shard];
+        state.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = state.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        state.max_depth.fetch_max(depth, Ordering::Relaxed);
+        let job = Job {
+            query: request.query,
+            strategy: request.strategy,
+            deadline,
+            submitted: now,
+            reply: tx.clone(),
+        };
+        if self.senders[shard].send(job).is_err() {
+            // The worker died (processor panic). Resolve the ticket rather
+            // than leaving the caller to block forever.
+            state.depth.fetch_sub(1, Ordering::Relaxed);
+            let _ = tx.send(Reply {
+                outcome: Outcome::Failed,
+                shard,
+                queue_wait: Duration::ZERO,
+                coalesced: false,
+            });
+        }
+        Ticket { shard, rx }
+    }
+
+    /// Floods every query in (affinity-routed), then collects replies in
+    /// input order — the serving-tier equivalent of
+    /// [`friends_core::batch::par_batch`].
+    pub fn submit_batch(&self, queries: &[Query]) -> Vec<Reply> {
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|q| self.submit(Request::new(q.clone())))
+            .collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// [`FriendsService::submit_batch`] for deadline-free clients: unwraps
+    /// every reply into its [`SearchResult`].
+    ///
+    /// # Panics
+    /// Panics if a worker died mid-batch — batch clients submit without
+    /// deadlines ([`crate::request::Deadline::Unbounded`]), so requests are
+    /// never shed here.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<SearchResult> {
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|q| self.submit(Request::new(q.clone()).without_deadline()))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().outcome.expect_done("run_batch"))
+            .collect()
+    }
+
+    /// A live snapshot of every shard's counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.snapshot(i))
+                .collect(),
+        }
+    }
+
+    /// Drain-based shutdown: closes the queues, lets every worker finish
+    /// what is already enqueued, joins them, and returns the final stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.senders.clear(); // disconnects; workers drain then exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for FriendsService {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One worker: block for the first job, opportunistically drain up to
+/// `max_batch - 1` more, dispatch the batch, repeat until disconnected.
+fn worker_loop(
+    processor: &mut dyn Processor,
+    rx: &channel::Receiver<Job>,
+    state: &ShardState,
+    shard: usize,
+    config: &ServiceConfig,
+) {
+    let mut batch: Vec<Job> = Vec::new();
+    let mut groups: HashMap<(Query, ScoringStrategy), Vec<Job>> = HashMap::new();
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(channel::RecvError) => return, // queue fully drained
+        };
+        batch.push(first);
+        while batch.len() < config.max_batch.max(1) {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        state.depth.fetch_sub(batch.len(), Ordering::Relaxed);
+        state.batches.fetch_add(1, Ordering::Relaxed);
+        state.max_batch.fetch_max(batch.len(), Ordering::Relaxed);
+        dispatch(
+            processor,
+            &mut batch,
+            &mut groups,
+            state,
+            shard,
+            config.coalesce,
+        );
+    }
+}
+
+/// Executes one drained batch: group duplicates, shed expired jobs, run
+/// each unique live query once, fan results out. Execution order within a
+/// cycle follows the group map (not arrival order) — results are
+/// per-query deterministic either way, and replies route by ticket.
+fn dispatch(
+    processor: &mut dyn Processor,
+    batch: &mut Vec<Job>,
+    groups: &mut HashMap<(Query, ScoringStrategy), Vec<Job>>,
+    state: &ShardState,
+    shard: usize,
+    coalesce: bool,
+) {
+    let started = Instant::now();
+    groups.clear();
+    if !coalesce {
+        // Measurement mode: every job executes individually, reusing the
+        // drained buffer (no per-job wrappers).
+        for job in batch.drain(..) {
+            if job.deadline.is_some_and(|d| started > d) {
+                state.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Reply {
+                    outcome: Outcome::DeadlineMissed,
+                    shard,
+                    queue_wait: started - job.submitted,
+                    coalesced: false,
+                });
+                continue;
+            }
+            processor.set_strategy(job.strategy);
+            let result = processor.query(&job.query);
+            state.executed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Reply {
+                outcome: Outcome::Done(result),
+                shard,
+                queue_wait: started - job.submitted,
+                coalesced: false,
+            });
+        }
+        return;
+    }
+    for mut job in batch.drain(..) {
+        // The key takes ownership of the job's query (no clone): run_group
+        // executes from the key, and duplicate keys are simply dropped.
+        let query = std::mem::replace(
+            &mut job.query,
+            Query {
+                seeker: 0,
+                tags: Vec::new(),
+                k: 0,
+            },
+        );
+        groups.entry((query, job.strategy)).or_default().push(job);
+    }
+    for ((query, strategy), jobs) in groups.drain() {
+        run_group(processor, &query, strategy, jobs, state, shard, started);
+    }
+}
+
+/// Sheds expired members of one duplicate-request group, executes the query
+/// once for the survivors, and fans the result out.
+fn run_group(
+    processor: &mut dyn Processor,
+    query: &Query,
+    strategy: ScoringStrategy,
+    jobs: Vec<Job>,
+    state: &ShardState,
+    shard: usize,
+    started: Instant,
+) {
+    // Shed what already expired in the queue; execute for the rest.
+    let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.deadline.is_some_and(|d| started > d) {
+            state.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Reply {
+                outcome: Outcome::DeadlineMissed,
+                shard,
+                queue_wait: started - job.submitted,
+                coalesced: false,
+            });
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    processor.set_strategy(strategy);
+    let result = processor.query(query);
+    state.executed.fetch_add(1, Ordering::Relaxed);
+    state
+        .coalesced
+        .fetch_add(live.len() as u64 - 1, Ordering::Relaxed);
+    let count = live.len();
+    let mut remaining = Some(result);
+    for (i, job) in live.into_iter().enumerate() {
+        // Waiters beyond the first are coalesced onto the single
+        // execution; the last reply moves the original result.
+        let r = if i + 1 == count {
+            remaining.take().expect("result consumed once")
+        } else {
+            remaining.as_ref().expect("result still held").clone()
+        };
+        let _ = job.reply.send(Reply {
+            outcome: Outcome::Done(r),
+            shard,
+            queue_wait: started - job.submitted,
+            coalesced: i != 0,
+        });
+    }
+}
+
+/// Runs `queries` through a transient service over `corpus` — the thin
+/// service-client form of [`friends_core::batch::par_batch_with_cache`]:
+/// start, flood, drain, shutdown. Results come back in input order and are
+/// byte-identical to direct execution (routing affects *where* a query
+/// runs, never its answer).
+pub fn par_batch_served<F: ProcessorFactory>(
+    corpus: &Arc<Corpus>,
+    queries: &[Query],
+    shards: usize,
+    factory: F,
+) -> Vec<SearchResult> {
+    let config = ServiceConfig {
+        shards,
+        default_deadline: None,
+        ..ServiceConfig::default()
+    };
+    let service = FriendsService::start(Arc::clone(corpus), config, factory);
+    let out = service.run_batch(queries);
+    service.shutdown();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use friends_core::batch::par_batch;
+    use friends_data::datasets::{DatasetSpec, Scale};
+    use friends_data::queries::{QueryParams, QueryWorkload};
+
+    fn fixture() -> (Arc<Corpus>, QueryWorkload) {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(8);
+        let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
+        let w = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 37, // deliberately not divisible by the shard count
+                ..QueryParams::default()
+            },
+            4,
+        );
+        (corpus, w)
+    }
+
+    const MODEL: ProximityModel = ProximityModel::WeightedDecay { alpha: 0.5 };
+
+    #[test]
+    fn service_matches_direct_execution() {
+        let (corpus, w) = fixture();
+        let direct = par_batch(&w.queries, 1, || ExactOnline::new(&corpus, MODEL));
+        let served = par_batch_served(&corpus, &w.queries, 3, exact_factory(MODEL));
+        assert_eq!(direct.len(), served.len());
+        for (a, b) in direct.iter().zip(&served) {
+            assert_eq!(a.items, b.items);
+        }
+    }
+
+    #[test]
+    fn affinity_routes_each_seeker_to_one_shard() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 4,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        assert_eq!(svc.num_shards(), 4);
+        for q in &w.queries {
+            let s = svc.shard_of(q.seeker);
+            assert!(s < 4);
+            assert_eq!(s, svc.shard_of(q.seeker), "routing must be stable");
+            let t = svc.submit(Request::new(q.clone()));
+            assert_eq!(t.shard(), s);
+            let reply = t.wait();
+            assert_eq!(reply.shard, s);
+            assert!(reply.outcome.result().is_some());
+        }
+        let stats = svc.shutdown();
+        let totals = stats.totals();
+        assert_eq!(totals.submitted, w.len() as u64);
+        assert_eq!(totals.deadline_misses, 0);
+        assert_eq!(totals.queue_depth, 0);
+        assert!(totals.batches >= 1 && totals.max_queue_depth >= 1);
+    }
+
+    #[test]
+    fn duplicate_requests_coalesce_onto_one_execution() {
+        let (corpus, _) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let q = Query {
+            seeker: 7,
+            tags: vec![0, 1],
+            k: 10,
+        };
+        // Flood 32 identical requests; collect replies afterwards so they
+        // are all in flight together.
+        let queries = vec![q.clone(); 32];
+        let replies = svc.submit_batch(&queries);
+        let baseline = replies[0].outcome.result().expect("done").items.clone();
+        let mut coalesced = 0;
+        for r in &replies {
+            assert_eq!(r.outcome.result().expect("done").items, baseline);
+            if r.coalesced {
+                coalesced += 1;
+            }
+        }
+        let stats = svc.shutdown().totals();
+        assert_eq!(stats.submitted, 32);
+        assert_eq!(stats.executed + stats.coalesced, 32);
+        assert!(
+            stats.coalesced > 0 && coalesced == stats.coalesced as usize,
+            "flooded duplicates must coalesce: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn coalescing_can_be_disabled() {
+        let (corpus, _) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                coalesce: false,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let q = Query {
+            seeker: 7,
+            tags: vec![0],
+            k: 5,
+        };
+        let replies = svc.submit_batch(&vec![q; 16]);
+        assert!(replies.iter().all(|r| !r.coalesced));
+        let stats = svc.shutdown().totals();
+        assert_eq!(stats.executed, 16);
+        assert_eq!(stats.coalesced, 0);
+    }
+
+    #[test]
+    fn expired_requests_are_shed_not_executed() {
+        let (corpus, _) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        // A deadline that has effectively already passed: the request
+        // expires while queued (the worker needs a moment to pick it up).
+        let q = Query {
+            seeker: 3,
+            tags: vec![0],
+            k: 5,
+        };
+        // Park the worker on a slow-ish first request so the doomed one
+        // waits in the queue past its deadline.
+        let mut tickets = Vec::new();
+        for _ in 0..64 {
+            tickets.push(svc.submit(Request::new(q.clone())));
+        }
+        let doomed = svc.submit(
+            Request::new(Query {
+                seeker: 5,
+                tags: vec![1],
+                k: 5,
+            })
+            .with_deadline(Duration::ZERO),
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        let reply = doomed.wait();
+        assert!(
+            matches!(reply.outcome, Outcome::DeadlineMissed),
+            "zero-budget request must be shed"
+        );
+        for t in tickets {
+            assert!(t.wait().outcome.result().is_some());
+        }
+        let stats = svc.shutdown().totals();
+        assert_eq!(stats.deadline_misses, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 2,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let tickets: Vec<Ticket> = w
+            .queries
+            .iter()
+            .map(|q| svc.submit(Request::new(q.clone())))
+            .collect();
+        // Shut down immediately: every already-submitted request must still
+        // be answered (drain, not abort).
+        let stats = svc.shutdown();
+        for t in tickets {
+            let reply = t.wait();
+            assert!(
+                reply.outcome.result().is_some(),
+                "queued request dropped at shutdown"
+            );
+        }
+        assert_eq!(stats.totals().submitted, w.len() as u64);
+        assert_eq!(stats.totals().queue_depth, 0);
+    }
+
+    #[test]
+    fn strategy_hint_is_honored_and_exact() {
+        let (corpus, w) = fixture();
+        corpus.sigma_index(); // shared build
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 2,
+                ..ServiceConfig::default()
+            },
+            exact_factory(ProximityModel::DistanceDecay { alpha: 0.4 }),
+        );
+        let mut direct = ExactOnline::new(&corpus, ProximityModel::DistanceDecay { alpha: 0.4 });
+        for q in w.queries.iter().take(8) {
+            let want = direct.query(q).items;
+            for strategy in [
+                ScoringStrategy::Auto,
+                ScoringStrategy::PostingScan,
+                ScoringStrategy::BlockMax,
+            ] {
+                let reply = svc
+                    .submit(Request::new(q.clone()).with_strategy(strategy))
+                    .wait();
+                assert_eq!(
+                    reply.outcome.result().expect("done").items,
+                    want,
+                    "{strategy:?} diverged"
+                );
+            }
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shard_caches_fill_under_affinity() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 2,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        svc.run_batch(&w.queries);
+        svc.run_batch(&w.queries); // second pass: repeat seekers hit
+        let stats = svc.shutdown();
+        let totals = stats.totals();
+        assert!(totals.cache.insertions > 0, "{totals:?}");
+        assert!(totals.cache.hits > 0, "{totals:?}");
+        // Affinity means a seeker's entries live on exactly one shard: the
+        // sum of entries never exceeds distinct seekers.
+        let distinct: std::collections::HashSet<u32> = w.queries.iter().map(|q| q.seeker).collect();
+        assert!(totals.cache.entries <= distinct.len());
+    }
+
+    #[test]
+    fn global_bound_factory_serves() {
+        let (corpus, w) = fixture();
+        let direct = par_batch(&w.queries, 1, || GlobalBoundTA::new(&corpus, MODEL));
+        let served = par_batch_served(&corpus, &w.queries, 2, global_bound_factory(MODEL));
+        for (a, b) in direct.iter().zip(&served) {
+            assert_eq!(a.items, b.items);
+        }
+    }
+}

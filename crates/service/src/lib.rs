@@ -1,0 +1,63 @@
+//! # friends-service
+//!
+//! The serving tier: a thread-based query broker between clients and the
+//! `friends-core` processors, the layer WAND-era IR engines put between the
+//! index and the network. Where [`friends_core::batch::par_batch`] slices a
+//! closed batch into flat chunks, the broker runs a **standing service**:
+//!
+//! * **Seeker-affinity sharding** — `hash(seeker) % shards` routes every
+//!   request of a seeker to the same worker, so their σ materializations
+//!   and cache entries stay hot on one thread instead of being recomputed
+//!   (or fetched through a contended shared cache) on whichever worker a
+//!   chunk split happened to land them on.
+//! * **Batched dispatch with request coalescing** — each worker drains its
+//!   queue into a small batch and executes duplicate in-flight
+//!   `(seeker, tags, k, strategy)` requests **once**, fanning the result
+//!   out to every waiter. Real streams repeat queries (see
+//!   [`friends_data::requests`]); coalescing converts that repetition into
+//!   throughput.
+//! * **Admission-controlled private caches** — every shard owns an
+//!   unsharded [`friends_core::cache::ProximityCache`] with TinyLFU-style
+//!   admission (and optional TTL): uncontended for its owner, and scan
+//!   traffic cannot evict the shard's hot seekers.
+//! * **Deadline-aware execution** — requests carry a deadline (defaulted
+//!   from [`ServiceConfig`]); a request that expires while queued is shed
+//!   without execution and reported as a miss, so an overloaded shard
+//!   degrades by dropping stale work instead of serving it late.
+//!
+//! The broker is synchronous by design (`submit` returns a [`Ticket`] to
+//! wait on; [`FriendsService::submit_batch`] floods and collects): the
+//! vendored `crossbeam` channels provide MPMC queues without an async
+//! runtime, and one OS thread per shard matches the one-processor-per-
+//! worker scratch model of `friends-core`.
+//!
+//! ```
+//! use friends_core::corpus::Corpus;
+//! use friends_core::proximity::ProximityModel;
+//! use friends_data::datasets::{DatasetSpec, Scale};
+//! use friends_data::queries::Query;
+//! use friends_service::{exact_factory, FriendsService, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let ds = DatasetSpec::delicious_like(Scale::Tiny).build(1);
+//! let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
+//! let svc = FriendsService::start(
+//!     Arc::clone(&corpus),
+//!     ServiceConfig::default(),
+//!     exact_factory(ProximityModel::WeightedDecay { alpha: 0.5 }),
+//! );
+//! let results = svc.run_batch(&[Query { seeker: 3, tags: vec![1, 2], k: 5 }]);
+//! assert!(results[0].items.len() <= 5);
+//! svc.shutdown();
+//! ```
+
+mod broker;
+mod request;
+mod stats;
+
+pub use broker::{
+    exact_factory, global_bound_factory, par_batch_served, FriendsService, ProcessorFactory,
+    ServiceConfig, ShardContext,
+};
+pub use request::{Deadline, Outcome, Reply, Request, Ticket};
+pub use stats::{ServiceStats, ShardStats};

@@ -1,0 +1,146 @@
+//! Request/response types of the broker's wire surface.
+
+use crossbeam::channel;
+use friends_core::corpus::SearchResult;
+use friends_core::processors::ScoringStrategy;
+use friends_data::queries::Query;
+use std::time::{Duration, Instant};
+
+/// When a request must be served by. A request still queued past its
+/// deadline is shed without execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Deadline {
+    /// Use the service's configured default budget.
+    #[default]
+    Default,
+    /// No deadline — never shed. What batch clients use: a flood's tail
+    /// legitimately waits behind the whole batch.
+    Unbounded,
+    /// Explicit budget, measured from submission.
+    Budget(Duration),
+}
+
+/// A service request: the query plus serving metadata. Build one with
+/// [`Request::new`] and the `with_*` setters.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub query: Query,
+    /// Per-request scoring-strategy hint, forwarded to the processor via
+    /// [`friends_core::processors::Processor::set_strategy`]. Every
+    /// strategy returns byte-identical rankings, so the hint is purely a
+    /// cost decision. Defaults to `Auto`.
+    pub strategy: ScoringStrategy,
+    /// See [`Deadline`]; defaults to the service's configured budget.
+    pub deadline: Deadline,
+}
+
+impl Request {
+    /// A request with the default strategy (`Auto`) and the service's
+    /// default deadline.
+    pub fn new(query: Query) -> Self {
+        Request {
+            query,
+            strategy: ScoringStrategy::default(),
+            deadline: Deadline::Default,
+        }
+    }
+
+    /// Sets the scoring-strategy hint.
+    pub fn with_strategy(mut self, strategy: ScoringStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets an explicit deadline budget (overriding the service default).
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Deadline::Budget(budget);
+        self
+    }
+
+    /// Opts out of deadlines entirely: the request is never shed.
+    pub fn without_deadline(mut self) -> Self {
+        self.deadline = Deadline::Unbounded;
+        self
+    }
+}
+
+/// How a request ended.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Executed (or coalesced onto an identical in-flight execution).
+    Done(SearchResult),
+    /// Expired in the queue and was shed without execution.
+    DeadlineMissed,
+    /// The owning worker disappeared mid-request (a processor panic); the
+    /// broker never silently drops a ticket.
+    Failed,
+}
+
+impl Outcome {
+    /// The result, if the request completed.
+    pub fn result(&self) -> Option<&SearchResult> {
+        match self {
+            Outcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Unwraps the result, panicking on a miss or failure — for clients
+    /// (like the batch shim) that run without deadlines.
+    pub fn expect_done(self, context: &str) -> SearchResult {
+        match self {
+            Outcome::Done(r) => r,
+            Outcome::DeadlineMissed => panic!("{context}: deadline missed"),
+            Outcome::Failed => panic!("{context}: worker failed"),
+        }
+    }
+}
+
+/// The reply delivered for one request.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    pub outcome: Outcome,
+    /// Shard that served (or shed) the request.
+    pub shard: usize,
+    /// Time from submission to the start of its dispatch cycle.
+    pub queue_wait: Duration,
+    /// Whether this reply was satisfied by another identical in-flight
+    /// request's execution.
+    pub coalesced: bool,
+}
+
+/// A claim on one submitted request's reply.
+pub struct Ticket {
+    pub(crate) shard: usize,
+    pub(crate) rx: channel::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Blocks until the reply arrives. A worker that died without replying
+    /// yields [`Outcome::Failed`] instead of hanging.
+    pub fn wait(self) -> Reply {
+        match self.rx.recv() {
+            Ok(reply) => reply,
+            Err(channel::RecvError) => Reply {
+                outcome: Outcome::Failed,
+                shard: self.shard,
+                queue_wait: Duration::ZERO,
+                coalesced: false,
+            },
+        }
+    }
+
+    /// The shard this request was routed to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// Internal queue entry: one request plus its reply channel and timing.
+pub(crate) struct Job {
+    pub query: Query,
+    pub strategy: ScoringStrategy,
+    pub deadline: Option<Instant>,
+    pub submitted: Instant,
+    pub reply: channel::Sender<Reply>,
+}

@@ -1,0 +1,103 @@
+//! Per-shard observability: the counters a serving loop watches.
+
+use friends_core::cache::{CacheStats, ProximityCache};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Live counters owned by one shard, shared between its worker thread and
+/// the service handle (all relaxed atomics — monitoring, not coordination).
+pub(crate) struct ShardState {
+    pub depth: AtomicUsize,
+    pub max_depth: AtomicUsize,
+    pub submitted: AtomicU64,
+    pub executed: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub deadline_misses: AtomicU64,
+    pub batches: AtomicU64,
+    pub max_batch: AtomicUsize,
+    pub cache: Arc<ProximityCache>,
+}
+
+impl ShardState {
+    pub fn new(cache: Arc<ProximityCache>) -> Self {
+        ShardState {
+            depth: AtomicUsize::new(0),
+            max_depth: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicUsize::new(0),
+            cache,
+        }
+    }
+
+    pub fn snapshot(&self, shard: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            queue_depth: self.depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_depth.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+/// A snapshot of one shard's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    pub shard: usize,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Deepest the queue has ever been.
+    pub max_queue_depth: usize,
+    /// Requests routed to this shard.
+    pub submitted: u64,
+    /// Queries actually executed (after coalescing and shedding).
+    pub executed: u64,
+    /// Requests answered by another identical request's execution.
+    pub coalesced: u64,
+    /// Requests shed because their deadline passed while queued.
+    pub deadline_misses: u64,
+    /// Dispatch cycles run.
+    pub batches: u64,
+    /// Largest batch drained in one dispatch cycle.
+    pub max_batch: usize,
+    /// The shard-private proximity cache's counters.
+    pub cache: CacheStats,
+}
+
+/// A snapshot of every shard, plus aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Sums every shard (the `shard` field of the total is the shard
+    /// count; depth fields take the max across shards).
+    pub fn totals(&self) -> ShardStats {
+        let mut t = ShardStats {
+            shard: self.shards.len(),
+            ..ShardStats::default()
+        };
+        for s in &self.shards {
+            t.queue_depth += s.queue_depth;
+            t.max_queue_depth = t.max_queue_depth.max(s.max_queue_depth);
+            t.submitted += s.submitted;
+            t.executed += s.executed;
+            t.coalesced += s.coalesced;
+            t.deadline_misses += s.deadline_misses;
+            t.batches += s.batches;
+            t.max_batch = t.max_batch.max(s.max_batch);
+            t.cache.merge(&s.cache);
+        }
+        t
+    }
+}

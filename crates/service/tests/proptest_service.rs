@@ -1,0 +1,176 @@
+//! Routing-exactness property suite: for random corpora and request
+//! streams, the service returns **byte-identical** results (same item ids,
+//! bit-equal scores) to direct single-processor execution and to
+//! `par_batch`, for every proximity model × processor — including under
+//! forced shard counts of 1 (fully serialized) and far more shards than
+//! distinct seekers (maximally spread). Affinity routing, batching and
+//! coalescing may change *where and how often* a query executes, never its
+//! answer.
+
+use friends_core::batch::par_batch;
+use friends_core::corpus::Corpus;
+use friends_core::processors::{
+    ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA, Processor,
+};
+use friends_core::proximity::ProximityModel;
+use friends_data::queries::Query;
+use friends_data::store::TagStore;
+use friends_data::Tagging;
+use friends_graph::GraphBuilder;
+use friends_service::{exact_factory, global_bound_factory, par_batch_served, ShardContext};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a small random corpus plus a stream of queries with repeated
+/// seekers (repetition is what exercises affinity and coalescing).
+fn arb_corpus_and_stream() -> impl Strategy<Value = (Arc<Corpus>, Vec<Query>)> {
+    (
+        3usize..24, // users
+        1u32..16,   // items
+        1u32..5,    // tags
+        proptest::collection::vec((0u32..24, 0u32..16, 0u32..5, 0.01f32..2.0), 0..80),
+        proptest::collection::vec((0u32..24, 0u32..24, 0.05f32..1.0), 0..48),
+        proptest::collection::vec((0u32..6, 0u32..5, 1usize..6), 1..24), // (seeker-pool idx, tag, k)
+    )
+        .prop_map(|(n, items, tags, raw_taggings, raw_edges, raw_queries)| {
+            let n = n.max(2);
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in raw_edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let graph = b.build();
+            let taggings: Vec<Tagging> = raw_taggings
+                .into_iter()
+                .map(|(u, i, t, w)| Tagging {
+                    user: u % n as u32,
+                    item: i % items,
+                    tag: t % tags,
+                    weight: w,
+                })
+                .collect();
+            let store = TagStore::build(n as u32, items, tags, taggings);
+            let corpus = Arc::new(Corpus::new(graph, store));
+            // A small seeker pool ⇒ repeated seekers (and often repeated
+            // whole queries) across the stream.
+            let queries: Vec<Query> = raw_queries
+                .into_iter()
+                .map(|(s, t, k)| Query {
+                    seeker: s % n as u32,
+                    tags: vec![t % tags],
+                    k,
+                })
+                .collect();
+            (corpus, queries)
+        })
+}
+
+fn all_models() -> Vec<ProximityModel> {
+    vec![
+        ProximityModel::Global,
+        ProximityModel::FriendsOnly,
+        ProximityModel::DistanceDecay { alpha: 0.5 },
+        ProximityModel::WeightedDecay { alpha: 0.5 },
+        ProximityModel::Ppr {
+            alpha: 0.2,
+            epsilon: 1e-4,
+        },
+        ProximityModel::AdamicAdar,
+    ]
+}
+
+/// Shard counts the satellite task pins: serialized, a few, and far more
+/// shards than any stream has distinct seekers.
+const SHARD_COUNTS: [usize; 3] = [1, 3, 64];
+
+fn assert_streams_identical(
+    want: &[Vec<(u32, f32)>],
+    got: &[friends_core::corpus::SearchResult],
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(want.len(), got.len(), "{}: stream length", label);
+    for (i, (w, g)) in want.iter().zip(got).enumerate() {
+        prop_assert_eq!(w.len(), g.items.len(), "{}: query {} length", label, i);
+        for (a, b) in w.iter().zip(&g.items) {
+            prop_assert_eq!(a.0, b.0, "{}: query {} item ids diverge", label, i);
+            prop_assert_eq!(
+                a.1.to_bits(),
+                b.1.to_bits(),
+                "{}: query {} score bits diverge ({} vs {})",
+                label,
+                i,
+                a.1,
+                b.1
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `ExactOnline` through the service is byte-identical to direct
+    /// sequential execution at every shard count, for every model.
+    #[test]
+    fn service_exact_online_is_byte_identical((corpus, queries) in arb_corpus_and_stream()) {
+        for model in all_models() {
+            let mut direct = ExactOnline::new(&corpus, model);
+            let want: Vec<Vec<(u32, f32)>> =
+                queries.iter().map(|q| direct.query(q).items).collect();
+            for shards in SHARD_COUNTS {
+                let served = par_batch_served(&corpus, &queries, shards, exact_factory(model));
+                assert_streams_identical(
+                    &want,
+                    &served,
+                    &format!("exact-online {} shards={shards}", model.name()),
+                )?;
+            }
+            // And the pre-existing batch path agrees too (the service is a
+            // drop-in for it).
+            let batch = par_batch(&queries, 2, || ExactOnline::new(&corpus, model));
+            assert_streams_identical(&want, &batch, &format!("par_batch {}", model.name()))?;
+        }
+    }
+
+    /// `GlobalBoundTA` through the service is byte-identical to direct
+    /// execution at every shard count (σ ≤ 1 models only).
+    #[test]
+    fn service_global_bound_ta_is_byte_identical((corpus, queries) in arb_corpus_and_stream()) {
+        for model in all_models() {
+            if matches!(model, ProximityModel::Ppr { .. }) {
+                continue; // GBTA requires σ ≤ 1; PPR is a distribution
+            }
+            let mut direct = GlobalBoundTA::new(&corpus, model);
+            let want: Vec<Vec<(u32, f32)>> =
+                queries.iter().map(|q| direct.query(q).items).collect();
+            for shards in SHARD_COUNTS {
+                let served =
+                    par_batch_served(&corpus, &queries, shards, global_bound_factory(model));
+                assert_streams_identical(
+                    &want,
+                    &served,
+                    &format!("global-bound-ta {} shards={shards}", model.name()),
+                )?;
+            }
+        }
+    }
+
+    /// A custom factory (FriendExpansion — a processor with no strategy
+    /// hints and no cache use) serves byte-identically too: the broker does
+    /// not depend on processor internals.
+    #[test]
+    fn service_friend_expansion_is_byte_identical((corpus, queries) in arb_corpus_and_stream()) {
+        let mut direct = FriendExpansion::new(&corpus, ExpansionConfig::default());
+        let want: Vec<Vec<(u32, f32)>> = queries.iter().map(|q| direct.query(q).items).collect();
+        for shards in SHARD_COUNTS {
+            let served = par_batch_served(&corpus, &queries, shards, |c: &Corpus, _ctx: ShardContext| {
+                Box::new(FriendExpansion::new(c, ExpansionConfig::default()))
+                    as Box<dyn Processor + '_>
+            });
+            assert_streams_identical(&want, &served, &format!("friend-expansion shards={shards}"))?;
+        }
+    }
+}

@@ -1,5 +1,7 @@
-//! Serving-style throughput: answer a whole query log with one processor
-//! per worker thread, comparing single-threaded and parallel throughput.
+//! Serving-style throughput: answer a whole query log three ways — one
+//! processor on one thread, the flat `par_batch` chunk split, and the
+//! `friends_service` seeker-affinity broker — and verify the answers never
+//! change.
 //!
 //! ```sh
 //! cargo run --release --example batch_throughput
@@ -7,11 +9,12 @@
 
 use friends::core::batch::par_batch;
 use friends::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let ds = DatasetSpec::delicious_like(Scale::Tiny).build(11);
-    let corpus = Corpus::new(ds.graph, ds.store);
+    let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
     let workload = QueryWorkload::generate(
         &corpus.graph,
         &corpus.store,
@@ -60,8 +63,45 @@ fn main() {
             workload.len() as f64 / elapsed.as_secs_f64()
         );
     }
+
+    // The serving tier: the same workload through the seeker-affinity
+    // broker. Repeated seekers stay on one shard (hot private caches) and
+    // duplicate in-flight queries are executed once.
+    let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+    let want = par_batch(&workload.queries, 1, || ExactOnline::new(&corpus, model));
     println!(
-        "\n(answers verified identical across thread counts; speedup is\n\
-         bounded by the hardware thread count printed above)"
+        "\n{:<10} {:>12} {:>12}",
+        "service", "elapsed ms", "queries/s"
+    );
+    for shards in [1usize, 2, 4] {
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards,
+                ..ServiceConfig::default()
+            },
+            exact_factory(model),
+        );
+        let start = Instant::now();
+        let served = svc.run_batch(&workload.queries);
+        let elapsed = start.elapsed();
+        for (a, b) in want.iter().zip(&served) {
+            assert_eq!(a.items, b.items, "service must not change any answer");
+        }
+        let stats = svc.shutdown().totals();
+        println!(
+            "{:<10} {:>12.1} {:>12.0}   ({} executed, {} coalesced, {:.0}% cache hits, {} deadline misses)",
+            format!("{shards} shard"),
+            elapsed.as_secs_f64() * 1e3,
+            workload.len() as f64 / elapsed.as_secs_f64(),
+            stats.executed,
+            stats.coalesced,
+            100.0 * stats.cache.hit_rate(),
+            stats.deadline_misses,
+        );
+    }
+    println!(
+        "\n(answers verified identical across thread counts and the service\n\
+         path; speedup is bounded by the hardware thread count printed above)"
     );
 }

@@ -8,8 +8,11 @@
 //!   traversals, PPR, landmarks, communities);
 //! * [`index`] — IR substrate (compressed postings, inverted index,
 //!   TA/NRA/WAND);
-//! * [`data`] — tagging store, synthetic datasets, query workloads;
-//! * [`core`] — the network-aware query processors and proximity models.
+//! * [`data`] — tagging store, synthetic datasets, query workloads and
+//!   timed request streams;
+//! * [`core`] — the network-aware query processors and proximity models;
+//! * [`service`] — the serving tier: the sharded seeker-affinity query
+//!   broker with batching, coalescing and deadline-aware execution.
 //!
 //! ## Quickstart
 //!
@@ -32,25 +35,31 @@ pub use friends_core as core;
 pub use friends_data as data;
 pub use friends_graph as graph;
 pub use friends_index as index;
+pub use friends_service as service;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use friends_core::batch::{par_batch, par_batch_with_cache};
-    pub use friends_core::cache::{CacheStats, ProximityCache};
+    pub use friends_core::cache::{CachePolicy, CacheStats, ProximityCache};
     pub use friends_core::corpus::{Corpus, QueryStats, SearchResult};
     pub use friends_core::eval::{
         kendall_tau, ndcg_at_k, precision_at_k, topk_sets_equal_up_to_ties,
     };
     pub use friends_core::processors::{
         ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA,
-        GlobalProcessor, Hybrid, HybridConfig, Processor,
+        GlobalProcessor, Hybrid, HybridConfig, Processor, ScoringStrategy,
     };
     pub use friends_core::proximity::ProximityModel;
     pub use friends_core::proximity::{ProximityVec, Sigma, SigmaWorkspace};
     pub use friends_data::datasets::{Dataset, DatasetSpec, Family, Scale};
     pub use friends_data::queries::{Query, QueryParams, QueryWorkload};
+    pub use friends_data::requests::{RequestParams, RequestStream, TimedRequest};
     pub use friends_data::store::TagStore;
     pub use friends_data::{ItemId, TagId, Tagging, UserId};
     pub use friends_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use friends_index::inverted::{IndexConfig, InvertedIndex};
+    pub use friends_service::{
+        exact_factory, global_bound_factory, par_batch_served, Deadline, FriendsService, Outcome,
+        Reply, Request, ServiceConfig, ServiceStats, ShardStats, Ticket,
+    };
 }
