@@ -1,17 +1,23 @@
 //! Fig 11 kernel: the serving tier under a Zipf repeat-query request
 //! stream.
 //!
-//! Two ways to answer the same stream, per model:
+//! Three ways to answer the same stream, per model:
 //!
 //! * `batch`   — the pre-PR path: `par_batch_with_cache`, a flat chunk
-//!   split over one shared sharded cache;
-//! * `service` — `friends_service`: seeker-affinity shard routing, batched
-//!   dispatch with duplicate-request coalescing, and private
-//!   admission-controlled caches per shard.
+//!   split over one shared sharded cache (deprecated, kept as baseline);
+//! * `service` — a transient planner-backed `ServedClient`:
+//!   seeker-affinity shard routing, batched dispatch with
+//!   duplicate-request coalescing, private admission-controlled caches;
+//! * `service_memo` — the same with the cross-request result cache, so
+//!   repeats in *later* iterations of the measurement loop skip execution.
 //!
 //! `report --exp fig11` prints the same comparison with throughput numbers,
 //! service stats and the correctness cross-check; the ignored
-//! `fig11_service_gate` test pins the serving-scale speedup.
+//! `fig11_service_gate` test pins the serving-scale speedup through the
+//! client API.
+
+// The `batch` arm IS the deprecated path — this kernel measures it.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use friends_bench::serving_corpus;
@@ -20,7 +26,7 @@ use friends_core::cache::ProximityCache;
 use friends_core::processors::ExactOnline;
 use friends_core::proximity::ProximityModel;
 use friends_data::requests::{RequestParams, RequestStream};
-use friends_service::{exact_factory, par_batch_served};
+use friends_service::{SearchClient, ServedClient, ServiceConfig};
 use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
@@ -56,15 +62,19 @@ fn bench(c: &mut Criterion) {
                 }))
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("service", model.name()),
-            &queries,
-            |b, q| {
-                b.iter(|| {
-                    std::hint::black_box(par_batch_served(&corpus, q, shards, exact_factory(model)))
-                })
-            },
-        );
+        for (label, result_cache) in [("service", 0usize), ("service_memo", 4096)] {
+            group.bench_with_input(BenchmarkId::new(label, model.name()), &queries, |b, q| {
+                let client = ServedClient::start(
+                    Arc::clone(&corpus),
+                    ServiceConfig {
+                        shards,
+                        result_cache_capacity: result_cache,
+                        ..ServiceConfig::default()
+                    },
+                );
+                b.iter(|| std::hint::black_box(client.search(q, model)))
+            });
+        }
     }
     group.finish();
 }

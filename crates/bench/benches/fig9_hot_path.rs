@@ -1,16 +1,23 @@
 //! Fig 9 kernel: the zero-allocation query hot path under Zipf-skewed
 //! seeker traffic.
 //!
-//! Three σ paths over the same batch, per sparse-support-friendly model:
+//! Four σ paths over the same batch, per sparse-support-friendly model:
 //!
 //! * `dense`      — legacy per-query `O(n)` materialize + full posting scan;
 //! * `workspace`  — epoch-stamped `SigmaWorkspace` (sparse support where the
 //!   model allows), zero per-query `O(n)` allocations;
 //! * `cached`     — workspace plus the sharded seeker-proximity cache shared
-//!   across `par_batch` workers.
+//!   across `par_batch` workers;
+//! * `client`     — the same cached path through the unified
+//!   [`DirectClient`] API (a standing worker pool instead of per-batch
+//!   thread spawning).
 //!
 //! `report --exp fig9` prints the same comparison with throughput numbers
 //! and the correctness cross-check.
+
+// The dense/workspace/cached arms ARE the deprecated paths — this kernel
+// exists to measure them against the client.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use friends_bench::{zipf_seeker_workload, DenseMaterializeExact};
@@ -20,11 +27,12 @@ use friends_core::corpus::Corpus;
 use friends_core::processors::ExactOnline;
 use friends_core::proximity::ProximityModel;
 use friends_data::datasets::{DatasetSpec, Scale};
+use friends_service::{DirectClient, DirectConfig, SearchClient};
 use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
-    let corpus = Corpus::new(ds.graph, ds.store);
+    let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
     let w = zipf_seeker_workload(&corpus, 128, 10, 1.1, 7);
     let threads = 4;
     let mut group = c.benchmark_group("fig9_hot_path");
@@ -62,6 +70,17 @@ fn bench(c: &mut Criterion) {
                     |shared| ExactOnline::with_cache(&corpus, model, shared),
                 ))
             })
+        });
+        group.bench_with_input(BenchmarkId::new("client", model.name()), &w, |b, w| {
+            let client = DirectClient::start(
+                Arc::clone(&corpus),
+                DirectConfig {
+                    threads,
+                    cache_capacity: corpus.num_users() as usize,
+                    ..DirectConfig::default()
+                },
+            );
+            b.iter(|| std::hint::black_box(client.search(&w.queries, model)))
         });
     }
     group.finish();

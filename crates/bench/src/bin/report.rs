@@ -74,14 +74,21 @@ fn main() {
     } else {
         vec![exp.as_str()]
     };
-    let mut summary: Vec<(String, f64, usize)> = Vec::new();
+    // (name, elapsed ms, output bytes, metrics as (key, raw-JSON) pairs).
+    type SummaryRow = (String, f64, usize, Vec<(String, String)>);
+    let mut summary: Vec<SummaryRow> = Vec::new();
     for name in names {
         let start = Instant::now();
-        match experiments::run(name, profile) {
+        match experiments::run_full(name, profile) {
             Some(out) => {
                 let elapsed = start.elapsed();
-                println!("{out}");
-                summary.push((name.to_owned(), elapsed.as_secs_f64() * 1e3, out.len()));
+                println!("{}", out.text);
+                summary.push((
+                    name.to_owned(),
+                    elapsed.as_secs_f64() * 1e3,
+                    out.text.len(),
+                    out.metrics,
+                ));
             }
             None => {
                 eprintln!("unknown experiment `{name}`");
@@ -97,12 +104,22 @@ fn main() {
         };
         let entries: Vec<String> = summary
             .iter()
-            .map(|(name, ms, bytes)| {
+            .map(|(name, ms, bytes, metrics)| {
+                let metrics_json = if metrics.is_empty() {
+                    String::new()
+                } else {
+                    let kv: Vec<String> = metrics
+                        .iter()
+                        .map(|(k, v)| format!("\"{}\": {}", json_escape(k), v))
+                        .collect();
+                    format!(", \"metrics\": {{{}}}", kv.join(", "))
+                };
                 format!(
-                    "  {{\"experiment\": \"{}\", \"elapsed_ms\": {:.3}, \"output_bytes\": {}}}",
+                    "  {{\"experiment\": \"{}\", \"elapsed_ms\": {:.3}, \"output_bytes\": {}{}}}",
                     json_escape(name),
                     ms,
-                    bytes
+                    bytes,
+                    metrics_json
                 )
             })
             .collect();
@@ -113,41 +130,45 @@ fn main() {
              materialization does, so their fig9 'cached' column equals the \
              workspace path by design",
             "fig10: block-max sigma-aware WAND vs posting scan / support \
-             probe; the ignored fig10_blockmax_gate test pins the \
-             low-selectivity speedup at serving scale",
-            "fig11: friends_service (seeker-affinity shards + request \
-             coalescing + TinyLFU-admission shard caches) vs the flat \
-             par_batch_with_cache split; the ignored fig11_service_gate \
-             test pins the >=1.3x serving-scale win with zero deadline \
-             misses",
+             probe, driven through a single-threaded DirectClient with \
+             forced strategy hints; the ignored fig10_blockmax_gate test \
+             pins the low-selectivity speedup at serving scale",
+            "fig11: ServedClient (planner-backed seeker-affinity shards + \
+             request coalescing + TinyLFU-admission shard caches + result \
+             memoization) vs the deprecated flat par_batch_with_cache \
+             split; the ignored fig11_service_gate test pins the >=1.3x \
+             serving-scale win with zero deadline misses through the \
+             client API",
+            "per-experiment 'metrics' objects carry result-cache counters \
+             and planner strategy-choice histograms where the experiment \
+             runs through a SearchClient (fig9, fig10, fig11)",
         ];
         let notes_json: Vec<String> = notes
             .iter()
             .map(|n| format!("  \"{}\"", json_escape(n)))
             .collect();
-        // The serving tier's shard-cache counters over a FIXED synthetic
-        // probe workload (Tiny corpus, 300 requests twice, 16-entry
-        // caches) — a behavioral fingerprint of the admission/TTL/LRU
-        // policy, deliberately independent of whichever experiments ran
-        // above so it is diffable across PRs. Not a measurement of this
-        // run's experiments.
-        let cs = friends_bench::service_cache_probe();
-        let cache_json = format!(
+        // The serving tier's counters over a FIXED synthetic probe
+        // workload (Tiny corpus, 300 requests twice through a
+        // planner-backed ServedClient, 16-entry caches) — a behavioral
+        // fingerprint of the admission/TTL/LRU policy, the result
+        // memoization and the planner, deliberately independent of
+        // whichever experiments ran above so it is diffable across PRs.
+        // Not a measurement of this run's experiments.
+        let probe = friends_bench::service_probe();
+        let probe_json = format!(
             "{{\"workload\": \"fixed synthetic probe (not this run's experiments)\", \
-             \"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
-             \"rejections\": {}, \"expirations\": {}, \"entries\": {}, \"hit_rate\": {:.4}}}",
-            cs.hits,
-            cs.misses,
-            cs.insertions,
-            cs.evictions,
-            cs.rejections,
-            cs.expirations,
-            cs.entries,
-            cs.hit_rate()
+             \"proximity_cache\": {}, \"result_cache\": {}, \"result_served\": {}, \
+             \"executed\": {}, \"coalesced\": {}, \"plans\": {}}}",
+            experiments::cache_stats_json(&probe.cache),
+            experiments::cache_stats_json(&probe.results),
+            probe.result_served,
+            probe.executed,
+            probe.coalesced,
+            experiments::plan_histogram_json(&probe.plans)
         );
         let doc = format!(
             "{{\n\"profile\": \"{profile_name}\",\n\"experiments\": [\n{}\n],\n\
-             \"service_cache_probe\": {cache_json},\n\"notes\": [\n{}\n]\n}}\n",
+             \"service_probe\": {probe_json},\n\"notes\": [\n{}\n]\n}}\n",
             entries.join(",\n"),
             notes_json.join(",\n")
         );

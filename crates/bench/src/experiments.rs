@@ -4,8 +4,9 @@
 //! shapes against the expectations.
 
 use crate::{fmt_bytes, mean_us, percentile_us, timed, TextTable};
-use friends_core::corpus::{Corpus, QueryStats};
+use friends_core::corpus::{Corpus, QueryStats, SearchResult};
 use friends_core::eval::{kendall_tau, mean, ndcg_at_k, precision_at_k};
+use friends_core::plan::{QueryRequest, STRATEGY_LABELS};
 use friends_core::processors::{
     ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA,
     GlobalProcessor, Hybrid, HybridConfig, Processor, ScoringStrategy,
@@ -18,6 +19,8 @@ use friends_graph::generators::{self, WeightModel};
 use friends_graph::metrics;
 use friends_index::inverted::IndexConfig;
 use friends_index::postings::{Encoding, PostingConfig};
+use friends_service::{DirectClient, DirectConfig, SearchClient, ServedClient, ServiceConfig};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Experiment sizing: `Quick` keeps everything under a few seconds for tests
@@ -73,16 +76,52 @@ fn drive(p: &mut dyn Processor, w: &QueryWorkload) -> (Vec<Duration>, QueryStats
     for q in &w.queries {
         let (r, d) = timed(|| p.query(q));
         lat.push(d);
-        agg.users_visited += r.stats.users_visited;
-        agg.postings_scanned += r.stats.postings_scanned;
-        agg.clusters_touched += r.stats.clusters_touched;
-        agg.bound_checks += r.stats.bound_checks;
-        agg.blocks_skipped += r.stats.blocks_skipped;
-        if r.stats.early_terminated {
-            agg.early_terminated = true;
-        }
+        accumulate(&mut agg, &r.stats);
     }
     (lat, agg)
+}
+
+fn accumulate(agg: &mut QueryStats, s: &QueryStats) {
+    agg.users_visited += s.users_visited;
+    agg.postings_scanned += s.postings_scanned;
+    agg.clusters_touched += s.clusters_touched;
+    agg.bound_checks += s.bound_checks;
+    agg.blocks_skipped += s.blocks_skipped;
+    if s.early_terminated {
+        agg.early_terminated = true;
+    }
+}
+
+/// [`drive`] through a [`SearchClient`]: per-query submit-and-wait under
+/// `model` with a forced `strategy` hint, measuring the full client stack
+/// (planning, queueing, execution). Returns latencies, summed stats and the
+/// result stream for cross-strategy equality checks.
+fn drive_client(
+    client: &dyn SearchClient,
+    w: &QueryWorkload,
+    model: ProximityModel,
+    strategy: ScoringStrategy,
+) -> (Vec<Duration>, QueryStats, Vec<SearchResult>) {
+    let mut lat = Vec::with_capacity(w.len());
+    let mut agg = QueryStats::default();
+    let mut results = Vec::with_capacity(w.len());
+    for q in &w.queries {
+        let (r, d) = timed(|| {
+            client
+                .run(
+                    QueryRequest::from_query(q.clone())
+                        .with_model(model)
+                        .with_strategy(strategy)
+                        .without_deadline(),
+                )
+                .outcome
+                .expect_done("drive_client")
+        });
+        lat.push(d);
+        accumulate(&mut agg, &r.stats);
+        results.push(r);
+    }
+    (lat, agg, results)
 }
 
 // ---------------------------------------------------------------- Table 1
@@ -735,12 +774,16 @@ pub fn table3(profile: Profile) -> String {
 // ------------------------------------------------------------------ Fig 9
 
 /// Fig 9: the query hot path under Zipf-skewed seeker traffic — batch
-/// throughput of the legacy dense-materialize path vs the epoch-stamped
-/// workspace path (sparse support where the model allows it) vs the
-/// workspace plus a shared seeker-proximity cache. Rankings are asserted
-/// identical across the three paths while measuring.
-pub fn fig9(profile: Profile) -> String {
-    let c = std::sync::Arc::new(corpus_for(&DatasetSpec::delicious_like(profile.scale())));
+/// throughput of the legacy dense-materialize `par_batch` path vs the
+/// unified client API: a cache-less [`DirectClient`] (the epoch-stamped
+/// workspace path), a cached `DirectClient` (shared seeker-proximity
+/// cache), and a [`ServedClient`] over the seeker-affinity broker. Client
+/// pools are standing (started outside the timed region — that is the
+/// point of the API); the deprecated baseline pays its per-batch thread
+/// spawn as it always did. Rankings are asserted identical across all four
+/// paths while measuring.
+pub fn fig9(profile: Profile) -> ExperimentOutput {
+    let c = Arc::new(corpus_for(&DatasetSpec::delicious_like(profile.scale())));
     let (count, threads) = match profile {
         Profile::Quick => (300, 4),
         Profile::Full => (3_000, 4),
@@ -755,6 +798,21 @@ pub fn fig9(profile: Profile) -> String {
         },
         ProximityModel::AdamicAdar,
     ];
+    let workspace_client = DirectClient::start(
+        Arc::clone(&c),
+        DirectConfig {
+            threads,
+            cache_capacity: 0, // pure workspace path
+            ..DirectConfig::default()
+        },
+    );
+    let served_client = ServedClient::start(
+        Arc::clone(&c),
+        ServiceConfig {
+            shards: threads,
+            ..ServiceConfig::default()
+        },
+    );
     let mut t = TextTable::new(&[
         "model",
         "dense q/s",
@@ -766,32 +824,29 @@ pub fn fig9(profile: Profile) -> String {
         "hit rate",
     ]);
     for model in models {
+        #[allow(deprecated)] // the pre-refactor baseline the figure measures
         let (dense_r, dense_d) = timed(|| {
             friends_core::batch::par_batch(&w.queries, threads, || {
                 crate::DenseMaterializeExact::new(&c, model)
             })
         });
-        let (ws_r, ws_d) = timed(|| {
-            friends_core::batch::par_batch(&w.queries, threads, || ExactOnline::new(&c, model))
-        });
-        let cache = std::sync::Arc::new(friends_core::cache::ProximityCache::new(
-            c.num_users() as usize
-        ));
-        let (cached_r, cached_d) = timed(|| {
-            friends_core::batch::par_batch_with_cache(&w.queries, threads, &cache, |shared| {
-                ExactOnline::with_cache(&c, model, shared)
-            })
-        });
+        let (ws_r, ws_d) = timed(|| workspace_client.search(&w.queries, model));
+        // A fresh cached client per model: the hit rate below is this
+        // model's, not an accumulation across the row loop.
+        let cached_client = DirectClient::start(
+            Arc::clone(&c),
+            DirectConfig {
+                threads,
+                cache_capacity: c.num_users() as usize,
+                cache_policy: friends_core::cache::CachePolicy::default(),
+                ..DirectConfig::default()
+            },
+        );
+        let (cached_r, cached_d) = timed(|| cached_client.search(&w.queries, model));
+        let cached_stats = cached_client.shutdown();
         // The serving path: the same workload through the seeker-affinity
         // broker (coalescing + shard-private caches).
-        let (served_r, served_d) = timed(|| {
-            friends_service::par_batch_served(
-                &c,
-                &w.queries,
-                threads,
-                friends_service::exact_factory(model),
-            )
-        });
+        let (served_r, served_d) = timed(|| served_client.search(&w.queries, model));
         // The four paths must agree item-for-item — this is measured code,
         // but correctness is free to check here.
         for (((a, b), d), s) in dense_r.iter().zip(&ws_r).zip(&cached_r).zip(&served_r) {
@@ -809,13 +864,71 @@ pub fn fig9(profile: Profile) -> String {
             format!("{sq:.0}"),
             format!("{:.1}x", wq / dq),
             format!("{:.1}x", cq / dq),
-            format!("{:.0}%", 100.0 * cache.stats().hit_rate()),
+            format!("{:.0}%", 100.0 * cached_stats.cache.hit_rate()),
         ]);
     }
+    let metrics = vec![
+        plans_metric(&workspace_client.stats().plans),
+        (
+            "service_plans".to_owned(),
+            plan_histogram_json(&served_client.stats().totals().plans),
+        ),
+    ];
+    workspace_client.shutdown();
+    served_client.shutdown();
+    ExperimentOutput {
+        text: format!(
+            "Fig 9 — hot-path throughput, Zipf(1.1) seekers ({:?}, {count} queries, {threads} threads)\n{}",
+            profile.scale(),
+            t.render()
+        ),
+        metrics,
+    }
+}
+
+/// Renders a [`friends_core::plan::PlanHistogram`] as a JSON object string
+/// (shared with the `report` binary so the per-experiment metrics and the
+/// probe emit one schema).
+pub fn plan_histogram_json(h: &friends_core::plan::PlanHistogram) -> String {
+    let strategies: Vec<String> = STRATEGY_LABELS
+        .iter()
+        .zip(&h.strategies)
+        .map(|(label, n)| format!("\"{label}\": {n}"))
+        .collect();
+    let processors: Vec<String> = h
+        .processors
+        .iter()
+        .enumerate()
+        .map(|(i, n)| format!("\"entry{i}\": {n}"))
+        .collect();
     format!(
-        "Fig 9 — hot-path throughput, Zipf(1.1) seekers ({:?}, {count} queries, {threads} threads)\n{}",
-        profile.scale(),
-        t.render()
+        "{{\"strategies\": {{{}}}, \"processors\": {{{}}}}}",
+        strategies.join(", "),
+        processors.join(", ")
+    )
+}
+
+fn plans_metric(h: &friends_core::plan::PlanHistogram) -> (String, String) {
+    (
+        "planner_strategy_histogram".to_owned(),
+        plan_histogram_json(h),
+    )
+}
+
+/// Renders cache counters as a JSON object string (shared with the
+/// `report` binary, like [`plan_histogram_json`]).
+pub fn cache_stats_json(s: &friends_core::cache::CacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
+         \"rejections\": {}, \"expirations\": {}, \"entries\": {}, \"hit_rate\": {:.4}}}",
+        s.hits,
+        s.misses,
+        s.insertions,
+        s.evictions,
+        s.rejections,
+        s.expirations,
+        s.entries,
+        s.hit_rate()
     )
 }
 
@@ -823,13 +936,23 @@ pub fn fig9(profile: Profile) -> String {
 
 /// Fig 10: the three exact scoring strategies — full posting scan, support
 /// probe and block-max σ-aware WAND — across proximity models and tag
-/// selectivities. "Head" queries draw popular tags (long posting lists, the
-/// low-selectivity regime block-max targets); "tail" queries draw unpopular
-/// ones. Rankings are asserted identical across strategies while measuring.
-pub fn fig10(profile: Profile) -> String {
-    let c = corpus_for(&DatasetSpec::delicious_like(profile.scale()));
+/// selectivities, driven through a single-threaded [`DirectClient`] with
+/// forced strategy hints (latencies include the client stack, identically
+/// for every strategy, so the ratios stay comparable). "Head" queries draw
+/// popular tags (long posting lists, the low-selectivity regime block-max
+/// targets); "tail" queries draw unpopular ones. Rankings are asserted
+/// identical across strategies while measuring.
+pub fn fig10(profile: Profile) -> ExperimentOutput {
+    let c = Arc::new(corpus_for(&DatasetSpec::delicious_like(profile.scale())));
     c.sigma_index(); // built once, outside the timed region
     let n_q = profile.queries();
+    let client = DirectClient::start(
+        Arc::clone(&c),
+        DirectConfig {
+            threads: 1, // per-query latency, one processor's scratch reuse
+            ..DirectConfig::default()
+        },
+    );
     let mut t = TextTable::new(&[
         "workload",
         "model",
@@ -856,23 +979,31 @@ pub fn fig10(profile: Profile) -> String {
             ProximityModel::WeightedDecay { alpha: 0.5 },
             ProximityModel::AdamicAdar,
         ] {
-            let mut scan = ExactOnline::with_strategy(&c, model, ScoringStrategy::PostingScan);
-            let mut bm = ExactOnline::with_strategy(&c, model, ScoringStrategy::BlockMax);
-            let (scan_lat, _) = drive(&mut scan, &w);
-            let (bm_lat, bm_stats) = drive(&mut bm, &w);
+            let (scan_lat, _, scan_r) =
+                drive_client(&client, &w, model, ScoringStrategy::PostingScan);
+            let (bm_lat, bm_stats, bm_r) =
+                drive_client(&client, &w, model, ScoringStrategy::BlockMax);
             // Strategies must agree item-for-item (measured code, but the
             // differential contract is free to check here).
-            for q in &w.queries {
+            for ((a, b), q) in scan_r.iter().zip(&bm_r).zip(&w.queries) {
                 assert_eq!(
-                    scan.query(q).items,
-                    bm.query(q).items,
+                    a.items,
+                    b.items,
                     "block-max diverged ({} {q:?})",
                     model.name()
                 );
             }
             let support_cell = if model.has_sparse_support() {
-                let mut sup = ExactOnline::with_strategy(&c, model, ScoringStrategy::SupportProbe);
-                let (sup_lat, _) = drive(&mut sup, &w);
+                let (sup_lat, _, sup_r) =
+                    drive_client(&client, &w, model, ScoringStrategy::SupportProbe);
+                for ((a, b), q) in scan_r.iter().zip(&sup_r).zip(&w.queries) {
+                    assert_eq!(
+                        a.items,
+                        b.items,
+                        "support probe diverged ({} {q:?})",
+                        model.name()
+                    );
+                }
                 format!("{:.0}", mean_us(&sup_lat))
             } else {
                 "-".into()
@@ -889,28 +1020,30 @@ pub fn fig10(profile: Profile) -> String {
             ]);
         }
     }
-    format!(
-        "Fig 10 — scan vs support-probe vs block-max σ-aware WAND ({:?}, {n_q} queries, k=10)\n{}",
-        profile.scale(),
-        t.render()
-    )
+    let stats = client.shutdown();
+    ExperimentOutput {
+        text: format!(
+            "Fig 10 — scan vs support-probe vs block-max σ-aware WAND ({:?}, {n_q} queries, k=10)\n{}",
+            profile.scale(),
+            t.render()
+        ),
+        metrics: vec![plans_metric(&stats.plans)],
+    }
 }
 
 // ----------------------------------------------------------------- Fig 11
 
-/// Fig 11: the serving tier — seeker-affinity `friends_service` vs the flat
+/// Fig 11: the serving tier — a [`ServedClient`] (seeker-affinity broker
+/// with coalescing and result memoization) vs the deprecated flat
 /// `par_batch_with_cache` chunk split, on a Zipf(1.1) request stream with
 /// per-seeker repeat queries (the [`friends_data::requests`] traffic shape).
-/// The service coalesces duplicate in-flight requests, keeps each seeker's
-/// σ on one shard's private admission-controlled cache, and sheds nothing
-/// at the default deadline. Rankings are asserted identical while
-/// measuring.
-pub fn fig11(profile: Profile) -> String {
-    use friends_core::batch::par_batch_with_cache;
+/// The service coalesces duplicate in-flight requests, serves cross-cycle
+/// repeats out of the result cache, keeps each seeker's σ on one shard's
+/// private admission-controlled cache, and sheds nothing at the default
+/// deadline. Rankings are asserted identical while measuring.
+pub fn fig11(profile: Profile) -> ExperimentOutput {
     use friends_core::cache::ProximityCache;
     use friends_data::requests::{RequestParams, RequestStream};
-    use friends_service::{exact_factory, FriendsService, ServiceConfig};
-    use std::sync::Arc;
 
     // The serving regime (see [`crate::serving_corpus`]): heavy tags, so
     // per-request cost is scoring — the work coalescing removes.
@@ -937,11 +1070,12 @@ pub fn fig11(profile: Profile) -> String {
         "service q/s",
         "speedup",
         "coalesced %",
+        "memo-served %",
         "hit %",
-        "admit rejects",
         "deadline miss",
         "max depth",
     ]);
+    let mut metrics = Vec::new();
     for model in [
         ProximityModel::DistanceDecay { alpha: 0.3 },
         ProximityModel::Ppr {
@@ -951,27 +1085,34 @@ pub fn fig11(profile: Profile) -> String {
     ] {
         // Pre-PR baseline: flat chunk split over a shared sharded cache.
         let cache = Arc::new(ProximityCache::new(c.num_users() as usize));
+        #[allow(deprecated)] // the comparison anchor the figure measures
         let (base_r, base_d) = timed(|| {
-            par_batch_with_cache(&queries, workers, &cache, |shared| {
+            friends_core::batch::par_batch_with_cache(&queries, workers, &cache, |shared| {
                 ExactOnline::with_cache(&c, model, shared)
             })
         });
-        // The service: affinity routing + coalescing + private caches.
-        let svc = FriendsService::start(
+        // The serving path: affinity routing + coalescing + private caches
+        // + cross-cycle result memoization, behind the client API.
+        let client = ServedClient::start(
             Arc::clone(&c),
             ServiceConfig {
                 shards: workers,
+                result_cache_capacity: 4096,
                 ..ServiceConfig::default()
             },
-            exact_factory(model),
         );
-        let (replies, svc_d) = timed(|| svc.submit_batch(&queries));
-        let stats = svc.shutdown().totals();
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|q| QueryRequest::from_query(q.clone()).with_model(model))
+            .collect();
+        let (replies, svc_d) = timed(|| client.run_batch(requests));
+        let stats = client.shutdown().totals();
         // Measured code, but the differential contract is free to check:
-        // routing/coalescing must never change an *answer*. Requests shed
-        // at the default deadline (possible on a very loaded machine) are
-        // reported in the table column instead of aborting the report —
-        // the zero-miss requirement is pinned by `fig11_service_gate`.
+        // routing/coalescing/memoization must never change an *answer*.
+        // Requests shed at the default deadline (possible on a very loaded
+        // machine) are reported in the table column instead of aborting
+        // the report — the zero-miss requirement is pinned by
+        // `fig11_service_gate`.
         for (a, b) in base_r.iter().zip(&replies) {
             if let Some(served) = b.outcome.result() {
                 assert_eq!(a.items, served.items, "service diverged ({model:?})");
@@ -988,17 +1129,48 @@ pub fn fig11(profile: Profile) -> String {
                 "{:.0}%",
                 100.0 * stats.coalesced as f64 / stats.submitted as f64
             ),
+            format!(
+                "{:.0}%",
+                100.0 * stats.result_served as f64 / stats.submitted as f64
+            ),
             format!("{:.0}%", 100.0 * stats.cache.hit_rate()),
-            stats.cache.rejections.to_string(),
             stats.deadline_misses.to_string(),
             stats.max_queue_depth.to_string(),
         ]);
+        metrics.push((
+            format!("result_cache_{}", model.name()),
+            cache_stats_json(&stats.results),
+        ));
+        metrics.push((
+            format!("plans_{}", model.name()),
+            plan_histogram_json(&stats.plans),
+        ));
     }
-    format!(
-        "Fig 11 — serving tier: seeker-affinity service vs flat cached batch \
-         (Zipf(1.1) repeat-query stream, {users} users, {count} requests, {workers} shards)\n{}",
-        t.render()
-    )
+    ExperimentOutput {
+        text: format!(
+            "Fig 11 — serving tier: seeker-affinity ServedClient vs flat cached batch \
+             (Zipf(1.1) repeat-query stream, {users} users, {count} requests, {workers} shards)\n{}",
+            t.render()
+        ),
+        metrics,
+    }
+}
+
+/// One experiment's rendered table plus machine-readable metrics for
+/// `report --json` (`(key, raw JSON value)` pairs — e.g. result-cache
+/// counters, planner strategy histograms).
+pub struct ExperimentOutput {
+    pub text: String,
+    pub metrics: Vec<(String, String)>,
+}
+
+impl From<String> for ExperimentOutput {
+    fn from(text: String) -> Self {
+        ExperimentOutput {
+            text,
+            metrics: Vec::new(),
+        }
+    }
 }
 
 /// All experiment names, in report order.
@@ -1007,23 +1179,28 @@ pub const ALL: &[&str] = &[
     "table3",
 ];
 
-/// Dispatches an experiment by name.
-pub fn run(name: &str, profile: Profile) -> Option<String> {
+/// Dispatches an experiment by name, returning its table and metrics.
+pub fn run_full(name: &str, profile: Profile) -> Option<ExperimentOutput> {
     Some(match name {
-        "table1" => table1(profile),
-        "table2" => table2(profile),
-        "fig3" => fig3(profile),
-        "fig4" => fig4(profile),
-        "fig5" => fig5(profile),
-        "fig6" => fig6(profile),
-        "fig7" => fig7(profile),
-        "fig8" => fig8(profile),
+        "table1" => table1(profile).into(),
+        "table2" => table2(profile).into(),
+        "fig3" => fig3(profile).into(),
+        "fig4" => fig4(profile).into(),
+        "fig5" => fig5(profile).into(),
+        "fig6" => fig6(profile).into(),
+        "fig7" => fig7(profile).into(),
+        "fig8" => fig8(profile).into(),
         "fig9" => fig9(profile),
         "fig10" => fig10(profile),
         "fig11" => fig11(profile),
-        "table3" => table3(profile),
+        "table3" => table3(profile).into(),
         _ => return None,
     })
+}
+
+/// [`run_full`] keeping only the rendered table.
+pub fn run(name: &str, profile: Profile) -> Option<String> {
+    run_full(name, profile).map(|o| o.text)
 }
 
 #[cfg(test)]

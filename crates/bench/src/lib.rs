@@ -174,13 +174,14 @@ pub fn serving_corpus(users: usize, seed: u64) -> Corpus {
 }
 
 /// Drives a small repeat-query request stream through a transient
-/// `friends_service` twice and returns the aggregated shard-cache counters
-/// — the observability sample `report --json` embeds so every summary
-/// records hit/miss/insert/reject/expire behavior alongside the timings.
-pub fn service_cache_probe() -> friends_core::cache::CacheStats {
+/// planner-backed [`friends_service::ServedClient`] twice and returns the
+/// aggregated shard totals — the observability sample `report --json`
+/// embeds so every summary records proximity-cache, result-cache and
+/// planner-histogram behavior alongside the timings.
+pub fn service_probe() -> friends_service::ShardStats {
     use friends_data::datasets::{DatasetSpec, Scale};
     use friends_data::requests::{RequestParams, RequestStream};
-    use friends_service::{exact_factory, FriendsService, ServiceConfig};
+    use friends_service::{SearchClient, ServedClient, ServiceConfig};
     use std::sync::Arc;
 
     let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
@@ -194,20 +195,26 @@ pub fn service_cache_probe() -> friends_core::cache::CacheStats {
         },
         11,
     );
-    let svc = FriendsService::start(
+    let client = ServedClient::start(
         Arc::clone(&corpus),
         ServiceConfig {
             shards: 2,
-            // Tiny capacity so admission and eviction both have to act.
+            // Tiny capacities so admission and eviction both have to act.
             cache_capacity: 16,
+            result_cache_capacity: 16,
             ..ServiceConfig::default()
         },
-        exact_factory(ProximityModel::WeightedDecay { alpha: 0.5 }),
     );
     let queries = stream.queries();
-    svc.run_batch(&queries);
-    svc.run_batch(&queries);
-    svc.shutdown().totals().cache
+    client.search(&queries, ProximityModel::WeightedDecay { alpha: 0.5 });
+    client.search(&queries, ProximityModel::WeightedDecay { alpha: 0.5 });
+    client.shutdown().totals()
+}
+
+/// The proximity-cache slice of [`service_probe`] (kept for summary
+/// diffing across PRs).
+pub fn service_cache_probe() -> friends_core::cache::CacheStats {
+    service_probe().cache
 }
 
 /// Times a closure, returning its result and the elapsed wall-clock time.
@@ -370,6 +377,7 @@ mod tests {
     /// for CI; run it via `cargo test --release -p friends-bench -- --ignored`.
     #[test]
     #[ignore]
+    #[allow(deprecated)] // the gate measures the legacy paths against each other
     fn fig9_speedup_gate() {
         use friends_core::processors::ExactOnline;
         let ds = DatasetSpec::delicious_like(Scale::Custom(10_000)).build(42);
@@ -512,24 +520,28 @@ mod tests {
         }
     }
 
-    /// The fig11 acceptance gate: on a Zipf(1.1) repeat-query request
-    /// stream at serving scale (10k users), the seeker-affinity service —
-    /// coalescing duplicate in-flight requests onto one execution and
-    /// keeping each seeker's σ on one shard's private admission-controlled
-    /// cache — must beat the pre-PR `par_batch_with_cache` chunk split by
-    /// ≥ 1.3× for both a dense-decay and a sparse-support model, with
-    /// byte-identical rankings and zero deadline misses at the default
-    /// deadline. Best-of-3 trials absorb scheduler noise; machine-
-    /// sensitive, so `#[ignore]`d for CI like fig9/fig10 (run via
+    /// The fig11 acceptance gate, invoked through the unified client API:
+    /// on a Zipf(1.1) repeat-query request stream at serving scale (10k
+    /// users), a [`friends_service::ServedClient`] — planner-backed
+    /// seeker-affinity broker, coalescing duplicate in-flight requests
+    /// onto one execution and keeping each seeker's σ on one shard's
+    /// private admission-controlled cache — must beat the pre-PR
+    /// `par_batch_with_cache` chunk split by ≥ 1.3× for both a dense-decay
+    /// and a sparse-support model, with byte-identical rankings and zero
+    /// deadline misses at the default deadline. Best-of-3 trials absorb
+    /// scheduler noise; machine-sensitive, so `#[ignore]`d for CI like
+    /// fig9/fig10 (run via
     /// `cargo test --release -p friends-bench -- --ignored`).
     #[test]
     #[ignore]
+    #[allow(deprecated)] // the baseline side is the deprecated batch path
     fn fig11_service_gate() {
         use friends_core::batch::par_batch_with_cache;
         use friends_core::cache::ProximityCache;
+        use friends_core::plan::QueryRequest;
         use friends_core::processors::ExactOnline;
         use friends_data::requests::{RequestParams, RequestStream};
-        use friends_service::{exact_factory, FriendsService, ServiceConfig};
+        use friends_service::{SearchClient, ServedClient, ServiceConfig};
         use std::sync::Arc;
 
         let corpus = Arc::new(serving_corpus(10_000, 42));
@@ -561,7 +573,7 @@ mod tests {
                             ExactOnline::with_cache(&corpus, model, shared)
                         })
                     });
-                    let svc = FriendsService::start(
+                    let client = ServedClient::start(
                         Arc::clone(&corpus),
                         ServiceConfig {
                             shards: workers,
@@ -571,10 +583,13 @@ mod tests {
                             max_batch: 1024,
                             ..ServiceConfig::default()
                         },
-                        exact_factory(model),
                     );
-                    let (replies, svc_d) = timed(|| svc.submit_batch(&queries));
-                    let stats = svc.shutdown().totals();
+                    let requests: Vec<QueryRequest> = queries
+                        .iter()
+                        .map(|q| QueryRequest::from_query(q.clone()).with_model(model))
+                        .collect();
+                    let (replies, svc_d) = timed(|| client.run_batch(requests));
+                    let stats = client.shutdown().totals();
                     eprintln!(
                         "fig11 {}: batch {:.0} q/s, service {:.0} q/s ({} executed, {} coalesced, \
                          {:.0}% hits, max batch {})",
@@ -606,7 +621,7 @@ mod tests {
                 .fold(0.0f64, f64::max);
             assert!(
                 best >= 1.3,
-                "{}: service only {best:.2}x over par_batch_with_cache",
+                "{}: ServedClient only {best:.2}x over par_batch_with_cache",
                 model.name()
             );
         }

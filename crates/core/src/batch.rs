@@ -20,6 +20,10 @@ use std::sync::Arc;
 /// per-processor build cost (e.g. [`crate::processors::ClusterIndex`]'s
 /// sketches) is paid `threads` times — share prebuilt indexes through the
 /// factory closure when that matters.
+#[deprecated(
+    note = "drive batches through a `SearchClient` (`friends_service::DirectClient`); \
+            the client path is pinned byte-identical to this one by the client proptests"
+)]
 pub fn par_batch<P, F>(queries: &[Query], threads: usize, factory: F) -> Vec<SearchResult>
 where
     P: Processor,
@@ -32,6 +36,12 @@ where
 /// factory: every worker's processor reads and feeds the same cache, so a
 /// skewed workload pays each `(seeker, model)` materialization once across
 /// the whole batch instead of once per worker per occurrence.
+#[deprecated(
+    note = "drive batches through a `SearchClient` (`friends_service::DirectClient`, which owns \
+            the shared cache); the client path is pinned byte-identical to this one by the \
+            client proptests"
+)]
+#[allow(deprecated)]
 pub fn par_batch_with_cache<P, F>(
     queries: &[Query],
     threads: usize,
@@ -75,6 +85,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated wrappers are exactly what this suite pins
 mod tests {
     use super::*;
     use crate::corpus::Corpus;

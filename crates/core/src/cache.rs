@@ -67,7 +67,10 @@ pub struct CachePolicy {
 /// TinyLFU admission. Counters saturate at 15 and are halved once the number
 /// of recorded accesses reaches the sample period, so the sketch tracks
 /// *recent* popularity rather than all-time counts.
-struct FreqSketch {
+///
+/// Public as a building block: `friends_service`'s result-memoization cache
+/// reuses it for the same admission policy over `(query, strategy)` keys.
+pub struct FreqSketch {
     /// Two 4-bit counters per byte; `width` nibble slots per row, 4 rows.
     table: Vec<u8>,
     width_mask: u64,
@@ -78,7 +81,8 @@ struct FreqSketch {
 impl FreqSketch {
     const ROWS: u64 = 4;
 
-    fn new(capacity: usize) -> Self {
+    /// A sketch sized for a cache of `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
         let width = (capacity.max(8) * 8).next_power_of_two() as u64;
         FreqSketch {
             table: vec![0u8; (width * Self::ROWS / 2) as usize],
@@ -109,7 +113,7 @@ impl FreqSketch {
 
     /// Records one access of `hash`, halving every counter at the end of
     /// each sample period (the aging step).
-    fn record(&mut self, hash: u64) {
+    pub fn record(&mut self, hash: u64) {
         for row in 0..Self::ROWS {
             let s = self.slot(hash, row);
             self.bump(s);
@@ -126,7 +130,7 @@ impl FreqSketch {
     }
 
     /// Count-min frequency estimate of `hash`.
-    fn estimate(&self, hash: u64) -> u8 {
+    pub fn estimate(&self, hash: u64) -> u8 {
         (0..Self::ROWS)
             .map(|row| self.read(self.slot(hash, row)))
             .min()

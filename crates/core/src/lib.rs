@@ -45,11 +45,17 @@ pub mod batch;
 pub mod cache;
 pub mod corpus;
 pub mod eval;
+pub mod plan;
 pub mod processors;
 pub mod proximity;
 
+#[allow(deprecated)]
 pub use batch::{par_batch, par_batch_with_cache};
 pub use cache::{CachePolicy, CacheStats, ProximityCache};
 pub use corpus::{Corpus, QueryStats, SearchResult};
+pub use plan::{
+    Deadline, Plan, PlanCounters, PlanHistogram, PlannedExecutor, Planner, PlannerConfig,
+    ProcessorRegistry, QueryRequest,
+};
 pub use processors::Processor;
 pub use proximity::{ProximityVec, Sigma, SigmaWorkspace};

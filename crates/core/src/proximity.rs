@@ -122,9 +122,10 @@ impl ProximityModel {
         }
     }
 
-    /// A hashable identity for cache keys: the variant discriminant plus the
-    /// exact bit patterns of its parameters.
-    pub(crate) fn key_bits(&self) -> (u8, u64, u64) {
+    /// A hashable identity for cache and coalescing keys: the variant
+    /// discriminant plus the exact bit patterns of its parameters, so e.g.
+    /// `Ppr { eps: 1e-4 }` and `Ppr { eps: 1e-5 }` never alias.
+    pub fn key_bits(&self) -> (u8, u64, u64) {
         match *self {
             ProximityModel::Global => (0, 0, 0),
             ProximityModel::FriendsOnly => (1, 0, 0),

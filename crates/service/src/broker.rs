@@ -1,11 +1,13 @@
 //! The broker: shard routing, worker loops, batched dispatch, coalescing,
-//! deadline shedding and drain-based shutdown.
+//! result memoization, deadline shedding and drain-based shutdown.
 
 use crate::request::{Job, Outcome, Reply, Request, Ticket};
+use crate::result_cache::{ResultCache, ResultKey};
 use crate::stats::{ServiceStats, ShardState};
 use crossbeam::channel;
 use friends_core::cache::{CachePolicy, ProximityCache};
 use friends_core::corpus::{Corpus, SearchResult};
+use friends_core::plan::{PlanCounters, PlannedExecutor, Planner, ProcessorRegistry};
 use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor, ScoringStrategy};
 use friends_core::proximity::ProximityModel;
 use friends_data::queries::Query;
@@ -19,7 +21,8 @@ use std::time::{Duration, Instant};
 
 /// Broker tuning. The defaults are the serving posture: one shard per
 /// hardware thread, admission-controlled caches, coalescing on, a generous
-/// default deadline.
+/// default deadline. Result memoization is opt-in (`result_cache_capacity`)
+/// because it changes what "executed" means for observability.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
     /// Worker shard count (≥ 1). Requests route by `hash(seeker) % shards`.
@@ -32,12 +35,18 @@ pub struct ServiceConfig {
     /// Policy of the shard-private caches (TinyLFU admission on by
     /// default; no TTL).
     pub cache_policy: CachePolicy,
+    /// Capacity of each shard's private result-memoization cache, in
+    /// rankings; 0 disables memoization (the default).
+    pub result_cache_capacity: usize,
+    /// Policy of the result caches (TinyLFU admission on by default; the
+    /// TTL doubles as a staleness bound alongside epoch invalidation).
+    pub result_cache_policy: CachePolicy,
     /// Deadline budget applied to requests that don't carry their own;
     /// `None` disables shedding for them.
     pub default_deadline: Option<Duration>,
     /// Most requests drained into one dispatch cycle.
     pub max_batch: usize,
-    /// Whether duplicate in-flight `(seeker, tags, k, strategy)` requests
+    /// Whether duplicate in-flight `(query, model, strategy)` requests
     /// are executed once and fanned out. Disabling is only useful for
     /// measurement.
     pub coalesce: bool,
@@ -50,6 +59,11 @@ impl Default for ServiceConfig {
             queue_capacity: 0,
             cache_capacity: 1024,
             cache_policy: CachePolicy {
+                admission: true,
+                ttl: None,
+            },
+            result_cache_capacity: 0,
+            result_cache_policy: CachePolicy {
                 admission: true,
                 ttl: None,
             },
@@ -72,6 +86,12 @@ pub struct ShardContext {
 /// Builds one processor per worker, borrowing the service-owned corpus.
 /// Blanket-implemented for closures of the matching shape; see
 /// [`exact_factory`] / [`global_bound_factory`] for ready-made ones.
+///
+/// This is the *fixed-factory* form — one processor type and model for the
+/// whole service. The planner-backed form
+/// ([`FriendsService::start_planned`], what
+/// [`crate::ServedClient`] uses) instead chooses a registry entry per
+/// request.
 pub trait ProcessorFactory:
     for<'c> Fn(&'c Corpus, ShardContext) -> Box<dyn Processor + 'c> + Send + Sync + 'static
 {
@@ -96,6 +116,38 @@ pub fn global_bound_factory(model: ProximityModel) -> impl ProcessorFactory {
     }
 }
 
+/// What a worker executes requests with: either the fixed processor its
+/// factory built, or a planned executor choosing per request.
+enum ShardEngine<'c> {
+    Fixed(Box<dyn Processor + 'c>),
+    Planned(PlannedExecutor<'c>),
+}
+
+impl ShardEngine<'_> {
+    fn run(
+        &mut self,
+        query: &Query,
+        model: Option<ProximityModel>,
+        strategy: ScoringStrategy,
+        processor: Option<&'static str>,
+    ) -> SearchResult {
+        match self {
+            // Fixed engines ignore the model/processor fields: their
+            // processor was chosen (with its model) at start.
+            ShardEngine::Fixed(p) => {
+                p.set_strategy(strategy);
+                p.query(query)
+            }
+            ShardEngine::Planned(e) => e.execute(
+                query,
+                model.unwrap_or(ProximityModel::Global),
+                strategy,
+                processor,
+            ),
+        }
+    }
+}
+
 /// The running service: N worker shards behind MPMC queues. Dropping the
 /// handle without [`FriendsService::shutdown`] also drains (workers finish
 /// queued work before exiting), but `shutdown` additionally joins and
@@ -116,8 +168,47 @@ impl FriendsService {
         config: ServiceConfig,
         factory: F,
     ) -> Self {
-        let shards = config.shards.max(1);
         let factory = Arc::new(factory);
+        Self::start_with(corpus, config, move |corpus, ctx, _state| {
+            ShardEngine::Fixed(factory(corpus, ctx))
+        })
+    }
+
+    /// Starts a **planner-backed** service: every request carries its own
+    /// proximity model (and optional strategy hint / processor override),
+    /// and each worker's [`PlannedExecutor`] maps it to a `registry` entry
+    /// via `planner`. This is the engine behind [`crate::ServedClient`];
+    /// planner decisions surface in [`crate::ShardStats::plans`].
+    pub fn start_planned(
+        corpus: Arc<Corpus>,
+        config: ServiceConfig,
+        registry: Arc<ProcessorRegistry>,
+        planner: Planner,
+    ) -> Self {
+        Self::start_with(corpus, config, move |corpus, ctx, state| {
+            ShardEngine::Planned(PlannedExecutor::new(
+                corpus,
+                Some(ctx.cache),
+                Arc::clone(&registry),
+                planner,
+                state
+                    .plans
+                    .as_ref()
+                    .map(Arc::clone)
+                    .expect("planned shards carry counters"),
+            ))
+        })
+    }
+
+    fn start_with<E>(corpus: Arc<Corpus>, config: ServiceConfig, make_engine: E) -> Self
+    where
+        E: for<'c> Fn(&'c Corpus, ShardContext, &ShardState) -> ShardEngine<'c>
+            + Send
+            + Sync
+            + 'static,
+    {
+        let shards = config.shards.max(1);
+        let make_engine = Arc::new(make_engine);
         let mut senders = Vec::with_capacity(shards);
         let mut states = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -131,9 +222,18 @@ impl FriendsService {
                 config.cache_capacity,
                 config.cache_policy,
             ));
-            let state = Arc::new(ShardState::new(Arc::clone(&cache)));
+            let results = (config.result_cache_capacity > 0).then(|| {
+                Arc::new(ResultCache::new(
+                    config.result_cache_capacity,
+                    config.result_cache_policy,
+                ))
+            });
+            // Counters are a few atomics; every shard gets a set (fixed
+            // engines simply never record into them).
+            let plans = Some(Arc::new(PlanCounters::default()));
+            let state = Arc::new(ShardState::new(Arc::clone(&cache), results, plans));
             let corpus = Arc::clone(&corpus);
-            let factory = Arc::clone(&factory);
+            let make_engine = Arc::clone(&make_engine);
             let worker_state = Arc::clone(&state);
             let handle = std::thread::Builder::new()
                 .name(format!("friends-svc-{shard}"))
@@ -142,8 +242,8 @@ impl FriendsService {
                         shard,
                         cache: Arc::clone(&worker_state.cache),
                     };
-                    let mut processor = factory(corpus.as_ref(), ctx);
-                    worker_loop(processor.as_mut(), &rx, &worker_state, shard, &config);
+                    let mut engine = make_engine(corpus.as_ref(), ctx, &worker_state);
+                    worker_loop(&mut engine, &rx, &worker_state, shard, &config);
                 })
                 .expect("spawn service worker");
             senders.push(tx);
@@ -176,11 +276,7 @@ impl FriendsService {
         let shard = self.shard_of(request.query.seeker);
         let (tx, rx) = channel::bounded(1);
         let now = Instant::now();
-        let deadline = match request.deadline {
-            crate::request::Deadline::Default => self.default_deadline.map(|b| now + b),
-            crate::request::Deadline::Unbounded => None,
-            crate::request::Deadline::Budget(b) => Some(now + b),
-        };
+        let deadline = request.deadline.resolve(now, self.default_deadline);
         let state = &self.shards[shard];
         state.submitted.fetch_add(1, Ordering::Relaxed);
         let depth = state.depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -188,9 +284,12 @@ impl FriendsService {
         let job = Job {
             query: request.query,
             strategy: request.strategy,
+            model: request.model,
+            processor: request.processor,
             deadline,
             submitted: now,
             reply: tx.clone(),
+            tag: request.tag,
         };
         if self.senders[shard].send(job).is_err() {
             // The worker died (processor panic). Resolve the ticket rather
@@ -201,9 +300,17 @@ impl FriendsService {
                 shard,
                 queue_wait: Duration::ZERO,
                 coalesced: false,
+                result_cached: false,
+                tag: request.tag,
             });
         }
-        Ticket { shard, rx }
+        Ticket {
+            shard,
+            rx,
+            deadline,
+            tag: request.tag,
+            stash: None,
+        }
     }
 
     /// Floods every query in (affinity-routed), then collects replies in
@@ -233,6 +340,17 @@ impl FriendsService {
             .into_iter()
             .map(|t| t.wait().outcome.expect_done("run_batch"))
             .collect()
+    }
+
+    /// Bumps every shard's result-cache epoch, logically dropping all
+    /// memoized rankings at once — the invalidation hook a corpus mutation
+    /// must call. No-op when memoization is disabled.
+    pub fn invalidate_results(&self) {
+        for s in &self.shards {
+            if let Some(rc) = &s.results {
+                rc.invalidate();
+            }
+        }
     }
 
     /// A live snapshot of every shard's counters.
@@ -267,17 +385,29 @@ impl Drop for FriendsService {
     }
 }
 
+/// The coalescing/memoization identity of a job: query, model parameter
+/// bits, strategy hint and processor override. Two jobs with equal keys are
+/// interchangeable executions.
+fn group_key(job: &Job, query: Query) -> ResultKey {
+    (
+        query,
+        job.model.map(|m| m.key_bits()),
+        job.strategy,
+        job.processor,
+    )
+}
+
 /// One worker: block for the first job, opportunistically drain up to
 /// `max_batch - 1` more, dispatch the batch, repeat until disconnected.
 fn worker_loop(
-    processor: &mut dyn Processor,
+    engine: &mut ShardEngine<'_>,
     rx: &channel::Receiver<Job>,
     state: &ShardState,
     shard: usize,
     config: &ServiceConfig,
 ) {
     let mut batch: Vec<Job> = Vec::new();
-    let mut groups: HashMap<(Query, ScoringStrategy), Vec<Job>> = HashMap::new();
+    let mut groups: HashMap<ResultKey, Vec<Job>> = HashMap::new();
     loop {
         let first = match rx.recv() {
             Ok(job) => job,
@@ -294,7 +424,7 @@ fn worker_loop(
         state.batches.fetch_add(1, Ordering::Relaxed);
         state.max_batch.fetch_max(batch.len(), Ordering::Relaxed);
         dispatch(
-            processor,
+            engine,
             &mut batch,
             &mut groups,
             state,
@@ -304,14 +434,15 @@ fn worker_loop(
     }
 }
 
-/// Executes one drained batch: group duplicates, shed expired jobs, run
-/// each unique live query once, fan results out. Execution order within a
-/// cycle follows the group map (not arrival order) — results are
-/// per-query deterministic either way, and replies route by ticket.
+/// Executes one drained batch: group duplicates, shed expired jobs, serve
+/// memoized rankings, run each unique live query once, fan results out.
+/// Execution order within a cycle follows the group map (not arrival
+/// order) — results are per-query deterministic either way, and replies
+/// route by ticket.
 fn dispatch(
-    processor: &mut dyn Processor,
+    engine: &mut ShardEngine<'_>,
     batch: &mut Vec<Job>,
-    groups: &mut HashMap<(Query, ScoringStrategy), Vec<Job>>,
+    groups: &mut HashMap<ResultKey, Vec<Job>>,
     state: &ShardState,
     shard: usize,
     coalesce: bool,
@@ -320,7 +451,8 @@ fn dispatch(
     groups.clear();
     if !coalesce {
         // Measurement mode: every job executes individually, reusing the
-        // drained buffer (no per-job wrappers).
+        // drained buffer (no per-job wrappers). Memoization still applies —
+        // it is a different axis than coalescing.
         for job in batch.drain(..) {
             if job.deadline.is_some_and(|d| started > d) {
                 state.deadline_misses.fetch_add(1, Ordering::Relaxed);
@@ -329,17 +461,46 @@ fn dispatch(
                     shard,
                     queue_wait: started - job.submitted,
                     coalesced: false,
+                    result_cached: false,
+                    tag: job.tag,
                 });
                 continue;
             }
-            processor.set_strategy(job.strategy);
-            let result = processor.query(&job.query);
+            let result = if let Some(rc) = &state.results {
+                // The key (a query clone) is only built when memoization
+                // can use it — measurement mode without a result cache
+                // stays wrapper- and allocation-free per job.
+                let key = group_key(&job, job.query.clone());
+                let observed_epoch = rc.epoch();
+                if let Some(items) = rc.get(&key) {
+                    state.result_served.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Reply {
+                        outcome: Outcome::Done(SearchResult {
+                            items: (*items).clone(),
+                            stats: Default::default(),
+                        }),
+                        shard,
+                        queue_wait: started - job.submitted,
+                        coalesced: false,
+                        result_cached: true,
+                        tag: job.tag,
+                    });
+                    continue;
+                }
+                let result = engine.run(&job.query, job.model, job.strategy, job.processor);
+                rc.insert(key, Arc::new(result.items.clone()), observed_epoch);
+                result
+            } else {
+                engine.run(&job.query, job.model, job.strategy, job.processor)
+            };
             state.executed.fetch_add(1, Ordering::Relaxed);
             let _ = job.reply.send(Reply {
                 outcome: Outcome::Done(result),
                 shard,
                 queue_wait: started - job.submitted,
                 coalesced: false,
+                result_cached: false,
+                tag: job.tag,
             });
         }
         return;
@@ -355,19 +516,20 @@ fn dispatch(
                 k: 0,
             },
         );
-        groups.entry((query, job.strategy)).or_default().push(job);
+        let key = group_key(&job, query);
+        groups.entry(key).or_default().push(job);
     }
-    for ((query, strategy), jobs) in groups.drain() {
-        run_group(processor, &query, strategy, jobs, state, shard, started);
+    for (key, jobs) in groups.drain() {
+        run_group(engine, key, jobs, state, shard, started);
     }
 }
 
-/// Sheds expired members of one duplicate-request group, executes the query
-/// once for the survivors, and fans the result out.
+/// Sheds expired members of one duplicate-request group, answers the
+/// survivors from the result cache when possible, otherwise executes the
+/// query once and fans the result out.
 fn run_group(
-    processor: &mut dyn Processor,
-    query: &Query,
-    strategy: ScoringStrategy,
+    engine: &mut ShardEngine<'_>,
+    key: ResultKey,
     jobs: Vec<Job>,
     state: &ShardState,
     shard: usize,
@@ -383,6 +545,8 @@ fn run_group(
                 shard,
                 queue_wait: started - job.submitted,
                 coalesced: false,
+                result_cached: false,
+                tag: job.tag,
             });
         } else {
             live.push(job);
@@ -391,12 +555,39 @@ fn run_group(
     if live.is_empty() {
         return;
     }
-    processor.set_strategy(strategy);
-    let result = processor.query(query);
+    // Epoch read at the miss: if an invalidation lands while the query
+    // executes, the insert below is dropped rather than caching a
+    // pre-invalidation ranking as fresh.
+    let observed_epoch = state.results.as_ref().map(|rc| rc.epoch());
+    if let Some(items) = state.results.as_ref().and_then(|rc| rc.get(&key)) {
+        state
+            .result_served
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
+        for job in live {
+            let _ = job.reply.send(Reply {
+                outcome: Outcome::Done(SearchResult {
+                    items: (*items).clone(),
+                    stats: Default::default(),
+                }),
+                shard,
+                queue_wait: started - job.submitted,
+                coalesced: false,
+                result_cached: true,
+                tag: job.tag,
+            });
+        }
+        return;
+    }
+    let (query, _, strategy, processor) = &key;
+    let result = engine.run(query, live[0].model, *strategy, *processor);
     state.executed.fetch_add(1, Ordering::Relaxed);
     state
         .coalesced
         .fetch_add(live.len() as u64 - 1, Ordering::Relaxed);
+    if let Some(rc) = &state.results {
+        let epoch = observed_epoch.expect("epoch read with the cache present");
+        rc.insert(key, Arc::new(result.items.clone()), epoch);
+    }
     let count = live.len();
     let mut remaining = Some(result);
     for (i, job) in live.into_iter().enumerate() {
@@ -412,6 +603,8 @@ fn run_group(
             shard,
             queue_wait: started - job.submitted,
             coalesced: i != 0,
+            result_cached: false,
+            tag: job.tag,
         });
     }
 }
@@ -421,6 +614,10 @@ fn run_group(
 /// start, flood, drain, shutdown. Results come back in input order and are
 /// byte-identical to direct execution (routing affects *where* a query
 /// runs, never its answer).
+#[deprecated(
+    note = "use `ServedClient` (a `SearchClient` over a standing planner-backed service); \
+            this path is pinned byte-identical to it by the client proptests"
+)]
 pub fn par_batch_served<F: ProcessorFactory>(
     corpus: &Arc<Corpus>,
     queries: &[Query],
@@ -441,6 +638,7 @@ pub fn par_batch_served<F: ProcessorFactory>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[allow(deprecated)]
     use friends_core::batch::par_batch;
     use friends_data::datasets::{DatasetSpec, Scale};
     use friends_data::queries::{QueryParams, QueryWorkload};
@@ -463,6 +661,7 @@ mod tests {
     const MODEL: ProximityModel = ProximityModel::WeightedDecay { alpha: 0.5 };
 
     #[test]
+    #[allow(deprecated)]
     fn service_matches_direct_execution() {
         let (corpus, w) = fixture();
         let direct = par_batch(&w.queries, 1, || ExactOnline::new(&corpus, MODEL));
@@ -565,6 +764,82 @@ mod tests {
     }
 
     #[test]
+    fn result_cache_serves_repeats_across_cycles() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 2,
+                result_cache_capacity: 256,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let first = svc.run_batch(&w.queries);
+        // Second pass arrives in later dispatch cycles: coalescing cannot
+        // help, memoization must.
+        let tickets: Vec<Ticket> = w
+            .queries
+            .iter()
+            .map(|q| svc.submit(Request::new(q.clone()).without_deadline()))
+            .collect();
+        let replies: Vec<Reply> = tickets.into_iter().map(Ticket::wait).collect();
+        for ((a, b), q) in first.iter().zip(&replies).zip(&w.queries) {
+            let served = b.outcome.result().expect("done");
+            assert_eq!(a.items, served.items, "memoized ranking diverged: {q:?}");
+        }
+        assert!(
+            replies.iter().any(|r| r.result_cached),
+            "second pass should hit the result cache"
+        );
+        let totals = svc.shutdown().totals();
+        assert!(totals.result_served > 0, "{totals:?}");
+        assert!(totals.results.hits > 0, "{totals:?}");
+        assert!(totals.results.insertions > 0, "{totals:?}");
+        // Accounting: every submitted request is executed, coalesced,
+        // memo-served or shed.
+        assert_eq!(
+            totals.executed + totals.coalesced + totals.result_served + totals.deadline_misses,
+            totals.submitted,
+            "{totals:?}"
+        );
+    }
+
+    #[test]
+    fn invalidate_results_forces_reexecution() {
+        let (corpus, _) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                result_cache_capacity: 64,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let q = Query {
+            seeker: 3,
+            tags: vec![0, 1],
+            k: 5,
+        };
+        let a = svc.run_batch(std::slice::from_ref(&q));
+        let b = svc.run_batch(std::slice::from_ref(&q));
+        assert_eq!(a[0].items, b[0].items);
+        let before = svc.stats().totals();
+        assert_eq!(before.result_served, 1, "{before:?}");
+        svc.invalidate_results();
+        let c = svc.run_batch(std::slice::from_ref(&q));
+        assert_eq!(a[0].items, c[0].items, "re-execution must agree");
+        let after = svc.shutdown().totals();
+        assert_eq!(
+            after.result_served, before.result_served,
+            "the invalidated entry must not serve: {after:?}"
+        );
+        assert_eq!(after.executed, before.executed + 1, "{after:?}");
+        assert!(after.results.expirations > 0, "{after:?}");
+    }
+
+    #[test]
     fn expired_requests_are_shed_not_executed() {
         let (corpus, _) = fixture();
         let svc = FriendsService::start(
@@ -607,6 +882,114 @@ mod tests {
         }
         let stats = svc.shutdown().totals();
         assert_eq!(stats.deadline_misses, 1);
+    }
+
+    /// The satellite regression: a request that is *dequeued and executing*
+    /// (or stuck behind one) when its deadline passes used to block
+    /// `Ticket::wait` until the worker got to it; `wait_deadline` must
+    /// return `DeadlineMissed` at the deadline instead.
+    #[test]
+    fn wait_deadline_returns_at_the_deadline_not_after_execution() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                max_batch: 1, // one job per dispatch cycle: the queue drains slowly
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        // Park the single worker behind a pile of work…
+        let parked: Vec<Ticket> = w
+            .queries
+            .iter()
+            .cycle()
+            .take(256)
+            .map(|q| svc.submit(Request::new(q.clone()).without_deadline()))
+            .collect();
+        // …then submit a short-deadline request. Its deadline will pass
+        // while the earlier work is still executing.
+        let budget = Duration::from_millis(5);
+        let doomed = svc.submit(
+            Request::new(Query {
+                seeker: 9,
+                tags: vec![0],
+                k: 5,
+            })
+            .with_deadline(budget),
+        );
+        let start = Instant::now();
+        let reply = doomed.wait_deadline();
+        let waited = start.elapsed();
+        assert!(
+            matches!(reply.outcome, Outcome::DeadlineMissed),
+            "must miss, got {:?}",
+            reply.outcome
+        );
+        assert!(
+            waited < Duration::from_millis(500),
+            "wait_deadline blocked {waited:?} — far past the {budget:?} budget"
+        );
+        for t in parked {
+            assert!(t.wait().outcome.result().is_some());
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn wait_deadline_returns_results_when_in_time() {
+        let (corpus, _) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let t = svc.submit(
+            Request::new(Query {
+                seeker: 2,
+                tags: vec![0],
+                k: 5,
+            })
+            .with_deadline(Duration::from_secs(30)),
+        );
+        assert!(t.wait_deadline().outcome.result().is_some());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn tickets_poll_and_try_take_without_blocking() {
+        let (corpus, _) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let mut t = svc.submit(
+            Request::new(Query {
+                seeker: 4,
+                tags: vec![0],
+                k: 5,
+            })
+            .with_tag(77),
+        );
+        assert_eq!(t.tag(), 77);
+        // Poll until completion — never blocks.
+        let start = Instant::now();
+        while !t.poll() {
+            assert!(start.elapsed() < Duration::from_secs(10), "never completed");
+            std::thread::yield_now();
+        }
+        let reply = t.try_take().expect("polled ready");
+        assert_eq!(reply.tag, 77);
+        assert!(reply.outcome.result().is_some());
+        svc.shutdown();
     }
 
     #[test]
@@ -673,6 +1056,34 @@ mod tests {
     }
 
     #[test]
+    fn planned_service_plans_per_request_model() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start_planned(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 2,
+                ..ServiceConfig::default()
+            },
+            Arc::new(ProcessorRegistry::standard()),
+            Planner::default(),
+        );
+        let mut exact_wd = ExactOnline::new(&corpus, MODEL);
+        let mut exact_global = ExactOnline::new(&corpus, ProximityModel::Global);
+        for q in w.queries.iter().take(8) {
+            let want = exact_wd.query(q).items;
+            let got = svc.submit(Request::new(q.clone()).with_model(MODEL)).wait();
+            assert_eq!(got.outcome.result().expect("done").items, want);
+            // No model → the planner's Global default.
+            let want = exact_global.query(q).items;
+            let got = svc.submit(Request::new(q.clone())).wait();
+            assert_eq!(got.outcome.result().expect("done").items, want);
+        }
+        let totals = svc.shutdown().totals();
+        assert!(totals.plans.total() >= 16, "{:?}", totals.plans);
+        assert_eq!(totals.plans.processors[0], totals.plans.total());
+    }
+
+    #[test]
     fn shard_caches_fill_under_affinity() {
         let (corpus, w) = fixture();
         let svc = FriendsService::start(
@@ -696,6 +1107,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn global_bound_factory_serves() {
         let (corpus, w) = fixture();
         let direct = par_batch(&w.queries, 1, || GlobalBoundTA::new(&corpus, MODEL));

@@ -1,0 +1,612 @@
+//! The unified client API: one planner-backed query surface over direct
+//! and served execution.
+//!
+//! Callers build a [`QueryRequest`] (seeker, tags, k, proximity model,
+//! strategy hint, deadline, tag) and hand it to any [`SearchClient`]:
+//!
+//! * [`DirectClient`] — in-process execution on a standing worker pool
+//!   with one **shared** sharded proximity cache, the successor of
+//!   `par_batch` / `par_batch_with_cache`. No affinity, no coalescing:
+//!   the lightest way to run personalized queries concurrently.
+//! * [`ServedClient`] — a planner-backed [`FriendsService`]: seeker
+//!   affinity, batched dispatch, duplicate coalescing, shard-private
+//!   caches, optional result memoization. The serving tier behind the same
+//!   trait.
+//!
+//! Both return non-blocking [`Ticket`]s; a [`crate::Multiplexer`] drives
+//! many in-flight tickets from one loop. Behind the trait, the
+//! [`Planner`] maps every request to a
+//! [`ProcessorRegistry`] entry plus a scoring strategy — callers never
+//! name a processor type, and every plan returns byte-identical rankings
+//! (pinned by `tests/proptest_client.rs`).
+
+use crate::broker::{FriendsService, ServiceConfig};
+use crate::request::{Job, Outcome, Reply, Request, Ticket};
+use crate::stats::ServiceStats;
+use crossbeam::channel;
+use friends_core::cache::{CachePolicy, CacheStats, ProximityCache};
+use friends_core::corpus::{Corpus, SearchResult};
+use friends_core::plan::{
+    PlanCounters, PlanHistogram, PlannedExecutor, Planner, ProcessorRegistry, QueryRequest,
+};
+use friends_core::proximity::ProximityModel;
+use friends_data::queries::Query;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The one query surface of the system. Implementations differ in *where
+/// and how* a request executes (in-process pool vs serving tier), never in
+/// its answer: for the same corpus and request, every client returns
+/// byte-identical rankings.
+pub trait SearchClient {
+    /// Enqueues one request, returning a non-blocking [`Ticket`].
+    fn submit(&self, request: QueryRequest) -> Ticket;
+
+    /// Submits and waits, respecting the request's deadline
+    /// ([`Ticket::wait_deadline`]).
+    fn run(&self, request: QueryRequest) -> Reply {
+        self.submit(request).wait_deadline()
+    }
+
+    /// Floods every request in, then collects replies in input order,
+    /// respecting each request's deadline.
+    fn run_batch(&self, requests: Vec<QueryRequest>) -> Vec<Reply> {
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets.into_iter().map(Ticket::wait_deadline).collect()
+    }
+
+    /// Batch convenience for deadline-free workloads: runs every query
+    /// under `model` and unwraps the results, in input order — the
+    /// drop-in replacement for the deprecated `par_batch*` entry points.
+    ///
+    /// # Panics
+    /// Panics if a worker died mid-batch (requests are submitted without
+    /// deadlines, so they are never shed).
+    fn search(&self, queries: &[Query], model: ProximityModel) -> Vec<SearchResult> {
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|q| {
+                self.submit(
+                    QueryRequest::from_query(q.clone())
+                        .with_model(model)
+                        .without_deadline(),
+                )
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().outcome.expect_done("search"))
+            .collect()
+    }
+}
+
+/// [`DirectClient`] tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectConfig {
+    /// Worker threads (0 → one per hardware thread). Workers compete for
+    /// jobs on one queue — no affinity, work goes wherever a thread is
+    /// idle.
+    pub threads: usize,
+    /// Job queue bound; 0 means unbounded.
+    pub queue_capacity: usize,
+    /// Capacity of the **shared** sharded proximity cache; 0 runs
+    /// cache-less (every query materializes σ into its worker's scratch).
+    pub cache_capacity: usize,
+    /// Policy of the shared cache.
+    pub cache_policy: CachePolicy,
+    /// Deadline budget for requests that don't carry their own; `None`
+    /// disables shedding for them.
+    pub default_deadline: Option<Duration>,
+    /// The planner mapping requests to registry entries.
+    pub planner: Planner,
+}
+
+impl Default for DirectConfig {
+    fn default() -> Self {
+        DirectConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 0,
+            cache_capacity: 1024,
+            cache_policy: CachePolicy {
+                admission: true,
+                ttl: None,
+            },
+            default_deadline: Some(Duration::from_secs(5)),
+            planner: Planner::default(),
+        }
+    }
+}
+
+/// Aggregate counters of a [`DirectClient`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests executed (everything not shed).
+    pub executed: u64,
+    /// Requests shed because their deadline passed while queued.
+    pub deadline_misses: u64,
+    /// The shared proximity cache's counters (all zero when cache-less).
+    pub cache: CacheStats,
+    /// Planner decisions across all workers.
+    pub plans: PlanHistogram,
+}
+
+/// In-process [`SearchClient`]: a standing pool of planner-backed workers
+/// over one shared proximity cache. Subsumes the deprecated
+/// `par_batch` / `par_batch_with_cache` entry points — same executors, same
+/// shared-cache semantics, but non-blocking submission, per-request models
+/// and deadlines, and no per-batch thread spawning.
+pub struct DirectClient {
+    sender: Option<channel::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Option<Arc<ProximityCache>>,
+    plans: Arc<PlanCounters>,
+    submitted: Arc<AtomicU64>,
+    executed: Arc<AtomicU64>,
+    deadline_misses: Arc<AtomicU64>,
+    default_deadline: Option<Duration>,
+}
+
+impl DirectClient {
+    /// Starts a pool with the standard registry.
+    pub fn start(corpus: Arc<Corpus>, config: DirectConfig) -> Self {
+        Self::with_registry(corpus, config, Arc::new(ProcessorRegistry::standard()))
+    }
+
+    /// Starts a pool over a custom registry.
+    pub fn with_registry(
+        corpus: Arc<Corpus>,
+        config: DirectConfig,
+        registry: Arc<ProcessorRegistry>,
+    ) -> Self {
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        };
+        let (tx, rx) = if config.queue_capacity == 0 {
+            channel::unbounded()
+        } else {
+            channel::bounded(config.queue_capacity)
+        };
+        let cache = (config.cache_capacity > 0).then(|| {
+            Arc::new(ProximityCache::with_policy(
+                config.cache_capacity,
+                threads.clamp(1, 16),
+                config.cache_policy,
+            ))
+        });
+        let plans = Arc::new(PlanCounters::default());
+        let executed = Arc::new(AtomicU64::new(0));
+        let deadline_misses = Arc::new(AtomicU64::new(0));
+        let mut workers = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let corpus = Arc::clone(&corpus);
+            let registry = Arc::clone(&registry);
+            let cache = cache.clone();
+            let plans = Arc::clone(&plans);
+            let executed = Arc::clone(&executed);
+            let deadline_misses = Arc::clone(&deadline_misses);
+            let rx = rx.clone();
+            let planner = config.planner;
+            let handle = std::thread::Builder::new()
+                .name(format!("friends-direct-{worker}"))
+                .spawn(move || {
+                    let mut executor =
+                        PlannedExecutor::new(corpus.as_ref(), cache, registry, planner, plans);
+                    direct_worker_loop(&mut executor, &rx, &executed, &deadline_misses, worker);
+                })
+                .expect("spawn direct-client worker");
+            workers.push(handle);
+        }
+        DirectClient {
+            sender: Some(tx),
+            workers,
+            cache,
+            plans,
+            submitted: Arc::new(AtomicU64::new(0)),
+            executed,
+            deadline_misses,
+            default_deadline: config.default_deadline,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A live snapshot of the pool's counters.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            plans: self.plans.snapshot(),
+        }
+    }
+
+    /// Drain-based shutdown: closes the queue, lets workers finish what is
+    /// already enqueued, joins them, and returns the final stats.
+    pub fn shutdown(mut self) -> ClientStats {
+        self.sender = None; // disconnects; workers drain then exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for DirectClient {
+    fn drop(&mut self) {
+        self.sender = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl SearchClient for DirectClient {
+    fn submit(&self, request: QueryRequest) -> Ticket {
+        let (tx, rx) = channel::bounded(1);
+        let now = Instant::now();
+        let deadline = request.deadline.resolve(now, self.default_deadline);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            query: request.query,
+            strategy: request.strategy,
+            model: Some(request.model),
+            processor: request.processor,
+            deadline,
+            submitted: now,
+            reply: tx.clone(),
+            tag: request.tag,
+        };
+        let dead = match &self.sender {
+            Some(sender) => sender.send(job).is_err(),
+            None => true,
+        };
+        if dead {
+            let _ = tx.send(Reply {
+                outcome: Outcome::Failed,
+                shard: 0,
+                queue_wait: Duration::ZERO,
+                coalesced: false,
+                result_cached: false,
+                tag: request.tag,
+            });
+        }
+        Ticket {
+            shard: 0,
+            rx,
+            deadline,
+            tag: request.tag,
+            stash: None,
+        }
+    }
+}
+
+fn direct_worker_loop(
+    executor: &mut PlannedExecutor<'_>,
+    rx: &channel::Receiver<Job>,
+    executed: &AtomicU64,
+    deadline_misses: &AtomicU64,
+    worker: usize,
+) {
+    loop {
+        let job = match rx.recv() {
+            Ok(job) => job,
+            Err(channel::RecvError) => return, // queue fully drained
+        };
+        let started = Instant::now();
+        if job.deadline.is_some_and(|d| started > d) {
+            deadline_misses.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Reply {
+                outcome: Outcome::DeadlineMissed,
+                shard: worker,
+                queue_wait: started - job.submitted,
+                coalesced: false,
+                result_cached: false,
+                tag: job.tag,
+            });
+            continue;
+        }
+        let model = job.model.unwrap_or(ProximityModel::Global);
+        let result = executor.execute(&job.query, model, job.strategy, job.processor);
+        executed.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Reply {
+            outcome: Outcome::Done(result),
+            shard: worker,
+            queue_wait: started - job.submitted,
+            coalesced: false,
+            result_cached: false,
+            tag: job.tag,
+        });
+    }
+}
+
+/// [`SearchClient`] over the serving tier: a planner-backed
+/// [`FriendsService`] (seeker affinity, batched dispatch, coalescing,
+/// shard-private caches, optional result memoization) behind the same
+/// request surface as [`DirectClient`].
+pub struct ServedClient {
+    service: FriendsService,
+}
+
+impl ServedClient {
+    /// Starts a planner-backed service with the standard registry.
+    pub fn start(corpus: Arc<Corpus>, config: ServiceConfig) -> Self {
+        Self::with_registry(
+            corpus,
+            config,
+            Arc::new(ProcessorRegistry::standard()),
+            Planner::default(),
+        )
+    }
+
+    /// Starts a planner-backed service over a custom registry and planner.
+    pub fn with_registry(
+        corpus: Arc<Corpus>,
+        config: ServiceConfig,
+        registry: Arc<ProcessorRegistry>,
+        planner: Planner,
+    ) -> Self {
+        ServedClient {
+            service: FriendsService::start_planned(corpus, config, registry, planner),
+        }
+    }
+
+    /// The underlying service, for its broker-level API (shard routing,
+    /// raw [`Request`] submission).
+    pub fn service(&self) -> &FriendsService {
+        &self.service
+    }
+
+    /// A live snapshot of every shard's counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.service.stats()
+    }
+
+    /// Invalidates all memoized rankings (see
+    /// [`FriendsService::invalidate_results`]).
+    pub fn invalidate_results(&self) {
+        self.service.invalidate_results();
+    }
+
+    /// Drain-based shutdown; returns the final stats.
+    pub fn shutdown(self) -> ServiceStats {
+        self.service.shutdown()
+    }
+}
+
+impl SearchClient for ServedClient {
+    fn submit(&self, request: QueryRequest) -> Ticket {
+        self.service.submit(Request::from(request))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use friends_core::plan::GLOBAL_BOUND_TA;
+    use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor};
+    use friends_data::datasets::{DatasetSpec, Scale};
+    use friends_data::queries::{QueryParams, QueryWorkload};
+
+    fn fixture() -> (Arc<Corpus>, QueryWorkload) {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(8);
+        let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
+        let w = QueryWorkload::generate(
+            &corpus.graph,
+            &corpus.store,
+            &QueryParams {
+                count: 29,
+                ..QueryParams::default()
+            },
+            4,
+        );
+        (corpus, w)
+    }
+
+    const MODEL: ProximityModel = ProximityModel::WeightedDecay { alpha: 0.5 };
+
+    fn clients(corpus: &Arc<Corpus>) -> (DirectClient, ServedClient) {
+        (
+            DirectClient::start(
+                Arc::clone(corpus),
+                DirectConfig {
+                    threads: 3,
+                    ..DirectConfig::default()
+                },
+            ),
+            ServedClient::start(
+                Arc::clone(corpus),
+                ServiceConfig {
+                    shards: 3,
+                    ..ServiceConfig::default()
+                },
+            ),
+        )
+    }
+
+    #[test]
+    fn both_clients_agree_with_direct_execution() {
+        let (corpus, w) = fixture();
+        let mut reference = ExactOnline::new(&corpus, MODEL);
+        let want: Vec<_> = w.queries.iter().map(|q| reference.query(q).items).collect();
+        let (direct, served) = clients(&corpus);
+        for (client, name) in [
+            (&direct as &dyn SearchClient, "direct"),
+            (&served as &dyn SearchClient, "served"),
+        ] {
+            let got = client.search(&w.queries, MODEL);
+            assert_eq!(got.len(), want.len());
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a, &b.items, "{name} diverged");
+            }
+        }
+        let ds = direct.shutdown();
+        assert_eq!(ds.submitted, w.len() as u64);
+        assert_eq!(ds.executed, w.len() as u64);
+        assert!(ds.plans.total() >= w.len() as u64);
+        served.shutdown();
+    }
+
+    #[test]
+    fn per_request_models_do_not_interfere() {
+        let (corpus, w) = fixture();
+        let (direct, served) = clients(&corpus);
+        let models = [
+            ProximityModel::Global,
+            ProximityModel::FriendsOnly,
+            MODEL,
+            ProximityModel::AdamicAdar,
+        ];
+        // Interleave models within one in-flight burst on each client.
+        for client in [&direct as &dyn SearchClient, &served as &dyn SearchClient] {
+            let tickets: Vec<Ticket> = w
+                .queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    client.submit(
+                        QueryRequest::from_query(q.clone())
+                            .with_model(models[i % models.len()])
+                            .without_deadline(),
+                    )
+                })
+                .collect();
+            for (i, t) in tickets.into_iter().enumerate() {
+                let model = models[i % models.len()];
+                let mut reference = ExactOnline::new(&corpus, model);
+                let want = reference.query(&w.queries[i]).items;
+                let got = t.wait().outcome.expect_done("interleaved");
+                assert_eq!(want, got.items, "query {i} under {}", model.name());
+            }
+        }
+        direct.shutdown();
+        served.shutdown();
+    }
+
+    #[test]
+    fn processor_override_routes_to_the_named_entry() {
+        let (corpus, w) = fixture();
+        let (direct, served) = clients(&corpus);
+        let mut reference = GlobalBoundTA::new(&corpus, ProximityModel::FriendsOnly);
+        for q in w.queries.iter().take(6) {
+            let want = reference.query(q).items;
+            for client in [&direct as &dyn SearchClient, &served as &dyn SearchClient] {
+                let reply = client.run(
+                    QueryRequest::from_query(q.clone())
+                        .with_model(ProximityModel::FriendsOnly)
+                        .with_processor(GLOBAL_BOUND_TA)
+                        .without_deadline(),
+                );
+                assert_eq!(reply.outcome.result().expect("done").items, want);
+            }
+        }
+        let stats = direct.shutdown();
+        assert_eq!(stats.plans.processors[1], 6, "{:?}", stats.plans);
+        served.shutdown();
+    }
+
+    #[test]
+    fn direct_client_sheds_expired_requests() {
+        let (corpus, w) = fixture();
+        let client = DirectClient::start(
+            Arc::clone(&corpus),
+            DirectConfig {
+                threads: 1,
+                ..DirectConfig::default()
+            },
+        );
+        // Park the single worker, then submit a zero-budget request.
+        let parked: Vec<Ticket> = w
+            .queries
+            .iter()
+            .map(|q| client.submit(QueryRequest::from_query(q.clone()).without_deadline()))
+            .collect();
+        let doomed = client.submit(
+            QueryRequest::new(5, vec![1], 5)
+                .with_model(MODEL)
+                .with_deadline(Duration::ZERO),
+        );
+        let reply = doomed.wait_deadline();
+        assert!(matches!(reply.outcome, Outcome::DeadlineMissed));
+        for t in parked {
+            assert!(t.wait().outcome.result().is_some());
+        }
+        let stats = client.shutdown();
+        assert!(stats.deadline_misses <= 1); // shed in queue, or missed at the ticket
+        assert_eq!(
+            stats.executed + stats.deadline_misses,
+            stats.submitted,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn direct_client_shares_its_cache_across_workers() {
+        let (corpus, w) = fixture();
+        let client = DirectClient::start(
+            Arc::clone(&corpus),
+            DirectConfig {
+                threads: 4,
+                ..DirectConfig::default()
+            },
+        );
+        client.search(&w.queries, MODEL);
+        client.search(&w.queries, MODEL); // repeat pass: seekers hit
+        let stats = client.shutdown();
+        assert!(stats.cache.insertions > 0, "{stats:?}");
+        assert!(stats.cache.hits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn cacheless_direct_client_still_answers_exactly() {
+        let (corpus, w) = fixture();
+        let client = DirectClient::start(
+            Arc::clone(&corpus),
+            DirectConfig {
+                threads: 2,
+                cache_capacity: 0,
+                ..DirectConfig::default()
+            },
+        );
+        let mut reference = ExactOnline::new(&corpus, MODEL);
+        let got = client.search(&w.queries, MODEL);
+        for (q, b) in w.queries.iter().zip(&got) {
+            assert_eq!(reference.query(q).items, b.items);
+        }
+        let stats = client.shutdown();
+        assert_eq!(stats.cache, CacheStats::default(), "cache must be unused");
+    }
+
+    #[test]
+    fn run_batch_preserves_input_order_and_tags() {
+        let (corpus, w) = fixture();
+        let (direct, _served) = clients(&corpus);
+        let requests: Vec<QueryRequest> = w
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                QueryRequest::from_query(q.clone())
+                    .with_model(MODEL)
+                    .with_tag(i as u64)
+                    .without_deadline()
+            })
+            .collect();
+        let replies = direct.run_batch(requests);
+        assert_eq!(replies.len(), w.len());
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.tag, i as u64, "input order lost");
+            assert!(r.outcome.result().is_some());
+        }
+        direct.shutdown();
+    }
+}

@@ -1,9 +1,53 @@
 //! # friends-service
 //!
-//! The serving tier: a thread-based query broker between clients and the
-//! `friends-core` processors, the layer WAND-era IR engines put between the
-//! index and the network. Where [`friends_core::batch::par_batch`] slices a
-//! closed batch into flat chunks, the broker runs a **standing service**:
+//! The serving tier and the **unified client API** over it: one
+//! planner-backed query surface ([`SearchClient`]) with two execution
+//! backends, non-blocking tickets, and a deadline-aware completion
+//! multiplexer.
+//!
+//! ## The client API
+//!
+//! Callers build a [`QueryRequest`] — seeker, tags, k, proximity model,
+//! strategy hint, deadline, correlation tag — and hand it to either client:
+//!
+//! * [`DirectClient`] — in-process worker pool over one shared proximity
+//!   cache; the successor of `par_batch` / `par_batch_with_cache`.
+//! * [`ServedClient`] — wraps a planner-backed [`FriendsService`]: seeker
+//!   affinity, batched dispatch, coalescing, shard-private caches, result
+//!   memoization.
+//!
+//! Behind both, a [`friends_core::plan::Planner`] maps
+//! `(model, corpus stats, request)` to a
+//! [`friends_core::plan::ProcessorRegistry`] entry plus a
+//! [`friends_core::processors::ScoringStrategy`] — callers never name a
+//! processor type, and every plan returns byte-identical rankings.
+//! [`Ticket`]s are non-blocking (`poll` / `try_take`; `wait_deadline`
+//! respects the request's deadline even mid-execution), and a
+//! [`Multiplexer`] drives many in-flight tickets from one loop.
+//!
+//! ```
+//! use friends_core::corpus::Corpus;
+//! use friends_core::plan::QueryRequest;
+//! use friends_core::proximity::ProximityModel;
+//! use friends_data::datasets::{DatasetSpec, Scale};
+//! use friends_service::{DirectClient, DirectConfig, SearchClient};
+//! use std::sync::Arc;
+//!
+//! let ds = DatasetSpec::delicious_like(Scale::Tiny).build(1);
+//! let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
+//! let client = DirectClient::start(Arc::clone(&corpus), DirectConfig::default());
+//! let reply = client.run(
+//!     QueryRequest::new(3, vec![1, 2], 5)
+//!         .with_model(ProximityModel::WeightedDecay { alpha: 0.5 }),
+//! );
+//! assert!(reply.outcome.result().expect("served").items.len() <= 5);
+//! ```
+//!
+//! ## The broker underneath
+//!
+//! [`FriendsService`] is a thread-based query broker between clients and
+//! the `friends-core` processors, the layer WAND-era IR engines put between
+//! the index and the network:
 //!
 //! * **Seeker-affinity sharding** — `hash(seeker) % shards` routes every
 //!   request of a seeker to the same worker, so their σ materializations
@@ -12,52 +56,53 @@
 //!   chunk split happened to land them on.
 //! * **Batched dispatch with request coalescing** — each worker drains its
 //!   queue into a small batch and executes duplicate in-flight
-//!   `(seeker, tags, k, strategy)` requests **once**, fanning the result
+//!   `(query, model, strategy)` requests **once**, fanning the result
 //!   out to every waiter. Real streams repeat queries (see
 //!   [`friends_data::requests`]); coalescing converts that repetition into
 //!   throughput.
+//! * **Cross-request result memoization** — an optional per-shard
+//!   `(query, model, strategy) → ranking` cache with the same TinyLFU
+//!   admission as the proximity cache serves repeats that arrive in
+//!   *different* dispatch cycles, invalidated in one stroke by a corpus
+//!   epoch counter ([`FriendsService::invalidate_results`]).
 //! * **Admission-controlled private caches** — every shard owns an
 //!   unsharded [`friends_core::cache::ProximityCache`] with TinyLFU-style
 //!   admission (and optional TTL): uncontended for its owner, and scan
 //!   traffic cannot evict the shard's hot seekers.
 //! * **Deadline-aware execution** — requests carry a deadline (defaulted
 //!   from [`ServiceConfig`]); a request that expires while queued is shed
-//!   without execution and reported as a miss, so an overloaded shard
-//!   degrades by dropping stale work instead of serving it late.
+//!   without execution, and [`Ticket::wait_deadline`] returns
+//!   `DeadlineMissed` at the deadline even when the request is already
+//!   executing, so an overloaded shard degrades by dropping stale work
+//!   instead of serving it late.
 //!
-//! The broker is synchronous by design (`submit` returns a [`Ticket`] to
-//! wait on; [`FriendsService::submit_batch`] floods and collects): the
-//! vendored `crossbeam` channels provide MPMC queues without an async
-//! runtime, and one OS thread per shard matches the one-processor-per-
-//! worker scratch model of `friends-core`.
-//!
-//! ```
-//! use friends_core::corpus::Corpus;
-//! use friends_core::proximity::ProximityModel;
-//! use friends_data::datasets::{DatasetSpec, Scale};
-//! use friends_data::queries::Query;
-//! use friends_service::{exact_factory, FriendsService, ServiceConfig};
-//! use std::sync::Arc;
-//!
-//! let ds = DatasetSpec::delicious_like(Scale::Tiny).build(1);
-//! let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
-//! let svc = FriendsService::start(
-//!     Arc::clone(&corpus),
-//!     ServiceConfig::default(),
-//!     exact_factory(ProximityModel::WeightedDecay { alpha: 0.5 }),
-//! );
-//! let results = svc.run_batch(&[Query { seeker: 3, tags: vec![1, 2], k: 5 }]);
-//! assert!(results[0].items.len() <= 5);
-//! svc.shutdown();
-//! ```
+//! The broker is synchronous by design: the vendored `crossbeam` channels
+//! provide MPMC queues without an async runtime, and one OS thread per
+//! shard matches the one-processor-per-worker scratch model of
+//! `friends-core`. Non-blocking tickets plus the [`Multiplexer`] provide
+//! the async-client ergonomics on top.
 
 mod broker;
+mod client;
+mod multiplexer;
 mod request;
+mod result_cache;
 mod stats;
 
+#[allow(deprecated)]
+pub use broker::par_batch_served;
 pub use broker::{
-    exact_factory, global_bound_factory, par_batch_served, FriendsService, ProcessorFactory,
-    ServiceConfig, ShardContext,
+    exact_factory, global_bound_factory, FriendsService, ProcessorFactory, ServiceConfig,
+    ShardContext,
 };
+pub use client::{ClientStats, DirectClient, DirectConfig, SearchClient, ServedClient};
+pub use multiplexer::Multiplexer;
 pub use request::{Deadline, Outcome, Reply, Request, Ticket};
+pub use result_cache::ResultCache;
 pub use stats::{ServiceStats, ShardStats};
+
+// The client API's request/planning types, re-exported so service users
+// need only this crate.
+pub use friends_core::plan::{
+    Plan, PlanHistogram, Planner, PlannerConfig, ProcessorRegistry, QueryRequest,
+};

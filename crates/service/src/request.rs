@@ -2,26 +2,17 @@
 
 use crossbeam::channel;
 use friends_core::corpus::SearchResult;
+use friends_core::plan::QueryRequest;
 use friends_core::processors::ScoringStrategy;
+use friends_core::proximity::ProximityModel;
 use friends_data::queries::Query;
 use std::time::{Duration, Instant};
 
-/// When a request must be served by. A request still queued past its
-/// deadline is shed without execution.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum Deadline {
-    /// Use the service's configured default budget.
-    #[default]
-    Default,
-    /// No deadline — never shed. What batch clients use: a flood's tail
-    /// legitimately waits behind the whole batch.
-    Unbounded,
-    /// Explicit budget, measured from submission.
-    Budget(Duration),
-}
+pub use friends_core::plan::Deadline;
 
 /// A service request: the query plus serving metadata. Build one with
-/// [`Request::new`] and the `with_*` setters.
+/// [`Request::new`] and the `with_*` setters, or convert a
+/// [`QueryRequest`] (the unified client API's request type) via `From`.
 #[derive(Clone, Debug)]
 pub struct Request {
     pub query: Query,
@@ -32,6 +23,16 @@ pub struct Request {
     pub strategy: ScoringStrategy,
     /// See [`Deadline`]; defaults to the service's configured budget.
     pub deadline: Deadline,
+    /// Proximity model for planner-backed services
+    /// ([`crate::FriendsService::start_planned`]); `None` means the
+    /// planner's default ([`ProximityModel::Global`]). Fixed-factory
+    /// services ignore it (their processor's model is set at start).
+    pub model: Option<ProximityModel>,
+    /// Expert override for planner-backed services: force a registry entry
+    /// by name. Fixed-factory services ignore it.
+    pub processor: Option<&'static str>,
+    /// Caller correlation tag, echoed in the [`Reply`].
+    pub tag: u64,
 }
 
 impl Request {
@@ -42,6 +43,9 @@ impl Request {
             query,
             strategy: ScoringStrategy::default(),
             deadline: Deadline::Default,
+            model: None,
+            processor: None,
+            tag: 0,
         }
     }
 
@@ -62,14 +66,42 @@ impl Request {
         self.deadline = Deadline::Unbounded;
         self
     }
+
+    /// Sets the proximity model (planner-backed services only).
+    pub fn with_model(mut self, model: ProximityModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the caller correlation tag.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+}
+
+impl From<QueryRequest> for Request {
+    fn from(r: QueryRequest) -> Self {
+        Request {
+            query: r.query,
+            strategy: r.strategy,
+            deadline: r.deadline,
+            model: Some(r.model),
+            processor: r.processor,
+            tag: r.tag,
+        }
+    }
 }
 
 /// How a request ended.
 #[derive(Clone, Debug)]
 pub enum Outcome {
-    /// Executed (or coalesced onto an identical in-flight execution).
+    /// Executed (or coalesced onto an identical in-flight execution, or
+    /// served from the result-memoization cache).
     Done(SearchResult),
-    /// Expired in the queue and was shed without execution.
+    /// Expired without execution: shed in the queue, or — through
+    /// [`Ticket::wait_deadline`] / the multiplexer — still unanswered when
+    /// the deadline passed.
     DeadlineMissed,
     /// The owning worker disappeared mid-request (a processor panic); the
     /// broker never silently drops a ticket.
@@ -100,33 +132,108 @@ impl Outcome {
 #[derive(Clone, Debug)]
 pub struct Reply {
     pub outcome: Outcome,
-    /// Shard that served (or shed) the request.
+    /// Shard (or direct-client worker) that served the request.
     pub shard: usize,
     /// Time from submission to the start of its dispatch cycle.
     pub queue_wait: Duration,
     /// Whether this reply was satisfied by another identical in-flight
     /// request's execution.
     pub coalesced: bool,
+    /// Whether this reply came out of the broker's result-memoization
+    /// cache (its `stats` are then empty — no work was performed).
+    pub result_cached: bool,
+    /// The request's correlation tag, echoed verbatim.
+    pub tag: u64,
 }
 
-/// A claim on one submitted request's reply.
+/// A claim on one submitted request's reply. Non-blocking by default:
+/// [`Ticket::poll`] / [`Ticket::try_take`] never wait, and a
+/// [`crate::Multiplexer`] can drive many tickets from one loop;
+/// [`Ticket::wait`] and the deadline-respecting [`Ticket::wait_deadline`]
+/// block.
 pub struct Ticket {
     pub(crate) shard: usize,
     pub(crate) rx: channel::Receiver<Reply>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) tag: u64,
+    pub(crate) stash: Option<Reply>,
 }
 
 impl Ticket {
-    /// Blocks until the reply arrives. A worker that died without replying
-    /// yields [`Outcome::Failed`] instead of hanging.
-    pub fn wait(self) -> Reply {
+    /// Whether the reply has arrived (buffering it for
+    /// [`Ticket::try_take`]). Never blocks. A dead worker counts as
+    /// arrived (the buffered reply is [`Outcome::Failed`]).
+    pub fn poll(&mut self) -> bool {
+        if self.stash.is_some() {
+            return true;
+        }
+        match self.rx.try_recv() {
+            Ok(reply) => {
+                self.stash = Some(reply);
+                true
+            }
+            Err(channel::TryRecvError::Empty) => false,
+            Err(channel::TryRecvError::Disconnected) => {
+                self.stash = Some(self.failed());
+                true
+            }
+        }
+    }
+
+    /// Takes the reply if it has arrived; never blocks.
+    pub fn try_take(&mut self) -> Option<Reply> {
+        if self.poll() {
+            self.stash.take()
+        } else {
+            None
+        }
+    }
+
+    /// Blocks until the reply arrives, however long that takes — even past
+    /// the request's deadline (use [`Ticket::wait_deadline`] to respect
+    /// it). A worker that died without replying yields [`Outcome::Failed`]
+    /// instead of hanging.
+    pub fn wait(mut self) -> Reply {
+        if let Some(reply) = self.stash.take() {
+            return reply;
+        }
         match self.rx.recv() {
             Ok(reply) => reply,
-            Err(channel::RecvError) => Reply {
-                outcome: Outcome::Failed,
-                shard: self.shard,
-                queue_wait: Duration::ZERO,
-                coalesced: false,
-            },
+            Err(channel::RecvError) => self.failed(),
+        }
+    }
+
+    /// Blocks until the reply arrives **or the request's deadline
+    /// passes**, whichever is first. The broker sheds requests that expire
+    /// while *queued*, but one that starts executing before its deadline
+    /// is answered late — this is the client-side half of the deadline
+    /// contract, returning [`Outcome::DeadlineMissed`] at the deadline
+    /// instead of blocking behind the in-flight execution. Deadline-free
+    /// tickets behave like [`Ticket::wait`].
+    pub fn wait_deadline(mut self) -> Reply {
+        if let Some(reply) = self.stash.take() {
+            return reply;
+        }
+        let Some(deadline) = self.deadline else {
+            return self.wait();
+        };
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Reply {
+                    outcome: Outcome::DeadlineMissed,
+                    shard: self.shard,
+                    queue_wait: Duration::ZERO,
+                    coalesced: false,
+                    result_cached: false,
+                    tag: self.tag,
+                };
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(reply) => return reply,
+                Err(channel::RecvTimeoutError::Timeout) => continue,
+                Err(channel::RecvTimeoutError::Disconnected) => return self.failed(),
+            }
         }
     }
 
@@ -134,13 +241,37 @@ impl Ticket {
     pub fn shard(&self) -> usize {
         self.shard
     }
+
+    /// The request's correlation tag.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The request's resolved expiry instant, if it has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    fn failed(&self) -> Reply {
+        Reply {
+            outcome: Outcome::Failed,
+            shard: self.shard,
+            queue_wait: Duration::ZERO,
+            coalesced: false,
+            result_cached: false,
+            tag: self.tag,
+        }
+    }
 }
 
 /// Internal queue entry: one request plus its reply channel and timing.
 pub(crate) struct Job {
     pub query: Query,
     pub strategy: ScoringStrategy,
+    pub model: Option<ProximityModel>,
+    pub processor: Option<&'static str>,
     pub deadline: Option<Instant>,
     pub submitted: Instant,
     pub reply: channel::Sender<Reply>,
+    pub tag: u64,
 }

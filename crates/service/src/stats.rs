@@ -1,6 +1,8 @@
 //! Per-shard observability: the counters a serving loop watches.
 
+use crate::result_cache::ResultCache;
 use friends_core::cache::{CacheStats, ProximityCache};
+use friends_core::plan::{PlanCounters, PlanHistogram};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -12,24 +14,36 @@ pub(crate) struct ShardState {
     pub submitted: AtomicU64,
     pub executed: AtomicU64,
     pub coalesced: AtomicU64,
+    pub result_served: AtomicU64,
     pub deadline_misses: AtomicU64,
     pub batches: AtomicU64,
     pub max_batch: AtomicUsize,
     pub cache: Arc<ProximityCache>,
+    /// Present when the service memoizes results.
+    pub results: Option<Arc<ResultCache>>,
+    /// Present when the service is planner-backed.
+    pub plans: Option<Arc<PlanCounters>>,
 }
 
 impl ShardState {
-    pub fn new(cache: Arc<ProximityCache>) -> Self {
+    pub fn new(
+        cache: Arc<ProximityCache>,
+        results: Option<Arc<ResultCache>>,
+        plans: Option<Arc<PlanCounters>>,
+    ) -> Self {
         ShardState {
             depth: AtomicUsize::new(0),
             max_depth: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            result_served: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicUsize::new(0),
             cache,
+            results,
+            plans,
         }
     }
 
@@ -41,10 +55,17 @@ impl ShardState {
             submitted: self.submitted.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            result_served: self.result_served.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             cache: self.cache.stats(),
+            results: self.results.as_ref().map(|r| r.stats()).unwrap_or_default(),
+            plans: self
+                .plans
+                .as_ref()
+                .map(|p| p.snapshot())
+                .unwrap_or_default(),
         }
     }
 }
@@ -59,10 +80,14 @@ pub struct ShardStats {
     pub max_queue_depth: usize,
     /// Requests routed to this shard.
     pub submitted: u64,
-    /// Queries actually executed (after coalescing and shedding).
+    /// Queries actually executed (after coalescing, memoization and
+    /// shedding).
     pub executed: u64,
     /// Requests answered by another identical request's execution.
     pub coalesced: u64,
+    /// Requests answered out of the result-memoization cache (no
+    /// execution, no coalescing). Always 0 when the cache is disabled.
+    pub result_served: u64,
     /// Requests shed because their deadline passed while queued.
     pub deadline_misses: u64,
     /// Dispatch cycles run.
@@ -71,6 +96,12 @@ pub struct ShardStats {
     pub max_batch: usize,
     /// The shard-private proximity cache's counters.
     pub cache: CacheStats,
+    /// The shard-private result-memoization cache's counters (all zero
+    /// when disabled).
+    pub results: CacheStats,
+    /// Planner decisions on this shard (all zero for fixed-factory
+    /// services, which never plan).
+    pub plans: PlanHistogram,
 }
 
 /// A snapshot of every shard, plus aggregates.
@@ -93,10 +124,13 @@ impl ServiceStats {
             t.submitted += s.submitted;
             t.executed += s.executed;
             t.coalesced += s.coalesced;
+            t.result_served += s.result_served;
             t.deadline_misses += s.deadline_misses;
             t.batches += s.batches;
             t.max_batch = t.max_batch.max(s.max_batch);
             t.cache.merge(&s.cache);
+            t.results.merge(&s.results);
+            t.plans.merge(&s.plans);
         }
         t
     }

@@ -7,6 +7,10 @@
 //! coalescing may change *where and how often* a query executes, never its
 //! answer.
 
+// This suite deliberately pins the deprecated batch entry points — they
+// must stay byte-identical to the service for as long as they exist.
+#![allow(deprecated)]
+
 use friends_core::batch::par_batch;
 use friends_core::corpus::Corpus;
 use friends_core::processors::{

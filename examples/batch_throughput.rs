@@ -1,13 +1,12 @@
-//! Serving-style throughput: answer a whole query log three ways — one
-//! processor on one thread, the flat `par_batch` chunk split, and the
-//! `friends_service` seeker-affinity broker — and verify the answers never
-//! change.
+//! Serving-style throughput: answer a whole query log four ways — the
+//! deprecated flat `par_batch` chunk split, an in-process [`DirectClient`]
+//! pool, and a [`ServedClient`] over the seeker-affinity broker (with and
+//! without result memoization) — and verify the answers never change.
 //!
 //! ```sh
 //! cargo run --release --example batch_throughput
 //! ```
 
-use friends::core::batch::par_batch;
 use friends::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,75 +32,94 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
 
-    println!("{:<10} {:>12} {:>12}", "threads", "elapsed ms", "queries/s");
-    let mut baseline = Vec::new();
-    for threads in [1usize, 2, 4, 8] {
-        let start = Instant::now();
-        let results = par_batch(&workload.queries, threads, || {
-            FriendExpansion::new(
-                &corpus,
-                ExpansionConfig {
-                    alpha: 0.5,
-                    ..ExpansionConfig::default()
-                },
-            )
-        });
-        let elapsed = start.elapsed();
-        assert_eq!(results.len(), workload.len());
-        if threads == 1 {
-            baseline = results.iter().map(|r| r.item_ids()).collect();
-        } else {
-            // Parallel execution must not change any answer.
-            for (r, b) in results.iter().zip(&baseline) {
-                assert_eq!(&r.item_ids(), b);
-            }
+    let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+
+    // The historical baseline: the deprecated chunk-split batch path.
+    // Kept here as the comparison anchor — byte-identical by contract.
+    #[allow(deprecated)]
+    let want = par_batch(&workload.queries, 1, || ExactOnline::new(&corpus, model));
+
+    println!("{:<22} {:>12} {:>12}", "path", "elapsed ms", "queries/s");
+    {
+        #[allow(deprecated)]
+        let (results, elapsed) = {
+            let start = Instant::now();
+            let r = par_batch(&workload.queries, 4, || ExactOnline::new(&corpus, model));
+            (r, start.elapsed())
+        };
+        for (a, b) in want.iter().zip(&results) {
+            assert_eq!(a.items, b.items, "legacy path must not change answers");
         }
         println!(
-            "{:<10} {:>12.1} {:>12.0}",
-            threads,
+            "{:<22} {:>12.1} {:>12.0}   (deprecated)",
+            "par_batch x4",
             elapsed.as_secs_f64() * 1e3,
             workload.len() as f64 / elapsed.as_secs_f64()
         );
     }
 
-    // The serving tier: the same workload through the seeker-affinity
-    // broker. Repeated seekers stay on one shard (hot private caches) and
-    // duplicate in-flight queries are executed once.
-    let model = ProximityModel::WeightedDecay { alpha: 0.5 };
-    let want = par_batch(&workload.queries, 1, || ExactOnline::new(&corpus, model));
-    println!(
-        "\n{:<10} {:>12} {:>12}",
-        "service", "elapsed ms", "queries/s"
-    );
-    for shards in [1usize, 2, 4] {
-        let svc = FriendsService::start(
+    // The in-process client: same executors behind the unified API, plus a
+    // shared proximity cache and non-blocking submission.
+    for threads in [1usize, 2, 4] {
+        let client = DirectClient::start(
             Arc::clone(&corpus),
-            ServiceConfig {
-                shards,
-                ..ServiceConfig::default()
+            DirectConfig {
+                threads,
+                ..DirectConfig::default()
             },
-            exact_factory(model),
         );
         let start = Instant::now();
-        let served = svc.run_batch(&workload.queries);
+        let results = client.search(&workload.queries, model);
         let elapsed = start.elapsed();
-        for (a, b) in want.iter().zip(&served) {
-            assert_eq!(a.items, b.items, "service must not change any answer");
+        for (a, b) in want.iter().zip(&results) {
+            assert_eq!(a.items, b.items, "client must not change any answer");
         }
-        let stats = svc.shutdown().totals();
+        let stats = client.shutdown();
         println!(
-            "{:<10} {:>12.1} {:>12.0}   ({} executed, {} coalesced, {:.0}% cache hits, {} deadline misses)",
-            format!("{shards} shard"),
+            "{:<22} {:>12.1} {:>12.0}   ({:.0}% cache hits)",
+            format!("DirectClient x{threads}"),
             elapsed.as_secs_f64() * 1e3,
             workload.len() as f64 / elapsed.as_secs_f64(),
-            stats.executed,
-            stats.coalesced,
             100.0 * stats.cache.hit_rate(),
-            stats.deadline_misses,
         );
     }
+
+    // The serving tier: the same workload through the seeker-affinity
+    // broker. Repeated seekers stay on one shard (hot private caches),
+    // duplicate in-flight queries execute once, and — with memoization on —
+    // repeats across dispatch cycles skip execution entirely.
+    for (label, result_cache) in [("ServedClient", 0usize), ("  + result memo", 4096)] {
+        for shards in [2usize, 4] {
+            let client = ServedClient::start(
+                Arc::clone(&corpus),
+                ServiceConfig {
+                    shards,
+                    result_cache_capacity: result_cache,
+                    ..ServiceConfig::default()
+                },
+            );
+            let start = Instant::now();
+            let served = client.search(&workload.queries, model);
+            let elapsed = start.elapsed();
+            for (a, b) in want.iter().zip(&served) {
+                assert_eq!(a.items, b.items, "service must not change any answer");
+            }
+            let stats = client.shutdown().totals();
+            println!(
+                "{:<22} {:>12.1} {:>12.0}   ({} executed, {} coalesced, {} memo-served, {:.0}% cache hits)",
+                format!("{label} x{shards}"),
+                elapsed.as_secs_f64() * 1e3,
+                workload.len() as f64 / elapsed.as_secs_f64(),
+                stats.executed,
+                stats.coalesced,
+                stats.result_served,
+                100.0 * stats.cache.hit_rate(),
+            );
+        }
+    }
+
     println!(
-        "\n(answers verified identical across thread counts and the service\n\
-         path; speedup is bounded by the hardware thread count printed above)"
+        "\n(answers verified identical across every path; speedup is bounded\n\
+         by the hardware thread count printed above)"
     );
 }

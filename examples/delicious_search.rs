@@ -1,16 +1,18 @@
 //! Social bookmark search: the motivating scenario of the paper family.
 //!
-//! Two users issue the *same* tag query. The global index returns the same
-//! list to both; the network-aware engine returns different lists, each
+//! Two users issue the *same* tag query. The global ranking is the same
+//! list for both; the network-aware engine returns different lists, each
 //! biased toward what the seeker's circle has bookmarked. The example
-//! quantifies the divergence (Jaccard of result sets, Kendall's τ) and shows
-//! how result quality relates to neighborhood activity.
+//! drives all four requests (2 seekers × 2 models) concurrently through
+//! one [`SearchClient`] and a deadline-aware [`Multiplexer`], then
+//! quantifies the divergence (Jaccard of result sets, Kendall's τ).
 //!
 //! ```sh
 //! cargo run --release --example delicious_search
 //! ```
 
 use friends::prelude::*;
+use std::sync::Arc;
 
 fn jaccard(a: &[ItemId], b: &[ItemId]) -> f64 {
     let sa: std::collections::HashSet<_> = a.iter().collect();
@@ -24,8 +26,9 @@ fn jaccard(a: &[ItemId], b: &[ItemId]) -> f64 {
 
 fn main() {
     let ds = DatasetSpec::delicious_like(Scale::Tiny).build(1);
-    let corpus = Corpus::new(ds.graph, ds.store);
+    let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
     let alpha = 0.4;
+    let personalized = ProximityModel::WeightedDecay { alpha };
 
     // Pick the two highest-degree users as seekers and a popular tag pair
     // they can both "see" (used in both neighborhoods).
@@ -48,24 +51,32 @@ fn main() {
     );
     println!("query tags: {tags:?} (the two most-used tags), k={k}\n");
 
-    let mut global = GlobalProcessor::new(&corpus, IndexConfig::default());
-    let mut exact = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha });
-
-    let qa = Query {
-        seeker: alice,
-        tags: tags.clone(),
-        k,
-    };
-    let qb = Query {
-        seeker: bob,
-        tags: tags.clone(),
-        k,
-    };
-
-    let ga = global.query(&qa);
-    let gb = global.query(&qb);
-    let pa = exact.query(&qa);
-    let pb = exact.query(&qb);
+    // One client, four in-flight requests, one completion loop. Tags
+    // 0/1 = alice/bob global, 2/3 = alice/bob personalized.
+    let client = DirectClient::start(Arc::clone(&corpus), DirectConfig::default());
+    let mut mux = Multiplexer::new();
+    for (tag_id, (seeker, model)) in [
+        (alice, ProximityModel::Global),
+        (bob, ProximityModel::Global),
+        (alice, personalized),
+        (bob, personalized),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        mux.push(
+            client.submit(
+                QueryRequest::new(seeker, tags.clone(), k)
+                    .with_model(model)
+                    .with_tag(tag_id as u64),
+            ),
+        );
+    }
+    let mut results: [Option<SearchResult>; 4] = [None, None, None, None];
+    for (tag, reply) in mux {
+        results[tag as usize] = Some(reply.outcome.expect_done("search"));
+    }
+    let [ga, gb, pa, pb] = results.map(|r| r.expect("all four completed"));
 
     println!("global(alice) vs global(bob):");
     println!(
@@ -113,4 +124,5 @@ fn main() {
             friends_with_item
         );
     }
+    client.shutdown();
 }

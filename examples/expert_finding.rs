@@ -4,13 +4,16 @@
 //! the authority on a topic? The expert score of user `v` for seeker `u` and
 //! tag `t` is `σ(u, v) · mass_v(t)` — annotation volume discounted by social
 //! distance. This demonstrates composing the proximity models and the tag
-//! store directly, without the item processors.
+//! store directly; the closing section then asks the unified
+//! [`SearchClient`] what those nearby authorities would actually recommend,
+//! tying the custom ranking back to the planner-backed item search.
 //!
 //! ```sh
 //! cargo run --release --example expert_finding
 //! ```
 
 use friends::prelude::*;
+use std::sync::Arc;
 
 /// Rank the top-`k` experts on `tag` from `seeker`'s point of view.
 fn find_experts(
@@ -44,7 +47,7 @@ fn find_experts(
 
 fn main() {
     let ds = DatasetSpec::citeulike_like(Scale::Tiny).build(17);
-    let corpus = Corpus::new(ds.graph, ds.store);
+    let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
 
     // Busiest tag = the hottest research topic in this synthetic world.
     let topic = (0..corpus.store.num_tags())
@@ -88,8 +91,23 @@ fn main() {
         println!();
     }
 
+    // What would those nearby authorities point the seeker at? The same
+    // topic as an item query through the unified client — the planner
+    // picks the processor and strategy.
+    let client = DirectClient::start(Arc::clone(&corpus), DirectConfig::default());
+    let reply = client.run(
+        QueryRequest::new(seeker, vec![topic], 5)
+            .with_model(ProximityModel::WeightedDecay { alpha: 0.5 }),
+    );
+    let items = reply.outcome.result().expect("served in time");
+    println!("what the seeker's circle would recommend on the topic:");
+    for (rank, (item, score)) in items.items.iter().enumerate() {
+        println!("  #{:<2} item {:<6} score {score:.4}", rank + 1, item);
+    }
+    client.shutdown();
+
     println!(
-        "note how `global` surfaces the most prolific users anywhere in the\n\
+        "\nnote how `global` surfaces the most prolific users anywhere in the\n\
          network, while the personalized models surface *nearby* authorities\n\
          — the ones a real person could actually ask for help."
     );

@@ -5,7 +5,9 @@
 //! reports, at each level: the measured annotation sharing, how well the
 //! global ranking approximates the personalized one, and the cost profile
 //! of FriendExpansion — making the knob's (sometimes counter-intuitive)
-//! effects visible end to end.
+//! effects visible end to end. The personalized truth at every level runs
+//! through the unified [`SearchClient`] (a fresh [`DirectClient`] per
+//! corpus, since each level is a different world).
 //!
 //! ```sh
 //! cargo run --release --example homophily_whatif
@@ -14,6 +16,7 @@
 use friends::data::generator::{generate, measured_homophily, WorkloadParams};
 use friends::graph::generators::{self, WeightModel};
 use friends::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let users = 800;
@@ -38,7 +41,7 @@ fn main() {
             99,
         );
         let mh = measured_homophily(&graph, &store);
-        let corpus = Corpus::new(graph.clone(), store);
+        let corpus = Arc::new(Corpus::new(graph.clone(), store));
 
         let workload = QueryWorkload::generate(
             &corpus.graph,
@@ -51,8 +54,16 @@ fn main() {
             3,
         );
 
+        // Personalized truth through the client API; global and expansion
+        // driven directly for their cost/quality counters.
+        let client = DirectClient::start(Arc::clone(&corpus), DirectConfig::default());
+        let truths = client.search(
+            &workload.queries,
+            ProximityModel::WeightedDecay { alpha: 0.4 },
+        );
+        client.shutdown();
+
         let mut global = GlobalProcessor::new(&corpus, IndexConfig::default());
-        let mut exact = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha: 0.4 });
         let mut expansion = FriendExpansion::new(
             &corpus,
             ExpansionConfig {
@@ -65,8 +76,7 @@ fn main() {
         let mut precisions = Vec::new();
         let mut visited = 0usize;
         let mut early = 0usize;
-        for q in &workload.queries {
-            let truth = exact.query(q);
+        for (q, truth) in workload.queries.iter().zip(&truths) {
             let g = global.query(q);
             precisions.push(precision_at_k(&g.item_ids(), &truth.item_ids(), q.k));
             let e = expansion.query(q);

@@ -1,18 +1,20 @@
-//! Quickstart: build a synthetic social-tagging dataset, run every query
-//! processor on the same personalized query and compare their answers.
+//! Quickstart: build a synthetic social-tagging dataset, ask a
+//! personalized question through the unified [`SearchClient`] API, then
+//! compare every underlying processor on the same query.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use friends::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     // A ~500-user Delicious-like world: scale-free friendships, Zipf tags,
     // homophilous annotation behaviour.
     let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
-    let corpus = Corpus::new(ds.graph, ds.store);
+    let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
     println!(
         "dataset `{}`: {} users / {} edges / {} taggings",
         ds.name,
@@ -37,12 +39,24 @@ fn main() {
     println!("\nquery: seeker={} tags={:?} k={}\n", q.seeker, q.tags, q.k);
 
     let alpha = 0.5;
+    let model = ProximityModel::WeightedDecay { alpha };
 
-    // Exact personalized ground truth.
-    let mut exact = ExactOnline::new(&corpus, ProximityModel::WeightedDecay { alpha });
-    let truth = exact.query(q);
+    // The application-facing path: one client, one request type. The
+    // planner chooses the processor and scoring strategy behind the trait.
+    let client = DirectClient::start(Arc::clone(&corpus), DirectConfig::default());
+    let t = Instant::now();
+    let reply = client.run(QueryRequest::from_query(q.clone()).with_model(model));
+    let truth = reply.outcome.result().expect("served in time").clone();
+    println!(
+        "SearchClient answered in {} us (worker {}, plan: {:?})\n",
+        t.elapsed().as_micros(),
+        reply.shard,
+        client.stats().plans.strategies,
+    );
 
-    // All processors, including the seeker-oblivious baseline.
+    // Under the hood: the processors the planner chooses between, driven
+    // directly for comparison.
+    let mut exact = ExactOnline::new(&corpus, model);
     let mut global = GlobalProcessor::new(&corpus, IndexConfig::default());
     let mut expansion = FriendExpansion::new(
         &corpus,
@@ -103,4 +117,5 @@ fn main() {
     for (rank, (item, score)) in truth.items.iter().take(5).enumerate() {
         println!("  #{:<2} item {:<6} score {score:.4}", rank + 1, item);
     }
+    client.shutdown();
 }

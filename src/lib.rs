@@ -10,26 +10,57 @@
 //!   TA/NRA/WAND);
 //! * [`data`] — tagging store, synthetic datasets, query workloads and
 //!   timed request streams;
-//! * [`core`] — the network-aware query processors and proximity models;
-//! * [`service`] — the serving tier: the sharded seeker-affinity query
-//!   broker with batching, coalescing and deadline-aware execution.
+//! * [`core`] — the network-aware query processors, proximity models, and
+//!   the planner/registry behind the client API;
+//! * [`service`] — the serving tier and the unified client API:
+//!   [`SearchClient`](prelude::SearchClient) over
+//!   [`DirectClient`](prelude::DirectClient) (in-process pool) and
+//!   [`ServedClient`](prelude::ServedClient) (sharded broker), non-blocking
+//!   tickets, and the deadline-aware [`Multiplexer`](prelude::Multiplexer).
 //!
 //! ## Quickstart
 //!
+//! One request type, one client trait; the planner picks the processor and
+//! scoring strategy per request, so application code never names either:
+//!
 //! ```
 //! use friends::prelude::*;
+//! use std::sync::Arc;
 //!
 //! // 1. Materialize a synthetic Delicious-like dataset.
 //! let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
-//! let corpus = Corpus::new(ds.graph, ds.store);
+//! let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
 //!
-//! // 2. Build a processor and ask a personalized question.
-//! let mut engine = FriendExpansion::new(&corpus, ExpansionConfig::default());
-//! let result = engine.query(&Query { seeker: 7, tags: vec![3, 5], k: 10 });
+//! // 2. Start an in-process client (worker pool + shared proximity cache).
+//! let client = DirectClient::start(Arc::clone(&corpus), DirectConfig::default());
 //!
+//! // 3. Ask a personalized question.
+//! let reply = client.run(
+//!     QueryRequest::new(7, vec![3, 5], 10)
+//!         .with_model(ProximityModel::WeightedDecay { alpha: 0.5 }),
+//! );
+//! let result = reply.outcome.result().expect("served in time");
 //! assert!(result.items.len() <= 10);
-//! println!("visited {} of {} users", result.stats.users_visited, corpus.num_users());
+//!
+//! // 4. Or drive many in-flight requests through one completion loop.
+//! let mut mux = Multiplexer::new();
+//! for (i, seeker) in [7u32, 11, 13].into_iter().enumerate() {
+//!     mux.push(client.submit(
+//!         QueryRequest::new(seeker, vec![3], 5)
+//!             .with_model(ProximityModel::FriendsOnly)
+//!             .with_tag(i as u64),
+//!     ));
+//! }
+//! while let Some((tag, reply)) = mux.next() {
+//!     assert!(tag < 3 && reply.outcome.result().is_some());
+//! }
 //! ```
+//!
+//! The same requests serve unchanged — byte-identical rankings — through a
+//! [`ServedClient`](prelude::ServedClient) over the sharded
+//! seeker-affinity broker; see `crates/README.md` for the request
+//! lifecycle and the migration table from the deprecated `par_batch*`
+//! entry points.
 
 pub use friends_core as core;
 pub use friends_data as data;
@@ -39,11 +70,15 @@ pub use friends_service as service;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    #[allow(deprecated)]
     pub use friends_core::batch::{par_batch, par_batch_with_cache};
     pub use friends_core::cache::{CachePolicy, CacheStats, ProximityCache};
     pub use friends_core::corpus::{Corpus, QueryStats, SearchResult};
     pub use friends_core::eval::{
         kendall_tau, ndcg_at_k, precision_at_k, topk_sets_equal_up_to_ties,
+    };
+    pub use friends_core::plan::{
+        Deadline, Plan, PlanHistogram, Planner, PlannerConfig, ProcessorRegistry, QueryRequest,
     };
     pub use friends_core::processors::{
         ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA,
@@ -58,8 +93,11 @@ pub mod prelude {
     pub use friends_data::{ItemId, TagId, Tagging, UserId};
     pub use friends_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use friends_index::inverted::{IndexConfig, InvertedIndex};
+    #[allow(deprecated)]
+    pub use friends_service::par_batch_served;
     pub use friends_service::{
-        exact_factory, global_bound_factory, par_batch_served, Deadline, FriendsService, Outcome,
-        Reply, Request, ServiceConfig, ServiceStats, ShardStats, Ticket,
+        exact_factory, global_bound_factory, ClientStats, DirectClient, DirectConfig,
+        FriendsService, Multiplexer, Outcome, Reply, Request, SearchClient, ServedClient,
+        ServiceConfig, ServiceStats, ShardStats, Ticket,
     };
 }

@@ -1,7 +1,23 @@
 //! End-to-end integration: dataset generation → corpus → every processor,
 //! checking the cross-processor contracts the evaluation relies on.
+//! Personalized reference rankings run through the unified [`SearchClient`]
+//! API where a test doesn't specifically probe a processor's internals.
 
 use friends::prelude::*;
+use std::sync::Arc;
+
+/// Exact personalized rankings through the client API (the planner picks
+/// the processor/strategy; exactness is part of its contract).
+fn client_truth(
+    corpus: &Arc<Corpus>,
+    queries: &[Query],
+    model: ProximityModel,
+) -> Vec<SearchResult> {
+    let client = DirectClient::start(Arc::clone(corpus), DirectConfig::default());
+    let out = client.search(queries, model);
+    client.shutdown();
+    out
+}
 
 fn corpus(seed: u64) -> Corpus {
     let ds = DatasetSpec::delicious_like(Scale::Tiny).build(seed);
@@ -100,15 +116,25 @@ fn early_terminating_expansion_preserves_topk_set() {
 
 #[test]
 fn prefix_consistency_across_k() {
-    // The top-5 of any exact processor must be a prefix of its top-10.
-    let c = corpus(19);
-    let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha: 0.5 });
-    for q in &workload(&c, 20, 10, 9).queries {
-        let big = exact.query(q).item_ids();
-        let mut q5 = q.clone();
-        q5.k = 5;
-        let small = exact.query(&q5).item_ids();
-        assert_eq!(&big[..small.len().min(5)], &small[..]);
+    // The top-5 of the exact path must be a prefix of its top-10 — checked
+    // through the client API, so planning can never break it either.
+    let c = Arc::new(corpus(19));
+    let w = workload(&c, 20, 10, 9);
+    let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+    let big = client_truth(&c, &w.queries, model);
+    let small_queries: Vec<Query> = w
+        .queries
+        .iter()
+        .map(|q| {
+            let mut q5 = q.clone();
+            q5.k = 5;
+            q5
+        })
+        .collect();
+    let small = client_truth(&c, &small_queries, model);
+    for (b, s) in big.iter().zip(&small) {
+        let (b, s) = (b.item_ids(), s.item_ids());
+        assert_eq!(&b[..s.len().min(5)], &s[..]);
     }
 }
 
@@ -152,16 +178,17 @@ fn hybrid_always_answers_and_routes_sensibly() {
 fn personalization_diverges_from_global_under_homophily() {
     // On a homophilous dataset, personalized and global rankings must not be
     // identical for most seekers (otherwise the whole premise is vacuous).
-    let c = corpus(31);
-    let mut global = GlobalProcessor::new(&c, IndexConfig::default());
-    let mut exact = ExactOnline::new(&c, ProximityModel::WeightedDecay { alpha: 0.4 });
+    // Both sides run through one client — the per-request model is the only
+    // difference.
+    let c = Arc::new(corpus(31));
     let w = workload(&c, 40, 10, 15);
-    let mut diverged = 0;
-    for q in &w.queries {
-        if global.query(q).item_ids() != exact.query(q).item_ids() {
-            diverged += 1;
-        }
-    }
+    let global = client_truth(&c, &w.queries, ProximityModel::Global);
+    let exact = client_truth(&c, &w.queries, ProximityModel::WeightedDecay { alpha: 0.4 });
+    let diverged = global
+        .iter()
+        .zip(&exact)
+        .filter(|(g, e)| g.item_ids() != e.item_ids())
+        .count();
     assert!(
         diverged * 2 > w.len(),
         "only {diverged}/{} queries diverged",
