@@ -142,6 +142,17 @@ fn main() {
             "per-experiment 'metrics' objects carry result-cache counters \
              and planner strategy-choice histograms where the experiment \
              runs through a SearchClient (fig9, fig10, fig11)",
+            "fig12: the sigma-materialization floor on a seeker-diverse \
+             (cold, memoization-free) stream - dense O(n) snapshots vs \
+             reach-proportional Touched snapshots under one byte-budgeted \
+             cache; per-model snapshot_bytes and touched_fraction ride in \
+             the metrics object, and the ignored fig12_sigma_floor test \
+             pins the >=1.5x cold-seeker win for the decay models at 10k \
+             users with byte-identical rankings",
+            "cache counters now include resident 'bytes' (value bytes + \
+             per-entry overhead) - the quantity byte-budgeted caches \
+             (ProximityCache::with_byte_budget, ServiceConfig::cache_bytes) \
+             enforce",
         ];
         let notes_json: Vec<String> = notes
             .iter()

@@ -920,7 +920,8 @@ fn plans_metric(h: &friends_core::plan::PlanHistogram) -> (String, String) {
 pub fn cache_stats_json(s: &friends_core::cache::CacheStats) -> String {
     format!(
         "{{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
-         \"rejections\": {}, \"expirations\": {}, \"entries\": {}, \"hit_rate\": {:.4}}}",
+         \"rejections\": {}, \"expirations\": {}, \"entries\": {}, \"bytes\": {}, \
+         \"hit_rate\": {:.4}}}",
         s.hits,
         s.misses,
         s.insertions,
@@ -928,6 +929,7 @@ pub fn cache_stats_json(s: &friends_core::cache::CacheStats) -> String {
         s.rejections,
         s.expirations,
         s.entries,
+        s.bytes,
         s.hit_rate()
     )
 }
@@ -1156,6 +1158,145 @@ pub fn fig11(profile: Profile) -> ExperimentOutput {
     }
 }
 
+// ----------------------------------------------------------------- Fig 12
+
+/// Fig 12: the σ-materialization floor on a **seeker-diverse** stream —
+/// every seeker distinct, so caches and memoization never hit and every
+/// query pays cold materialization. On the archipelago corpus (disjoint
+/// ~community-sized islands) a seeker's reach is a small fraction of the
+/// universe; the figure compares the pre-PR dense-snapshot miss path
+/// (`O(n)` snapshot per cold seeker) against the reach-proportional
+/// `Touched` path, under one shared byte budget, and reports the per-model
+/// snapshot footprint and touched fraction. Rankings are asserted identical
+/// while measuring.
+pub fn fig12(profile: Profile) -> ExperimentOutput {
+    use friends_core::cache::{CachePolicy, ProximityCache};
+    use friends_core::proximity::SigmaWorkspace;
+
+    let (users, community, count) = match profile {
+        Profile::Quick => (2_000, 64, 300),
+        Profile::Full => (10_000, 64, 2_000),
+    };
+    let c = crate::archipelago_corpus(users, community, SEED);
+    let n = c.num_users() as usize;
+    let w = crate::distinct_seeker_workload(&c, count, 10, SEED ^ 0xF12);
+    let budget = 16usize << 20; // 16 MiB shared byte budget, both paths
+    let mut t = TextTable::new(&[
+        "model",
+        "dense-snap q/s",
+        "touched q/s",
+        "speedup",
+        "touched %",
+        "snap B",
+        "snaps/MiB",
+        "cached seekers",
+    ]);
+    let mut metrics = Vec::new();
+    for model in [
+        ProximityModel::DistanceDecay { alpha: 0.3 },
+        ProximityModel::WeightedDecay { alpha: 0.5 },
+        ProximityModel::Ppr {
+            alpha: 0.2,
+            epsilon: 1e-4,
+        },
+        ProximityModel::AdamicAdar,
+    ] {
+        // Footprint sample, outside the timed region: mean snapshot bytes
+        // and touched fraction over a spread of seekers.
+        let mut ws = SigmaWorkspace::new();
+        let (mut bytes_sum, mut frac_sum) = (0usize, 0.0f64);
+        let sample = 32.min(w.len());
+        for q in w.queries.iter().take(sample) {
+            model.materialize_into(&c.graph, q.seeker, &mut ws);
+            let snap = ws.snapshot(n);
+            bytes_sum += snap.memory_bytes();
+            frac_sum += snap
+                .support()
+                .map_or(1.0, |s| s.len() as f64 / n.max(1) as f64);
+        }
+        let snap_bytes = bytes_sum / sample.max(1);
+        let touched_frac = frac_sum / sample.max(1) as f64;
+
+        // Sparse-support models (PPR, AdamicAdar) were reach-proportional
+        // before this representation existed — both paths snapshot the same
+        // Sparse vector, so a dense-vs-touched timing row would only
+        // measure noise. They get footprint columns; the decay models get
+        // the timed comparison the fig12 gate pins.
+        let timing = if model.has_sparse_support() {
+            None
+        } else {
+            let policy = CachePolicy::default();
+            let dense_cache = Arc::new(ProximityCache::with_byte_budget(budget, 16, policy));
+            let mut dense = crate::DenseSnapshotExact::new(&c, model, Arc::clone(&dense_cache));
+            let (dense_r, dense_d) =
+                timed(|| w.queries.iter().map(|q| dense.query(q)).collect::<Vec<_>>());
+            let touched_cache = Arc::new(ProximityCache::with_byte_budget(budget, 16, policy));
+            let mut touched = ExactOnline::with_cache(&c, model, Arc::clone(&touched_cache));
+            let (touched_r, touched_d) = timed(|| {
+                w.queries
+                    .iter()
+                    .map(|q| touched.query(q))
+                    .collect::<Vec<_>>()
+            });
+            // Measured code, but the differential contract is free to
+            // check: the snapshot representation must never change an
+            // answer.
+            for ((a, b), q) in dense_r.iter().zip(&touched_r).zip(&w.queries) {
+                assert_eq!(a.items, b.items, "touched path diverged ({model:?} {q:?})");
+            }
+            let qps = |d: Duration| count as f64 / d.as_secs_f64();
+            Some((
+                qps(dense_d),
+                qps(touched_d),
+                touched_cache.stats().entries,
+                dense_cache.stats().entries,
+            ))
+        };
+        let (dense_cell, touched_cell, speedup_cell, entries_cell, speedup_json) = match timing {
+            Some((dq, tq, te, de)) => (
+                format!("{dq:.0}"),
+                format!("{tq:.0}"),
+                format!("{:.2}x", tq / dq),
+                format!("{te} vs {de} dense"),
+                format!("{:.3}", tq / dq),
+            ),
+            None => (
+                "-".into(),
+                "-".into(),
+                "already sparse".into(),
+                "-".into(),
+                "null".into(),
+            ),
+        };
+        t.row(vec![
+            model.name().into(),
+            dense_cell,
+            touched_cell,
+            speedup_cell,
+            format!("{:.1}%", 100.0 * touched_frac),
+            snap_bytes.to_string(),
+            format!("{:.0}", (1 << 20) as f64 / (snap_bytes + 96) as f64),
+            entries_cell,
+        ]);
+        metrics.push((
+            format!("sigma_floor_{}", model.name()),
+            format!(
+                "{{\"snapshot_bytes\": {}, \"touched_fraction\": {:.4}, \"speedup\": {}}}",
+                snap_bytes, touched_frac, speedup_json
+            ),
+        ));
+    }
+    ExperimentOutput {
+        text: format!(
+            "Fig 12 — the σ-materialization floor: dense-snapshot vs reach-proportional miss \
+             path (seeker-diverse stream, {users} users in {community}-islands, {count} cold \
+             queries, 16 MiB byte-budget caches)\n{}",
+            t.render()
+        ),
+        metrics,
+    }
+}
+
 /// One experiment's rendered table plus machine-readable metrics for
 /// `report --json` (`(key, raw JSON value)` pairs — e.g. result-cache
 /// counters, planner strategy histograms).
@@ -1176,7 +1317,7 @@ impl From<String> for ExperimentOutput {
 /// All experiment names, in report order.
 pub const ALL: &[&str] = &[
     "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "table3",
+    "fig12", "table3",
 ];
 
 /// Dispatches an experiment by name, returning its table and metrics.
@@ -1193,6 +1334,7 @@ pub fn run_full(name: &str, profile: Profile) -> Option<ExperimentOutput> {
         "fig9" => fig9(profile),
         "fig10" => fig10(profile),
         "fig11" => fig11(profile),
+        "fig12" => fig12(profile),
         "table3" => table3(profile).into(),
         _ => return None,
     })

@@ -24,6 +24,20 @@
 //! * **TTL** — entries older than the configured lifetime are treated as
 //!   misses and dropped on access: the invalidation hook a mutable graph
 //!   will need (σ staleness is bounded by the TTL).
+//!
+//! ## Byte budgets
+//!
+//! Capacity can be stated in **entries** (the legacy knob) or in **bytes**
+//! ([`ProximityCache::with_byte_budget`]); both limits are enforced when
+//! both are set. Byte accounting charges each entry its
+//! [`ProximityVec::memory_bytes`] plus a fixed bookkeeping overhead, so the
+//! budget tracks what the cache actually holds: thousands of small
+//! reach-proportional `Touched` snapshots fit in the space a few dozen dense
+//! vectors used to occupy — which is exactly what lifts the hit rate on
+//! Zipf-tail seekers, whose σ is small but numerous. Eviction stays LRU
+//! (evicting as many victims as the incoming entry needs), and TinyLFU
+//! admission still protects every victim: if any would-be victim is hotter
+//! than the newcomer, the insert is rejected instead.
 
 use crate::proximity::{ProximityModel, ProximityVec};
 use friends_graph::{CsrGraph, NodeId};
@@ -143,6 +157,8 @@ struct Slot {
     /// Recency stamp; also the key into the shard's recency index.
     stamp: u64,
     inserted_at: Instant,
+    /// Bytes charged against the shard's budget for this entry.
+    bytes: usize,
 }
 
 struct Shard {
@@ -150,8 +166,20 @@ struct Shard {
     /// stamp → key, oldest first: the eviction order.
     recency: BTreeMap<u64, Key>,
     tick: u64,
+    /// Sum of `Slot::bytes` over the map.
+    bytes: usize,
     /// Present iff the policy enables admission.
     sketch: Option<FreqSketch>,
+}
+
+/// Fixed per-entry bookkeeping charge (key, slot, map/recency nodes) added
+/// to [`ProximityVec::memory_bytes`] when charging a byte budget, so even
+/// zero-byte values (`AllOnes`) cannot make a budget admit unboundedly many
+/// entries.
+const ENTRY_OVERHEAD_BYTES: usize = 96;
+
+fn charge_of(value: &ProximityVec) -> usize {
+    value.memory_bytes() + ENTRY_OVERHEAD_BYTES
 }
 
 /// Aggregate counters, cheap enough to read in a serving loop.
@@ -168,6 +196,9 @@ pub struct CacheStats {
     /// counts as a miss on the access that found it stale).
     pub expirations: u64,
     pub entries: usize,
+    /// Resident bytes currently charged against the byte budget
+    /// (value bytes + per-entry overhead, summed over all shards).
+    pub bytes: usize,
 }
 
 impl CacheStats {
@@ -192,6 +223,7 @@ impl CacheStats {
         self.rejections += other.rejections;
         self.expirations += other.expirations;
         self.entries += other.entries;
+        self.bytes += other.bytes;
     }
 }
 
@@ -201,6 +233,7 @@ impl CacheStats {
 pub struct ProximityCache {
     shards: Box<[Mutex<Shard>]>,
     capacity_per_shard: usize,
+    byte_budget_per_shard: usize,
     policy: CachePolicy,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -234,10 +267,45 @@ impl ProximityCache {
         Self::with_policy(capacity, 1, policy)
     }
 
-    /// Fully explicit constructor: total capacity, shard count and policy.
+    /// Entry-capacity constructor: total capacity, shard count and policy
+    /// (no byte budget).
     pub fn with_policy(capacity: usize, shards: usize, policy: CachePolicy) -> Self {
+        Self::with_limits(capacity, usize::MAX, shards, policy)
+    }
+
+    /// Byte-budgeted cache: holds whatever number of vectors fits in
+    /// `bytes` overall (split evenly across shards), charging each entry
+    /// its [`ProximityVec::memory_bytes`] plus bookkeeping overhead. The
+    /// shape serving tiers want: reach-proportional `Touched` snapshots
+    /// pack thousands deep where dense vectors fit dozens, without the
+    /// entry count lying about memory use.
+    pub fn with_byte_budget(bytes: usize, shards: usize, policy: CachePolicy) -> Self {
+        Self::with_limits(usize::MAX, bytes, shards, policy)
+    }
+
+    /// Fully explicit constructor: entry capacity **and** byte budget (both
+    /// enforced; pass `usize::MAX` to disable one), shard count, policy.
+    pub fn with_limits(capacity: usize, bytes: usize, shards: usize, policy: CachePolicy) -> Self {
         let shards = shards.max(1);
-        let capacity_per_shard = capacity.div_ceil(shards).max(1);
+        let capacity_per_shard = if capacity == usize::MAX {
+            usize::MAX
+        } else {
+            capacity.div_ceil(shards).max(1)
+        };
+        let byte_budget_per_shard = if bytes == usize::MAX {
+            usize::MAX
+        } else {
+            bytes.div_ceil(shards).max(1)
+        };
+        // Sketch sizing needs a finite entry estimate: under a pure byte
+        // budget, assume reach-proportional entries of ~1 KiB.
+        let sketch_entries = if capacity_per_shard != usize::MAX {
+            capacity_per_shard
+        } else if byte_budget_per_shard != usize::MAX {
+            (byte_budget_per_shard / 1024).clamp(8, 1 << 20)
+        } else {
+            1024
+        };
         ProximityCache {
             shards: (0..shards)
                 .map(|_| {
@@ -245,13 +313,13 @@ impl ProximityCache {
                         map: HashMap::new(),
                         recency: BTreeMap::new(),
                         tick: 0,
-                        sketch: policy
-                            .admission
-                            .then(|| FreqSketch::new(capacity_per_shard)),
+                        bytes: 0,
+                        sketch: policy.admission.then(|| FreqSketch::new(sketch_entries)),
                     })
                 })
                 .collect(),
             capacity_per_shard,
+            byte_budget_per_shard,
             policy,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -295,7 +363,9 @@ impl ProximityCache {
                 .is_some_and(|ttl| slot.inserted_at.elapsed() > ttl)
             {
                 let stamp = slot.stamp;
-                shard.map.remove(&key);
+                if let Some(slot) = shard.map.remove(&key) {
+                    shard.bytes -= slot.bytes;
+                }
                 shard.recency.remove(&stamp);
                 self.expirations.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -313,10 +383,17 @@ impl ProximityCache {
         }
     }
 
-    /// Inserts (or refreshes) a materialized vector, evicting the least
-    /// recently used entry of the target shard when it is full — unless the
-    /// admission policy finds the new key colder than the victim, in which
-    /// case the insert is rejected and the resident entry survives.
+    /// Inserts (or refreshes) a materialized vector, evicting least
+    /// recently used entries of the target shard until both the entry
+    /// capacity and the byte budget hold — unless the admission policy
+    /// finds the new key colder than a would-be victim, in which case the
+    /// insert is rejected and **every** resident entry survives (victims
+    /// are selected before anything is removed). A value larger than the
+    /// whole shard budget is rejected outright, also without touching
+    /// residents. Refreshing an existing key re-charges its bytes and then
+    /// enforces the budget the same way; a refresh that cannot fit even
+    /// alone drops the entry (counted as a rejection) rather than leaving
+    /// the shard over budget.
     pub fn insert(
         &self,
         graph: &CsrGraph,
@@ -326,47 +403,82 @@ impl ProximityCache {
     ) {
         let key = key_of(graph, seeker, model);
         let hash = hash_key(&key);
+        let new_bytes = charge_of(&value);
         let mut guard = self.shard_of(hash).lock();
         let shard = &mut *guard;
+        if new_bytes > self.byte_budget_per_shard {
+            // Even an empty shard could not hold it: reject before any
+            // resident is considered for eviction. A resident version of
+            // the key can no longer be honest either — drop it.
+            if let Some(slot) = shard.map.remove(&key) {
+                shard.recency.remove(&slot.stamp);
+                shard.bytes -= slot.bytes;
+            }
+            self.rejections.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if let Some(slot) = shard.map.get_mut(&key) {
+            shard.bytes = shard.bytes - slot.bytes + new_bytes;
+            slot.bytes = new_bytes;
             slot.value = value;
             slot.inserted_at = Instant::now();
             shard.tick += 1;
             shard.recency.remove(&slot.stamp);
             slot.stamp = shard.tick;
             shard.recency.insert(shard.tick, key);
+            // A wider refresh (e.g. a dense vector over a Touched one) can
+            // push the shard over budget: evict other LRU entries until it
+            // fits again. The refreshed key itself carries the newest
+            // stamp, so it is never its own victim.
+            self.evict_to_byte_budget(shard);
             return;
         }
-        if shard.map.len() >= self.capacity_per_shard {
-            let victim = shard.recency.iter().next().map(|(&stamp, &k)| (stamp, k));
-            if let Some((oldest, victim_key)) = victim {
-                // An expired victim is unconditionally evictable: its sketch
-                // estimate may still be high, but it can never be served
-                // again, so it must not win the admission comparison and
-                // wedge the shard full of stale entries.
-                let victim_expired = self.policy.ttl.is_some_and(|ttl| {
-                    shard
-                        .map
-                        .get(&victim_key)
-                        .is_some_and(|s| s.inserted_at.elapsed() > ttl)
-                });
-                if !victim_expired {
-                    if let Some(sketch) = shard.sketch.as_ref() {
-                        // TinyLFU gate: admit only keys strictly hotter than
-                        // the LRU victim.
-                        if sketch.estimate(hash) <= sketch.estimate(hash_key(&victim_key)) {
-                            self.rejections.fetch_add(1, Ordering::Relaxed);
-                            return;
-                        }
+        // Select victims *before* removing anything: walk the recency order,
+        // and if any live victim is hotter than the newcomer, reject the
+        // insert with the shard untouched.
+        let mut planned: Vec<(u64, Key)> = Vec::new();
+        let mut freed_bytes = 0usize;
+        for (&stamp, &victim_key) in shard.recency.iter() {
+            let over_entries = shard.map.len() - planned.len() >= self.capacity_per_shard;
+            let over_bytes =
+                (shard.bytes - freed_bytes).saturating_add(new_bytes) > self.byte_budget_per_shard;
+            if !over_entries && !over_bytes {
+                break;
+            }
+            // An expired victim is unconditionally evictable: its sketch
+            // estimate may still be high, but it can never be served
+            // again, so it must not win the admission comparison and
+            // wedge the shard full of stale entries.
+            let slot = shard.map.get(&victim_key).expect("recency/map in sync");
+            let victim_expired = self
+                .policy
+                .ttl
+                .is_some_and(|ttl| slot.inserted_at.elapsed() > ttl);
+            if !victim_expired {
+                if let Some(sketch) = shard.sketch.as_ref() {
+                    // TinyLFU gate: admit only keys strictly hotter than
+                    // every LRU victim the insert would displace.
+                    if sketch.estimate(hash) <= sketch.estimate(hash_key(&victim_key)) {
+                        self.rejections.fetch_add(1, Ordering::Relaxed);
+                        return;
                     }
                 }
-                shard.recency.remove(&oldest);
-                shard.map.remove(&victim_key);
-                if victim_expired {
-                    self.expirations.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
+            }
+            freed_bytes += slot.bytes;
+            planned.push((stamp, victim_key));
+        }
+        for (stamp, victim_key) in planned {
+            shard.recency.remove(&stamp);
+            let slot = shard.map.remove(&victim_key).expect("planned victim");
+            shard.bytes -= slot.bytes;
+            let victim_expired = self
+                .policy
+                .ttl
+                .is_some_and(|ttl| slot.inserted_at.elapsed() > ttl);
+            if victim_expired {
+                self.expirations.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         shard.tick += 1;
@@ -377,10 +489,31 @@ impl ProximityCache {
                 value,
                 stamp,
                 inserted_at: Instant::now(),
+                bytes: new_bytes,
             },
         );
         shard.recency.insert(stamp, key);
+        shard.bytes += new_bytes;
         self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Evicts LRU entries (no admission gate: used by the refresh path,
+    /// whose overwrite is deliberate) until the shard fits its byte budget
+    /// again. The `len > 1` guard keeps the just-refreshed entry — which
+    /// holds the newest stamp and is therefore the last possible victim —
+    /// resident; a value too large to ever fit was already rejected before
+    /// this runs.
+    fn evict_to_byte_budget(&self, shard: &mut Shard) {
+        while shard.map.len() > 1 && shard.bytes > self.byte_budget_per_shard {
+            let Some((&oldest, &victim_key)) = shard.recency.iter().next() else {
+                break;
+            };
+            shard.recency.remove(&oldest);
+            if let Some(slot) = shard.map.remove(&victim_key) {
+                shard.bytes -= slot.bytes;
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of cached vectors.
@@ -393,17 +526,30 @@ impl ProximityCache {
         self.len() == 0
     }
 
+    /// Resident bytes charged against the byte budget (value bytes plus
+    /// per-entry overhead, summed over all shards).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         for s in self.shards.iter() {
             let mut s = s.lock();
             s.map.clear();
             s.recency.clear();
+            s.bytes = 0;
         }
     }
 
     /// Aggregate counters.
     pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut bytes) = (0usize, 0usize);
+        for s in self.shards.iter() {
+            let s = s.lock();
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -411,7 +557,8 @@ impl ProximityCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             rejections: self.rejections.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
-            entries: self.len(),
+            entries,
+            bytes,
         }
     }
 }
@@ -605,6 +752,207 @@ mod tests {
         merged.merge(&s);
         assert_eq!(merged.hits, 2 * s.hits);
         assert_eq!(merged.entries, 2 * s.entries);
+    }
+
+    fn touched_vec(u: NodeId, entries: usize) -> Arc<ProximityVec> {
+        Arc::new(ProximityVec::Touched {
+            entries: (0..entries as u32).map(|i| (i, 0.5)).collect(),
+            seeker: u,
+            non_seeker_max: 0.5,
+            residual: 0.0,
+        })
+    }
+
+    fn dense_vec(u: NodeId, n: usize) -> Arc<ProximityVec> {
+        Arc::new(ProximityVec::Dense {
+            values: vec![0.5; n],
+            seeker: u,
+            non_seeker_max: 0.5,
+        })
+    }
+
+    #[test]
+    fn byte_budget_evicts_by_resident_size() {
+        let g = CsrGraph::empty(20_000);
+        let per_entry = charge_of(&touched_vec(0, 4)); // 4 pairs + overhead
+        let c = ProximityCache::with_byte_budget(3 * per_entry, 1, CachePolicy::default());
+        for u in 0..3 {
+            c.insert(&g, u, MODEL, touched_vec(u, 4));
+        }
+        assert_eq!(c.len(), 3);
+        assert!(c.memory_bytes() <= 3 * per_entry);
+        c.insert(&g, 3, MODEL, touched_vec(3, 4));
+        assert_eq!(c.len(), 3, "budget must evict, not grow");
+        assert!(c.get(&g, 0, MODEL).is_none(), "LRU victim evicted by bytes");
+        assert!(c.get(&g, 3, MODEL).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().bytes, c.memory_bytes());
+    }
+
+    #[test]
+    fn one_wide_entry_displaces_many_narrow_ones() {
+        let g = CsrGraph::empty(20_000);
+        let narrow = charge_of(&touched_vec(0, 4));
+        let c = ProximityCache::with_byte_budget(8 * narrow, 1, CachePolicy::default());
+        for u in 0..8 {
+            c.insert(&g, u, MODEL, touched_vec(u, 4));
+        }
+        assert_eq!(c.len(), 8);
+        // A dense vector worth ~6 narrow entries must evict as many LRU
+        // victims as it needs, in one insert.
+        let wide = dense_vec(100, (6 * narrow) / 8);
+        c.insert(&g, 100, MODEL, wide);
+        assert!(c.get(&g, 100, MODEL).is_some());
+        assert!(c.len() < 8, "several victims must have been displaced");
+        assert!(c.memory_bytes() <= 8 * narrow);
+    }
+
+    #[test]
+    fn touched_snapshots_pack_where_dense_do_not() {
+        // The fig11-hit-rate mechanism in miniature: under one fixed byte
+        // budget, reach-proportional snapshots cache an order of magnitude
+        // more seekers than dense ones.
+        let g = CsrGraph::empty(20_000);
+        let budget = 1 << 20; // 1 MiB
+        let dense = ProximityCache::with_byte_budget(budget, 1, CachePolicy::default());
+        for u in 0..2_000 {
+            dense.insert(&g, u, MODEL, dense_vec(u, 10_000)); // 80 KB each
+        }
+        let touched = ProximityCache::with_byte_budget(budget, 1, CachePolicy::default());
+        for u in 0..2_000 {
+            touched.insert(&g, u, MODEL, touched_vec(u, 100)); // 1.6 KB each
+        }
+        assert!(dense.len() <= 16, "dense: {}", dense.len());
+        assert!(touched.len() >= 500, "touched: {}", touched.len());
+        assert!(dense.memory_bytes() <= budget && touched.memory_bytes() <= budget);
+    }
+
+    #[test]
+    fn oversized_value_is_rejected_outright() {
+        let g = CsrGraph::empty(20_000);
+        let c = ProximityCache::with_byte_budget(1024, 1, CachePolicy::default());
+        c.insert(&g, 1, MODEL, dense_vec(1, 10_000));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().rejections, 1);
+        // Small entries still fit afterwards.
+        c.insert(&g, 2, MODEL, touched_vec(2, 4));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_insert_leaves_residents_untouched() {
+        // The rejection must be decided before any eviction: an entry that
+        // could never fit must not flush the shard on its way out.
+        let g = CsrGraph::empty(20_000);
+        let per_entry = charge_of(&touched_vec(0, 4));
+        let c = ProximityCache::with_byte_budget(4 * per_entry, 1, CachePolicy::default());
+        for u in 0..4 {
+            c.insert(&g, u, MODEL, touched_vec(u, 4));
+        }
+        c.insert(&g, 100, MODEL, dense_vec(100, 10_000));
+        assert_eq!(c.stats().rejections, 1);
+        assert_eq!(c.stats().evictions, 0, "no resident may be displaced");
+        for u in 0..4 {
+            assert!(c.get(&g, u, MODEL).is_some(), "resident {u} lost");
+        }
+    }
+
+    #[test]
+    fn rejected_multi_victim_insert_keeps_every_resident() {
+        // Two-phase eviction: a newcomer needing several victims is judged
+        // against each of them *before* anything is removed — a hot victim
+        // anywhere in the plan rejects the insert with the shard intact,
+        // including the colder entries that would have been evicted first.
+        let g = CsrGraph::empty(20_000);
+        let policy = CachePolicy {
+            admission: true,
+            ttl: None,
+        };
+        let narrow = charge_of(&touched_vec(0, 4));
+        let c = ProximityCache::with_byte_budget(3 * narrow, 1, policy);
+        let _ = c.get(&g, 1, MODEL); // cold-ish resident: one access
+        c.insert(&g, 1, MODEL, touched_vec(1, 4));
+        for _ in 0..8 {
+            let _ = c.get(&g, 2, MODEL); // hot resident
+            let _ = c.get(&g, 3, MODEL);
+        }
+        c.insert(&g, 2, MODEL, touched_vec(2, 4));
+        c.insert(&g, 3, MODEL, touched_vec(3, 4));
+        // A twice-seen newcomer wide enough to need all three victims: it
+        // beats resident 1 but not residents 2/3 → rejected, all resident.
+        let _ = c.get(&g, 50, MODEL);
+        let _ = c.get(&g, 50, MODEL);
+        c.insert(&g, 50, MODEL, touched_vec(50, 3 * 4));
+        assert!(c.get(&g, 50, MODEL).is_none());
+        for u in 1..=3 {
+            assert!(c.get(&g, u, MODEL).is_some(), "resident {u} lost");
+        }
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c.stats().rejections > 0);
+    }
+
+    #[test]
+    fn over_budget_refresh_evicts_others_to_fit() {
+        let g = CsrGraph::empty(20_000);
+        let narrow = charge_of(&touched_vec(0, 4));
+        let c = ProximityCache::with_byte_budget(6 * narrow, 1, CachePolicy::default());
+        for u in 0..6 {
+            c.insert(&g, u, MODEL, touched_vec(u, 4));
+        }
+        assert_eq!(c.len(), 6);
+        // Refresh the newest entry with a value ~4 narrow entries wide: the
+        // budget must hold afterwards, at the expense of LRU residents —
+        // never of the refreshed entry itself.
+        c.insert(&g, 5, MODEL, touched_vec(5, 4 * 4 + 8));
+        assert!(
+            c.memory_bytes() <= 6 * narrow,
+            "refresh left shard over budget"
+        );
+        assert!(
+            c.get(&g, 5, MODEL).is_some(),
+            "refreshed entry must survive"
+        );
+        assert!(c.len() < 6);
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_refresh_and_clear() {
+        let g = CsrGraph::empty(20_000);
+        let c = ProximityCache::with_byte_budget(1 << 20, 1, CachePolicy::default());
+        c.insert(&g, 1, MODEL, touched_vec(1, 4));
+        let small = c.memory_bytes();
+        c.insert(&g, 1, MODEL, touched_vec(1, 400)); // refresh with a wider σ
+        assert!(c.memory_bytes() > small);
+        assert_eq!(c.len(), 1);
+        c.insert(&g, 1, MODEL, touched_vec(1, 4));
+        assert_eq!(c.memory_bytes(), small, "refresh must re-charge exactly");
+        c.clear();
+        assert_eq!((c.len(), c.memory_bytes()), (0, 0));
+    }
+
+    #[test]
+    fn admission_still_guards_byte_budget_eviction() {
+        let g = CsrGraph::empty(20_000);
+        let policy = CachePolicy {
+            admission: true,
+            ttl: None,
+        };
+        let per_entry = charge_of(&touched_vec(0, 4));
+        let c = ProximityCache::with_byte_budget(2 * per_entry, 1, policy);
+        for _ in 0..6 {
+            let _ = c.get(&g, 1, MODEL);
+            let _ = c.get(&g, 2, MODEL);
+        }
+        c.insert(&g, 1, MODEL, touched_vec(1, 4));
+        c.insert(&g, 2, MODEL, touched_vec(2, 4));
+        // A cold one-hit wonder cannot displace the hot residents even
+        // though the byte budget is full.
+        let _ = c.get(&g, 50, MODEL);
+        c.insert(&g, 50, MODEL, touched_vec(50, 4));
+        assert!(c.get(&g, 1, MODEL).is_some());
+        assert!(c.get(&g, 2, MODEL).is_some());
+        assert!(c.stats().rejections > 0);
     }
 
     #[test]

@@ -419,6 +419,56 @@ mod tests {
         assert_eq!(cache.stats().hits, 2);
     }
 
+    /// The satellite regression: dense σ snapshots used to answer
+    /// `support()` with `None`, so block-max's support prune never fired on
+    /// cached decay-model hits no matter how tiny the seeker's reach. With
+    /// reach-proportional `Touched` snapshots the cached hit carries its
+    /// exact support, and whole stranger blocks are skipped undecoded.
+    #[test]
+    fn cached_decay_hit_takes_the_support_pruned_path() {
+        use friends_data::Tagging;
+        let n = 2048u32;
+        // Seeker 0's world: a 16-node ring; everyone else is unreachable.
+        let g = GraphBuilder::from_edges(n as usize, (0..16u32).map(|i| (i, (i + 1) % 16, 1.0)));
+        // Tag 0: ~1024 stranger-tagged items (users 1000..), so the σ-aware
+        // index has dozens of blocks whose tagger ranges miss the seeker's
+        // component entirely — plus two friend-tagged items at the end.
+        let mut taggings: Vec<Tagging> = (0..1024u32)
+            .map(|i| Tagging::unit(1000 + (i % 1000), i, 0))
+            .collect();
+        taggings.push(Tagging::unit(1, 2000, 0));
+        taggings.push(Tagging::unit(2, 2001, 0));
+        let store = TagStore::build(n, 2002, 1, taggings);
+        let corpus = Corpus::new(g, store);
+        corpus.sigma_index();
+        let model = ProximityModel::DistanceDecay { alpha: 0.5 };
+        let cache = Arc::new(ProximityCache::new(16));
+        let mut p = ExactOnline::with_cache(&corpus, model, Arc::clone(&cache));
+        p.set_strategy(ScoringStrategy::BlockMax);
+        let q = Query {
+            seeker: 0,
+            tags: vec![0],
+            k: 5,
+        };
+        let miss = p.query(&q); // materializes + publishes a Touched snapshot
+        assert_eq!(cache.stats().insertions, 1);
+        let hit = p.query(&q); // served from the cached Touched σ
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(miss.items, hit.items, "cache must never change answers");
+        assert_eq!(hit.item_ids(), vec![2000, 2001]);
+        // Workspace-σ miss: dense-model support is unknown, the envelope is
+        // alpha > 0, and the heap never fills — nothing can be skipped.
+        assert_eq!(miss.stats.blocks_skipped, 0, "{:?}", miss.stats);
+        // Cached Touched hit: stranger blocks bound to σ-max 0 and are
+        // skipped without decoding a single tagger group.
+        assert!(
+            hit.stats.blocks_skipped >= 30,
+            "support prune must fire on the cached hit: {:?}",
+            hit.stats
+        );
+        assert!(hit.stats.postings_scanned < miss.stats.postings_scanned);
+    }
+
     #[test]
     fn cheap_models_bypass_the_cache() {
         use friends_data::datasets::{DatasetSpec, Scale};

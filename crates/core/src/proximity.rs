@@ -24,6 +24,113 @@ use friends_graph::traversal::{bfs_stamped, BfsWorkspace, ProximityScan, Proximi
 use friends_graph::{CsrGraph, NodeId};
 use friends_index::topk::SigmaBound;
 
+/// Caller-tunable bounds on decay-model materialization: how far a
+/// [`ProximityModel::DistanceDecay`] BFS may walk and how small a
+/// [`ProximityModel::WeightedDecay`] path mass may get before the traversal
+/// stops. The default ([`SigmaBounds::EXACT`]) is **provably lossless**: the
+/// effective radius is capped at the model's *decay horizon* — the hop count
+/// beyond which `alpha^h` underflows to an exact f64 zero, so every dropped
+/// node would have materialized `σ == 0.0` anyway — and the mass floor cuts
+/// only paths whose product has already underflowed. Tighter bounds trade
+/// exactness for speed; the traversal then records the **residual bound**
+/// (an upper bound on the σ of any dropped node, see
+/// [`SigmaWorkspace::residual_bound`]), so a `0.0` residual is a per-query
+/// proof that the bounded materialization equals the unbounded one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SigmaBounds {
+    /// Hop horizon for BFS-driven decay (`DistanceDecay`). The effective
+    /// horizon is `min(max_radius, decay_horizon(alpha))`.
+    pub max_radius: u32,
+    /// Path-mass floor for proximity-ordered decay (`WeightedDecay`):
+    /// nodes whose best path mass falls below it are dropped. For
+    /// `DistanceDecay` the floor is translated into an equivalent radius.
+    pub min_mass: f64,
+}
+
+impl SigmaBounds {
+    /// Lossless bounds: stop exactly where the decay envelope proves the
+    /// remaining σ underflows to zero.
+    pub const EXACT: SigmaBounds = SigmaBounds {
+        max_radius: u32::MAX,
+        min_mass: 0.0,
+    };
+
+    /// Bounds with an explicit hop radius (mass floor disabled).
+    pub fn with_radius(max_radius: u32) -> Self {
+        SigmaBounds {
+            max_radius,
+            ..Self::EXACT
+        }
+    }
+
+    /// Bounds with an explicit mass floor in `[0, 1]` (radius disabled).
+    pub fn with_min_mass(min_mass: f64) -> Self {
+        assert!((0.0..=1.0).contains(&min_mass), "mass floor in [0, 1]");
+        SigmaBounds {
+            min_mass,
+            ..Self::EXACT
+        }
+    }
+}
+
+impl Default for SigmaBounds {
+    fn default() -> Self {
+        Self::EXACT
+    }
+}
+
+/// The **decay horizon** of `alpha`: the largest hop count `h` for which
+/// `alpha^h` is still a positive f64. A node strictly beyond the horizon
+/// would materialize `σ = alpha^h == 0.0` — indistinguishable from never
+/// being visited — so a BFS capped at the horizon is byte-identical to an
+/// unbounded one while never walking past the representable decay envelope.
+/// On social-graph diameters the horizon (hundreds to thousands of hops)
+/// never binds; it exists so adversarially deep graphs terminate
+/// reach-proportionally and so tighter radii have a sound baseline to
+/// shrink from.
+pub fn decay_horizon(alpha: f64) -> u32 {
+    debug_assert!(alpha > 0.0 && alpha < 1.0);
+    // alpha^h > 0 (including subnormals) ⇔ h · log2(alpha) > -1075.
+    let est = (-1075.0 / alpha.log2()).floor();
+    if est >= i32::MAX as f64 {
+        // powi saturates past i32; treat the horizon as unbounded (a graph
+        // cannot have 2^31 hops of distinct nodes under a u32 id space).
+        return u32::MAX;
+    }
+    let mut h = est as i32;
+    while h > 0 && alpha.powi(h) == 0.0 {
+        h -= 1;
+    }
+    while h < i32::MAX - 1 && alpha.powi(h + 1) > 0.0 {
+        h += 1;
+    }
+    h.max(0) as u32
+}
+
+/// The largest hop count whose decayed mass still clears `floor`
+/// (`alpha^h >= floor`), used to translate a mass floor into a BFS radius.
+/// Returns `u32::MAX` when the floor never binds.
+fn radius_for_mass(alpha: f64, floor: f64) -> u32 {
+    if floor <= 0.0 {
+        return u32::MAX;
+    }
+    if floor > 1.0 {
+        return 0;
+    }
+    let est = (floor.log2() / alpha.log2()).floor();
+    if est >= i32::MAX as f64 {
+        return u32::MAX;
+    }
+    let mut h = (est as i32).max(0);
+    while h > 0 && alpha.powi(h) < floor {
+        h -= 1;
+    }
+    while h < i32::MAX - 1 && alpha.powi(h + 1) >= floor {
+        h += 1;
+    }
+    h.max(0) as u32
+}
+
 /// A proximity model. See module docs.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ProximityModel {
@@ -152,7 +259,26 @@ impl ProximityModel {
     /// call, `ws` answers [`SigmaWorkspace::get`] for every node and, for
     /// sparse-support models, exposes [`SigmaWorkspace::support`]. Once the
     /// workspace has warmed up to the graph size, no allocation occurs.
+    ///
+    /// Decay traversals run under [`SigmaBounds::EXACT`]: they stop at the
+    /// decay horizon (where σ provably underflows to zero), which is
+    /// byte-identical to an unbounded walk. Use
+    /// [`ProximityModel::materialize_bounded`] for tighter, lossy bounds.
     pub fn materialize_into(&self, g: &CsrGraph, seeker: NodeId, ws: &mut SigmaWorkspace) {
+        self.materialize_bounded(g, seeker, ws, SigmaBounds::EXACT);
+    }
+
+    /// [`ProximityModel::materialize_into`] under explicit [`SigmaBounds`].
+    /// After the call, [`SigmaWorkspace::residual_bound`] is an upper bound
+    /// on the σ of any node the bounds dropped — `0.0` proves the bounded
+    /// materialization equals the unbounded one bit for bit.
+    pub fn materialize_bounded(
+        &self,
+        g: &CsrGraph,
+        seeker: NodeId,
+        ws: &mut SigmaWorkspace,
+        bounds: SigmaBounds,
+    ) {
         let n = g.num_nodes();
         ws.begin(n);
         match *self {
@@ -173,12 +299,28 @@ impl ProximityModel {
                 assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
                 ws.kind = SigmaKind::Dense;
                 if n > 0 {
+                    // Effective horizon: the caller's radius, the caller's
+                    // mass floor translated into hops, and the exact decay
+                    // horizon (beyond which σ underflows to 0.0 and a node
+                    // is indistinguishable from unvisited).
+                    let horizon = bounds
+                        .max_radius
+                        .min(radius_for_mass(alpha, bounds.min_mass))
+                        .min(decay_horizon(alpha));
                     let mut bfs = std::mem::take(&mut ws.bfs);
-                    bfs_stamped(g, seeker, u32::MAX, &mut bfs);
+                    bfs_stamped(g, seeker, horizon, &mut bfs);
                     for &u in bfs.touched() {
                         let h = bfs.dist(u).expect("touched node has a distance");
                         ws.set(u, alpha.powi(h as i32));
                     }
+                    // Every dropped node sits ≥ horizon+1 hops out, so the
+                    // decay envelope bounds its σ; at the exact horizon that
+                    // envelope is 0.0 — the losslessness proof.
+                    ws.residual = if bfs.truncated() {
+                        alpha.powi(horizon.saturating_add(1).min(i32::MAX as u32) as i32)
+                    } else {
+                        0.0
+                    };
                     ws.bfs = bfs;
                 }
             }
@@ -187,9 +329,17 @@ impl ProximityModel {
                 ws.kind = SigmaKind::Dense;
                 if n > 0 {
                     let mut prox = std::mem::take(&mut ws.prox);
-                    for (u, p) in ProximityScan::new(g, seeker, edge_decay(alpha), &mut prox) {
+                    let mut scan = ProximityScan::with_floor(
+                        g,
+                        seeker,
+                        edge_decay(alpha),
+                        bounds.min_mass,
+                        &mut prox,
+                    );
+                    for (u, p) in scan.by_ref() {
                         ws.set(u, p);
                     }
+                    ws.residual = scan.residual_bound();
                     ws.prox = prox;
                 }
             }
@@ -284,6 +434,12 @@ pub struct SigmaWorkspace {
     /// is `O(1)` instead of a per-query rescan.
     seeker: NodeId,
     non_seeker_max: f64,
+    /// Nodes this epoch with `σ > 0` (counted once in `finish`), deciding
+    /// the snapshot representation without a second pass.
+    nonzero: usize,
+    /// Upper bound on the σ of any node the materialization bounds dropped;
+    /// `0.0` proves the bounded traversal lost nothing.
+    residual: f64,
     bfs: BfsWorkspace,
     prox: ProximityWorkspace,
     push: PushWorkspace,
@@ -308,6 +464,8 @@ impl SigmaWorkspace {
             kind: SigmaKind::AllOnes,
             seeker: NodeId::MAX,
             non_seeker_max: 1.0,
+            nonzero: 0,
+            residual: 0.0,
             bfs: BfsWorkspace::new(),
             prox: ProximityWorkspace::new(),
             push: PushWorkspace::default(),
@@ -339,6 +497,7 @@ impl SigmaWorkspace {
         self.touched.clear();
         self.entries.clear();
         self.kind = SigmaKind::Dense;
+        self.residual = 0.0;
     }
 
     #[inline]
@@ -364,20 +523,42 @@ impl SigmaWorkspace {
     }
 
     /// Seals a materialization: records the seeker and precomputes the
-    /// non-seeker σ maximum (one pass over the nodes this epoch already
-    /// touched, paid once per materialization so later
-    /// [`Sigma::max_excluding`] reads are `O(1)`).
+    /// non-seeker σ maximum and the `σ > 0` count (one pass over the nodes
+    /// this epoch already touched, paid once per materialization so later
+    /// [`Sigma::max_excluding`] reads are `O(1)` and
+    /// [`SigmaWorkspace::snapshot`] can pick its representation without a
+    /// rescan).
     fn finish(&mut self, seeker: NodeId) {
         self.seeker = seeker;
-        self.non_seeker_max = match self.kind {
-            SigmaKind::AllOnes => 1.0,
-            _ => self
-                .touched
-                .iter()
-                .filter(|&&u| u != seeker)
-                .map(|&u| self.values[u as usize])
-                .fold(0.0, f64::max),
-        };
+        match self.kind {
+            SigmaKind::AllOnes => {
+                self.non_seeker_max = 1.0;
+                self.nonzero = 0;
+            }
+            _ => {
+                let mut max = 0.0f64;
+                let mut nonzero = 0usize;
+                for &u in &self.touched {
+                    let v = self.values[u as usize];
+                    if v > 0.0 {
+                        nonzero += 1;
+                        if u != seeker {
+                            max = max.max(v);
+                        }
+                    }
+                }
+                self.non_seeker_max = max;
+                self.nonzero = nonzero;
+            }
+        }
+    }
+
+    /// Upper bound on the σ of any node the most recent materialization's
+    /// [`SigmaBounds`] dropped. `0.0` — always the case under
+    /// [`SigmaBounds::EXACT`] — proves the bounded traversal produced
+    /// exactly the unbounded σ.
+    pub fn residual_bound(&self) -> f64 {
+        self.residual
     }
 
     fn build_entries_from_touched(&mut self) {
@@ -429,17 +610,58 @@ impl SigmaWorkspace {
     }
 
     /// Snapshots the current epoch into an owned, shareable
-    /// [`ProximityVec`] (what the cache stores). This is the one `O(support)`
-    /// allocation on a cache miss; hits skip materialization entirely.
+    /// [`ProximityVec`] (what the cache stores) in the cheapest faithful
+    /// representation. Dense-model epochs whose reach is small relative to
+    /// the graph become [`ProximityVec::Touched`] — built from the stamped
+    /// touched-list in `O(reach log reach)`, not `O(n)` — so a cold-seeker
+    /// cache miss costs memory and time proportional to what the seeker can
+    /// actually reach. Wide-reach epochs (a `Touched` pair list would
+    /// outweigh the flat array) still snapshot dense. Hits skip
+    /// materialization entirely either way.
     pub fn snapshot(&self, n: usize) -> ProximityVec {
         match self.kind {
+            SigmaKind::Sparse => ProximityVec::Sparse(self.entries.clone()),
+            // (node, σ) pairs cost 16 bytes to the flat array's 8 per node.
+            // A lossy materialization (residual > 0) must snapshot Touched
+            // regardless of reach: `Dense` has no residual field, and a
+            // truncated σ served as `residual_bound() == 0.0` would be a
+            // false exactness certificate.
+            SigmaKind::Dense if self.nonzero * 2 <= n || self.residual > 0.0 => {
+                let mut entries: Vec<(NodeId, f64)> = self
+                    .touched
+                    .iter()
+                    .filter_map(|&u| {
+                        let v = self.values[u as usize];
+                        (v > 0.0).then_some((u, v))
+                    })
+                    .collect();
+                entries.sort_unstable_by_key(|&(u, _)| u);
+                ProximityVec::Touched {
+                    entries,
+                    seeker: self.seeker,
+                    non_seeker_max: self.non_seeker_max,
+                    residual: self.residual,
+                }
+            }
+            _ => self.snapshot_dense(n),
+        }
+    }
+
+    /// The pre-reach-proportional snapshot: always a flat `O(n)` vector for
+    /// dense-model epochs. Kept public as the fig12 baseline and for
+    /// callers that want `O(1)` lookups regardless of reach. Note the
+    /// `Dense` form carries no residual field — snapshotting a *lossy*
+    /// bounded materialization through here loses the exactness
+    /// certificate; [`SigmaWorkspace::snapshot`] never does that.
+    pub fn snapshot_dense(&self, n: usize) -> ProximityVec {
+        match self.kind {
             SigmaKind::AllOnes => ProximityVec::AllOnes,
+            SigmaKind::Sparse => ProximityVec::Sparse(self.entries.clone()),
             SigmaKind::Dense => ProximityVec::Dense {
                 values: self.to_dense(n),
                 seeker: self.seeker,
                 non_seeker_max: self.non_seeker_max,
             },
-            SigmaKind::Sparse => ProximityVec::Sparse(self.entries.clone()),
         }
     }
 }
@@ -460,6 +682,22 @@ pub enum ProximityVec {
     },
     /// Sorted `(node, σ)` pairs with `σ > 0`; all other nodes are 0.
     Sparse(Vec<(NodeId, f64)>),
+    /// A dense-model σ captured **reach-proportionally**: the sorted
+    /// `(node, σ > 0)` pairs the traversal actually touched, plus the
+    /// seeker/non-seeker-max pair for `O(1)` [`Sigma::max_excluding`] and
+    /// the materialization's residual bound. Unlike `Sparse` this is not a
+    /// model-structural support — it is whatever the (possibly bounded)
+    /// traversal reached — but it serves [`ProximityVec::support`] all the
+    /// same, which is what lets block-max's support prune fire on cached
+    /// decay-model hits.
+    Touched {
+        entries: Vec<(NodeId, f64)>,
+        seeker: NodeId,
+        non_seeker_max: f64,
+        /// Upper bound on the σ of any node outside `entries` (`0.0` ⇒ the
+        /// snapshot provably equals the unbounded materialization).
+        residual: f64,
+    },
 }
 
 impl ProximityVec {
@@ -469,27 +707,43 @@ impl ProximityVec {
         match self {
             ProximityVec::AllOnes => 1.0,
             ProximityVec::Dense { values, .. } => values.get(u as usize).copied().unwrap_or(0.0),
-            ProximityVec::Sparse(e) => match e.binary_search_by_key(&u, |&(n, _)| n) {
-                Ok(i) => e[i].1,
-                Err(_) => 0.0,
-            },
+            ProximityVec::Sparse(e) | ProximityVec::Touched { entries: e, .. } => {
+                match e.binary_search_by_key(&u, |&(n, _)| n) {
+                    Ok(i) => e[i].1,
+                    Err(_) => 0.0,
+                }
+            }
         }
     }
 
-    /// The sorted support list, for sparse vectors.
+    /// The sorted support list, for reach-proportional vectors: the nodes
+    /// with `σ > 0`; every other node reads 0.
     pub fn support(&self) -> Option<&[(NodeId, f64)]> {
         match self {
-            ProximityVec::Sparse(e) => Some(e),
+            ProximityVec::Sparse(e) | ProximityVec::Touched { entries: e, .. } => Some(e),
             _ => None,
         }
     }
 
-    /// Approximate resident memory, in bytes.
+    /// Upper bound on the σ the materialization's bounds dropped (always
+    /// `0.0` for exact representations).
+    pub fn residual_bound(&self) -> f64 {
+        match self {
+            ProximityVec::Touched { residual, .. } => *residual,
+            _ => 0.0,
+        }
+    }
+
+    /// Approximate resident memory, in bytes. Scales with the graph for
+    /// `Dense` and with the seeker's reach for `Sparse`/`Touched` — the
+    /// quantity a byte-budgeted [`crate::cache::ProximityCache`] charges.
     pub fn memory_bytes(&self) -> usize {
         match self {
             ProximityVec::AllOnes => 0,
             ProximityVec::Dense { values, .. } => values.len() * std::mem::size_of::<f64>(),
-            ProximityVec::Sparse(e) => e.len() * std::mem::size_of::<(NodeId, f64)>(),
+            ProximityVec::Sparse(e) | ProximityVec::Touched { entries: e, .. } => {
+                e.len() * std::mem::size_of::<(NodeId, f64)>()
+            }
         }
     }
 }
@@ -561,6 +815,22 @@ impl Sigma<'_> {
                 .filter(|&&(u, _)| u != exclude)
                 .map(|&(_, s)| s)
                 .fold(0.0, f64::max),
+            Sigma::Shared(ProximityVec::Touched {
+                entries,
+                seeker,
+                non_seeker_max,
+                ..
+            }) => {
+                if exclude == *seeker {
+                    *non_seeker_max
+                } else {
+                    entries
+                        .iter()
+                        .filter(|&&(u, _)| u != exclude)
+                        .map(|&(_, s)| s)
+                        .fold(0.0, f64::max)
+                }
+            }
         }
     }
 
@@ -576,7 +846,10 @@ impl Sigma<'_> {
                 Sigma::Shared(ProximityVec::Dense { values, .. }) => {
                     values.iter().all(|&s| s <= 1.0 + 1e-9)
                 }
-                Sigma::Shared(ProximityVec::Sparse(e)) => e.iter().all(|&(_, s)| s <= 1.0 + 1e-9),
+                Sigma::Shared(ProximityVec::Sparse(e))
+                | Sigma::Shared(ProximityVec::Touched { entries: e, .. }) => {
+                    e.iter().all(|&(_, s)| s <= 1.0 + 1e-9)
+                }
             };
             assert!(ok, "global-bound thresholding requires σ ≤ 1");
         }
@@ -925,6 +1198,236 @@ mod tests {
                 assert_eq!(sigma.max_excluding(other).to_bits(), brute_other.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn decay_horizon_sits_exactly_on_the_underflow_edge() {
+        for alpha in [0.05f64, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let h = decay_horizon(alpha);
+            assert!(h < u32::MAX, "alpha {alpha}");
+            assert!(alpha.powi(h as i32) > 0.0, "alpha {alpha} horizon {h}");
+            assert_eq!(
+                alpha.powi(h as i32 + 1),
+                0.0,
+                "alpha {alpha} horizon {h} not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn radius_for_mass_is_the_last_hop_clearing_the_floor() {
+        for (alpha, floor) in [(0.5f64, 0.1f64), (0.3, 1e-6), (0.9, 0.5), (0.5, 1.0)] {
+            let h = radius_for_mass(alpha, floor);
+            assert!(alpha.powi(h as i32) >= floor, "alpha {alpha} floor {floor}");
+            assert!(
+                alpha.powi(h as i32 + 1) < floor,
+                "alpha {alpha} floor {floor} radius {h} not maximal"
+            );
+        }
+        assert_eq!(radius_for_mass(0.5, 0.0), u32::MAX);
+    }
+
+    /// A 2000-node chain outreaches the decay horizon: the EXACT bounds must
+    /// stop the BFS hundreds of hops early while producing bit-identical σ
+    /// (everything beyond the horizon would materialize 0.0 anyway).
+    #[test]
+    fn exact_bounds_truncate_deep_chains_byte_identically() {
+        let n = 2000usize;
+        let g = GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1.0)));
+        let alpha = 0.3;
+        let horizon = decay_horizon(alpha) as usize;
+        assert!(horizon + 1 < n, "chain must outreach the horizon");
+        let mut ws = SigmaWorkspace::new();
+        ProximityModel::DistanceDecay { alpha }.materialize_into(&g, 0, &mut ws);
+        assert_eq!(ws.residual_bound(), 0.0, "EXACT bounds are lossless");
+        assert_eq!(ws.touched.len(), horizon + 1, "stopped at the horizon");
+        for u in 0..n as u32 {
+            let want = if (u as usize) <= horizon {
+                alpha.powi(u as i32)
+            } else {
+                0.0
+            };
+            assert_eq!(want.to_bits(), ws.get(u).to_bits(), "node {u}");
+        }
+    }
+
+    /// Radius bounds below the horizon are lossy and must say so: σ beyond
+    /// the radius reads 0, and the residual records the decay envelope at
+    /// radius+1. A radius at or past the horizon is indistinguishable from
+    /// unbounded (the straddle case: the BFS frontier crosses the cutoff
+    /// mid-component, yet nothing representable was dropped).
+    #[test]
+    fn bounded_radius_reports_residual_and_straddles_exactly() {
+        let n = 2000usize;
+        let g = GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1.0)));
+        let alpha = 0.3;
+        let model = ProximityModel::DistanceDecay { alpha };
+        let mut full = SigmaWorkspace::new();
+        model.materialize_into(&g, 0, &mut full);
+
+        // Lossy: radius 5 on a 2000-chain. (The expected envelope is
+        // computed with a black-boxed exponent: a const-folded `powi` can
+        // differ from the runtime one by 1 ULP in release builds, and the
+        // assertion is about matching the traversal's own arithmetic.)
+        let mut ws = SigmaWorkspace::new();
+        model.materialize_bounded(&g, 0, &mut ws, SigmaBounds::with_radius(5));
+        assert_eq!(
+            ws.residual_bound().to_bits(),
+            alpha.powi(std::hint::black_box(6)).to_bits()
+        );
+        for u in 0..n as u32 {
+            let want = if u <= 5 {
+                alpha.powi(std::hint::black_box(u as i32))
+            } else {
+                0.0
+            };
+            assert_eq!(want.to_bits(), ws.get(u).to_bits(), "node {u}");
+            if ws.get(u) == 0.0 && full.get(u) > 0.0 {
+                assert!(full.get(u) <= ws.residual_bound(), "residual must dominate");
+            }
+        }
+        // A mass floor translates to the equivalent radius.
+        let mut by_mass = SigmaWorkspace::new();
+        let floor = alpha.powi(5) * 1.0001; // keeps hops 0..=4
+        model.materialize_bounded(&g, 0, &mut by_mass, SigmaBounds::with_min_mass(floor));
+        assert_eq!(by_mass.touched.len(), 5);
+        // Straddle: a radius past the horizon drops nothing representable.
+        let mut wide = SigmaWorkspace::new();
+        model.materialize_bounded(
+            &g,
+            0,
+            &mut wide,
+            SigmaBounds::with_radius(decay_horizon(alpha) + 100),
+        );
+        assert_eq!(wide.residual_bound(), 0.0);
+        for u in 0..n as u32 {
+            assert_eq!(full.get(u).to_bits(), wide.get(u).to_bits(), "node {u}");
+        }
+    }
+
+    /// WeightedDecay under a mass floor: kept proximities are bit-identical
+    /// to the unbounded scan, dropped ones are bounded by the recorded
+    /// residual, and the exact default drops nothing.
+    #[test]
+    fn weighted_decay_mass_floor_is_sound() {
+        let g = generators::assign_weights(
+            &generators::watts_strogatz(150, 4, 0.2, 5),
+            generators::WeightModel::Jaccard { floor: 0.05 },
+            5,
+        );
+        let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+        let mut full = SigmaWorkspace::new();
+        model.materialize_into(&g, 3, &mut full);
+        assert_eq!(full.residual_bound(), 0.0);
+        let mut bounded = SigmaWorkspace::new();
+        let floor = 1e-3;
+        model.materialize_bounded(&g, 3, &mut bounded, SigmaBounds::with_min_mass(floor));
+        let res = bounded.residual_bound();
+        assert!(res <= floor);
+        for u in 0..150u32 {
+            let b = bounded.get(u);
+            let f = full.get(u);
+            if b > 0.0 {
+                assert_eq!(b.to_bits(), f.to_bits(), "kept node {u} must be exact");
+                assert!(b >= floor, "node {u} below floor was kept");
+            } else if f > 0.0 {
+                assert!(f < floor && res > 0.0, "dropped node {u} above residual");
+            }
+        }
+    }
+
+    /// The acceptance-criterion size test: at n = 10k with reach ≈ 100, the
+    /// snapshot must be `Touched`, cost `O(reach)` bytes, and agree with the
+    /// workspace everywhere — while the forced dense snapshot stays `O(n)`.
+    #[test]
+    fn touched_snapshot_scales_with_reach_not_graph_size() {
+        let n = 10_000usize;
+        let reach = 100u32;
+        // Seeker's component: a 100-node ring; the other 9900 users are
+        // unreachable strangers.
+        let g = GraphBuilder::from_edges(n, (0..reach).map(|i| (i, (i + 1) % reach, 1.0)));
+        let mut ws = SigmaWorkspace::new();
+        for model in [
+            ProximityModel::DistanceDecay { alpha: 0.5 },
+            ProximityModel::WeightedDecay { alpha: 0.5 },
+        ] {
+            model.materialize_into(&g, 0, &mut ws);
+            let snap = ws.snapshot(n);
+            let dense = ws.snapshot_dense(n);
+            assert!(
+                matches!(snap, ProximityVec::Touched { .. }),
+                "{}: small reach must snapshot Touched",
+                model.name()
+            );
+            assert!(
+                snap.memory_bytes() <= reach as usize * 16,
+                "{}: {} bytes for reach {reach}",
+                model.name(),
+                snap.memory_bytes()
+            );
+            assert_eq!(dense.memory_bytes(), n * 8);
+            assert_eq!(snap.residual_bound(), 0.0);
+            assert_eq!(snap.support().map(|s| s.len()), Some(reach as usize));
+            for u in (0..n as u32).step_by(7).chain(0..reach) {
+                assert_eq!(snap.get(u).to_bits(), ws.get(u).to_bits(), "node {u}");
+                assert_eq!(dense.get(u).to_bits(), ws.get(u).to_bits(), "node {u}");
+            }
+            let sigma = Sigma::Shared(&snap);
+            assert_eq!(
+                sigma.max_excluding(0).to_bits(),
+                ws.non_seeker_max.to_bits()
+            );
+            // The miss-path cache charge scales with reach too: a cached
+            // Touched snapshot at n = 10k costs ~reach·16 bytes, not n·8.
+            let cache = crate::cache::ProximityCache::new(8);
+            cache.insert(&g, 0, model, std::sync::Arc::new(ws.snapshot(n)));
+            let bytes = cache.stats().bytes;
+            assert!(
+                bytes <= reach as usize * 16 + 256,
+                "{}: cache charged {bytes} bytes for reach {reach}",
+                model.name()
+            );
+            assert!(
+                bytes < n * 8 / 4,
+                "{}: charge must not scale with n",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn wide_reach_still_snapshots_dense() {
+        let g = generators::watts_strogatz(120, 4, 0.2, 3);
+        let mut ws = SigmaWorkspace::new();
+        ProximityModel::DistanceDecay { alpha: 0.5 }.materialize_into(&g, 0, &mut ws);
+        // Connected small world: the reach is the whole graph, where the
+        // flat array is the smaller representation.
+        assert!(matches!(ws.snapshot(120), ProximityVec::Dense { .. }));
+    }
+
+    #[test]
+    fn lossy_wide_reach_snapshot_preserves_the_residual() {
+        // A truncating radius whose reach still covers most of the graph:
+        // Dense would be the cheaper layout, but it has no residual field —
+        // the snapshot must stay Touched so `residual_bound() == 0.0`
+        // remains a sound exactness certificate for cached consumers.
+        let g = generators::watts_strogatz(120, 4, 0.2, 3);
+        let model = ProximityModel::DistanceDecay { alpha: 0.5 };
+        let mut ws = SigmaWorkspace::new();
+        // Find a radius that both truncates and reaches > half the graph.
+        let radius = (1..12)
+            .find(|&r| {
+                model.materialize_bounded(&g, 0, &mut ws, SigmaBounds::with_radius(r));
+                ws.residual_bound() > 0.0 && ws.touched.len() * 2 > 120
+            })
+            .expect("some radius is both truncating and wide-reach");
+        model.materialize_bounded(&g, 0, &mut ws, SigmaBounds::with_radius(radius));
+        let snap = ws.snapshot(120);
+        assert!(matches!(snap, ProximityVec::Touched { .. }));
+        assert_eq!(
+            snap.residual_bound().to_bits(),
+            ws.residual_bound().to_bits()
+        );
     }
 
     #[test]

@@ -8,14 +8,45 @@
 use friends_core::cache::ProximityCache;
 use friends_core::corpus::Corpus;
 use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor, ScoringStrategy};
-use friends_core::proximity::ProximityModel;
+use friends_core::proximity::{edge_decay, ProximityModel, SigmaBounds, SigmaWorkspace};
 use friends_data::queries::Query;
 use friends_data::store::TagStore;
 use friends_data::{TagId, Tagging};
-use friends_graph::GraphBuilder;
+use friends_graph::traversal::{bfs_distances, ProximityOrder, UNREACHABLE};
+use friends_graph::{CsrGraph, GraphBuilder};
 use friends_index::topk::TopK;
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// σ by **raw unbounded graph traversal**, bypassing the materialization
+/// layer entirely for the decay models: a full BFS (every reachable node,
+/// no horizon) and a full proximity Dijkstra. This is the reference the
+/// bounded-radius/mass-floor traversals must reproduce bit for bit — using
+/// it in [`dense_materialize_reference`] makes every ranking proptest in
+/// this file a differential test of the bounded materialization too.
+fn unbounded_sigma(g: &CsrGraph, model: ProximityModel, seeker: u32) -> Vec<f64> {
+    let n = g.num_nodes();
+    match model {
+        ProximityModel::DistanceDecay { alpha } => bfs_distances(g, seeker)
+            .iter()
+            .map(|&d| {
+                if d == UNREACHABLE {
+                    0.0
+                } else {
+                    alpha.powi(d as i32)
+                }
+            })
+            .collect(),
+        ProximityModel::WeightedDecay { alpha } => {
+            let mut v = vec![0.0f64; n];
+            for (u, p) in ProximityOrder::new(g, seeker, edge_decay(alpha)) {
+                v[u as usize] = p;
+            }
+            v
+        }
+        _ => model.materialize(g, seeker),
+    }
+}
 
 /// Strategy: a small random corpus (graph + taggings) plus a query.
 fn arb_corpus_and_query() -> impl Strategy<Value = (Corpus, Query)> {
@@ -79,14 +110,15 @@ fn all_models() -> Vec<ProximityModel> {
 }
 
 /// The seed's ExactOnline algorithm, verbatim: materialize a dense σ vector
-/// (the legacy `O(n)`-per-query API), scan whole tag posting lists in
-/// `(tag; item, user)` order, accumulate f32 per item, rank via `TopK`.
+/// (by raw **unbounded** traversal — see [`unbounded_sigma`]), scan whole
+/// tag posting lists in `(tag; item, user)` order, accumulate f32 per item,
+/// rank via `TopK`.
 fn dense_materialize_reference(
     corpus: &Corpus,
     model: ProximityModel,
     q: &Query,
 ) -> Vec<(u32, f32)> {
-    let sigma = model.materialize(&corpus.graph, q.seeker);
+    let sigma = unbounded_sigma(&corpus.graph, model, q.seeker);
     let mut scores = vec![0.0f32; corpus.num_items() as usize];
     let mut touched: Vec<u32> = Vec::new();
     let mut is_touched = vec![false; corpus.num_items() as usize];
@@ -239,14 +271,16 @@ proptest! {
         }
     }
 
-    /// The workspace σ values themselves are bit-equal to the legacy dense
-    /// materialization, node by node, model by model.
+    /// The workspace σ values themselves are bit-equal to the **unbounded**
+    /// traversal reference, node by node, model by model — the horizon /
+    /// underflow bounds the workspace path runs under must be invisible.
     #[test]
-    fn workspace_sigma_equals_dense_sigma((corpus, query) in arb_corpus_and_query()) {
-        let mut ws = friends_core::proximity::SigmaWorkspace::new();
+    fn workspace_sigma_equals_unbounded_sigma((corpus, query) in arb_corpus_and_query()) {
+        let mut ws = SigmaWorkspace::new();
         for model in all_models() {
-            let dense = model.materialize(&corpus.graph, query.seeker);
+            let dense = unbounded_sigma(&corpus.graph, model, query.seeker);
             model.materialize_into(&corpus.graph, query.seeker, &mut ws);
+            prop_assert_eq!(ws.residual_bound().to_bits(), 0.0f64.to_bits(), "{}", model.name());
             for u in 0..corpus.graph.num_nodes() as u32 {
                 prop_assert_eq!(
                     dense[u as usize].to_bits(),
@@ -255,6 +289,63 @@ proptest! {
                     model.name(),
                     u
                 );
+            }
+        }
+    }
+
+    /// Bounded-radius / mass-floor materialization against the unbounded
+    /// reference, with the cutoff landing *inside* the component (the
+    /// straddle case): kept nodes are bit-identical, dropped nodes read
+    /// exactly 0 and are dominated by the recorded residual, and a cutoff
+    /// wide enough to cover the reach reports residual 0 — the per-query
+    /// exactness proof.
+    #[test]
+    fn bounded_materialization_is_sound_and_tight(
+        (corpus, query) in arb_corpus_and_query(),
+        radius in 0u32..6,
+        floor_exp in 1i32..30,
+    ) {
+        let g = &corpus.graph;
+        let seeker = query.seeker;
+        let mut ws = SigmaWorkspace::new();
+        for alpha in [0.3f64, 0.5] {
+            // DistanceDecay under a hop radius.
+            let model = ProximityModel::DistanceDecay { alpha };
+            let full = unbounded_sigma(g, model, seeker);
+            model.materialize_bounded(g, seeker, &mut ws, SigmaBounds::with_radius(radius));
+            let dist = bfs_distances(g, seeker);
+            let res = ws.residual_bound();
+            for u in 0..g.num_nodes() as u32 {
+                let d = dist[u as usize];
+                if d != UNREACHABLE && d <= radius {
+                    prop_assert_eq!(full[u as usize].to_bits(), ws.get(u).to_bits(),
+                        "kept node {} at {} hops", u, d);
+                } else {
+                    prop_assert_eq!(ws.get(u).to_bits(), 0.0f64.to_bits(), "dropped node {}", u);
+                    prop_assert!(full[u as usize] <= res.max(0.0) || full[u as usize] == 0.0,
+                        "dropped node {} σ {} above residual {}", u, full[u as usize], res);
+                }
+            }
+            if res == 0.0 {
+                for u in 0..g.num_nodes() as u32 {
+                    prop_assert_eq!(full[u as usize].to_bits(), ws.get(u).to_bits());
+                }
+            }
+            // WeightedDecay under a mass floor.
+            let model = ProximityModel::WeightedDecay { alpha };
+            let full = unbounded_sigma(g, model, seeker);
+            let floor = 0.5f64.powi(floor_exp);
+            model.materialize_bounded(g, seeker, &mut ws, SigmaBounds::with_min_mass(floor));
+            let res = ws.residual_bound();
+            prop_assert!(res <= floor);
+            for u in 0..g.num_nodes() as u32 {
+                let b = ws.get(u);
+                if b > 0.0 {
+                    prop_assert_eq!(full[u as usize].to_bits(), b.to_bits(), "kept node {}", u);
+                } else if full[u as usize] > 0.0 {
+                    prop_assert!(full[u as usize] < floor && res > 0.0,
+                        "dropped node {} σ {} vs floor {}", u, full[u as usize], floor);
+                }
             }
         }
     }

@@ -335,6 +335,21 @@ mod tests {
         assert_ne!(a, b);
     }
 
+    /// Forward push's mass threshold (`epsilon`) is already its early
+    /// termination: cost is `O(1 / (alpha · epsilon))` pushes, independent
+    /// of graph size — a seeker in a 50-node component of a 10k-node
+    /// universe touches only the component. This is the reach-proportional
+    /// contract the σ-materialization floor work relies on for PPR.
+    #[test]
+    fn push_cost_is_reach_proportional() {
+        let component = 50u32;
+        let edges = (0..component).map(|i| (i, (i + 1) % component, 1.0));
+        let g = GraphBuilder::from_edges(10_000, edges);
+        let v = forward_push_fresh(&g, 0, 0.2, 1e-5);
+        assert!(!v.is_empty() && v.len() <= component as usize);
+        assert!(v.iter().all(|&(u, _)| u < component));
+    }
+
     #[test]
     fn push_sparse_output_sorted_unique() {
         let g = generators::watts_strogatz(80, 4, 0.3, 11);

@@ -154,6 +154,9 @@ pub struct BfsWorkspace {
     epoch: u32,
     queue: VecDeque<NodeId>,
     touched: Vec<NodeId>,
+    /// Whether the most recent traversal's hop horizon actually cut the
+    /// frontier off from unreached nodes (see [`BfsWorkspace::truncated`]).
+    truncated: bool,
     allocations: u64,
 }
 
@@ -177,6 +180,18 @@ impl BfsWorkspace {
         self.epoch += 1;
         self.queue.clear();
         self.touched.clear();
+        self.truncated = false;
+    }
+
+    /// Whether the most recent bounded traversal left reachable nodes
+    /// unvisited: some node *at* the hop horizon still had an unstamped
+    /// neighbor. `false` proves the horizon covered the seeker's whole
+    /// reachable set — a radius-bounded proximity materialization is then
+    /// byte-identical to the unbounded one. Checking costs one neighbor
+    /// scan per horizon-level node, and nothing at all when the horizon is
+    /// never reached.
+    pub fn truncated(&self) -> bool {
+        self.truncated
     }
 
     /// Hop distance of `u` in the most recent traversal, or `None` if it was
@@ -223,6 +238,15 @@ pub fn bfs_stamped(g: &CsrGraph, src: NodeId, max_hops: u32, ws: &mut BfsWorkspa
     while let Some(u) = ws.queue.pop_front() {
         let du = ws.dist[u as usize];
         if du >= max_hops {
+            // Horizon level: record (once) whether anything lies beyond it,
+            // so callers can tell a truncating bound from a covering one.
+            if !ws.truncated
+                && g.neighbors(u)
+                    .iter()
+                    .any(|&v| ws.stamp[v as usize] != ws.epoch)
+            {
+                ws.truncated = true;
+            }
             continue;
         }
         for &v in g.neighbors(u) {
@@ -244,6 +268,11 @@ pub struct ProximityWorkspace {
     settled_stamp: Vec<u32>,
     epoch: u32,
     heap: BinaryHeap<(OrdF64, NodeId)>,
+    /// Mass floor of the current traversal: tentative proximities below it
+    /// are never enqueued (and therefore never yielded). `0.0` disables.
+    floor: f64,
+    /// Whether the floor actually dropped a node with positive proximity.
+    dropped: bool,
     allocations: u64,
 }
 
@@ -259,6 +288,13 @@ impl ProximityWorkspace {
     }
 
     fn begin(&mut self, src: NodeId, n: usize) {
+        self.begin_with_floor(src, n, 0.0);
+    }
+
+    fn begin_with_floor(&mut self, src: NodeId, n: usize, floor: f64) {
+        debug_assert!((0.0..=1.0).contains(&floor), "floor must be in [0, 1]");
+        self.floor = floor;
+        self.dropped = false;
         if self.best.len() < n {
             self.best.resize(n, 0.0);
             self.best_stamp.resize(n, 0);
@@ -314,6 +350,16 @@ impl ProximityWorkspace {
                     "decay must map into (0, 1], got {mult}"
                 );
                 let np = p * mult;
+                if np < self.floor {
+                    // Below the mass floor: any path through this relaxation
+                    // yields proximity < floor (multipliers are ≤ 1), so the
+                    // node is only ever reached if a *different* path clears
+                    // the floor. Record that something real was dropped.
+                    if np > 0.0 {
+                        self.dropped = true;
+                    }
+                    continue;
+                }
                 if np > self.best_of(v) {
                     self.best[v as usize] = np;
                     self.best_stamp[v as usize] = self.epoch;
@@ -382,13 +428,44 @@ pub struct ProximityScan<'g, 'w, F> {
 impl<'g, 'w, F: FnMut(f32) -> f64> ProximityScan<'g, 'w, F> {
     /// Starts a traversal from `src`, recycling `ws`'s buffers.
     pub fn new(g: &'g CsrGraph, src: NodeId, decay: F, ws: &'w mut ProximityWorkspace) -> Self {
-        ws.begin(src, g.num_nodes());
+        Self::with_floor(g, src, decay, 0.0, ws)
+    }
+
+    /// Like [`ProximityScan::new`] with a **mass floor**: nodes whose best
+    /// path proximity falls below `floor` are neither enqueued nor yielded,
+    /// so the traversal (heap included) stays proportional to the seeker's
+    /// above-floor reach instead of the component size. Proximity only
+    /// decreases along a path, so every node with true proximity ≥ `floor`
+    /// is still yielded, exactly as the unbounded scan would — dropping is
+    /// sound, and [`ProximityScan::residual_bound`] reports what it may
+    /// have cost. `floor == 0.0` is the unbounded scan.
+    pub fn with_floor(
+        g: &'g CsrGraph,
+        src: NodeId,
+        decay: F,
+        floor: f64,
+        ws: &'w mut ProximityWorkspace,
+    ) -> Self {
+        ws.begin_with_floor(src, g.num_nodes(), floor);
         ProximityScan { g, decay, ws }
     }
 
     /// Upper bound on the proximity of every not-yet-yielded node.
     pub fn peek_bound(&self) -> Option<f64> {
         self.ws.bound()
+    }
+
+    /// Upper bound on the proximity of any node the floor dropped: the
+    /// floor itself when a positive-proximity node was cut, `0.0` when
+    /// nothing was — the traversal then provably covered every node with
+    /// positive proximity, and the bounded scan is byte-identical to the
+    /// unbounded one.
+    pub fn residual_bound(&self) -> f64 {
+        if self.ws.dropped {
+            self.ws.floor
+        } else {
+            0.0
+        }
     }
 }
 
@@ -622,5 +699,77 @@ mod tests {
         let g = CsrGraph::empty(0);
         let mut ws = ProximityWorkspace::new();
         assert!(ProximityScan::new(&g, 0, |_| 0.5, &mut ws).next().is_none());
+    }
+
+    #[test]
+    fn bfs_truncated_flag_distinguishes_covering_horizons() {
+        let g = path_graph(10);
+        let mut ws = BfsWorkspace::new();
+        bfs_stamped(&g, 0, 3, &mut ws);
+        assert!(ws.truncated(), "horizon 3 cuts a 10-node path");
+        bfs_stamped(&g, 0, 9, &mut ws);
+        assert!(!ws.truncated(), "horizon 9 covers the whole path");
+        bfs_stamped(&g, 0, u32::MAX, &mut ws);
+        assert!(!ws.truncated());
+        // A horizon that exactly covers the component is not truncation,
+        // even when the graph has unreachable nodes elsewhere.
+        let g2 = GraphBuilder::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]);
+        bfs_stamped(&g2, 0, 1, &mut ws);
+        assert!(!ws.truncated());
+        assert_eq!(ws.touched(), &[0, 1]);
+    }
+
+    #[test]
+    fn proximity_scan_floor_yields_exact_above_floor_prefix() {
+        let g = generators::watts_strogatz(120, 4, 0.2, 13);
+        let mut ws = ProximityWorkspace::new();
+        let full: Vec<(NodeId, f64)> =
+            ProximityScan::new(&g, 0, |w| 0.6 * w as f64, &mut ws).collect();
+        for floor in [0.0f64, 1e-9, 1e-3, 0.05, 0.3] {
+            let mut scan = ProximityScan::with_floor(&g, 0, |w| 0.6 * w as f64, floor, &mut ws);
+            let mut got = Vec::new();
+            for x in scan.by_ref() {
+                got.push(x);
+            }
+            let residual = scan.residual_bound();
+            // Proximities decrease, so the ≥-floor subset is a prefix of the
+            // unbounded order — and the bounded scan must reproduce it
+            // exactly (same nodes, same bits, same order).
+            let want: Vec<(NodeId, f64)> = full
+                .iter()
+                .copied()
+                .take_while(|&(_, p)| p >= floor)
+                .collect();
+            assert_eq!(got, want, "floor {floor}");
+            assert!(residual <= floor, "floor {floor}: residual {residual}");
+            if residual == 0.0 {
+                // A zero residual is a proof of coverage.
+                assert_eq!(got.len(), full.len(), "floor {floor}");
+            }
+            if got.len() < full.len() {
+                assert!(residual > 0.0, "floor {floor}: dropped without residual");
+            }
+        }
+    }
+
+    #[test]
+    fn proximity_scan_floor_heap_stays_reach_proportional() {
+        // A hub graph where almost everything sits below the floor: the
+        // bounded scan must not even enqueue the far side.
+        let n = 1000usize;
+        let mut edges: Vec<(NodeId, NodeId, f32)> = vec![(0, 1, 1.0)];
+        // Node 1 fans out to the rest through a weak tie each.
+        for v in 2..n as NodeId {
+            edges.push((1, v, 0.01));
+        }
+        let g = GraphBuilder::from_edges(n, edges);
+        let mut ws = ProximityWorkspace::new();
+        let mut scan = ProximityScan::with_floor(&g, 0, |w| 0.9 * w as f64, 0.5, &mut ws);
+        let mut yielded = 0;
+        while scan.next().is_some() {
+            yielded += 1;
+        }
+        assert_eq!(yielded, 2, "only the seeker and its strong tie clear 0.5");
+        assert_eq!(scan.residual_bound(), 0.5);
     }
 }

@@ -110,15 +110,41 @@ pub fn decode_sorted(buf: &mut &[u8], count: usize) -> Option<Vec<u32>> {
 /// Like [`decode_sorted`], decoding into a caller-owned buffer (cleared
 /// first). Reuses the buffer's capacity, so a warm decode loop — e.g. a
 /// posting cursor walking blocks — performs no allocation.
+///
+/// Decodes **word-wise** where it can: dense posting blocks are dominated
+/// by single-byte deltas, and eight of those are recognized with one `u64`
+/// load and one mask test (no continuation bit set in the word), then
+/// prefix-summed without re-entering the per-byte loop. Runs of multi-byte
+/// deltas fall back to the scalar decoder one varint at a time, so mixed
+/// streams decode exactly as before. On corrupt input (`None`) the buffer
+/// position is unspecified, as with the scalar path.
 pub fn decode_sorted_into(buf: &mut &[u8], count: usize, out: &mut Vec<u32>) -> Option<()> {
     out.clear();
     out.reserve(count);
     let mut prev = 0u32;
-    for i in 0..count {
+    let mut i = 0usize;
+    while i < count {
+        let bytes = *buf;
+        if count - i >= 8 && bytes.len() >= 8 {
+            let word = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            if word & 0x8080_8080_8080_8080 == 0 {
+                // Eight terminal bytes: eight 1-byte varints in one word.
+                for j in 0..8 {
+                    let d = ((word >> (8 * j)) & 0x7F) as u32;
+                    let id = if i + j == 0 { d } else { prev.checked_add(d)? };
+                    out.push(id);
+                    prev = id;
+                }
+                *buf = &bytes[8..];
+                i += 8;
+                continue;
+            }
+        }
         let d = read_u32(buf)?;
         let id = if i == 0 { d } else { prev.checked_add(d)? };
         out.push(id);
         prev = id;
+        i += 1;
     }
     Some(())
 }
@@ -197,6 +223,68 @@ mod tests {
         encode_sorted(&ids, &mut buf);
         // 999 single-byte deltas + one multi-byte head.
         assert!(buf.len() < 1010, "got {} bytes", buf.len());
+    }
+
+    #[test]
+    fn word_wise_fast_path_decodes_dense_runs() {
+        // 1000 consecutive ids after a multi-byte head: the bulk decodes
+        // through the u64 word path, the head and tail through the scalar
+        // fallback.
+        let ids: Vec<u32> = (1_000_000..1_001_000).collect();
+        let mut buf = Vec::new();
+        encode_sorted(&ids, &mut buf);
+        let mut s = buf.as_slice();
+        let mut out = Vec::new();
+        assert_eq!(decode_sorted_into(&mut s, ids.len(), &mut out), Some(()));
+        assert!(s.is_empty());
+        assert_eq!(out, ids);
+    }
+
+    #[test]
+    fn word_wise_fast_path_handles_mixed_gap_widths() {
+        // Alternate single-byte runs with >7-bit gaps so the word test
+        // fails mid-stream and the decoder flips between both paths.
+        let mut ids: Vec<u32> = Vec::new();
+        let mut cur = 5u32;
+        for round in 0..40u32 {
+            for _ in 0..(round % 11) {
+                cur += 1 + (round % 3); // 1-byte deltas
+                ids.push(cur);
+            }
+            cur += 200 + round * 1000; // 2+ byte delta
+            ids.push(cur);
+        }
+        let mut buf = Vec::new();
+        encode_sorted(&ids, &mut buf);
+        for take in [0usize, 1, 7, 8, 9, 16, ids.len()] {
+            let mut s = buf.as_slice();
+            let mut out = Vec::new();
+            assert_eq!(decode_sorted_into(&mut s, take, &mut out), Some(()));
+            assert_eq!(out, &ids[..take], "count {take}");
+        }
+    }
+
+    #[test]
+    fn word_wise_fast_path_small_first_id() {
+        // First id ≤ 127 makes the very first word eligible: the `i == 0`
+        // head must still be decoded verbatim, not as a delta.
+        let ids: Vec<u32> = (3..3 + 64).collect();
+        let mut buf = Vec::new();
+        encode_sorted(&ids, &mut buf);
+        let mut s = buf.as_slice();
+        let mut out = Vec::new();
+        assert_eq!(decode_sorted_into(&mut s, ids.len(), &mut out), Some(()));
+        assert_eq!(out, ids);
+    }
+
+    #[test]
+    fn word_wise_truncated_input_still_fails() {
+        let ids: Vec<u32> = (10..200).collect();
+        let mut buf = Vec::new();
+        encode_sorted(&ids, &mut buf);
+        let mut s = &buf[..buf.len() - 1];
+        let mut out = Vec::new();
+        assert_eq!(decode_sorted_into(&mut s, ids.len(), &mut out), None);
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Capacity of each shard's private proximity cache, in entries.
     pub cache_capacity: usize,
+    /// Byte budget of each shard's private proximity cache
+    /// (`usize::MAX` disables; both limits are enforced when set). State
+    /// the budget in bytes to let reach-proportional `Touched` snapshots
+    /// pack thousands deep where dense vectors fit dozens — entry counts
+    /// cannot tell the two apart.
+    pub cache_bytes: usize,
     /// Policy of the shard-private caches (TinyLFU admission on by
     /// default; no TTL).
     pub cache_policy: CachePolicy,
@@ -58,6 +64,7 @@ impl Default for ServiceConfig {
             shards: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_capacity: 0,
             cache_capacity: 1024,
+            cache_bytes: usize::MAX,
             cache_policy: CachePolicy {
                 admission: true,
                 ttl: None,
@@ -218,8 +225,10 @@ impl FriendsService {
             } else {
                 channel::bounded(config.queue_capacity)
             };
-            let cache = Arc::new(ProximityCache::unsharded(
+            let cache = Arc::new(ProximityCache::with_limits(
                 config.cache_capacity,
+                config.cache_bytes,
+                1, // shard-private: exactly one worker ever takes the lock
                 config.cache_policy,
             ));
             let results = (config.result_cache_capacity > 0).then(|| {
@@ -704,7 +713,7 @@ mod tests {
 
     #[test]
     fn duplicate_requests_coalesce_onto_one_execution() {
-        let (corpus, _) = fixture();
+        let (corpus, w) = fixture();
         let svc = FriendsService::start(
             Arc::clone(&corpus),
             ServiceConfig {
@@ -718,23 +727,46 @@ mod tests {
             tags: vec![0, 1],
             k: 10,
         };
+        // Park the single worker behind a pile of distinct work first:
+        // release-mode queries are fast enough that a bare flood can be
+        // consumed one-by-one as it is produced (no two duplicates ever in
+        // flight together). Behind the plug, the duplicates queue up and
+        // land in shared dispatch cycles.
+        let parked: Vec<Ticket> = w
+            .queries
+            .iter()
+            .cycle()
+            .take(256)
+            .map(|p| svc.submit(Request::new(p.clone()).without_deadline()))
+            .collect();
         // Flood 32 identical requests; collect replies afterwards so they
         // are all in flight together.
         let queries = vec![q.clone(); 32];
         let replies = svc.submit_batch(&queries);
-        let baseline = replies[0].outcome.result().expect("done").items.clone();
+        // The cycled plug repeats queries too, so its replies also carry
+        // coalesced flags — tally them all against the shard counter.
         let mut coalesced = 0;
-        for r in &replies {
-            assert_eq!(r.outcome.result().expect("done").items, baseline);
+        for t in parked {
+            let r = t.wait();
+            assert!(r.outcome.result().is_some());
             if r.coalesced {
                 coalesced += 1;
             }
         }
+        let baseline = replies[0].outcome.result().expect("done").items.clone();
+        let mut dup_coalesced = 0;
+        for r in &replies {
+            assert_eq!(r.outcome.result().expect("done").items, baseline);
+            if r.coalesced {
+                dup_coalesced += 1;
+            }
+        }
+        coalesced += dup_coalesced;
         let stats = svc.shutdown().totals();
-        assert_eq!(stats.submitted, 32);
-        assert_eq!(stats.executed + stats.coalesced, 32);
+        assert_eq!(stats.submitted, 32 + 256);
+        assert_eq!(stats.executed + stats.coalesced, 32 + 256);
         assert!(
-            stats.coalesced > 0 && coalesced == stats.coalesced as usize,
+            dup_coalesced > 0 && coalesced == stats.coalesced as usize,
             "flooded duplicates must coalesce: {stats:?}"
         );
     }
@@ -900,17 +932,20 @@ mod tests {
             },
             exact_factory(MODEL),
         );
-        // Park the single worker behind a pile of work…
+        // Park the single worker behind a pile of work. The pile and the
+        // budget below are sized so the queue cannot drain inside the
+        // budget even on a fast release build — the reach-proportional σ
+        // path made 256-job piles drain in under the old 5 ms budget.
         let parked: Vec<Ticket> = w
             .queries
             .iter()
             .cycle()
-            .take(256)
+            .take(2048)
             .map(|q| svc.submit(Request::new(q.clone()).without_deadline()))
             .collect();
         // …then submit a short-deadline request. Its deadline will pass
         // while the earlier work is still executing.
-        let budget = Duration::from_millis(5);
+        let budget = Duration::from_millis(1);
         let doomed = svc.submit(
             Request::new(Query {
                 seeker: 9,

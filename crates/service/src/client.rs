@@ -94,6 +94,9 @@ pub struct DirectConfig {
     /// Capacity of the **shared** sharded proximity cache; 0 runs
     /// cache-less (every query materializes σ into its worker's scratch).
     pub cache_capacity: usize,
+    /// Byte budget of the shared cache across all its shards
+    /// (`usize::MAX` disables; both limits are enforced when set).
+    pub cache_bytes: usize,
     /// Policy of the shared cache.
     pub cache_policy: CachePolicy,
     /// Deadline budget for requests that don't carry their own; `None`
@@ -109,6 +112,7 @@ impl Default for DirectConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_capacity: 0,
             cache_capacity: 1024,
+            cache_bytes: usize::MAX,
             cache_policy: CachePolicy {
                 admission: true,
                 ttl: None,
@@ -173,8 +177,9 @@ impl DirectClient {
             channel::bounded(config.queue_capacity)
         };
         let cache = (config.cache_capacity > 0).then(|| {
-            Arc::new(ProximityCache::with_policy(
+            Arc::new(ProximityCache::with_limits(
                 config.cache_capacity,
+                config.cache_bytes,
                 threads.clamp(1, 16),
                 config.cache_policy,
             ))

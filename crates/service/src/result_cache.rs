@@ -62,8 +62,17 @@ struct Inner {
     /// stamp → key, oldest first: the eviction order.
     recency: BTreeMap<u64, ResultKey>,
     tick: u64,
+    /// Approximate resident bytes of the memoized rankings.
+    bytes: usize,
     /// Present iff the policy enables admission.
     sketch: Option<FreqSketch>,
+}
+
+/// Approximate byte charge of one memoized ranking (entries + bookkeeping),
+/// mirroring the proximity cache's accounting so `CacheStats::bytes` means
+/// the same thing in both.
+fn charge_of(items: &[(ItemId, f32)]) -> usize {
+    std::mem::size_of_val(items) + 96
 }
 
 /// A single-owner (per-shard) LRU of query rankings with TinyLFU admission,
@@ -93,6 +102,7 @@ impl ResultCache {
                 map: HashMap::new(),
                 recency: BTreeMap::new(),
                 tick: 0,
+                bytes: 0,
                 sketch: policy.admission.then(|| FreqSketch::new(capacity)),
             }),
             capacity,
@@ -140,7 +150,9 @@ impl ResultCache {
         if let Some(slot) = inner.map.get_mut(key) {
             if self.slot_dead(slot, epoch) {
                 let stamp = slot.stamp;
-                inner.map.remove(key);
+                if let Some(slot) = inner.map.remove(key) {
+                    inner.bytes -= charge_of(&slot.items);
+                }
                 inner.recency.remove(&stamp);
                 self.expirations.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -182,6 +194,7 @@ impl ResultCache {
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
         if let Some(slot) = inner.map.get_mut(&key) {
+            inner.bytes = inner.bytes - charge_of(&slot.items) + charge_of(&items);
             slot.items = items;
             slot.epoch = epoch;
             slot.inserted_at = Instant::now();
@@ -211,7 +224,9 @@ impl ResultCache {
                     }
                 }
                 inner.recency.remove(&oldest);
-                inner.map.remove(&victim_key);
+                if let Some(slot) = inner.map.remove(&victim_key) {
+                    inner.bytes -= charge_of(&slot.items);
+                }
                 if victim_dead {
                     self.expirations.fetch_add(1, Ordering::Relaxed);
                 } else {
@@ -222,6 +237,7 @@ impl ResultCache {
         inner.tick += 1;
         let stamp = inner.tick;
         inner.recency.insert(stamp, key.clone());
+        inner.bytes += charge_of(&items);
         inner.map.insert(
             key,
             Slot {
@@ -246,6 +262,10 @@ impl ResultCache {
 
     /// Aggregate counters, in the same shape as the proximity cache's.
     pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let inner = self.inner.lock();
+            (inner.map.len(), inner.bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -253,7 +273,8 @@ impl ResultCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             rejections: self.rejections.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
-            entries: self.len(),
+            entries,
+            bytes,
         }
     }
 }
