@@ -1297,6 +1297,247 @@ pub fn fig12(profile: Profile) -> ExperimentOutput {
     }
 }
 
+// ----------------------------------------------------------------- Fig 13
+
+/// What one open-loop overload run observed, client-side.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OverloadOutcome {
+    /// Requests submitted (the whole stream).
+    pub submitted: usize,
+    /// Requests answered `Done`.
+    pub done: usize,
+    /// Requests shed / expired (`DeadlineMissed`).
+    pub missed: usize,
+    /// Requests answered `Failed`.
+    pub failed: usize,
+    /// `Done` replies marked degraded (executed under tightened σ bounds).
+    pub degraded: usize,
+    /// Largest residual certificate among degraded replies.
+    pub max_residual: f64,
+    /// p99 client-observed completion latency of `Done` replies, in ms.
+    pub p99_ms: f64,
+    /// Wall-clock of the whole run (submission through last completion).
+    pub elapsed: Duration,
+}
+
+/// Drives an open-loop (fixed arrival schedule) stream through a client
+/// from a single thread: submissions are paced to each request's arrival
+/// offset, completions are drained through a [`friends_service::Multiplexer`]
+/// between arrivals, and every request carries `deadline` — so an
+/// overloaded service must shed or degrade, never silently stall the
+/// driver. Returns the client-side view of the run.
+pub fn drive_open_loop(
+    client: &dyn SearchClient,
+    stream: &friends_data::requests::OpenLoopStream,
+    model: ProximityModel,
+    deadline: Duration,
+) -> OverloadOutcome {
+    use friends_service::{Multiplexer, Outcome, Reply};
+    use std::time::Instant;
+
+    let mut out = OverloadOutcome {
+        submitted: stream.len(),
+        ..OverloadOutcome::default()
+    };
+    let mut latencies: Vec<Duration> = Vec::with_capacity(stream.len());
+    let mut submitted_at: Vec<Instant> = Vec::with_capacity(stream.len());
+    let mut mux = Multiplexer::new();
+    let start = Instant::now();
+    let mut record = |(tag, reply): (u64, Reply), submitted_at: &[Instant]| {
+        let latency = submitted_at[tag as usize].elapsed();
+        match reply.outcome {
+            Outcome::Done(_) => {
+                out.done += 1;
+                latencies.push(latency);
+                if reply.degraded {
+                    out.degraded += 1;
+                    out.max_residual = out.max_residual.max(reply.residual);
+                }
+            }
+            Outcome::DeadlineMissed => out.missed += 1,
+            Outcome::Failed => out.failed += 1,
+        }
+    };
+    for (i, r) in stream.requests.iter().enumerate() {
+        loop {
+            // Drain whatever has completed, then pace to the arrival.
+            while let Some(completion) = mux.poll() {
+                record(completion, &submitted_at);
+            }
+            let now = start.elapsed();
+            if now >= r.arrival {
+                break;
+            }
+            std::thread::sleep((r.arrival - now).min(Duration::from_micros(200)));
+        }
+        submitted_at.push(Instant::now());
+        mux.push(
+            client.submit(
+                QueryRequest::from_query(r.query.clone())
+                    .with_model(model)
+                    .with_deadline(deadline)
+                    .with_tag(i as u64),
+            ),
+        );
+    }
+    for completion in mux.by_ref() {
+        record(completion, &submitted_at);
+    }
+    out.elapsed = start.elapsed();
+    out.p99_ms = percentile_us(&latencies, 0.99) / 1e3;
+    out
+}
+
+/// Fig 13: overload behavior — exact serving vs SLO-degraded serving at a
+/// fixed arrival rate **1.5× the measured closed-loop capacity**. The exact
+/// service can only shed (deadline misses); the degraded service's overload
+/// controller tightens σ bounds (trading exactness for per-request cost,
+/// each reply carrying its residual certificate) and sheds only as a last
+/// resort. The gate (`fig13_overload_gate`) pins the Full-profile claim:
+/// degraded mode holds p99 inside the deadline with bounded residuals while
+/// exact mode sheds ≥ 20%.
+pub fn fig13(profile: Profile) -> ExperimentOutput {
+    use friends_data::requests::{OpenLoopParams, OpenLoopStream, RequestParams, RequestStream};
+    use friends_service::OverloadPolicy;
+
+    let (users, count, probe_count, deadline) = match profile {
+        // Quick still needs a schedule much longer than the deadline —
+        // otherwise the whole run is one sub-deadline burst and overload
+        // never builds — so it keeps the full request count on the small
+        // corpus (the schedule compresses to ~0.5 s there anyway).
+        Profile::Quick => (2_000, 3_000, 600, Duration::from_millis(40)),
+        Profile::Full => (20_000, 3_000, 800, Duration::from_millis(40)),
+    };
+    let c = Arc::new(crate::overload_corpus(users, SEED));
+    c.sigma_index(); // shared lazy build, outside every timed region
+    let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+    let shards = 2;
+    let shape = RequestParams {
+        count,
+        seeker_theta: 1.1,
+        ..RequestParams::default()
+    };
+
+    // Closed-loop capacity of the *exact* service over this query shape,
+    // with coalescing off: a flood coalesces duplicates across the whole
+    // stream — merging far more than any bounded in-flight window ever
+    // sees — which would overstate sustainable capacity several-fold. The
+    // open-loop schedule then offers 1.5× the honest number.
+    let probe = RequestStream::generate(
+        &c.graph,
+        &c.store,
+        &RequestParams {
+            count: probe_count,
+            ..shape.clone()
+        },
+        SEED ^ 0xF13,
+    )
+    .queries();
+    let cap_client = ServedClient::start(
+        Arc::clone(&c),
+        ServiceConfig {
+            shards,
+            coalesce: false,
+            default_deadline: None,
+            ..ServiceConfig::default()
+        },
+    );
+    let requests: Vec<QueryRequest> = probe
+        .iter()
+        .map(|q| {
+            QueryRequest::from_query(q.clone())
+                .with_model(model)
+                .without_deadline()
+        })
+        .collect();
+    let (_, cap_d) = timed(|| cap_client.run_batch(requests));
+    cap_client.shutdown();
+    let capacity = probe.len() as f64 / cap_d.as_secs_f64();
+    let rate = 1.5 * capacity;
+    let stream = OpenLoopStream::generate(
+        &c.graph,
+        &c.store,
+        &OpenLoopParams {
+            rate,
+            poisson: false, // deterministic pacing: the overload is sustained
+            shape,
+        },
+        SEED ^ 0xF13,
+    );
+
+    let mut t = TextTable::new(&[
+        "mode",
+        "offered q/s",
+        "done %",
+        "shed %",
+        "degraded %",
+        "p99 ms",
+        "max residual",
+        "restarts",
+    ]);
+    let mut metrics = Vec::new();
+    for (mode, overload) in [
+        ("exact", None),
+        (
+            "degraded",
+            Some(OverloadPolicy {
+                depth_high: 16,
+                depth_low: 4,
+                ..OverloadPolicy::default()
+            }),
+        ),
+    ] {
+        let client = ServedClient::start(
+            Arc::clone(&c),
+            ServiceConfig {
+                shards,
+                max_batch: 64,
+                default_deadline: Some(deadline),
+                overload,
+                ..ServiceConfig::default()
+            },
+        );
+        let run = drive_open_loop(&client, &stream, model, deadline);
+        let stats = client.shutdown().totals();
+        let pct = |x: usize| 100.0 * x as f64 / run.submitted.max(1) as f64;
+        t.row(vec![
+            mode.into(),
+            format!("{rate:.0}"),
+            format!("{:.1}%", pct(run.done)),
+            format!("{:.1}%", pct(run.missed)),
+            format!("{:.1}%", pct(run.degraded)),
+            format!("{:.2}", run.p99_ms),
+            format!("{:.3e}", run.max_residual),
+            stats.worker_restarts.to_string(),
+        ]);
+        metrics.push((
+            format!("overload_{mode}"),
+            format!(
+                "{{\"offered_qps\": {rate:.0}, \"done\": {}, \"missed\": {}, \"degraded\": {}, \
+                 \"p99_ms\": {:.3}, \"max_residual\": {:.6e}, \"deadline_misses\": {}, \
+                 \"server_degraded\": {}}}",
+                run.done,
+                run.missed,
+                run.degraded,
+                run.p99_ms,
+                run.max_residual,
+                stats.deadline_misses,
+                stats.degraded,
+            ),
+        ));
+    }
+    ExperimentOutput {
+        text: format!(
+            "Fig 13 — degrade, don't drop: open-loop overload at 1.5x measured capacity \
+             ({capacity:.0} q/s closed-loop, {users} users, {count} requests, {shards} shards, \
+             {}ms deadline)\n{}",
+            deadline.as_millis(),
+            t.render()
+        ),
+        metrics,
+    }
+}
+
 /// One experiment's rendered table plus machine-readable metrics for
 /// `report --json` (`(key, raw JSON value)` pairs — e.g. result-cache
 /// counters, planner strategy histograms).
@@ -1317,7 +1558,7 @@ impl From<String> for ExperimentOutput {
 /// All experiment names, in report order.
 pub const ALL: &[&str] = &[
     "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "table3",
+    "fig12", "fig13", "table3",
 ];
 
 /// Dispatches an experiment by name, returning its table and metrics.
@@ -1335,6 +1576,7 @@ pub fn run_full(name: &str, profile: Profile) -> Option<ExperimentOutput> {
         "fig10" => fig10(profile),
         "fig11" => fig11(profile),
         "fig12" => fig12(profile),
+        "fig13" => fig13(profile),
         "table3" => table3(profile).into(),
         _ => return None,
     })

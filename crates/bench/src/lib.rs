@@ -143,6 +143,7 @@ impl Processor for DenseMaterializeExact<'_> {
         SearchResult {
             items: self.acc.drain_topk(q.k),
             stats,
+            residual: 0.0,
         }
     }
 }
@@ -165,6 +166,34 @@ pub fn serving_corpus(users: usize, seed: u64) -> Corpus {
             num_items: (users * 5) as u32,
             num_tags: 64,
             mean_taggings_per_user: 100.0,
+            item_theta: 1.1,
+            tag_theta: 1.0,
+            homophily: 0.5,
+            weighted: true,
+        },
+        seed,
+    );
+    Corpus::new(graph, store)
+}
+
+/// The corpus fig13 measures overload on: a scale-free social graph whose
+/// weighted-decay σ materialization requires a whole-graph traversal
+/// (small diameter, one giant component), with **many light tags** so
+/// per-query cost is dominated by σ materialization rather than scoring.
+/// This is the regime where bounded-σ degradation buys real capacity: a
+/// radius-bounded traversal touches a small neighborhood instead of the
+/// whole graph, while the posting scan it feeds stays cheap either way.
+pub fn overload_corpus(users: usize, seed: u64) -> Corpus {
+    use friends_data::generator::{generate, WorkloadParams};
+    use friends_graph::generators::{self, WeightModel};
+    let base = generators::barabasi_albert(users, 8, seed);
+    let graph = generators::assign_weights(&base, WeightModel::Jaccard { floor: 0.1 }, seed);
+    let store = generate(
+        &graph,
+        &WorkloadParams {
+            num_items: (users * 2) as u32,
+            num_tags: ((users / 16).max(64)) as u32,
+            mean_taggings_per_user: 20.0,
             item_theta: 1.1,
             tag_theta: 1.0,
             homophily: 0.5,
@@ -347,6 +376,7 @@ impl Processor for DenseSnapshotExact<'_> {
         SearchResult {
             items: self.acc.drain_topk(q.k),
             stats,
+            residual: 0.0,
         }
     }
 }
@@ -547,6 +577,16 @@ mod tests {
         }
     }
 
+    /// Timing gates measure wall-clock throughput and tail latency; two of
+    /// them racing for the same cores turns both into noise. Every gate
+    /// takes this lock, so `--include-ignored` runs them serially no matter
+    /// how many test threads the harness uses.
+    static TIMING_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn serialize_timing_gate() -> std::sync::MutexGuard<'static, ()> {
+        TIMING_GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// The fig9 acceptance gate: ≥ 2× batch throughput for sparse-support
     /// models against the dense-materialize path on Zipf-skewed traffic at
     /// serving scale (10k users; the dense path's `O(n)` per-query tax is
@@ -557,6 +597,7 @@ mod tests {
     #[ignore]
     #[allow(deprecated)] // the gate measures the legacy paths against each other
     fn fig9_speedup_gate() {
+        let _serial = serialize_timing_gate();
         use friends_core::processors::ExactOnline;
         let ds = DatasetSpec::delicious_like(Scale::Custom(10_000)).build(42);
         let corpus = Corpus::new(ds.graph, ds.store);
@@ -642,6 +683,7 @@ mod tests {
     #[test]
     #[ignore]
     fn fig10_blockmax_gate() {
+        let _serial = serialize_timing_gate();
         use friends_core::processors::{ExactOnline, Processor, ScoringStrategy};
         use friends_data::generator::{generate, WorkloadParams};
         use friends_graph::generators::{self, WeightModel};
@@ -714,6 +756,7 @@ mod tests {
     #[ignore]
     #[allow(deprecated)] // the baseline side is the deprecated batch path
     fn fig11_service_gate() {
+        let _serial = serialize_timing_gate();
         use friends_core::batch::par_batch_with_cache;
         use friends_core::cache::ProximityCache;
         use friends_core::plan::QueryRequest;
@@ -870,6 +913,7 @@ mod tests {
     #[test]
     #[ignore]
     fn fig12_sigma_floor() {
+        let _serial = serialize_timing_gate();
         use friends_core::processors::{ExactOnline, GlobalBoundTA, ScoringStrategy};
         let corpus = archipelago_corpus(10_000, 64, 42);
         corpus.sigma_index(); // shared build, outside every timed region
@@ -966,6 +1010,169 @@ mod tests {
                 model.name()
             );
         }
+    }
+
+    /// The fig13 acceptance gate: at an open-loop arrival rate 1.5× the
+    /// measured closed-loop capacity, SLO-degraded serving (overload
+    /// controller on) holds p99 completion latency inside the deadline
+    /// with bounded residual certificates, while the exact service can
+    /// only shed — losing ≥ 20% of the stream to deadline misses.
+    /// Machine-sensitive like fig9–fig12, so `#[ignore]`d for the default
+    /// CI lane; the release-gates job runs it via
+    /// `cargo test --release -p friends-bench -- --ignored`.
+    #[test]
+    #[ignore]
+    fn fig13_overload_gate() {
+        let _serial = serialize_timing_gate();
+        use crate::experiments::drive_open_loop;
+        use friends_core::plan::QueryRequest;
+        use friends_data::requests::{
+            OpenLoopParams, OpenLoopStream, RequestParams, RequestStream,
+        };
+        use friends_service::{OverloadPolicy, SearchClient, ServedClient, ServiceConfig};
+
+        let corpus = Arc::new(overload_corpus(20_000, 42));
+        corpus.sigma_index(); // shared lazy build, outside every timed region
+        let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+        let shards = 2;
+        let deadline = Duration::from_millis(40);
+        let shape = RequestParams {
+            count: 3_000,
+            seeker_theta: 1.1,
+            ..RequestParams::default()
+        };
+        // Closed-loop capacity of the exact service, coalescing off: a
+        // flood merges duplicates across the whole stream, overstating
+        // sustainable capacity several-fold, so the honest number comes
+        // from per-request execution.
+        let probe = RequestStream::generate(
+            &corpus.graph,
+            &corpus.store,
+            &RequestParams {
+                count: 800,
+                ..shape.clone()
+            },
+            19,
+        )
+        .queries();
+        let cap_client = ServedClient::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards,
+                coalesce: false,
+                default_deadline: None,
+                ..ServiceConfig::default()
+            },
+        );
+        let requests: Vec<QueryRequest> = probe
+            .iter()
+            .map(|q| {
+                QueryRequest::from_query(q.clone())
+                    .with_model(model)
+                    .without_deadline()
+            })
+            .collect();
+        let (_, cap_d) = timed(|| cap_client.run_batch(requests));
+        cap_client.shutdown();
+        let capacity = probe.len() as f64 / cap_d.as_secs_f64();
+        let stream = OpenLoopStream::generate(
+            &corpus.graph,
+            &corpus.store,
+            &OpenLoopParams {
+                rate: 1.5 * capacity,
+                poisson: false,
+                shape,
+            },
+            19,
+        );
+
+        // Exact mode: no controller — overload can only shed.
+        let exact_client = ServedClient::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards,
+                max_batch: 64,
+                default_deadline: Some(deadline),
+                ..ServiceConfig::default()
+            },
+        );
+        let exact = drive_open_loop(&exact_client, &stream, model, deadline);
+        let exact_stats = exact_client.shutdown().totals();
+        eprintln!("fig13 exact: {exact:?} (capacity {capacity:.0} q/s)");
+        eprintln!(
+            "fig13 exact stats: executed {} coalesced {} misses {} hits {:.0}% batches {} maxb {}",
+            exact_stats.executed,
+            exact_stats.coalesced,
+            exact_stats.deadline_misses,
+            100.0 * exact_stats.cache.hit_rate(),
+            exact_stats.batches,
+            exact_stats.max_batch
+        );
+        assert!(
+            exact.missed * 5 >= exact.submitted,
+            "exact mode shed only {}/{} at 1.5x capacity — the stream is not \
+             actually overloading (capacity {capacity:.0} q/s)",
+            exact.missed,
+            exact.submitted
+        );
+
+        // Degraded mode: the controller trades exactness for capacity.
+        let degraded_client = ServedClient::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards,
+                max_batch: 64,
+                default_deadline: Some(deadline),
+                overload: Some(OverloadPolicy {
+                    depth_high: 16,
+                    depth_low: 4,
+                    ..OverloadPolicy::default()
+                }),
+                ..ServiceConfig::default()
+            },
+        );
+        let degraded = drive_open_loop(&degraded_client, &stream, model, deadline);
+        let stats = degraded_client.shutdown().totals();
+        eprintln!(
+            "fig13 degraded: {degraded:?} ({} server-degraded)",
+            stats.degraded
+        );
+        eprintln!(
+            "fig13 degraded stats: executed {} coalesced {} misses {} hits {:.0}% batches {} maxb {}",
+            stats.executed,
+            stats.coalesced,
+            stats.deadline_misses,
+            100.0 * stats.cache.hit_rate(),
+            stats.batches,
+            stats.max_batch
+        );
+        assert!(
+            degraded.done >= 2 * exact.done,
+            "degraded mode must complete at least twice what exact serving \
+             manages under the same overload: {} vs {}",
+            degraded.done,
+            exact.done
+        );
+        assert!(
+            degraded.degraded > 0 && stats.degraded > 0,
+            "the overload controller never engaged: {degraded:?}"
+        );
+        assert!(
+            degraded.p99_ms <= deadline.as_secs_f64() * 1e3 * 1.1,
+            "degraded p99 {:.2} ms blew the {} ms deadline",
+            degraded.p99_ms,
+            deadline.as_millis()
+        );
+        assert!(
+            degraded.max_residual.is_finite() && degraded.max_residual >= 0.0,
+            "unbounded residual: {degraded:?}"
+        );
+        assert!(
+            degraded.missed < exact.missed,
+            "degradation must shed less than exact serving: {} vs {}",
+            degraded.missed,
+            exact.missed
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! admission still protects every victim: if any would-be victim is hotter
 //! than the newcomer, the insert is rejected instead.
 
-use crate::proximity::{ProximityModel, ProximityVec};
+use crate::proximity::{ProximityModel, ProximityVec, SigmaBounds};
 use friends_graph::{CsrGraph, NodeId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -48,15 +48,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// `(graph, seeker, model)` identity: the graph contributes its
+/// `(graph, seeker, model, bounds)` identity: the graph contributes its
 /// process-unique token (so one cache shared across corpora can never serve
 /// σ computed on a different graph), the model its variant + exact
-/// parameter bits (so e.g. `Ppr{eps=1e-4}` and `Ppr{eps=1e-5}` never alias).
-type Key = (u64, NodeId, u8, u64, u64);
+/// parameter bits (so e.g. `Ppr{eps=1e-4}` and `Ppr{eps=1e-5}` never
+/// alias), and the `SigmaBounds` their exact bits — a σ materialized under
+/// degraded bounds must never be served for an exact request, nor vice
+/// versa.
+type Key = (u64, NodeId, u8, u64, u64, u32, u64);
 
-fn key_of(graph: &CsrGraph, seeker: NodeId, model: ProximityModel) -> Key {
+fn key_of(graph: &CsrGraph, seeker: NodeId, model: ProximityModel, bounds: SigmaBounds) -> Key {
     let (tag, a, b) = model.key_bits();
-    (graph.token(), seeker, tag, a, b)
+    let (radius, mass) = bounds.key_bits();
+    (graph.token(), seeker, tag, a, b, radius, mass)
 }
 
 fn hash_key(key: &Key) -> u64 {
@@ -349,7 +353,20 @@ impl ProximityCache {
         seeker: NodeId,
         model: ProximityModel,
     ) -> Option<Arc<ProximityVec>> {
-        let key = key_of(graph, seeker, model);
+        self.get_bounded(graph, seeker, model, SigmaBounds::EXACT)
+    }
+
+    /// [`ProximityCache::get`] under explicit [`SigmaBounds`]: the bounds
+    /// are part of the key, so degraded and exact σ never alias. `get` is
+    /// the `SigmaBounds::EXACT` shorthand.
+    pub fn get_bounded(
+        &self,
+        graph: &CsrGraph,
+        seeker: NodeId,
+        model: ProximityModel,
+        bounds: SigmaBounds,
+    ) -> Option<Arc<ProximityVec>> {
+        let key = key_of(graph, seeker, model, bounds);
         let hash = hash_key(&key);
         let mut guard = self.shard_of(hash).lock();
         let shard = &mut *guard;
@@ -401,7 +418,20 @@ impl ProximityCache {
         model: ProximityModel,
         value: Arc<ProximityVec>,
     ) {
-        let key = key_of(graph, seeker, model);
+        self.insert_bounded(graph, seeker, model, SigmaBounds::EXACT, value)
+    }
+
+    /// [`ProximityCache::insert`] under explicit [`SigmaBounds`] (part of
+    /// the key — see [`ProximityCache::get_bounded`]).
+    pub fn insert_bounded(
+        &self,
+        graph: &CsrGraph,
+        seeker: NodeId,
+        model: ProximityModel,
+        bounds: SigmaBounds,
+        value: Arc<ProximityVec>,
+    ) {
+        let key = key_of(graph, seeker, model, bounds);
         let hash = hash_key(&key);
         let new_bytes = charge_of(&value);
         let mut guard = self.shard_of(hash).lock();
@@ -456,9 +486,17 @@ impl ProximityCache {
                 .is_some_and(|ttl| slot.inserted_at.elapsed() > ttl);
             if !victim_expired {
                 if let Some(sketch) = shard.sketch.as_ref() {
-                    // TinyLFU gate: admit only keys strictly hotter than
-                    // every LRU victim the insert would displace.
-                    if sketch.estimate(hash) <= sketch.estimate(hash_key(&victim_key)) {
+                    // Size-aware TinyLFU gate: admit only keys whose
+                    // frequency *per charged byte* strictly beats every LRU
+                    // victim the insert would displace — a dense ~80 KB
+                    // snapshot must be proportionally hotter than the small
+                    // `Touched` entries it wants to evict. Compared
+                    // cross-multiplied (`freq/charge` without division);
+                    // for equal charges this is exactly the classic
+                    // frequency comparison.
+                    let est_new = sketch.estimate(hash) as u128;
+                    let est_victim = sketch.estimate(hash_key(&victim_key)) as u128;
+                    if est_new * slot.bytes as u128 <= est_victim * new_bytes as u128 {
                         self.rejections.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
@@ -953,6 +991,72 @@ mod tests {
         assert!(c.get(&g, 1, MODEL).is_some());
         assert!(c.get(&g, 2, MODEL).is_some());
         assert!(c.stats().rejections > 0);
+    }
+
+    #[test]
+    fn admission_is_size_aware_for_mixed_entries() {
+        // Frequency alone no longer admits: a dense snapshot ~4.6× the
+        // charge of the Touched residents must be proportionally hotter
+        // than each victim it displaces, not merely as hot.
+        let g = CsrGraph::empty(20_000);
+        let policy = CachePolicy {
+            admission: true,
+            ttl: None,
+        };
+        let narrow = charge_of(&touched_vec(0, 4));
+        let c = ProximityCache::with_byte_budget(8 * narrow, 1, policy);
+        for u in 0..8 {
+            let _ = c.get(&g, u, MODEL);
+            let _ = c.get(&g, u, MODEL);
+            c.insert(&g, u, MODEL, touched_vec(u, 4));
+        }
+        // Equal frequency, much larger: frequency-per-byte loses.
+        let wide = dense_vec(100, (4 * narrow) / 8);
+        let _ = c.get(&g, 100, MODEL);
+        let _ = c.get(&g, 100, MODEL);
+        c.insert(&g, 100, MODEL, Arc::clone(&wide));
+        assert!(
+            c.get(&g, 100, MODEL).is_none(),
+            "equal-frequency wide entry must be rejected"
+        );
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c.stats().rejections > 0);
+        // Proportionally hotter (≥ 4.6× the residents' frequency): admitted,
+        // displacing as many narrow victims as its bytes need.
+        for _ in 0..12 {
+            let _ = c.get(&g, 100, MODEL);
+        }
+        c.insert(&g, 100, MODEL, wide);
+        assert!(
+            c.get(&g, 100, MODEL).is_some(),
+            "proportionally hotter wide entry must be admitted: {:?}",
+            c.stats()
+        );
+        assert!(c.stats().evictions >= 2);
+        assert!(c.memory_bytes() <= 8 * narrow);
+    }
+
+    #[test]
+    fn bounded_entries_do_not_alias_exact_ones() {
+        // The degraded-serving contract: σ materialized under tighter
+        // bounds lives under its own key — an exact request never sees it,
+        // and distinct bounds never see each other's entries.
+        let g = graph();
+        let c = ProximityCache::new(8);
+        let m = ProximityModel::DistanceDecay { alpha: 0.5 };
+        let b2 = SigmaBounds::with_radius(2);
+        let b3 = SigmaBounds::with_radius(3);
+        c.insert_bounded(&g, 1, m, b2, vec_for(1));
+        assert!(c.get(&g, 1, m).is_none(), "exact must miss a bounded entry");
+        assert!(c.get_bounded(&g, 1, m, b3).is_none());
+        assert!(c.get_bounded(&g, 1, m, b2).is_some());
+        c.insert(&g, 1, m, vec_for(1));
+        assert!(c.get(&g, 1, m).is_some());
+        assert!(
+            c.get_bounded(&g, 1, m, SigmaBounds::EXACT).is_some(),
+            "get/insert are the EXACT shorthand"
+        );
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub struct SearchResult {
     /// or sketch-based processors they are the documented lower bounds.
     pub items: Vec<(ItemId, f32)>,
     pub stats: QueryStats,
+    /// Error certificate for bounded execution: an upper bound on how far
+    /// any returned score can sit below its exact (unbounded-σ) value.
+    /// `0.0` — always the case under `SigmaBounds::EXACT` — proves the
+    /// result is byte-identical to the exact one. Scores are never
+    /// over-reported: bounded σ only drops nonnegative contributions.
+    pub residual: f64,
 }
 
 impl SearchResult {
@@ -146,7 +152,7 @@ mod tests {
     fn search_result_ids() {
         let r = SearchResult {
             items: vec![(4, 2.0), (1, 1.0)],
-            stats: QueryStats::default(),
+            ..SearchResult::default()
         };
         assert_eq!(r.item_ids(), vec![4, 1]);
     }

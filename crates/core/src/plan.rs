@@ -26,7 +26,7 @@
 use crate::cache::ProximityCache;
 use crate::corpus::{Corpus, SearchResult};
 use crate::processors::{ExactOnline, GlobalBoundTA, Processor, ScoringStrategy};
-use crate::proximity::ProximityModel;
+use crate::proximity::{ProximityModel, SigmaBounds};
 use friends_data::queries::Query;
 use friends_data::{TagId, UserId};
 use std::collections::HashMap;
@@ -83,6 +83,12 @@ pub struct QueryRequest {
     /// of letting the planner choose. Unknown names fall back to the
     /// planner's choice.
     pub processor: Option<&'static str>,
+    /// Approximation bounds on σ materialization. The default,
+    /// [`SigmaBounds::EXACT`], is lossless; tighter bounds trade exactness
+    /// for speed, and the result carries the score-space error certificate
+    /// in [`SearchResult::residual`]. Under overload the serving tier may
+    /// tighten these further (never loosen — see [`SigmaBounds::tighten`]).
+    pub bounds: SigmaBounds,
     /// Caller correlation tag, echoed verbatim in the reply — what a
     /// multiplexed client uses to match completions to submissions.
     pub tag: u64,
@@ -103,6 +109,7 @@ impl QueryRequest {
             strategy: ScoringStrategy::default(),
             deadline: Deadline::Default,
             processor: None,
+            bounds: SigmaBounds::EXACT,
             tag: 0,
         }
     }
@@ -134,6 +141,12 @@ impl QueryRequest {
     /// Forces a registry entry by name (see [`QueryRequest::processor`]).
     pub fn with_processor(mut self, name: &'static str) -> Self {
         self.processor = Some(name);
+        self
+    }
+
+    /// Sets approximation bounds (see [`QueryRequest::bounds`]).
+    pub fn with_bounds(mut self, bounds: SigmaBounds) -> Self {
+        self.bounds = bounds;
         self
     }
 
@@ -301,10 +314,34 @@ impl Planner {
         Planner { config }
     }
 
+    /// The σ bounds the planner associates with a degradation level — the
+    /// shared vocabulary an overload controller steps through. Level 0 is
+    /// exact; each higher level tightens both the traversal radius and the
+    /// mass floor (levels ≥ 2 saturate at the tightest step). Requests keep
+    /// their own [`QueryRequest::bounds`]; a level only ever *tightens* them
+    /// (via [`SigmaBounds::tighten`]), never loosens.
+    pub fn degraded_bounds(level: u8) -> SigmaBounds {
+        match level {
+            0 => SigmaBounds::EXACT,
+            1 => SigmaBounds {
+                max_radius: 3,
+                min_mass: 1e-4,
+            },
+            _ => SigmaBounds {
+                max_radius: 2,
+                min_mass: 1e-3,
+            },
+        }
+    }
+
     /// Plans one request. The processor override (if it names a registered
-    /// entry) wins; otherwise entry 0 is chosen. A non-`Auto` strategy hint
-    /// wins; otherwise the planner commits to a concrete strategy only
-    /// where corpus stats decide it outright:
+    /// entry) wins; otherwise entry 0 is chosen. Non-exact `bounds` win
+    /// next: strategy hints are pure cost decisions only under exact σ,
+    /// but a bounded σ silences postings that only the posting-enumerating
+    /// routes can fold into the error certificate, so the planner pins the
+    /// built-in entries to their certificate-capable route. Then a
+    /// non-`Auto` strategy hint wins; otherwise the planner commits to a
+    /// concrete strategy only where corpus stats decide it outright:
     ///
     /// * `FriendsOnly` whose support (`degree + 1`, known exactly without
     ///   materializing) reads less than the posting volume → `SupportProbe`;
@@ -314,6 +351,7 @@ impl Planner {
     /// * `Global` (no support, nothing to prune) → `PostingScan`;
     /// * everything else → `Auto`, deferring to the processor's gate, which
     ///   sees the *actual* materialized support size.
+    #[allow(clippy::too_many_arguments)] // the full per-request decision surface, by design
     pub fn plan(
         &self,
         corpus: &Corpus,
@@ -322,6 +360,7 @@ impl Planner {
         model: ProximityModel,
         hint: ScoringStrategy,
         processor: Option<&str>,
+        bounds: SigmaBounds,
     ) -> Plan {
         assert!(!registry.is_empty(), "planner needs a non-empty registry");
         let index = processor
@@ -332,6 +371,15 @@ impl Planner {
             processor_name: registry.name_of(index),
             strategy,
         };
+        if !bounds.is_exact() {
+            // Degraded execution: route to the strategy that enumerates
+            // silenced postings, so the residual certificate is computable.
+            return match registry.name_of(index) {
+                EXACT_ONLINE => plan(ScoringStrategy::PostingScan),
+                GLOBAL_BOUND_TA => plan(ScoringStrategy::GlobalTa),
+                _ => plan(ScoringStrategy::Auto),
+            };
+        }
         if hint != ScoringStrategy::Auto {
             return plan(hint);
         }
@@ -508,9 +556,17 @@ impl<'c> PlannedExecutor<'c> {
         model: ProximityModel,
         hint: ScoringStrategy,
         processor: Option<&str>,
+        bounds: SigmaBounds,
     ) -> Plan {
-        self.planner
-            .plan(self.corpus, &self.registry, query, model, hint, processor)
+        self.planner.plan(
+            self.corpus,
+            &self.registry,
+            query,
+            model,
+            hint,
+            processor,
+            bounds,
+        )
     }
 
     /// Plans and executes one request.
@@ -520,14 +576,16 @@ impl<'c> PlannedExecutor<'c> {
         model: ProximityModel,
         hint: ScoringStrategy,
         processor: Option<&str>,
+        bounds: SigmaBounds,
     ) -> SearchResult {
-        let plan = self.plan(query, model, hint, processor);
+        let plan = self.plan(query, model, hint, processor, bounds);
         self.counters.record(&plan);
         let (corpus, registry, cache) = (self.corpus, &self.registry, &self.cache);
         let instance = self
             .instances
             .entry((plan.processor, model.key_bits()))
             .or_insert_with(|| registry.build(plan.processor, corpus, model, cache.clone()));
+        instance.set_bounds(bounds);
         instance.set_strategy(plan.strategy);
         instance.query(query)
     }
@@ -551,16 +609,19 @@ mod tests {
         assert_eq!(r.strategy, ScoringStrategy::Auto);
         assert_eq!(r.deadline, Deadline::Default);
         assert_eq!((r.processor, r.tag), (None, 0));
+        assert!(r.bounds.is_exact());
         let r = r
             .with_model(ProximityModel::AdamicAdar)
             .with_strategy(ScoringStrategy::BlockMax)
             .with_deadline(Duration::from_millis(5))
             .with_processor(GLOBAL_BOUND_TA)
+            .with_bounds(SigmaBounds::with_radius(2))
             .with_tag(99);
         assert_eq!(r.model, ProximityModel::AdamicAdar);
         assert_eq!(r.strategy, ScoringStrategy::BlockMax);
         assert_eq!(r.deadline, Deadline::Budget(Duration::from_millis(5)));
         assert_eq!((r.processor, r.tag), (Some(GLOBAL_BOUND_TA), 99));
+        assert_eq!(r.bounds, SigmaBounds::with_radius(2));
     }
 
     #[test]
@@ -623,6 +684,7 @@ mod tests {
             ProximityModel::WeightedDecay { alpha: 0.5 },
             ScoringStrategy::BlockMax,
             None,
+            SigmaBounds::EXACT,
         );
         assert_eq!(p.strategy, ScoringStrategy::BlockMax);
         assert_eq!(p.processor_name, EXACT_ONLINE);
@@ -633,6 +695,7 @@ mod tests {
             ProximityModel::FriendsOnly,
             ScoringStrategy::Auto,
             Some(GLOBAL_BOUND_TA),
+            SigmaBounds::EXACT,
         );
         assert_eq!(p.processor_name, GLOBAL_BOUND_TA);
         assert_eq!(p.strategy, ScoringStrategy::Auto);
@@ -644,9 +707,52 @@ mod tests {
             ProximityModel::Global,
             ScoringStrategy::Auto,
             Some("no-such-processor"),
+            SigmaBounds::EXACT,
         );
         assert_eq!(p.processor_name, EXACT_ONLINE);
         assert_eq!(p.strategy, ScoringStrategy::PostingScan);
+    }
+
+    #[test]
+    fn planner_pins_certificate_routes_under_bounds() {
+        let c = corpus();
+        let r = ProcessorRegistry::standard();
+        let planner = Planner::default();
+        let q = Query {
+            seeker: 1,
+            tags: vec![0, 1],
+            k: 5,
+        };
+        let degraded = Planner::degraded_bounds(1);
+        assert!(!degraded.is_exact());
+        // Bounds win over hints: the hinted BlockMax cannot account for
+        // silenced postings, so the exact-online entry pins PostingScan.
+        let p = planner.plan(
+            &c,
+            &r,
+            &q,
+            ProximityModel::DistanceDecay { alpha: 0.5 },
+            ScoringStrategy::BlockMax,
+            None,
+            degraded,
+        );
+        assert_eq!(p.strategy, ScoringStrategy::PostingScan);
+        let p = planner.plan(
+            &c,
+            &r,
+            &q,
+            ProximityModel::DistanceDecay { alpha: 0.5 },
+            ScoringStrategy::Auto,
+            Some(GLOBAL_BOUND_TA),
+            degraded,
+        );
+        assert_eq!(p.strategy, ScoringStrategy::GlobalTa);
+        // Levels only tighten.
+        let l1 = Planner::degraded_bounds(1);
+        let l2 = Planner::degraded_bounds(2);
+        assert_eq!(l1.tighten(l2), l2);
+        assert_eq!(Planner::degraded_bounds(0), SigmaBounds::EXACT);
+        assert_eq!(Planner::degraded_bounds(7), l2, "levels saturate");
     }
 
     #[test]
@@ -663,7 +769,15 @@ mod tests {
         };
         let probe = |model, q: &Query| {
             planner
-                .plan(&c, &r, q, model, ScoringStrategy::Auto, None)
+                .plan(
+                    &c,
+                    &r,
+                    q,
+                    model,
+                    ScoringStrategy::Auto,
+                    None,
+                    SigmaBounds::EXACT,
+                )
                 .strategy
         };
         assert_eq!(
@@ -716,8 +830,8 @@ mod tests {
             ProximityModel::DistanceDecay { alpha: 0.4 },
             ProximityModel::WeightedDecay { alpha: 0.5 },
         ] {
-            let plan = ex.plan(&q, model, ScoringStrategy::Auto, None);
-            let got = ex.execute(&q, model, ScoringStrategy::Auto, None);
+            let plan = ex.plan(&q, model, ScoringStrategy::Auto, None, SigmaBounds::EXACT);
+            let got = ex.execute(&q, model, ScoringStrategy::Auto, None, SigmaBounds::EXACT);
             let mut direct = ExactOnline::with_strategy(&c, model, plan.strategy);
             let want = direct.query(&q);
             assert_eq!(want.items, got.items, "{}", model.name());
@@ -743,12 +857,19 @@ mod tests {
             k: 3,
         };
         for _ in 0..3 {
-            ex.execute(&q, ProximityModel::Global, ScoringStrategy::Auto, None);
+            ex.execute(
+                &q,
+                ProximityModel::Global,
+                ScoringStrategy::Auto,
+                None,
+                SigmaBounds::EXACT,
+            );
             ex.execute(
                 &q,
                 ProximityModel::DistanceDecay { alpha: 0.3 },
                 ScoringStrategy::Auto,
                 None,
+                SigmaBounds::EXACT,
             );
         }
         assert_eq!(ex.instances.len(), 2, "one instance per distinct model");

@@ -257,6 +257,7 @@ impl Processor for ClusterIndex<'_> {
             return SearchResult {
                 items: Vec::new(),
                 stats,
+                residual: 0.0,
             };
         }
         self.oracle
@@ -336,6 +337,7 @@ impl Processor for ClusterIndex<'_> {
         SearchResult {
             items: self.acc.drain_topk(q.k),
             stats,
+            residual: 0.0,
         }
     }
 }

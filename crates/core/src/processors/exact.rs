@@ -19,7 +19,7 @@
 use crate::cache::ProximityCache;
 use crate::corpus::{Corpus, QueryStats, SearchResult};
 use crate::processors::{Processor, ScoringStrategy};
-use crate::proximity::{ProximityModel, Sigma, SigmaWorkspace};
+use crate::proximity::{ProximityModel, Sigma, SigmaBounds, SigmaWorkspace};
 use friends_data::queries::Query;
 use friends_index::accumulate::{DenseAccumulator, StampedSet};
 use friends_index::postings::PostingList;
@@ -40,6 +40,7 @@ pub struct ExactOnline<'a> {
     seen_users: StampedSet,
     cache: Option<Arc<ProximityCache>>,
     strategy: ScoringStrategy,
+    bounds: SigmaBounds,
     bmw: BlockMaxWand,
     /// Query-tag posting lists handed to the operator; reused across
     /// queries (capacity growth is counted as an allocation event).
@@ -61,6 +62,7 @@ impl<'a> ExactOnline<'a> {
             model,
             cache: None,
             strategy: ScoringStrategy::Auto,
+            bounds: SigmaBounds::EXACT,
             bmw: BlockMaxWand::new(),
             bmw_lists: Vec::new(),
             scratch_allocs: 0,
@@ -125,30 +127,47 @@ impl Processor for ExactOnline<'_> {
         self.strategy = strategy;
     }
 
+    fn set_bounds(&mut self, bounds: SigmaBounds) {
+        self.bounds = bounds;
+    }
+
     fn query(&mut self, q: &Query) -> SearchResult {
         let mut stats = QueryStats::default();
         // Resolve σ: cache hit → shared vector, miss → materialize into the
         // workspace (and publish a snapshot for the next worker). Models
         // that are cheaper to rebuild than to fetch skip the cache entirely.
+        // The cache is keyed on the bounds, so a degraded σ is never served
+        // for an exact request (or for differently-bounded ones).
+        let bounds = self.bounds;
         let use_cache = self.model.cache_worthy();
         let cached = if use_cache {
             self.cache
                 .as_ref()
-                .and_then(|c| c.get(&self.corpus.graph, q.seeker, self.model))
+                .and_then(|c| c.get_bounded(&self.corpus.graph, q.seeker, self.model, bounds))
         } else {
             None
         };
+        let sigma_residual;
         let sigma = match &cached {
-            Some(v) => Sigma::Shared(v.as_ref()),
+            Some(v) => {
+                sigma_residual = v.residual_bound();
+                Sigma::Shared(v.as_ref())
+            }
             None => {
-                self.model
-                    .materialize_into(&self.corpus.graph, q.seeker, &mut self.sigma);
+                self.model.materialize_bounded(
+                    &self.corpus.graph,
+                    q.seeker,
+                    &mut self.sigma,
+                    bounds,
+                );
+                sigma_residual = self.sigma.residual_bound();
                 if use_cache {
                     if let Some(c) = &self.cache {
-                        c.insert(
+                        c.insert_bounded(
                             &self.corpus.graph,
                             q.seeker,
                             self.model,
+                            bounds,
                             Arc::new(self.sigma.snapshot(self.corpus.graph.num_nodes())),
                         );
                     }
@@ -156,6 +175,12 @@ impl Processor for ExactOnline<'_> {
                 Sigma::Workspace(&self.sigma)
             }
         };
+        // A lossy σ (positive residual) forces the posting-driven scan: it
+        // is the one route that *enumerates* every posting the bounds may
+        // have silenced, which is what turns the σ-space residual into a
+        // score-space certificate (missed posting weight × residual). The
+        // support probe and block-max both skip exactly those postings.
+        let lossy = sigma_residual > 0.0;
         self.seen_users.ensure(self.corpus.num_users() as usize);
         self.seen_users.clear();
         let store = &self.corpus.store;
@@ -187,15 +212,16 @@ impl Processor for ExactOnline<'_> {
         // ranges keep bounds loose today (see ROADMAP: tagger-id
         // clustering), so they stay on their scan/support paths; forcing
         // `BlockMax` remains available — and exact — for every model.
-        let use_blockmax = match self.strategy {
-            ScoringStrategy::BlockMax => true,
-            ScoringStrategy::PostingScan | ScoringStrategy::SupportProbe => false,
-            _ => {
-                !support_cheaper
-                    && matches!(self.model, ProximityModel::DistanceDecay { .. })
-                    && posting_total > BLOCKMAX_MIN_POSTINGS
-            }
-        };
+        let use_blockmax = !lossy
+            && match self.strategy {
+                ScoringStrategy::BlockMax => true,
+                ScoringStrategy::PostingScan | ScoringStrategy::SupportProbe => false,
+                _ => {
+                    !support_cheaper
+                        && matches!(self.model, ProximityModel::DistanceDecay { .. })
+                        && posting_total > BLOCKMAX_MIN_POSTINGS
+                }
+            };
         if use_blockmax {
             let index = self.corpus.sigma_index();
             let cap = self.bmw_lists.capacity();
@@ -213,14 +239,20 @@ impl Processor for ExactOnline<'_> {
             stats.bound_checks = st.random_accesses;
             stats.blocks_skipped = st.blocks_skipped;
             stats.early_terminated = st.blocks_skipped > 0;
-            return SearchResult { items, stats };
+            return SearchResult {
+                items,
+                stats,
+                residual: 0.0,
+            };
         }
         let force_support =
-            self.strategy == ScoringStrategy::SupportProbe && sigma.support().is_some();
+            !lossy && self.strategy == ScoringStrategy::SupportProbe && sigma.support().is_some();
+        let mut missed_w = 0.0f64;
         match sigma.support().filter(|s| {
-            force_support
-                || (self.strategy != ScoringStrategy::PostingScan
-                    && support_probes(s) <= posting_total)
+            !lossy
+                && (force_support
+                    || (self.strategy != ScoringStrategy::PostingScan
+                        && support_probes(s) <= posting_total))
         }) {
             // Support-driven: probe only the neighborhood's postings.
             Some(support) => {
@@ -253,6 +285,12 @@ impl Processor for ExactOnline<'_> {
                         if s > 0.0 {
                             self.acc.add(t.item, (s * t.weight as f64) as f32);
                             self.seen_users.insert(t.user);
+                        } else if lossy {
+                            // The tagger reads σ = 0 under a lossy σ: its
+                            // true proximity may be anything up to the
+                            // residual, so its whole posting weight feeds
+                            // the score-space certificate.
+                            missed_w += t.weight as f64;
                         }
                     }
                 }
@@ -262,6 +300,7 @@ impl Processor for ExactOnline<'_> {
         SearchResult {
             items: self.acc.drain_topk(q.k),
             stats,
+            residual: sigma_residual * missed_w,
         }
     }
 }

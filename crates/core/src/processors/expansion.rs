@@ -169,6 +169,7 @@ impl Processor for FriendExpansion<'_> {
             return SearchResult {
                 items: Vec::new(),
                 stats,
+                residual: 0.0,
             };
         }
         // Mark relevant users (those with any query-tag annotation) so the
@@ -241,6 +242,7 @@ impl Processor for FriendExpansion<'_> {
         SearchResult {
             items: self.acc.drain_topk(q.k),
             stats,
+            residual: 0.0,
         }
     }
 }

@@ -63,6 +63,7 @@ impl Processor for GlobalProcessor {
                 postings_scanned: access.sorted_accesses,
                 ..QueryStats::default()
             },
+            residual: 0.0,
         }
     }
 }

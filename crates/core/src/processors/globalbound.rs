@@ -18,7 +18,7 @@
 use crate::cache::ProximityCache;
 use crate::corpus::{Corpus, QueryStats, SearchResult};
 use crate::processors::{Processor, ScoringStrategy};
-use crate::proximity::{ProximityModel, Sigma, SigmaWorkspace};
+use crate::proximity::{ProximityModel, Sigma, SigmaBounds, SigmaWorkspace};
 use friends_data::queries::Query;
 use friends_data::store::TagStore;
 use friends_data::{ItemId, TagId};
@@ -38,6 +38,7 @@ pub struct GlobalBoundTA<'a> {
     tags_scratch: Vec<TagId>,
     cache: Option<Arc<ProximityCache>>,
     strategy: ScoringStrategy,
+    bounds: SigmaBounds,
     bmw: BlockMaxWand,
     bmw_lists: Vec<&'a PostingList>,
 }
@@ -67,6 +68,7 @@ impl<'a> GlobalBoundTA<'a> {
             tags_scratch: Vec::new(),
             cache: None,
             strategy: ScoringStrategy::Auto,
+            bounds: SigmaBounds::EXACT,
             bmw: BlockMaxWand::new(),
             bmw_lists: Vec::new(),
         }
@@ -107,26 +109,37 @@ impl<'a> GlobalBoundTA<'a> {
         self.strategy
     }
 
-    /// Exact personalized score of `item`, probing its taggers.
+    /// Personalized score of `item`, probing its taggers. The second return
+    /// is the item's *missed posting weight* — the total weight of taggers
+    /// reading `σ = 0` — which under a lossy (bounded) σ turns the σ-space
+    /// residual into this item's score-space error bound. Always 0.0 when
+    /// `lossy` is false, so the exact path pays nothing for it.
     fn score_item(
         store: &TagStore,
         sigma: &Sigma<'_>,
         tags: &[TagId],
         item: ItemId,
+        lossy: bool,
         stats: &mut QueryStats,
-    ) -> f32 {
+    ) -> (f32, f64) {
         let mut score = 0.0f64;
+        let mut missed = 0.0f64;
         for &t in tags {
             let slice = store.tag_taggings(t);
             // Slice is sorted by (item, user): binary search the item range.
             let lo = slice.partition_point(|x| x.item < item);
             let hi = slice.partition_point(|x| x.item <= item);
             for tg in &slice[lo..hi] {
-                score += sigma.get(tg.user) * tg.weight as f64;
+                let s = sigma.get(tg.user);
+                if s > 0.0 {
+                    score += s * tg.weight as f64;
+                } else if lossy {
+                    missed += tg.weight as f64;
+                }
             }
             stats.postings_scanned += hi - lo;
         }
-        score as f32
+        (score as f32, missed)
     }
 }
 
@@ -137,6 +150,10 @@ impl Processor for GlobalBoundTA<'_> {
 
     fn set_strategy(&mut self, strategy: ScoringStrategy) {
         self.strategy = strategy;
+    }
+
+    fn set_bounds(&mut self, bounds: SigmaBounds) {
+        self.bounds = bounds;
     }
 
     fn query(&mut self, q: &Query) -> SearchResult {
@@ -152,27 +169,39 @@ impl Processor for GlobalBoundTA<'_> {
             return SearchResult {
                 items: Vec::new(),
                 stats,
+                residual: 0.0,
             };
         }
+        let bounds = self.bounds;
         let use_cache = self.model.cache_worthy();
         let cached = if use_cache {
             self.cache
                 .as_ref()
-                .and_then(|c| c.get(&self.corpus.graph, q.seeker, self.model))
+                .and_then(|c| c.get_bounded(&self.corpus.graph, q.seeker, self.model, bounds))
         } else {
             None
         };
+        let sigma_residual;
         let sigma = match &cached {
-            Some(v) => Sigma::Shared(v.as_ref()),
+            Some(v) => {
+                sigma_residual = v.residual_bound();
+                Sigma::Shared(v.as_ref())
+            }
             None => {
-                self.model
-                    .materialize_into(&self.corpus.graph, q.seeker, &mut self.sigma);
+                self.model.materialize_bounded(
+                    &self.corpus.graph,
+                    q.seeker,
+                    &mut self.sigma,
+                    bounds,
+                );
+                sigma_residual = self.sigma.residual_bound();
                 if use_cache {
                     if let Some(c) = &self.cache {
-                        c.insert(
+                        c.insert_bounded(
                             &self.corpus.graph,
                             q.seeker,
                             self.model,
+                            bounds,
                             Arc::new(self.sigma.snapshot(self.corpus.graph.num_nodes())),
                         );
                     }
@@ -180,6 +209,11 @@ impl Processor for GlobalBoundTA<'_> {
                 Sigma::Workspace(&self.sigma)
             }
         };
+        // A lossy σ routes through the native TA: `score_item` enumerates
+        // every posting of every scored candidate, so the missed weight —
+        // and with it the score-space residual certificate — is observable
+        // per candidate. Block-max skips exactly those postings.
+        let lossy = sigma_residual > 0.0;
         // Third strategy beside the global-driven TA: block-max σ-aware
         // WAND over the σ-aware posting index. Auto routes to it for
         // FriendsOnly — a one-hop support so small that τ barely drops and
@@ -188,21 +222,22 @@ impl Processor for GlobalBoundTA<'_> {
         // Wider supports (AdamicAdar's two-hop set, PPR) correlate with the
         // global order well enough that the native τ cutoff wins, so they
         // stay native; forcing `BlockMax` remains available — and exact.
-        let use_blockmax = match self.strategy {
-            ScoringStrategy::BlockMax => true,
-            ScoringStrategy::GlobalTa => false,
-            _ => {
-                matches!(self.model, ProximityModel::FriendsOnly)
-                    && sigma.support().is_some_and(|s| {
-                        s.len().saturating_mul(self.tags_scratch.len())
-                            <= self
-                                .tags_scratch
-                                .iter()
-                                .map(|&t| self.corpus.store.tag_taggings(t).len())
-                                .sum::<usize>()
-                    })
-            }
-        };
+        let use_blockmax = !lossy
+            && match self.strategy {
+                ScoringStrategy::BlockMax => true,
+                ScoringStrategy::GlobalTa => false,
+                _ => {
+                    matches!(self.model, ProximityModel::FriendsOnly)
+                        && sigma.support().is_some_and(|s| {
+                            s.len().saturating_mul(self.tags_scratch.len())
+                                <= self
+                                    .tags_scratch
+                                    .iter()
+                                    .map(|&t| self.corpus.store.tag_taggings(t).len())
+                                    .sum::<usize>()
+                        })
+                }
+            };
         if use_blockmax {
             let index = self.corpus.sigma_index();
             self.bmw_lists.clear();
@@ -216,7 +251,11 @@ impl Processor for GlobalBoundTA<'_> {
             stats.bound_checks = st.random_accesses;
             stats.blocks_skipped = st.blocks_skipped;
             stats.early_terminated = st.blocks_skipped > 0;
-            return SearchResult { items, stats };
+            return SearchResult {
+                items,
+                stats,
+                residual: 0.0,
+            };
         }
         // τ only bounds unseen items' personalized scores when σ ≤ 1 —
         // check on every resolved σ source, cached vectors included.
@@ -230,6 +269,10 @@ impl Processor for GlobalBoundTA<'_> {
             .map(|&t| self.lists[t as usize].len())
             .max()
             .unwrap_or(0);
+        // Largest per-candidate missed weight over every scored candidate —
+        // a superset of the returned items, so the certificate below covers
+        // each of them.
+        let mut max_missed = 0.0f64;
         for depth in 0..max_len {
             let mut tau = 0.0f32;
             let mut any = false;
@@ -241,8 +284,15 @@ impl Processor for GlobalBoundTA<'_> {
                         // `users_visited` counts scored candidates here (the
                         // processor never walks the graph).
                         stats.users_visited += 1;
-                        let s =
-                            Self::score_item(&self.corpus.store, &sigma, tags, item, &mut stats);
+                        let (s, missed) = Self::score_item(
+                            &self.corpus.store,
+                            &sigma,
+                            tags,
+                            item,
+                            lossy,
+                            &mut stats,
+                        );
+                        max_missed = max_missed.max(missed);
                         if s > 0.0 {
                             // Zero-score candidates (no reachable tagger)
                             // are not results, matching ExactOnline.
@@ -269,6 +319,7 @@ impl Processor for GlobalBoundTA<'_> {
         SearchResult {
             items: topk.into_sorted_vec(),
             stats,
+            residual: sigma_residual * max_missed,
         }
     }
 }

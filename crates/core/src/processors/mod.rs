@@ -61,6 +61,15 @@ pub trait Processor {
     /// constructors (every strategy returns byte-identical rankings, so
     /// the hint is purely a cost decision).
     fn set_strategy(&mut self, _strategy: ScoringStrategy) {}
+
+    /// Applies per-request [`crate::proximity::SigmaBounds`] ahead of the
+    /// next [`Processor::query`] call — the entry point degraded serving
+    /// threads approximation bounds through. Processors that cannot bound
+    /// their σ materialization ignore it (the default) and keep returning
+    /// exact results with `residual == 0.0`; `ExactOnline` and
+    /// `GlobalBoundTA` honor it and report the score-space residual
+    /// certificate in [`SearchResult::residual`].
+    fn set_bounds(&mut self, _bounds: crate::proximity::SigmaBounds) {}
 }
 
 /// `(θ, η)` over an accumulator's touched docs: the k-th best accumulated

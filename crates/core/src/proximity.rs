@@ -71,6 +71,33 @@ impl SigmaBounds {
             ..Self::EXACT
         }
     }
+
+    /// Whether these bounds are the lossless [`SigmaBounds::EXACT`]
+    /// default (no radius cap, no mass floor).
+    pub fn is_exact(&self) -> bool {
+        self.max_radius == u32::MAX && self.min_mass == 0.0
+    }
+
+    /// The intersection of two bounds: the smaller radius and the larger
+    /// mass floor, i.e. the loosest bounds at least as tight as both. The
+    /// overload controller composes a request's own bounds with a
+    /// degradation level's this way — degradation can only tighten, never
+    /// loosen, what the caller asked for.
+    pub fn tighten(self, other: SigmaBounds) -> SigmaBounds {
+        SigmaBounds {
+            max_radius: self.max_radius.min(other.max_radius),
+            min_mass: self.min_mass.max(other.min_mass),
+        }
+    }
+
+    /// Exact cache-key bits: `(radius, mass-floor bits)`. `SigmaBounds` is
+    /// not `Eq`/`Hash` (it holds an `f64`), so caches keyed on bounds use
+    /// these bits — two bounds alias iff they are bit-identical, which is
+    /// the only safe notion of "same bounds" for a σ cache (a bounded
+    /// entry must never be served for an exact request).
+    pub fn key_bits(&self) -> (u32, u64) {
+        (self.max_radius, self.min_mass.to_bits())
+    }
 }
 
 impl Default for SigmaBounds {

@@ -131,6 +131,128 @@ impl RequestStream {
     }
 }
 
+/// Parameters for [`OpenLoopStream::generate`].
+///
+/// A *closed-loop* stream ([`RequestStream`]) spaces requests by think time
+/// measured from the previous **completion** — the offered load adapts to
+/// the service, so a slow service can never be overloaded by it. An
+/// *open-loop* stream fixes the **arrival** schedule up front, independent
+/// of completions: when the arrival rate exceeds capacity, the queue grows
+/// without bound and the service must shed or degrade. That is the regime
+/// the fig13 overload experiment measures.
+#[derive(Clone, Debug)]
+pub struct OpenLoopParams {
+    /// Arrival rate in requests per second (> 0).
+    pub rate: f64,
+    /// `true` draws exponential inter-arrival gaps (a Poisson process,
+    /// bursty like real traffic); `false` spaces arrivals uniformly at
+    /// `1/rate` (a deterministic pacing useful for capacity bisection).
+    pub poisson: bool,
+    /// The query-shape parameters ([`RequestParams::mean_think_time`] is
+    /// ignored — arrivals replace think times).
+    pub shape: RequestParams,
+}
+
+impl Default for OpenLoopParams {
+    fn default() -> Self {
+        OpenLoopParams {
+            rate: 1_000.0,
+            poisson: true,
+            shape: RequestParams::default(),
+        }
+    }
+}
+
+/// One open-loop request: the query plus its **absolute arrival offset**
+/// from the stream's start. Offsets are non-decreasing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenLoopRequest {
+    pub query: Query,
+    pub arrival: Duration,
+}
+
+/// A reproducible open-loop (fixed-arrival-schedule) request stream. The
+/// queries carry the same serving shape as [`RequestStream`] (Zipf seekers,
+/// repeated personal profiles); only the timing model differs.
+#[derive(Clone, Debug)]
+pub struct OpenLoopStream {
+    pub requests: Vec<OpenLoopRequest>,
+}
+
+impl OpenLoopStream {
+    /// Generates a stream over `graph`/`store` at `params.rate` arrivals
+    /// per second. Deterministic in `seed` (queries and schedule both).
+    pub fn generate(
+        graph: &CsrGraph,
+        store: &TagStore,
+        params: &OpenLoopParams,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            params.rate.is_finite() && params.rate > 0.0,
+            "arrival rate must be positive"
+        );
+        let shape = RequestParams {
+            mean_think_time: Duration::ZERO,
+            ..params.shape.clone()
+        };
+        let base = RequestStream::generate(graph, store, &shape, seed);
+        let gap = Duration::from_secs_f64(1.0 / params.rate);
+        // A distinct RNG domain: the schedule must not perturb the query
+        // sequence (same seed ⇒ same queries at any rate).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4F50_454E_4C4F_4F50);
+        let mut clock = Duration::ZERO;
+        let requests = base
+            .requests
+            .into_iter()
+            .map(|r| {
+                let arrival = clock;
+                clock += if params.poisson {
+                    sample_exponential(gap, &mut rng)
+                } else {
+                    gap
+                };
+                OpenLoopRequest {
+                    query: r.query,
+                    arrival,
+                }
+            })
+            .collect();
+        OpenLoopStream { requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The offered arrival rate actually realized by the schedule, in
+    /// requests per second (0.0 for streams shorter than two requests).
+    pub fn realized_rate(&self) -> f64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(first), Some(last)) if self.len() > 1 => {
+                let span = (last.arrival - first.arrival).as_secs_f64();
+                if span > 0.0 {
+                    (self.len() - 1) as f64 / span
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The bare queries, in arrival order.
+    pub fn queries(&self) -> Vec<Query> {
+        self.requests.iter().map(|r| r.query.clone()).collect()
+    }
+}
+
 /// The seeker's standing queries: distinct sorted tag bags over their
 /// neighborhood vocabulary (own tags + friends' tags — the regime where
 /// network-aware search matters). Empty when the seeker has no vocabulary.
@@ -259,6 +381,83 @@ mod tests {
         let w = RequestStream::generate(&g, &s, &RequestParams::default(), 1);
         assert!(w.is_empty());
         assert!(w.queries().is_empty());
+    }
+
+    #[test]
+    fn open_loop_schedule_is_deterministic_and_monotone() {
+        let (g, s) = fixture();
+        let p = OpenLoopParams {
+            rate: 2_000.0,
+            poisson: true,
+            shape: RequestParams {
+                count: 300,
+                ..RequestParams::default()
+            },
+        };
+        let a = OpenLoopStream::generate(&g, &s, &p, 11);
+        let b = OpenLoopStream::generate(&g, &s, &p, 11);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.len(), 300);
+        assert_eq!(a.requests[0].arrival, Duration::ZERO);
+        for w in a.requests.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival, "arrivals must be monotone");
+        }
+        // The realized rate tracks the requested one (Poisson noise allowed).
+        let rate = a.realized_rate();
+        assert!(
+            (1_000.0..4_000.0).contains(&rate),
+            "realized rate {rate:.0}/s far from 2000/s"
+        );
+    }
+
+    #[test]
+    fn open_loop_rate_changes_schedule_not_queries() {
+        let (g, s) = fixture();
+        let shape = RequestParams {
+            count: 120,
+            ..RequestParams::default()
+        };
+        let slow = OpenLoopStream::generate(
+            &g,
+            &s,
+            &OpenLoopParams {
+                rate: 100.0,
+                poisson: false,
+                shape: shape.clone(),
+            },
+            9,
+        );
+        let fast = OpenLoopStream::generate(
+            &g,
+            &s,
+            &OpenLoopParams {
+                rate: 10_000.0,
+                poisson: false,
+                shape,
+            },
+            9,
+        );
+        assert_eq!(
+            slow.queries(),
+            fast.queries(),
+            "rate must not perturb queries"
+        );
+        // Uniform pacing: exact 1/rate gaps.
+        let gap = slow.requests[1].arrival - slow.requests[0].arrival;
+        assert_eq!(gap, Duration::from_secs_f64(1.0 / 100.0));
+        assert!(slow.realized_rate() < fast.realized_rate());
+        // The closed-loop generator at the same seed produces the same
+        // query sequence too: the timing model is orthogonal.
+        let closed = RequestStream::generate(
+            &g,
+            &s,
+            &RequestParams {
+                count: 120,
+                ..RequestParams::default()
+            },
+            9,
+        );
+        assert_eq!(closed.queries(), fast.queries());
     }
 
     #[test]

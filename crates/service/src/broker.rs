@@ -9,15 +9,94 @@ use friends_core::cache::{CachePolicy, ProximityCache};
 use friends_core::corpus::{Corpus, SearchResult};
 use friends_core::plan::{PlanCounters, PlannedExecutor, Planner, ProcessorRegistry};
 use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor, ScoringStrategy};
-use friends_core::proximity::ProximityModel;
+use friends_core::proximity::{ProximityModel, SigmaBounds};
 use friends_data::queries::Query;
 use friends_data::UserId;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The overload controller's policy: when to degrade, how fast to recover,
+/// and which σ bounds each degradation level applies. `None` in
+/// [`ServiceConfig::overload`] disables the controller entirely (requests
+/// run under their own bounds only).
+///
+/// The controller is a per-worker hysteresis state machine over three
+/// signals — queue depth, the worker's observed per-job latency (EWMA) and
+/// the tightest remaining deadline budget in the drained batch. It steps
+/// Exact → level 1 → level 2 immediately under pressure and steps back one
+/// level only after `cooldown_batches` consecutive calm batches, so the
+/// service does not flap at the boundary. Shedding (deadline misses) is
+/// unchanged and remains the last resort when even degraded execution
+/// cannot keep up. Deadline-free requests are never degraded — a batch
+/// client that opted out of shedding opted out of approximation too.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadPolicy {
+    /// Queue depth (after draining a batch) at which the level steps up.
+    pub depth_high: usize,
+    /// Depth at or below which a batch counts as calm (toward stepping
+    /// back down). Keep well under `depth_high` for hysteresis.
+    pub depth_low: usize,
+    /// Consecutive calm batches required to step one level down.
+    pub cooldown_batches: u32,
+    /// σ bounds applied at degradation level 1 (composed with each
+    /// request's own bounds via [`SigmaBounds::tighten`]).
+    pub level1: SigmaBounds,
+    /// σ bounds applied at degradation level 2 (the deepest level).
+    pub level2: SigmaBounds,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy {
+            depth_high: 64,
+            depth_low: 8,
+            cooldown_batches: 4,
+            level1: Planner::degraded_bounds(1),
+            level2: Planner::degraded_bounds(2),
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// The σ bounds of a degradation level under this policy.
+    pub fn bounds_for(&self, level: u8) -> SigmaBounds {
+        match level {
+            0 => SigmaBounds::EXACT,
+            1 => self.level1,
+            _ => self.level2,
+        }
+    }
+}
+
+/// Test-only fault injection: make one worker request misbehave, to
+/// exercise the broker's containment paths deterministically. The fault
+/// arms per shard and fires **once**, on that shard's `nth` execution
+/// attempt (1-based, counting every dequeued-and-live request).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// 1-based execution ordinal (per shard) the fault fires on.
+    pub nth: u64,
+    pub kind: FaultKind,
+}
+
+/// What an armed [`FaultPlan`] does when it fires.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultKind {
+    /// Panic inside the execution region — exercises containment: the
+    /// in-flight request(s) reply [`Outcome::Failed`], the engine is
+    /// rebuilt, and the worker keeps serving.
+    Panic,
+    /// Sleep before executing — simulates a stall for deadline tests.
+    Delay(Duration),
+    /// Fail the request without executing it (no panic, no engine
+    /// rebuild) — a clean error path.
+    Error,
+}
 
 /// Broker tuning. The defaults are the serving posture: one shard per
 /// hardware thread, admission-controlled caches, coalescing on, a generous
@@ -56,6 +135,11 @@ pub struct ServiceConfig {
     /// are executed once and fanned out. Disabling is only useful for
     /// measurement.
     pub coalesce: bool,
+    /// Overload controller policy; `None` (the default) disables degraded
+    /// serving — requests execute under their own bounds only.
+    pub overload: Option<OverloadPolicy>,
+    /// Test-only fault injection, armed per shard; `None` in production.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -63,8 +147,11 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_capacity: 0,
-            cache_capacity: 1024,
-            cache_bytes: usize::MAX,
+            // Byte budget is the primary limit (σ entries vary by orders of
+            // magnitude between Touched and Dense snapshots); the entry cap
+            // is a disabled fallback.
+            cache_capacity: usize::MAX,
+            cache_bytes: 64 << 20,
             cache_policy: CachePolicy {
                 admission: true,
                 ttl: None,
@@ -77,6 +164,23 @@ impl Default for ServiceConfig {
             default_deadline: Some(Duration::from_secs(5)),
             max_batch: 256,
             coalesce: true,
+            overload: None,
+            fault: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config whose proximity-cache byte budget is sized from the corpus
+    /// instead of the fixed default: enough for a `Touched` σ snapshot of a
+    /// few hundred bytes per user (so affinity-routed repeat traffic fits
+    /// entirely), clamped to `[1 MiB, 256 MiB]` across all shards.
+    pub fn sized_for(corpus: &Corpus) -> Self {
+        let users = corpus.graph.num_nodes();
+        let budget = (users.saturating_mul(512)).clamp(1 << 20, 256 << 20);
+        ServiceConfig {
+            cache_bytes: budget,
+            ..ServiceConfig::default()
         }
     }
 }
@@ -137,11 +241,13 @@ impl ShardEngine<'_> {
         model: Option<ProximityModel>,
         strategy: ScoringStrategy,
         processor: Option<&'static str>,
+        bounds: SigmaBounds,
     ) -> SearchResult {
         match self {
             // Fixed engines ignore the model/processor fields: their
             // processor was chosen (with its model) at start.
             ShardEngine::Fixed(p) => {
+                p.set_bounds(bounds);
                 p.set_strategy(strategy);
                 p.query(query)
             }
@@ -150,6 +256,7 @@ impl ShardEngine<'_> {
                 model.unwrap_or(ProximityModel::Global),
                 strategy,
                 processor,
+                bounds,
             ),
         }
     }
@@ -247,12 +354,18 @@ impl FriendsService {
             let handle = std::thread::Builder::new()
                 .name(format!("friends-svc-{shard}"))
                 .spawn(move || {
-                    let ctx = ShardContext {
-                        shard,
-                        cache: Arc::clone(&worker_state.cache),
+                    // The engine borrows the corpus for the thread's life;
+                    // `rebuild` re-creates it after a contained panic (the
+                    // old instance's scratch state is suspect, the shared
+                    // cache and counters survive untouched).
+                    let rebuild = || {
+                        let ctx = ShardContext {
+                            shard,
+                            cache: Arc::clone(&worker_state.cache),
+                        };
+                        make_engine(corpus.as_ref(), ctx, &worker_state)
                     };
-                    let mut engine = make_engine(corpus.as_ref(), ctx, &worker_state);
-                    worker_loop(&mut engine, &rx, &worker_state, shard, &config);
+                    worker_loop(&rebuild, &rx, &worker_state, shard, &config);
                 })
                 .expect("spawn service worker");
             senders.push(tx);
@@ -295,6 +408,7 @@ impl FriendsService {
             strategy: request.strategy,
             model: request.model,
             processor: request.processor,
+            bounds: request.bounds,
             deadline,
             submitted: now,
             reply: tx.clone(),
@@ -304,12 +418,15 @@ impl FriendsService {
             // The worker died (processor panic). Resolve the ticket rather
             // than leaving the caller to block forever.
             state.depth.fetch_sub(1, Ordering::Relaxed);
+            state.failed.fetch_add(1, Ordering::Relaxed);
             let _ = tx.send(Reply {
                 outcome: Outcome::Failed,
                 shard,
                 queue_wait: Duration::ZERO,
                 coalesced: false,
                 result_cached: false,
+                degraded: false,
+                residual: 0.0,
                 tag: request.tag,
             });
         }
@@ -395,26 +512,106 @@ impl Drop for FriendsService {
 }
 
 /// The coalescing/memoization identity of a job: query, model parameter
-/// bits, strategy hint and processor override. Two jobs with equal keys are
-/// interchangeable executions.
+/// bits, strategy hint, processor override and **effective** σ-bounds bits
+/// (the job's own bounds after any controller tightening). Two jobs with
+/// equal keys are interchangeable executions; jobs at different degradation
+/// levels never coalesce and never share memoized rankings.
 fn group_key(job: &Job, query: Query) -> ResultKey {
     (
         query,
         job.model.map(|m| m.key_bits()),
         job.strategy,
         job.processor,
+        job.bounds.key_bits(),
     )
 }
 
+/// Per-worker mutable control state: the overload controller's hysteresis
+/// machine, the armed fault, and the execution-attempt counter the fault
+/// ordinal is matched against.
+struct WorkerCtl {
+    /// Current degradation level (0 = exact).
+    level: u8,
+    /// Consecutive calm batches observed at the current level.
+    calm: u32,
+    /// EWMA of observed per-job execution latency, in microseconds
+    /// (0.0 until the first batch completes).
+    ewma_job_us: f64,
+    /// Armed fault, disarmed after it fires.
+    fault: Option<FaultPlan>,
+    /// Execution attempts on this shard (the fault ordinal clock).
+    attempts: u64,
+}
+
+impl WorkerCtl {
+    /// Steps the hysteresis machine for one drained batch: up immediately
+    /// under pressure (deep queue, or the EWMA projects this batch past its
+    /// tightest remaining deadline budget), down one level only after
+    /// `cooldown_batches` consecutive calm batches.
+    fn observe_batch(&mut self, policy: &OverloadPolicy, depth_after: usize, batch: &[Job]) {
+        let mut pressure = depth_after >= policy.depth_high;
+        if !pressure && self.ewma_job_us > 0.0 {
+            let projected = Duration::from_micros((self.ewma_job_us * batch.len() as f64) as u64);
+            let now = Instant::now();
+            if let Some(min_slack) = batch
+                .iter()
+                .filter_map(|j| j.deadline)
+                .map(|d| d.saturating_duration_since(now))
+                .min()
+            {
+                pressure = projected > min_slack;
+            }
+        }
+        if pressure {
+            self.level = (self.level + 1).min(2);
+            self.calm = 0;
+        } else if depth_after <= policy.depth_low {
+            self.calm += 1;
+            if self.calm >= policy.cooldown_batches && self.level > 0 {
+                self.level -= 1;
+                self.calm = 0;
+            }
+        } else {
+            // Neither overloaded nor calm: hold the level, reset the
+            // cooldown so recovery needs genuinely consecutive calm.
+            self.calm = 0;
+        }
+    }
+
+    /// The fault to apply to this execution attempt, if one fires now.
+    fn take_fault(&mut self) -> Option<FaultKind> {
+        self.attempts += 1;
+        match self.fault {
+            Some(f) if f.nth == self.attempts => {
+                self.fault = None;
+                Some(f.kind)
+            }
+            _ => None,
+        }
+    }
+}
+
 /// One worker: block for the first job, opportunistically drain up to
-/// `max_batch - 1` more, dispatch the batch, repeat until disconnected.
-fn worker_loop(
-    engine: &mut ShardEngine<'_>,
+/// `max_batch - 1` more, step the overload controller, dispatch the batch,
+/// repeat until disconnected. `rebuild` re-creates the engine after a
+/// contained panic.
+fn worker_loop<'c, R>(
+    rebuild: &R,
     rx: &channel::Receiver<Job>,
     state: &ShardState,
     shard: usize,
     config: &ServiceConfig,
-) {
+) where
+    R: Fn() -> ShardEngine<'c>,
+{
+    let mut engine = rebuild();
+    let mut ctl = WorkerCtl {
+        level: 0,
+        calm: 0,
+        ewma_job_us: 0.0,
+        fault: config.fault,
+        attempts: 0,
+    };
     let mut batch: Vec<Job> = Vec::new();
     let mut groups: HashMap<ResultKey, Vec<Job>> = HashMap::new();
     loop {
@@ -429,36 +626,109 @@ fn worker_loop(
                 Err(_) => break,
             }
         }
-        state.depth.fetch_sub(batch.len(), Ordering::Relaxed);
+        let drained = batch.len();
+        let depth_after = state
+            .depth
+            .fetch_sub(drained, Ordering::Relaxed)
+            .saturating_sub(drained);
         state.batches.fetch_add(1, Ordering::Relaxed);
-        state.max_batch.fetch_max(batch.len(), Ordering::Relaxed);
+        state.max_batch.fetch_max(drained, Ordering::Relaxed);
+        if let Some(policy) = &config.overload {
+            ctl.observe_batch(policy, depth_after, &batch);
+        }
+        let started = Instant::now();
         dispatch(
-            engine,
+            &mut engine,
+            rebuild,
             &mut batch,
             &mut groups,
             state,
             shard,
-            config.coalesce,
+            config,
+            &mut ctl,
         );
+        let per_job = started.elapsed().as_micros() as f64 / drained as f64;
+        ctl.ewma_job_us = if ctl.ewma_job_us == 0.0 {
+            per_job
+        } else {
+            0.75 * ctl.ewma_job_us + 0.25 * per_job
+        };
     }
 }
 
-/// Executes one drained batch: group duplicates, shed expired jobs, serve
-/// memoized rankings, run each unique live query once, fan results out.
+/// Runs one query inside the panic-containment region. `Err` means the
+/// engine panicked: its scratch state is suspect and the caller must
+/// rebuild before the next execution.
+fn run_contained(
+    engine: &mut ShardEngine<'_>,
+    query: &Query,
+    model: Option<ProximityModel>,
+    strategy: ScoringStrategy,
+    processor: Option<&'static str>,
+    bounds: SigmaBounds,
+    fault: Option<FaultKind>,
+) -> Result<SearchResult, ()> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        match fault {
+            Some(FaultKind::Panic) => panic!("injected fault: panic"),
+            Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+            Some(FaultKind::Error) | None => {}
+        }
+        engine.run(query, model, strategy, processor, bounds)
+    }))
+    .map_err(drop)
+}
+
+/// Replies `Outcome::Failed` for one job and counts it.
+fn reply_failed(job: &Job, state: &ShardState, shard: usize, started: Instant, degraded: bool) {
+    state.failed.fetch_add(1, Ordering::Relaxed);
+    let _ = job.reply.send(Reply {
+        outcome: Outcome::Failed,
+        shard,
+        queue_wait: started - job.submitted,
+        coalesced: false,
+        result_cached: false,
+        degraded,
+        residual: 0.0,
+        tag: job.tag,
+    });
+}
+
+/// Executes one drained batch: tighten bounds to the controller's level,
+/// group duplicates, shed expired jobs, serve memoized rankings, run each
+/// unique live query once (inside panic containment), fan results out.
 /// Execution order within a cycle follows the group map (not arrival
 /// order) — results are per-query deterministic either way, and replies
 /// route by ticket.
-fn dispatch(
-    engine: &mut ShardEngine<'_>,
+#[allow(clippy::too_many_arguments)]
+fn dispatch<'c, R>(
+    engine: &mut ShardEngine<'c>,
+    rebuild: &R,
     batch: &mut Vec<Job>,
     groups: &mut HashMap<ResultKey, Vec<Job>>,
     state: &ShardState,
     shard: usize,
-    coalesce: bool,
-) {
+    config: &ServiceConfig,
+    ctl: &mut WorkerCtl,
+) where
+    R: Fn() -> ShardEngine<'c>,
+{
     let started = Instant::now();
     groups.clear();
-    if !coalesce {
+    // Compose the controller's level bounds into each job. Deadline-free
+    // jobs are exempt: a caller that opted out of shedding opted out of
+    // approximation too, and keeps byte-identical exact answers.
+    if let Some(policy) = &config.overload {
+        if ctl.level > 0 {
+            let level_bounds = policy.bounds_for(ctl.level);
+            for job in batch.iter_mut() {
+                if job.deadline.is_some() {
+                    job.bounds = job.bounds.tighten(level_bounds);
+                }
+            }
+        }
+    }
+    if !config.coalesce {
         // Measurement mode: every job executes individually, reusing the
         // drained buffer (no per-job wrappers). Memoization still applies —
         // it is a different axis than coalescing.
@@ -471,44 +741,88 @@ fn dispatch(
                     queue_wait: started - job.submitted,
                     coalesced: false,
                     result_cached: false,
+                    degraded: false,
+                    residual: 0.0,
                     tag: job.tag,
                 });
                 continue;
             }
-            let result = if let Some(rc) = &state.results {
+            let degraded = !job.bounds.is_exact();
+            let memo = state.results.as_ref().map(|rc| {
                 // The key (a query clone) is only built when memoization
                 // can use it — measurement mode without a result cache
                 // stays wrapper- and allocation-free per job.
-                let key = group_key(&job, job.query.clone());
-                let observed_epoch = rc.epoch();
-                if let Some(items) = rc.get(&key) {
+                (group_key(&job, job.query.clone()), rc.epoch())
+            });
+            if let Some((key, _)) = &memo {
+                let rc = state.results.as_ref().expect("memo key implies cache");
+                if let Some((items, residual)) = rc.get(key) {
                     state.result_served.fetch_add(1, Ordering::Relaxed);
+                    if degraded {
+                        state.record_degraded(residual);
+                    }
                     let _ = job.reply.send(Reply {
                         outcome: Outcome::Done(SearchResult {
                             items: (*items).clone(),
                             stats: Default::default(),
+                            residual,
                         }),
                         shard,
                         queue_wait: started - job.submitted,
                         coalesced: false,
                         result_cached: true,
+                        degraded,
+                        residual,
                         tag: job.tag,
                     });
                     continue;
                 }
-                let result = engine.run(&job.query, job.model, job.strategy, job.processor);
-                rc.insert(key, Arc::new(result.items.clone()), observed_epoch);
-                result
-            } else {
-                engine.run(&job.query, job.model, job.strategy, job.processor)
+            }
+            let fault = ctl.take_fault();
+            if matches!(fault, Some(FaultKind::Error)) {
+                reply_failed(&job, state, shard, started, degraded);
+                continue;
+            }
+            let run = run_contained(
+                engine,
+                &job.query,
+                job.model,
+                job.strategy,
+                job.processor,
+                job.bounds,
+                fault,
+            );
+            let result = match run {
+                Ok(result) => result,
+                Err(()) => {
+                    state.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                    *engine = rebuild();
+                    reply_failed(&job, state, shard, started, degraded);
+                    continue;
+                }
             };
+            if let Some((key, observed_epoch)) = memo {
+                let rc = state.results.as_ref().expect("memo key implies cache");
+                rc.insert(
+                    key,
+                    Arc::new(result.items.clone()),
+                    result.residual,
+                    observed_epoch,
+                );
+            }
             state.executed.fetch_add(1, Ordering::Relaxed);
+            let residual = result.residual;
+            if degraded {
+                state.record_degraded(residual);
+            }
             let _ = job.reply.send(Reply {
                 outcome: Outcome::Done(result),
                 shard,
                 queue_wait: started - job.submitted,
                 coalesced: false,
                 result_cached: false,
+                degraded,
+                residual,
                 tag: job.tag,
             });
         }
@@ -529,21 +843,28 @@ fn dispatch(
         groups.entry(key).or_default().push(job);
     }
     for (key, jobs) in groups.drain() {
-        run_group(engine, key, jobs, state, shard, started);
+        run_group(engine, rebuild, key, jobs, state, shard, started, ctl);
     }
 }
 
 /// Sheds expired members of one duplicate-request group, answers the
 /// survivors from the result cache when possible, otherwise executes the
-/// query once and fans the result out.
-fn run_group(
-    engine: &mut ShardEngine<'_>,
+/// query once (inside panic containment) and fans the result out.
+#[allow(clippy::too_many_arguments)]
+fn run_group<'c, R>(
+    engine: &mut ShardEngine<'c>,
+    rebuild: &R,
     key: ResultKey,
     jobs: Vec<Job>,
     state: &ShardState,
     shard: usize,
     started: Instant,
-) {
+    ctl: &mut WorkerCtl,
+) where
+    R: Fn() -> ShardEngine<'c>,
+{
+    // Every job in the group shares the key, hence the effective bounds.
+    let degraded = key.4 != SigmaBounds::EXACT.key_bits();
     // Shed what already expired in the queue; execute for the rest.
     let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
     for job in jobs {
@@ -555,6 +876,8 @@ fn run_group(
                 queue_wait: started - job.submitted,
                 coalesced: false,
                 result_cached: false,
+                degraded: false,
+                residual: 0.0,
                 tag: job.tag,
             });
         } else {
@@ -568,34 +891,73 @@ fn run_group(
     // executes, the insert below is dropped rather than caching a
     // pre-invalidation ranking as fresh.
     let observed_epoch = state.results.as_ref().map(|rc| rc.epoch());
-    if let Some(items) = state.results.as_ref().and_then(|rc| rc.get(&key)) {
+    if let Some((items, residual)) = state.results.as_ref().and_then(|rc| rc.get(&key)) {
         state
             .result_served
             .fetch_add(live.len() as u64, Ordering::Relaxed);
         for job in live {
+            if degraded {
+                state.record_degraded(residual);
+            }
             let _ = job.reply.send(Reply {
                 outcome: Outcome::Done(SearchResult {
                     items: (*items).clone(),
                     stats: Default::default(),
+                    residual,
                 }),
                 shard,
                 queue_wait: started - job.submitted,
                 coalesced: false,
                 result_cached: true,
+                degraded,
+                residual,
                 tag: job.tag,
             });
         }
         return;
     }
-    let (query, _, strategy, processor) = &key;
-    let result = engine.run(query, live[0].model, *strategy, *processor);
+    let fault = ctl.take_fault();
+    if matches!(fault, Some(FaultKind::Error)) {
+        for job in &live {
+            reply_failed(job, state, shard, started, degraded);
+        }
+        return;
+    }
+    let (query, _, strategy, processor, bounds_bits) = &key;
+    let bounds = SigmaBounds {
+        max_radius: bounds_bits.0,
+        min_mass: f64::from_bits(bounds_bits.1),
+    };
+    let run = run_contained(
+        engine,
+        query,
+        live[0].model,
+        *strategy,
+        *processor,
+        bounds,
+        fault,
+    );
+    let result = match run {
+        Ok(result) => result,
+        Err(()) => {
+            // Contained panic: the whole group was riding this execution —
+            // fail it, rebuild the engine, keep serving the other groups.
+            state.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            *engine = rebuild();
+            for job in &live {
+                reply_failed(job, state, shard, started, degraded);
+            }
+            return;
+        }
+    };
     state.executed.fetch_add(1, Ordering::Relaxed);
     state
         .coalesced
         .fetch_add(live.len() as u64 - 1, Ordering::Relaxed);
+    let residual = result.residual;
     if let Some(rc) = &state.results {
         let epoch = observed_epoch.expect("epoch read with the cache present");
-        rc.insert(key, Arc::new(result.items.clone()), epoch);
+        rc.insert(key, Arc::new(result.items.clone()), residual, epoch);
     }
     let count = live.len();
     let mut remaining = Some(result);
@@ -607,12 +969,17 @@ fn run_group(
         } else {
             remaining.as_ref().expect("result still held").clone()
         };
+        if degraded {
+            state.record_degraded(residual);
+        }
         let _ = job.reply.send(Reply {
             outcome: Outcome::Done(r),
             shard,
             queue_wait: started - job.submitted,
             coalesced: i != 0,
             result_cached: false,
+            degraded,
+            residual,
             tag: job.tag,
         });
     }
@@ -1150,5 +1517,349 @@ mod tests {
         for (a, b) in direct.iter().zip(&served) {
             assert_eq!(a.items, b.items);
         }
+    }
+
+    /// The fault-injection satellite: a panic in the Nth execution is
+    /// contained — the in-flight request replies `Failed` promptly (no
+    /// hung ticket), the engine is rebuilt once, and every other request
+    /// in the stream completes with the accounting invariant intact.
+    #[test]
+    fn injected_panic_fails_only_the_in_flight_request() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                coalesce: false, // one execution attempt per request
+                fault: Some(FaultPlan {
+                    nth: 3,
+                    kind: FaultKind::Panic,
+                }),
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let mut failed = Vec::new();
+        for (i, q) in w.queries.iter().take(10).enumerate() {
+            // Waiting each ticket serializes execution, so the fault
+            // ordinal maps 1:1 onto the stream position.
+            let start = Instant::now();
+            let reply = svc
+                .submit(Request::new(q.clone()).without_deadline())
+                .wait();
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "ticket hung after the injected panic"
+            );
+            match reply.outcome {
+                Outcome::Failed => failed.push(i),
+                Outcome::Done(_) => {}
+                other => panic!("request {i}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(failed, vec![2], "exactly the 3rd execution must fail");
+        let totals = svc.shutdown().totals();
+        assert_eq!(totals.worker_restarts, 1, "{totals:?}");
+        assert_eq!(totals.failed, 1, "{totals:?}");
+        assert_eq!(totals.executed, 9, "{totals:?}");
+        assert_eq!(
+            totals.executed
+                + totals.coalesced
+                + totals.result_served
+                + totals.deadline_misses
+                + totals.failed,
+            totals.submitted,
+            "{totals:?}"
+        );
+    }
+
+    /// `FaultKind::Error` is the clean failure path: the request fails
+    /// without executing and without an engine rebuild.
+    #[test]
+    fn injected_error_fails_cleanly_without_restart() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                coalesce: false,
+                fault: Some(FaultPlan {
+                    nth: 2,
+                    kind: FaultKind::Error,
+                }),
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let replies: Vec<Reply> = w
+            .queries
+            .iter()
+            .take(6)
+            .map(|q| {
+                svc.submit(Request::new(q.clone()).without_deadline())
+                    .wait()
+            })
+            .collect();
+        assert!(matches!(replies[1].outcome, Outcome::Failed));
+        assert_eq!(
+            replies
+                .iter()
+                .filter(|r| matches!(r.outcome, Outcome::Failed))
+                .count(),
+            1
+        );
+        let totals = svc.shutdown().totals();
+        assert_eq!(totals.worker_restarts, 0, "no panic, no rebuild");
+        assert_eq!(totals.failed, 1);
+        assert_eq!(totals.executed, 5);
+    }
+
+    /// `FaultKind::Delay` stalls the execution but the request still
+    /// completes (the deadline tests use this to simulate slow workers).
+    #[test]
+    fn injected_delay_stalls_but_completes() {
+        let (corpus, _) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                fault: Some(FaultPlan {
+                    nth: 1,
+                    kind: FaultKind::Delay(Duration::from_millis(30)),
+                }),
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let start = Instant::now();
+        let reply = svc
+            .submit(
+                Request::new(Query {
+                    seeker: 3,
+                    tags: vec![0],
+                    k: 5,
+                })
+                .without_deadline(),
+            )
+            .wait();
+        assert!(reply.outcome.result().is_some());
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        let totals = svc.shutdown().totals();
+        assert_eq!(totals.failed, 0);
+        assert_eq!(totals.worker_restarts, 0);
+    }
+
+    /// The overload controller: a flooded queue steps the shard into
+    /// degraded serving (replies marked with their residual certificate);
+    /// calm traffic steps it back to exact.
+    #[test]
+    fn overload_controller_degrades_under_pressure_and_recovers() {
+        let (corpus, w) = fixture();
+        let policy = OverloadPolicy {
+            depth_high: 8,
+            depth_low: 2,
+            cooldown_batches: 2,
+            ..OverloadPolicy::default()
+        };
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                max_batch: 4, // small cycles keep the flooded queue deep
+                overload: Some(policy),
+                default_deadline: Some(Duration::from_secs(30)),
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        // Flood: far more than depth_high in flight at once. Every request
+        // carries the default deadline, so the controller may degrade it.
+        let tickets: Vec<Ticket> = w
+            .queries
+            .iter()
+            .cycle()
+            .take(512)
+            .map(|q| svc.submit(Request::new(q.clone())))
+            .collect();
+        let mut saw_degraded = false;
+        for t in tickets {
+            let r = t.wait();
+            let result = r.outcome.result().expect("no shedding at a 30s budget");
+            if r.degraded {
+                saw_degraded = true;
+                assert!(r.residual >= 0.0 && r.residual.is_finite());
+                assert_eq!(r.residual, result.residual);
+            } else {
+                assert_eq!(r.residual, 0.0);
+            }
+        }
+        assert!(saw_degraded, "a 512-deep flood must trip the controller");
+        let mid = svc.stats().totals();
+        assert!(mid.degraded > 0, "{mid:?}");
+        // Recovery: sequential singletons are calm batches (depth 0 after
+        // each drain); after a few, the level must be back at exact.
+        let q = Query {
+            seeker: 2,
+            tags: vec![0],
+            k: 5,
+        };
+        let mut last = None;
+        for _ in 0..8 {
+            last = Some(svc.submit(Request::new(q.clone())).wait());
+        }
+        let last = last.expect("eight replies");
+        assert!(
+            !last.degraded,
+            "calm traffic must recover exact serving: {last:?}"
+        );
+        let mut direct = ExactOnline::new(&corpus, MODEL);
+        assert_eq!(
+            last.outcome.result().expect("done").items,
+            direct.query(&q).items,
+            "recovered replies must be byte-identical exact"
+        );
+        let totals = svc.shutdown().totals();
+        assert_eq!(totals.deadline_misses, 0, "{totals:?}");
+        assert!(totals.max_residual >= 0.0 && totals.max_residual.is_finite());
+    }
+
+    /// Deadline-free requests are never degraded, whatever the controller's
+    /// level: opting out of shedding opts out of approximation.
+    #[test]
+    fn deadline_free_requests_stay_exact_under_overload() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                max_batch: 4,
+                overload: Some(OverloadPolicy {
+                    depth_high: 8,
+                    depth_low: 2,
+                    cooldown_batches: 2,
+                    ..OverloadPolicy::default()
+                }),
+                default_deadline: None, // every request is deadline-free
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let tickets: Vec<Ticket> = w
+            .queries
+            .iter()
+            .cycle()
+            .take(512)
+            .map(|q| svc.submit(Request::new(q.clone())))
+            .collect();
+        for t in tickets {
+            let r = t.wait();
+            assert!(!r.degraded, "deadline-free request degraded");
+            assert_eq!(r.residual, 0.0);
+        }
+        let totals = svc.shutdown().totals();
+        assert_eq!(totals.degraded, 0, "{totals:?}");
+        assert_eq!(totals.max_residual, 0.0, "{totals:?}");
+    }
+
+    /// σ bounds are part of the memoization identity: a ranking computed
+    /// under degraded bounds is never served for an exact request (and
+    /// vice versa).
+    #[test]
+    fn degraded_rankings_never_alias_exact_in_the_result_cache() {
+        let (corpus, _) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                result_cache_capacity: 64,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let q = Query {
+            seeker: 5,
+            tags: vec![0, 1],
+            k: 10,
+        };
+        let bounds = Planner::degraded_bounds(2);
+        // Degraded execution populates the cache under the degraded key.
+        let a = svc
+            .submit(
+                Request::new(q.clone())
+                    .without_deadline()
+                    .with_bounds(bounds),
+            )
+            .wait();
+        assert!(a.degraded && !a.result_cached);
+        // The exact request must execute (miss), not read the degraded
+        // entry.
+        let b = svc
+            .submit(Request::new(q.clone()).without_deadline())
+            .wait();
+        assert!(!b.degraded && !b.result_cached, "{b:?}");
+        assert_eq!(b.residual, 0.0);
+        // Repeats hit their own entries, degradation marker preserved.
+        let a2 = svc
+            .submit(
+                Request::new(q.clone())
+                    .without_deadline()
+                    .with_bounds(bounds),
+            )
+            .wait();
+        assert!(a2.degraded && a2.result_cached, "{a2:?}");
+        assert_eq!(a2.residual, a.residual);
+        let b2 = svc
+            .submit(Request::new(q.clone()).without_deadline())
+            .wait();
+        assert!(!b2.degraded && b2.result_cached, "{b2:?}");
+        let mut direct = ExactOnline::new(&corpus, MODEL);
+        assert_eq!(
+            b2.outcome.result().expect("done").items,
+            direct.query(&q).items
+        );
+        svc.shutdown();
+    }
+
+    /// Degraded scores are certified lower bounds: within `residual` of the
+    /// exact score for every returned item.
+    #[test]
+    fn degraded_scores_stay_within_the_reported_residual() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let mut direct = ExactOnline::new(&corpus, MODEL);
+        for level in [1u8, 2] {
+            let bounds = Planner::degraded_bounds(level);
+            for q in w.queries.iter().take(12) {
+                let reply = svc
+                    .submit(
+                        Request::new(q.clone())
+                            .without_deadline()
+                            .with_bounds(bounds),
+                    )
+                    .wait();
+                assert!(reply.degraded);
+                let got = reply.outcome.result().expect("done");
+                let exact = direct.query(q);
+                let by_id: std::collections::HashMap<u32, f32> =
+                    exact.items.iter().copied().collect();
+                for &(item, score) in &got.items {
+                    let full = by_id.get(&item).copied().unwrap_or(0.0).max(score);
+                    assert!(
+                        (full as f64) - (score as f64) <= reply.residual + 1e-6,
+                        "level {level} {q:?}: item {item} degraded {score} vs exact {full}, \
+                         residual {}",
+                        reply.residual
+                    );
+                }
+            }
+        }
+        svc.shutdown();
     }
 }

@@ -31,6 +31,7 @@ use friends_core::plan::{
 };
 use friends_core::proximity::ProximityModel;
 use friends_data::queries::Query;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -111,14 +112,29 @@ impl Default for DirectConfig {
         DirectConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_capacity: 0,
-            cache_capacity: 1024,
-            cache_bytes: usize::MAX,
+            // Byte budget is the primary limit; the entry cap is a disabled
+            // fallback (0 still runs cache-less).
+            cache_capacity: usize::MAX,
+            cache_bytes: 64 << 20,
             cache_policy: CachePolicy {
                 admission: true,
                 ttl: None,
             },
             default_deadline: Some(Duration::from_secs(5)),
             planner: Planner::default(),
+        }
+    }
+}
+
+impl DirectConfig {
+    /// A config whose shared-cache byte budget is sized from the corpus
+    /// (~512 bytes of σ cache per user, clamped to `[1 MiB, 256 MiB]`).
+    pub fn sized_for(corpus: &Corpus) -> Self {
+        let users = corpus.graph.num_nodes();
+        let budget = (users.saturating_mul(512)).clamp(1 << 20, 256 << 20);
+        DirectConfig {
+            cache_bytes: budget,
+            ..DirectConfig::default()
         }
     }
 }
@@ -132,6 +148,11 @@ pub struct ClientStats {
     pub executed: u64,
     /// Requests shed because their deadline passed while queued.
     pub deadline_misses: u64,
+    /// Requests answered [`Outcome::Failed`] — a contained executor panic
+    /// lost the in-flight request.
+    pub failed: u64,
+    /// Times a worker's executor was rebuilt after a contained panic.
+    pub worker_restarts: u64,
     /// The shared proximity cache's counters (all zero when cache-less).
     pub cache: CacheStats,
     /// Planner decisions across all workers.
@@ -151,6 +172,8 @@ pub struct DirectClient {
     submitted: Arc<AtomicU64>,
     executed: Arc<AtomicU64>,
     deadline_misses: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
+    worker_restarts: Arc<AtomicU64>,
     default_deadline: Option<Duration>,
 }
 
@@ -187,6 +210,8 @@ impl DirectClient {
         let plans = Arc::new(PlanCounters::default());
         let executed = Arc::new(AtomicU64::new(0));
         let deadline_misses = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicU64::new(0));
+        let worker_restarts = Arc::new(AtomicU64::new(0));
         let mut workers = Vec::with_capacity(threads);
         for worker in 0..threads {
             let corpus = Arc::clone(&corpus);
@@ -195,14 +220,34 @@ impl DirectClient {
             let plans = Arc::clone(&plans);
             let executed = Arc::clone(&executed);
             let deadline_misses = Arc::clone(&deadline_misses);
+            let failed = Arc::clone(&failed);
+            let worker_restarts = Arc::clone(&worker_restarts);
             let rx = rx.clone();
             let planner = config.planner;
             let handle = std::thread::Builder::new()
                 .name(format!("friends-direct-{worker}"))
                 .spawn(move || {
-                    let mut executor =
-                        PlannedExecutor::new(corpus.as_ref(), cache, registry, planner, plans);
-                    direct_worker_loop(&mut executor, &rx, &executed, &deadline_misses, worker);
+                    // Rebuilt after a contained panic (shared cache and
+                    // counters survive; only the executor's scratch does
+                    // not).
+                    let rebuild = || {
+                        PlannedExecutor::new(
+                            corpus.as_ref(),
+                            cache.clone(),
+                            Arc::clone(&registry),
+                            planner,
+                            Arc::clone(&plans),
+                        )
+                    };
+                    direct_worker_loop(
+                        &rebuild,
+                        &rx,
+                        &executed,
+                        &deadline_misses,
+                        &failed,
+                        &worker_restarts,
+                        worker,
+                    );
                 })
                 .expect("spawn direct-client worker");
             workers.push(handle);
@@ -215,6 +260,8 @@ impl DirectClient {
             submitted: Arc::new(AtomicU64::new(0)),
             executed,
             deadline_misses,
+            failed,
+            worker_restarts,
             default_deadline: config.default_deadline,
         }
     }
@@ -230,6 +277,8 @@ impl DirectClient {
             submitted: self.submitted.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
             plans: self.plans.snapshot(),
         }
@@ -266,6 +315,7 @@ impl SearchClient for DirectClient {
             strategy: request.strategy,
             model: Some(request.model),
             processor: request.processor,
+            bounds: request.bounds,
             deadline,
             submitted: now,
             reply: tx.clone(),
@@ -276,12 +326,15 @@ impl SearchClient for DirectClient {
             None => true,
         };
         if dead {
+            self.failed.fetch_add(1, Ordering::Relaxed);
             let _ = tx.send(Reply {
                 outcome: Outcome::Failed,
                 shard: 0,
                 queue_wait: Duration::ZERO,
                 coalesced: false,
                 result_cached: false,
+                degraded: false,
+                residual: 0.0,
                 tag: request.tag,
             });
         }
@@ -295,13 +348,19 @@ impl SearchClient for DirectClient {
     }
 }
 
-fn direct_worker_loop(
-    executor: &mut PlannedExecutor<'_>,
+#[allow(clippy::too_many_arguments)]
+fn direct_worker_loop<'c, R>(
+    rebuild: &R,
     rx: &channel::Receiver<Job>,
     executed: &AtomicU64,
     deadline_misses: &AtomicU64,
+    failed: &AtomicU64,
+    worker_restarts: &AtomicU64,
     worker: usize,
-) {
+) where
+    R: Fn() -> PlannedExecutor<'c>,
+{
+    let mut executor = rebuild();
     loop {
         let job = match rx.recv() {
             Ok(job) => job,
@@ -316,19 +375,48 @@ fn direct_worker_loop(
                 queue_wait: started - job.submitted,
                 coalesced: false,
                 result_cached: false,
+                degraded: false,
+                residual: 0.0,
                 tag: job.tag,
             });
             continue;
         }
         let model = job.model.unwrap_or(ProximityModel::Global);
-        let result = executor.execute(&job.query, model, job.strategy, job.processor);
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            executor.execute(&job.query, model, job.strategy, job.processor, job.bounds)
+        }));
+        let result = match run {
+            Ok(result) => result,
+            Err(_) => {
+                // Contained panic: fail only the in-flight request, rebuild
+                // the executor, keep draining the queue.
+                worker_restarts.fetch_add(1, Ordering::Relaxed);
+                executor = rebuild();
+                failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Reply {
+                    outcome: Outcome::Failed,
+                    shard: worker,
+                    queue_wait: started - job.submitted,
+                    coalesced: false,
+                    result_cached: false,
+                    degraded: false,
+                    residual: 0.0,
+                    tag: job.tag,
+                });
+                continue;
+            }
+        };
         executed.fetch_add(1, Ordering::Relaxed);
+        let degraded = !job.bounds.is_exact();
+        let residual = result.residual;
         let _ = job.reply.send(Reply {
             outcome: Outcome::Done(result),
             shard: worker,
             queue_wait: started - job.submitted,
             coalesced: false,
             result_cached: false,
+            degraded,
+            residual,
             tag: job.tag,
         });
     }

@@ -92,8 +92,8 @@ mod stats;
 #[allow(deprecated)]
 pub use broker::par_batch_served;
 pub use broker::{
-    exact_factory, global_bound_factory, FriendsService, ProcessorFactory, ServiceConfig,
-    ShardContext,
+    exact_factory, global_bound_factory, FaultKind, FaultPlan, FriendsService, OverloadPolicy,
+    ProcessorFactory, ServiceConfig, ShardContext,
 };
 pub use client::{ClientStats, DirectClient, DirectConfig, SearchClient, ServedClient};
 pub use multiplexer::Multiplexer;
@@ -106,3 +106,4 @@ pub use stats::{ServiceStats, ShardStats};
 pub use friends_core::plan::{
     Plan, PlanHistogram, Planner, PlannerConfig, ProcessorRegistry, QueryRequest,
 };
+pub use friends_core::proximity::SigmaBounds;

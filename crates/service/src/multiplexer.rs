@@ -90,6 +90,8 @@ impl Multiplexer {
                         queue_wait: Duration::ZERO,
                         coalesced: false,
                         result_cached: false,
+                        degraded: false,
+                        residual: 0.0,
                         tag: ticket.tag(),
                     },
                 ));

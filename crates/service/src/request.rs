@@ -4,7 +4,7 @@ use crossbeam::channel;
 use friends_core::corpus::SearchResult;
 use friends_core::plan::QueryRequest;
 use friends_core::processors::ScoringStrategy;
-use friends_core::proximity::ProximityModel;
+use friends_core::proximity::{ProximityModel, SigmaBounds};
 use friends_data::queries::Query;
 use std::time::{Duration, Instant};
 
@@ -31,6 +31,11 @@ pub struct Request {
     /// Expert override for planner-backed services: force a registry entry
     /// by name. Fixed-factory services ignore it.
     pub processor: Option<&'static str>,
+    /// Approximation bounds on σ materialization — [`SigmaBounds::EXACT`]
+    /// (the default) is lossless. Under overload the broker may tighten
+    /// these further (never loosen); the reply reports the effective
+    /// degradation in [`Reply::degraded`] / [`Reply::residual`].
+    pub bounds: SigmaBounds,
     /// Caller correlation tag, echoed in the [`Reply`].
     pub tag: u64,
 }
@@ -45,6 +50,7 @@ impl Request {
             deadline: Deadline::Default,
             model: None,
             processor: None,
+            bounds: SigmaBounds::EXACT,
             tag: 0,
         }
     }
@@ -73,6 +79,12 @@ impl Request {
         self
     }
 
+    /// Sets approximation bounds (see [`Request::bounds`]).
+    pub fn with_bounds(mut self, bounds: SigmaBounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
     /// Sets the caller correlation tag.
     pub fn with_tag(mut self, tag: u64) -> Self {
         self.tag = tag;
@@ -88,6 +100,7 @@ impl From<QueryRequest> for Request {
             deadline: r.deadline,
             model: Some(r.model),
             processor: r.processor,
+            bounds: r.bounds,
             tag: r.tag,
         }
     }
@@ -142,6 +155,14 @@ pub struct Reply {
     /// Whether this reply came out of the broker's result-memoization
     /// cache (its `stats` are then empty — no work was performed).
     pub result_cached: bool,
+    /// Whether the request executed under non-exact σ bounds — either its
+    /// own or bounds tightened by the broker's overload controller. A
+    /// degraded reply's scores are **lower bounds** on the exact scores.
+    pub degraded: bool,
+    /// Score-space error certificate: every returned (and every omitted)
+    /// item's exact score exceeds its reported score by at most this much.
+    /// Always `0.0` for non-degraded replies.
+    pub residual: f64,
     /// The request's correlation tag, echoed verbatim.
     pub tag: u64,
 }
@@ -226,6 +247,8 @@ impl Ticket {
                     queue_wait: Duration::ZERO,
                     coalesced: false,
                     result_cached: false,
+                    degraded: false,
+                    residual: 0.0,
                     tag: self.tag,
                 };
             }
@@ -259,6 +282,8 @@ impl Ticket {
             queue_wait: Duration::ZERO,
             coalesced: false,
             result_cached: false,
+            degraded: false,
+            residual: 0.0,
             tag: self.tag,
         }
     }
@@ -270,6 +295,7 @@ pub(crate) struct Job {
     pub strategy: ScoringStrategy,
     pub model: Option<ProximityModel>,
     pub processor: Option<&'static str>,
+    pub bounds: SigmaBounds,
     pub deadline: Option<Instant>,
     pub submitted: Instant,
     pub reply: channel::Sender<Reply>,

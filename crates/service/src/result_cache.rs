@@ -33,15 +33,23 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// The memoization key: the query, the model's exact parameter bits (`None`
-/// for fixed-factory services, whose model is implicit), the strategy hint
-/// and the processor override. Identical to the broker's coalescing key —
-/// whatever would have coalesced in flight hits here across cycles.
+/// for fixed-factory services, whose model is implicit), the strategy hint,
+/// the processor override and the *effective* σ-bounds bits the execution
+/// ran under. Identical to the broker's coalescing key — whatever would
+/// have coalesced in flight hits here across cycles. Keying on bounds is a
+/// soundness requirement, not an optimization: a degraded ranking must
+/// never be served for an exact request (nor for a differently-bounded
+/// one).
 pub(crate) type ResultKey = (
     Query,
     Option<(u8, u64, u64)>,
     ScoringStrategy,
     Option<&'static str>,
+    (u32, u64),
 );
+
+/// A cached ranking plus the residual certificate its execution reported.
+pub(crate) type CachedRanking = (Arc<Vec<(ItemId, f32)>>, f64);
 
 fn hash_key(key: &ResultKey) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -51,6 +59,9 @@ fn hash_key(key: &ResultKey) -> u64 {
 
 struct Slot {
     items: Arc<Vec<(ItemId, f32)>>,
+    /// The original execution's score-space residual certificate — replayed
+    /// verbatim on every hit (0.0 for exact entries).
+    residual: f64,
     /// Recency stamp; also the key into the recency index.
     stamp: u64,
     epoch: u64,
@@ -136,10 +147,10 @@ impl ResultCache {
                 .is_some_and(|ttl| slot.inserted_at.elapsed() > ttl)
     }
 
-    /// Looks up a ranking, refreshing its recency. Stale entries (older
-    /// epoch, or past the TTL) are dropped and reported as a miss plus an
-    /// expiration.
-    pub(crate) fn get(&self, key: &ResultKey) -> Option<Arc<Vec<(ItemId, f32)>>> {
+    /// Looks up a ranking and its residual certificate, refreshing its
+    /// recency. Stale entries (older epoch, or past the TTL) are dropped
+    /// and reported as a miss plus an expiration.
+    pub(crate) fn get(&self, key: &ResultKey) -> Option<CachedRanking> {
         let epoch = self.epoch();
         let hash = hash_key(key);
         let mut guard = self.inner.lock();
@@ -163,7 +174,7 @@ impl ResultCache {
             slot.stamp = inner.tick;
             inner.recency.insert(inner.tick, key.clone());
             self.hits.fetch_add(1, Ordering::Relaxed);
-            Some(Arc::clone(&slot.items))
+            Some((Arc::clone(&slot.items), slot.residual))
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             None
@@ -184,6 +195,7 @@ impl ResultCache {
         &self,
         key: ResultKey,
         items: Arc<Vec<(ItemId, f32)>>,
+        residual: f64,
         computed_epoch: u64,
     ) {
         let epoch = self.epoch();
@@ -196,6 +208,7 @@ impl ResultCache {
         if let Some(slot) = inner.map.get_mut(&key) {
             inner.bytes = inner.bytes - charge_of(&slot.items) + charge_of(&items);
             slot.items = items;
+            slot.residual = residual;
             slot.epoch = epoch;
             slot.inserted_at = Instant::now();
             inner.tick += 1;
@@ -242,6 +255,7 @@ impl ResultCache {
             key,
             Slot {
                 items,
+                residual,
                 stamp,
                 epoch,
                 inserted_at: Instant::now(),
@@ -282,7 +296,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use friends_core::proximity::ProximityModel;
+    use friends_core::proximity::{ProximityModel, SigmaBounds};
 
     fn key(seeker: u32, tag: u32) -> ResultKey {
         (
@@ -294,6 +308,7 @@ mod tests {
             Some(ProximityModel::FriendsOnly.key_bits()),
             ScoringStrategy::Auto,
             None,
+            SigmaBounds::EXACT.key_bits(),
         )
     }
 
@@ -310,9 +325,10 @@ mod tests {
     fn get_after_insert_hits() {
         let c = ResultCache::new(8, POLICY);
         assert!(c.get(&key(1, 0)).is_none());
-        c.insert(key(1, 0), ranking(7), c.epoch());
-        let v = c.get(&key(1, 0)).expect("hit");
+        c.insert(key(1, 0), ranking(7), 0.0, c.epoch());
+        let (v, residual) = c.get(&key(1, 0)).expect("hit");
         assert_eq!(v[0].0, 7);
+        assert_eq!(residual, 0.0);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }
@@ -320,7 +336,7 @@ mod tests {
     #[test]
     fn strategy_and_model_are_part_of_the_key() {
         let c = ResultCache::new(8, POLICY);
-        c.insert(key(1, 0), ranking(7), c.epoch());
+        c.insert(key(1, 0), ranking(7), 0.0, c.epoch());
         let mut other = key(1, 0);
         other.2 = ScoringStrategy::BlockMax;
         assert!(c.get(&other).is_none(), "strategy must not alias");
@@ -330,12 +346,25 @@ mod tests {
     }
 
     #[test]
+    fn bounds_are_part_of_the_key() {
+        // A degraded ranking must never answer an exact request (or one
+        // with different bounds), and its residual certificate replays.
+        let c = ResultCache::new(8, POLICY);
+        let mut degraded = key(1, 0);
+        degraded.4 = SigmaBounds::with_radius(2).key_bits();
+        c.insert(degraded.clone(), ranking(7), 0.25, c.epoch());
+        assert!(c.get(&key(1, 0)).is_none(), "bounds must not alias");
+        let (_, residual) = c.get(&degraded).expect("hit");
+        assert_eq!(residual, 0.25);
+    }
+
+    #[test]
     fn lru_evicts_oldest() {
         let c = ResultCache::new(2, POLICY);
-        c.insert(key(1, 0), ranking(1), c.epoch());
-        c.insert(key(2, 0), ranking(2), c.epoch());
+        c.insert(key(1, 0), ranking(1), 0.0, c.epoch());
+        c.insert(key(2, 0), ranking(2), 0.0, c.epoch());
         assert!(c.get(&key(1, 0)).is_some()); // refresh 1 → 2 is oldest
-        c.insert(key(3, 0), ranking(3), c.epoch());
+        c.insert(key(3, 0), ranking(3), 0.0, c.epoch());
         assert!(c.get(&key(2, 0)).is_none(), "LRU entry must be evicted");
         assert!(c.get(&key(1, 0)).is_some());
         assert!(c.get(&key(3, 0)).is_some());
@@ -355,11 +384,11 @@ mod tests {
             let _ = c.get(&key(1, 0)); // make residents hot
             let _ = c.get(&key(2, 0));
         }
-        c.insert(key(1, 0), ranking(1), c.epoch());
-        c.insert(key(2, 0), ranking(2), c.epoch());
+        c.insert(key(1, 0), ranking(1), 0.0, c.epoch());
+        c.insert(key(2, 0), ranking(2), 0.0, c.epoch());
         for u in 10..30 {
             let _ = c.get(&key(u, 0));
-            c.insert(key(u, 0), ranking(u), c.epoch());
+            c.insert(key(u, 0), ranking(u), 0.0, c.epoch());
         }
         assert!(c.get(&key(1, 0)).is_some(), "hot entry evicted");
         assert!(c.get(&key(2, 0)).is_some(), "hot entry evicted");
@@ -371,7 +400,7 @@ mod tests {
     #[test]
     fn epoch_invalidation_drops_entries_lazily() {
         let c = ResultCache::new(8, POLICY);
-        c.insert(key(1, 0), ranking(1), c.epoch());
+        c.insert(key(1, 0), ranking(1), 0.0, c.epoch());
         assert!(c.get(&key(1, 0)).is_some());
         c.invalidate();
         assert_eq!(c.epoch(), 1);
@@ -380,8 +409,8 @@ mod tests {
         assert_eq!(s.expirations, 1);
         assert_eq!(s.entries, 0, "stale entry reaped on access");
         // Fresh insert under the new epoch serves again.
-        c.insert(key(1, 0), ranking(2), c.epoch());
-        assert_eq!(c.get(&key(1, 0)).expect("hit")[0].0, 2);
+        c.insert(key(1, 0), ranking(2), 0.0, c.epoch());
+        assert_eq!(c.get(&key(1, 0)).expect("hit").0[0].0, 2);
     }
 
     #[test]
@@ -394,7 +423,7 @@ mod tests {
         let observed = c.epoch();
         assert!(c.get(&key(1, 0)).is_none()); // the miss
         c.invalidate(); // corpus mutates while the worker computes
-        c.insert(key(1, 0), ranking(7), observed);
+        c.insert(key(1, 0), ranking(7), 0.0, observed);
         assert!(
             c.get(&key(1, 0)).is_none(),
             "pre-invalidation ranking must not be cached: {:?}",
@@ -402,8 +431,8 @@ mod tests {
         );
         assert_eq!(c.stats().insertions, 0);
         // An insert computed under the current epoch still lands.
-        c.insert(key(1, 0), ranking(8), c.epoch());
-        assert_eq!(c.get(&key(1, 0)).expect("hit")[0].0, 8);
+        c.insert(key(1, 0), ranking(8), 0.0, c.epoch());
+        assert_eq!(c.get(&key(1, 0)).expect("hit").0[0].0, 8);
     }
 
     #[test]
@@ -418,10 +447,10 @@ mod tests {
         for _ in 0..8 {
             let _ = c.get(&key(1, 0)); // very hot resident
         }
-        c.insert(key(1, 0), ranking(1), c.epoch());
+        c.insert(key(1, 0), ranking(1), 0.0, c.epoch());
         c.invalidate(); // resident is now dead, however hot its sketch
         let _ = c.get(&key(2, 0));
-        c.insert(key(2, 0), ranking(2), c.epoch());
+        c.insert(key(2, 0), ranking(2), 0.0, c.epoch());
         assert!(
             c.get(&key(2, 0)).is_some(),
             "fresh insert blocked by a dead resident: {:?}",
@@ -438,7 +467,7 @@ mod tests {
                 ttl: Some(std::time::Duration::from_millis(15)),
             },
         );
-        c.insert(key(1, 0), ranking(1), c.epoch());
+        c.insert(key(1, 0), ranking(1), 0.0, c.epoch());
         assert!(c.get(&key(1, 0)).is_some());
         std::thread::sleep(std::time::Duration::from_millis(25));
         assert!(c.get(&key(1, 0)).is_none(), "stale entry must expire");

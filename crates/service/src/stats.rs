@@ -16,6 +16,13 @@ pub(crate) struct ShardState {
     pub coalesced: AtomicU64,
     pub result_served: AtomicU64,
     pub deadline_misses: AtomicU64,
+    pub degraded: AtomicU64,
+    pub failed: AtomicU64,
+    pub worker_restarts: AtomicU64,
+    /// `f64::to_bits` of the largest residual reported so far. Residuals
+    /// are finite and non-negative, so the bit patterns order like the
+    /// numbers and a plain `fetch_max` keeps the running maximum.
+    pub max_residual_bits: AtomicU64,
     pub batches: AtomicU64,
     pub max_batch: AtomicUsize,
     pub cache: Arc<ProximityCache>,
@@ -39,12 +46,23 @@ impl ShardState {
             coalesced: AtomicU64::new(0),
             result_served: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            max_residual_bits: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicUsize::new(0),
             cache,
             results,
             plans,
         }
+    }
+
+    /// Records one degraded completion's residual certificate.
+    pub fn record_degraded(&self, residual: f64) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        self.max_residual_bits
+            .fetch_max(residual.to_bits(), Ordering::Relaxed);
     }
 
     pub fn snapshot(&self, shard: usize) -> ShardStats {
@@ -57,6 +75,10 @@ impl ShardState {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             result_served: self.result_served.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            max_residual: f64::from_bits(self.max_residual_bits.load(Ordering::Relaxed)),
             batches: self.batches.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             cache: self.cache.stats(),
@@ -90,6 +112,17 @@ pub struct ShardStats {
     pub result_served: u64,
     /// Requests shed because their deadline passed while queued.
     pub deadline_misses: u64,
+    /// Requests served under non-exact σ bounds (their own, or tightened
+    /// by the overload controller).
+    pub degraded: u64,
+    /// Requests answered [`crate::Outcome::Failed`] — a contained worker
+    /// panic (injected or real) lost the in-flight execution.
+    pub failed: u64,
+    /// Times this shard's engine was rebuilt after a contained panic.
+    pub worker_restarts: u64,
+    /// Largest score-space residual certificate reported by any degraded
+    /// reply (0.0 when nothing degraded).
+    pub max_residual: f64,
     /// Dispatch cycles run.
     pub batches: u64,
     /// Largest batch drained in one dispatch cycle.
@@ -126,6 +159,10 @@ impl ServiceStats {
             t.coalesced += s.coalesced;
             t.result_served += s.result_served;
             t.deadline_misses += s.deadline_misses;
+            t.degraded += s.degraded;
+            t.failed += s.failed;
+            t.worker_restarts += s.worker_restarts;
+            t.max_residual = t.max_residual.max(s.max_residual);
             t.batches += s.batches;
             t.max_batch = t.max_batch.max(s.max_batch);
             t.cache.merge(&s.cache);

@@ -110,7 +110,15 @@ fn reference_stream(
     queries
         .iter()
         .map(|q| {
-            let plan = planner.plan(corpus, &registry, q, model, hint, None);
+            let plan = planner.plan(
+                corpus,
+                &registry,
+                q,
+                model,
+                hint,
+                None,
+                friends_core::proximity::SigmaBounds::EXACT,
+            );
             assert_eq!(plan.processor_name, friends_core::plan::EXACT_ONLINE);
             let p = by_strategy
                 .entry(plan.strategy)

@@ -13,16 +13,21 @@
 
 use friends_core::batch::par_batch;
 use friends_core::corpus::Corpus;
+use friends_core::plan::QueryRequest;
 use friends_core::processors::{
     ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA, Processor,
 };
-use friends_core::proximity::ProximityModel;
+use friends_core::proximity::{ProximityModel, SigmaBounds};
 use friends_data::queries::Query;
 use friends_data::store::TagStore;
 use friends_data::Tagging;
 use friends_graph::GraphBuilder;
-use friends_service::{exact_factory, global_bound_factory, par_batch_served, ShardContext};
+use friends_service::{
+    exact_factory, global_bound_factory, par_batch_served, FaultKind, FaultPlan, FriendsService,
+    Outcome, Request, SearchClient, ServedClient, ServiceConfig, ShardContext,
+};
 use proptest::prelude::*;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Strategy: a small random corpus plus a stream of queries with repeated
@@ -88,6 +93,20 @@ fn all_models() -> Vec<ProximityModel> {
 /// Shard counts the satellite task pins: serialized, a few, and far more
 /// shards than any stream has distinct seekers.
 const SHARD_COUNTS: [usize; 3] = [1, 3, 64];
+
+/// Strategy: arbitrary σ bounds, from brutally truncated (radius 0) to
+/// effectively exact (a radius beyond any 24-user test graph's diameter
+/// with no mass floor).
+fn arb_bounds() -> impl Strategy<Value = SigmaBounds> {
+    (
+        0u32..6,
+        prop_oneof![Just(0.0f64), Just(1e-4), Just(1e-3), Just(1e-2)],
+    )
+        .prop_map(|(max_radius, min_mass)| SigmaBounds {
+            max_radius,
+            min_mass,
+        })
+}
 
 fn assert_streams_identical(
     want: &[Vec<(u32, f32)>],
@@ -177,4 +196,153 @@ proptest! {
             assert_streams_identical(&want, &served, &format!("friend-expansion shards={shards}"))?;
         }
     }
+
+    /// Degraded-serving soundness: for any corpus and any σ bounds, every
+    /// score the service returns is a lower bound on the exact score, the
+    /// gap never exceeds the reply's residual certificate, and a zero
+    /// residual proves the ranking byte-identical to exact execution.
+    #[test]
+    fn degraded_scores_stay_within_the_residual_certificate(
+        (corpus, queries) in arb_corpus_and_stream(),
+        bounds in arb_bounds(),
+    ) {
+        for model in [
+            ProximityModel::DistanceDecay { alpha: 0.5 },
+            ProximityModel::WeightedDecay { alpha: 0.5 },
+        ] {
+            let mut exact = ExactOnline::new(&corpus, model);
+            let client = ServedClient::start(
+                Arc::clone(&corpus),
+                ServiceConfig {
+                    shards: 2,
+                    ..ServiceConfig::default()
+                },
+            );
+            for q in &queries {
+                // Full ranking (the strategy caps items below 16), so the
+                // certificate is checked for every scored item, not just a
+                // shared top-k prefix.
+                let mut q = q.clone();
+                q.k = 16;
+                let want = exact.query(&q);
+                let reply = client.run(
+                    QueryRequest::from_query(q).with_model(model).with_bounds(bounds),
+                );
+                let got = match reply.outcome.result() {
+                    Some(r) => r,
+                    None => return Err(TestCaseError::fail("bounded request did not complete")),
+                };
+                prop_assert!(
+                    got.residual.is_finite() && got.residual >= 0.0,
+                    "residual must be a finite nonnegative certificate: {}",
+                    got.residual
+                );
+                let by_item: HashMap<u32, f32> = got.items.iter().copied().collect();
+                for &(item, ws) in &want.items {
+                    // Items the bounded run omitted scored 0 under it.
+                    let ds = by_item.get(&item).copied().unwrap_or(0.0);
+                    prop_assert!(
+                        f64::from(ds) <= f64::from(ws) + 1e-5,
+                        "bounded σ must never over-report: item {} exact {} bounded {}",
+                        item, ws, ds
+                    );
+                    prop_assert!(
+                        f64::from(ws) - f64::from(ds) <= got.residual + 1e-5,
+                        "certificate violated: item {} exact {} bounded {} residual {}",
+                        item, ws, ds, got.residual
+                    );
+                }
+                if got.residual == 0.0 {
+                    assert_streams_identical(
+                        std::slice::from_ref(&want.items),
+                        std::slice::from_ref(got),
+                        &format!("zero-residual {} bounds={bounds:?}", model.name()),
+                    )?;
+                }
+            }
+            client.shutdown();
+        }
+    }
+}
+
+/// A panic injected mid-stream — with the whole stream already in flight —
+/// fails exactly the one executing request: everything before and after it
+/// completes, the engine is rebuilt once, and the shard keeps serving.
+#[test]
+fn midstream_panic_loses_only_the_in_flight_request() {
+    let n = 16u32;
+    let mut b = GraphBuilder::new(n as usize);
+    for u in 0..n {
+        b.add_edge(u, (u + 1) % n, 1.0);
+        b.add_edge(u, (u + 5) % n, 0.5);
+    }
+    let graph = b.build();
+    let taggings: Vec<Tagging> = (0..n)
+        .flat_map(|u| {
+            (0..3u32).map(move |j| Tagging {
+                user: u,
+                item: (u + j) % 8,
+                tag: j % 2,
+                weight: 1.0 + j as f32,
+            })
+        })
+        .collect();
+    let store = TagStore::build(n, 8, 2, taggings);
+    let corpus = Arc::new(Corpus::new(graph, store));
+    let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+
+    let svc = FriendsService::start(
+        Arc::clone(&corpus),
+        ServiceConfig {
+            shards: 1,       // one FIFO queue: the fault ordinal is the stream position
+            coalesce: false, // every request is its own execution attempt
+            fault: Some(FaultPlan {
+                nth: 5,
+                kind: FaultKind::Panic,
+            }),
+            ..ServiceConfig::default()
+        },
+        exact_factory(model),
+    );
+
+    // Flood the entire stream before collecting anything, so the fault
+    // fires with dozens of requests in flight.
+    let queries: Vec<Query> = (0..32u32)
+        .map(|i| Query {
+            seeker: i % n,
+            tags: vec![i % 2],
+            k: 5,
+        })
+        .collect();
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| svc.submit(Request::new(q.clone()).without_deadline()))
+        .collect();
+    let replies: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+
+    let failed: Vec<usize> = replies
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r.outcome, Outcome::Failed))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(failed, vec![4], "exactly the 5th execution fails");
+    for (i, r) in replies.iter().enumerate() {
+        if i != 4 {
+            assert!(r.outcome.result().is_some(), "request {i} must complete");
+        }
+    }
+
+    // The shard rebuilt its engine once and keeps serving fresh requests.
+    let after = svc
+        .submit(Request::new(queries[0].clone()).without_deadline())
+        .wait();
+    assert!(
+        after.outcome.result().is_some(),
+        "service must keep serving"
+    );
+    let stats = svc.shutdown().totals();
+    assert_eq!(stats.worker_restarts, 1, "one contained rebuild");
+    assert_eq!(stats.failed, 1, "only the in-flight request is lost");
+    assert_eq!(stats.executed, 32, "31 stream survivors + 1 follow-up");
 }

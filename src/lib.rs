@@ -85,10 +85,12 @@ pub mod prelude {
         GlobalProcessor, Hybrid, HybridConfig, Processor, ScoringStrategy,
     };
     pub use friends_core::proximity::ProximityModel;
-    pub use friends_core::proximity::{ProximityVec, Sigma, SigmaWorkspace};
+    pub use friends_core::proximity::{ProximityVec, Sigma, SigmaBounds, SigmaWorkspace};
     pub use friends_data::datasets::{Dataset, DatasetSpec, Family, Scale};
     pub use friends_data::queries::{Query, QueryParams, QueryWorkload};
-    pub use friends_data::requests::{RequestParams, RequestStream, TimedRequest};
+    pub use friends_data::requests::{
+        OpenLoopParams, OpenLoopRequest, OpenLoopStream, RequestParams, RequestStream, TimedRequest,
+    };
     pub use friends_data::store::TagStore;
     pub use friends_data::{ItemId, TagId, Tagging, UserId};
     pub use friends_graph::{CsrGraph, GraphBuilder, NodeId};
@@ -96,8 +98,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use friends_service::par_batch_served;
     pub use friends_service::{
-        exact_factory, global_bound_factory, ClientStats, DirectClient, DirectConfig,
-        FriendsService, Multiplexer, Outcome, Reply, Request, SearchClient, ServedClient,
-        ServiceConfig, ServiceStats, ShardStats, Ticket,
+        exact_factory, global_bound_factory, ClientStats, DirectClient, DirectConfig, FaultKind,
+        FaultPlan, FriendsService, Multiplexer, Outcome, OverloadPolicy, Reply, Request,
+        SearchClient, ServedClient, ServiceConfig, ServiceStats, ShardStats, Ticket,
     };
 }
