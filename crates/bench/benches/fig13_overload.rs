@@ -64,5 +64,15 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+// Default: plain wall-clock harness. With `--features flamegraph`, the
+// same targets run under the pprof profiler hook (see
+// `friends_bench::profiled_criterion`).
+#[cfg(not(feature = "flamegraph"))]
 criterion_group!(benches, bench);
+#[cfg(feature = "flamegraph")]
+criterion_group! {
+    name = benches;
+    config = friends_bench::profiled_criterion();
+    targets = bench
+}
 criterion_main!(benches);

@@ -142,6 +142,15 @@ fn main() {
             "per-experiment 'metrics' objects carry result-cache counters \
              and planner strategy-choice histograms where the experiment \
              runs through a SearchClient (fig9, fig10, fig11)",
+            "latency truth: every client-driven experiment (fig9-fig13) \
+             exports 'latency_*' metrics - per stage (queue_wait, sigma, \
+             scoring, e2e) a {count, p50_us, p99_us, p999_us, max_us, \
+             mean_us} object from the lock-free log-bucketed \
+             LatencyRecorder (quantiles are nearest-rank bucket upper \
+             bounds capped at the observed max, <=1/16 relative error); \
+             queue_wait/e2e count requests while sigma/scoring count \
+             executions, so coalescing and memoization show up as the \
+             gap between the two counts",
             "fig12: the sigma-materialization floor on a seeker-diverse \
              (cold, memoization-free) stream - dense O(n) snapshots vs \
              reach-proportional Touched snapshots under one byte-budgeted \

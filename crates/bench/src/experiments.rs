@@ -3,9 +3,10 @@
 //! benches time the hot kernels, and `EXPERIMENTS.md` records the measured
 //! shapes against the expectations.
 
-use crate::{fmt_bytes, mean_us, percentile_us, timed, TextTable};
+use crate::{fmt_bytes, mean_us, percentiles_us, timed, TextTable};
 use friends_core::corpus::{Corpus, QueryStats, SearchResult};
 use friends_core::eval::{kendall_tau, mean, ndcg_at_k, precision_at_k};
+use friends_core::latency::{LatencySnapshot, Stage, StageLatencies, StageSnapshot, STAGES};
 use friends_core::plan::{QueryRequest, STRATEGY_LABELS};
 use friends_core::processors::{
     ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA,
@@ -594,14 +595,16 @@ pub fn fig8(profile: Profile) -> String {
             }
         }
         let vq = visited as f64 / w.len() as f64;
+        // Both tail columns from one sorted pass.
+        let ps = percentiles_us(&lat, &[0.5, 0.95]);
         t.row(vec![
             k.to_string(),
             format!("{vq:.0}"),
             format!("{:.1}%", 100.0 * vq / n as f64),
             format!("{:.0}%", 100.0 * early as f64 / w.len() as f64),
             format!("{:.1}", checks as f64 / w.len() as f64),
-            format!("{:.0}", percentile_us(&lat, 0.5)),
-            format!("{:.0}", percentile_us(&lat, 0.95)),
+            format!("{:.0}", ps[0]),
+            format!("{:.0}", ps[1]),
         ]);
     }
     format!(
@@ -823,6 +826,9 @@ pub fn fig9(profile: Profile) -> ExperimentOutput {
         "cache speedup",
         "hit rate",
     ]);
+    // Per-model cached clients shut down inside the loop; their per-stage
+    // histograms merge into one aggregate for the latency table.
+    let mut cached_lat = StageSnapshot::default();
     for model in models {
         #[allow(deprecated)] // the pre-refactor baseline the figure measures
         let (dense_r, dense_d) = timed(|| {
@@ -843,6 +849,7 @@ pub fn fig9(profile: Profile) -> ExperimentOutput {
             },
         );
         let (cached_r, cached_d) = timed(|| cached_client.search(&w.queries, model));
+        cached_lat.merge(&cached_client.latencies());
         let cached_stats = cached_client.shutdown();
         // The serving path: the same workload through the seeker-affinity
         // broker (coalescing + shard-private caches).
@@ -867,20 +874,35 @@ pub fn fig9(profile: Profile) -> ExperimentOutput {
             format!("{:.0}%", 100.0 * cached_stats.cache.hit_rate()),
         ]);
     }
+    // Per-stage percentiles of the three client paths (the dense baseline
+    // predates the client stack and records nothing).
+    let ws_lat = workspace_client.latencies();
+    let svc_lat = served_client.latencies();
+    let mut lt = stage_table();
+    stage_rows(&mut lt, "workspace", &ws_lat);
+    stage_rows(&mut lt, "cached", &cached_lat);
+    stage_rows(&mut lt, "service", &svc_lat);
     let metrics = vec![
         plans_metric(&workspace_client.stats().plans),
         (
             "service_plans".to_owned(),
             plan_histogram_json(&served_client.stats().totals().plans),
         ),
+        ("latency_workspace".to_owned(), stage_snapshot_json(&ws_lat)),
+        (
+            "latency_cached".to_owned(),
+            stage_snapshot_json(&cached_lat),
+        ),
+        ("latency_service".to_owned(), stage_snapshot_json(&svc_lat)),
     ];
     workspace_client.shutdown();
     served_client.shutdown();
     ExperimentOutput {
         text: format!(
-            "Fig 9 — hot-path throughput, Zipf(1.1) seekers ({:?}, {count} queries, {threads} threads)\n{}",
+            "Fig 9 — hot-path throughput, Zipf(1.1) seekers ({:?}, {count} queries, {threads} threads)\n{}\nPer-stage latency (all models pooled)\n{}",
             profile.scale(),
-            t.render()
+            t.render(),
+            lt.render()
         ),
         metrics,
     }
@@ -913,6 +935,59 @@ fn plans_metric(h: &friends_core::plan::PlanHistogram) -> (String, String) {
         "planner_strategy_histogram".to_owned(),
         plan_histogram_json(h),
     )
+}
+
+/// Renders one stage's latency histogram as a JSON object string (times
+/// in µs; quantiles are the histogram's pessimistic upper bounds, see
+/// [`friends_core::latency`]).
+pub fn latency_snapshot_json(s: &LatencySnapshot) -> String {
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    format!(
+        "{{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \
+         \"max_us\": {:.1}, \"mean_us\": {:.1}}}",
+        s.count(),
+        us(s.p50()),
+        us(s.p99()),
+        us(s.p999()),
+        us(s.max()),
+        us(s.mean())
+    )
+}
+
+/// Renders a per-stage snapshot as a JSON object keyed by stage name —
+/// the shape of the `latency_*` metrics every client-driven experiment
+/// emits into `report --json`.
+pub fn stage_snapshot_json(s: &StageSnapshot) -> String {
+    let stages: Vec<String> = STAGES
+        .iter()
+        .map(|&st| format!("\"{}\": {}", st.name(), latency_snapshot_json(s.get(st))))
+        .collect();
+    format!("{{{}}}", stages.join(", "))
+}
+
+/// A fresh per-stage latency table (one shape shared by every
+/// client-driven figure).
+fn stage_table() -> TextTable {
+    TextTable::new(&[
+        "path", "stage", "count", "p50 us", "p99 us", "p999 us", "max us",
+    ])
+}
+
+/// Appends one row per stage of `snap` under `label`.
+fn stage_rows(t: &mut TextTable, label: &str, snap: &StageSnapshot) {
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    for &stage in &STAGES {
+        let s = snap.get(stage);
+        t.row(vec![
+            label.into(),
+            stage.name().into(),
+            s.count().to_string(),
+            format!("{:.0}", us(s.p50())),
+            format!("{:.0}", us(s.p99())),
+            format!("{:.0}", us(s.p999())),
+            format!("{:.0}", us(s.max())),
+        ]);
+    }
 }
 
 /// Renders cache counters as a JSON object string (shared with the
@@ -1022,14 +1097,24 @@ pub fn fig10(profile: Profile) -> ExperimentOutput {
             ]);
         }
     }
+    // One aggregate per-stage view across every strategy arm (the client
+    // records per request; strategy-sliced σ/scoring live in the row
+    // ratios above).
+    let lat = client.latencies();
+    let mut lt = stage_table();
+    stage_rows(&mut lt, "direct", &lat);
     let stats = client.shutdown();
     ExperimentOutput {
         text: format!(
-            "Fig 10 — scan vs support-probe vs block-max σ-aware WAND ({:?}, {n_q} queries, k=10)\n{}",
+            "Fig 10 — scan vs support-probe vs block-max σ-aware WAND ({:?}, {n_q} queries, k=10)\n{}\nPer-stage latency (all strategies pooled)\n{}",
             profile.scale(),
-            t.render()
+            t.render(),
+            lt.render()
         ),
-        metrics: vec![plans_metric(&stats.plans)],
+        metrics: vec![
+            plans_metric(&stats.plans),
+            ("latency_direct".to_owned(), stage_snapshot_json(&lat)),
+        ],
     }
 }
 
@@ -1077,6 +1162,7 @@ pub fn fig11(profile: Profile) -> ExperimentOutput {
         "deadline miss",
         "max depth",
     ]);
+    let mut lt = stage_table();
     let mut metrics = Vec::new();
     for model in [
         ProximityModel::DistanceDecay { alpha: 0.3 },
@@ -1147,12 +1233,18 @@ pub fn fig11(profile: Profile) -> ExperimentOutput {
             format!("plans_{}", model.name()),
             plan_histogram_json(&stats.plans),
         ));
+        stage_rows(&mut lt, model.name(), &stats.latency);
+        metrics.push((
+            format!("latency_{}", model.name()),
+            stage_snapshot_json(&stats.latency),
+        ));
     }
     ExperimentOutput {
         text: format!(
             "Fig 11 — serving tier: seeker-affinity ServedClient vs flat cached batch \
-             (Zipf(1.1) repeat-query stream, {users} users, {count} requests, {workers} shards)\n{}",
-            t.render()
+             (Zipf(1.1) repeat-query stream, {users} users, {count} requests, {workers} shards)\n{}\nPer-stage service latency\n{}",
+            t.render(),
+            lt.render()
         ),
         metrics,
     }
@@ -1191,6 +1283,7 @@ pub fn fig12(profile: Profile) -> ExperimentOutput {
         "snaps/MiB",
         "cached seekers",
     ]);
+    let mut lt = stage_table();
     let mut metrics = Vec::new();
     for model in [
         ProximityModel::DistanceDecay { alpha: 0.3 },
@@ -1225,17 +1318,39 @@ pub fn fig12(profile: Profile) -> ExperimentOutput {
         let timing = if model.has_sparse_support() {
             None
         } else {
+            // Both arms carry the identical per-query recording overhead
+            // (one `Instant` pair plus three histogram records), so the
+            // speedup ratio stays a fair comparison. Queue wait stays
+            // empty by construction: this drive has no queue.
             let policy = CachePolicy::default();
             let dense_cache = Arc::new(ProximityCache::with_byte_budget(budget, 16, policy));
             let mut dense = crate::DenseSnapshotExact::new(&c, model, Arc::clone(&dense_cache));
-            let (dense_r, dense_d) =
-                timed(|| w.queries.iter().map(|q| dense.query(q)).collect::<Vec<_>>());
+            let dense_stages = StageLatencies::new();
+            let (dense_r, dense_d) = timed(|| {
+                w.queries
+                    .iter()
+                    .map(|q| {
+                        let (r, d) = timed(|| dense.query(q));
+                        dense_stages.record_ns(Stage::Sigma, r.stats.sigma_ns);
+                        dense_stages.record_ns(Stage::Scoring, r.stats.scoring_ns);
+                        dense_stages.record(Stage::EndToEnd, d);
+                        r
+                    })
+                    .collect::<Vec<_>>()
+            });
             let touched_cache = Arc::new(ProximityCache::with_byte_budget(budget, 16, policy));
             let mut touched = ExactOnline::with_cache(&c, model, Arc::clone(&touched_cache));
+            let touched_stages = StageLatencies::new();
             let (touched_r, touched_d) = timed(|| {
                 w.queries
                     .iter()
-                    .map(|q| touched.query(q))
+                    .map(|q| {
+                        let (r, d) = timed(|| touched.query(q));
+                        touched_stages.record_ns(Stage::Sigma, r.stats.sigma_ns);
+                        touched_stages.record_ns(Stage::Scoring, r.stats.scoring_ns);
+                        touched_stages.record(Stage::EndToEnd, d);
+                        r
+                    })
                     .collect::<Vec<_>>()
             });
             // Measured code, but the differential contract is free to
@@ -1250,10 +1365,12 @@ pub fn fig12(profile: Profile) -> ExperimentOutput {
                 qps(touched_d),
                 touched_cache.stats().entries,
                 dense_cache.stats().entries,
+                dense_stages.snapshot(),
+                touched_stages.snapshot(),
             ))
         };
-        let (dense_cell, touched_cell, speedup_cell, entries_cell, speedup_json) = match timing {
-            Some((dq, tq, te, de)) => (
+        let (dense_cell, touched_cell, speedup_cell, entries_cell, speedup_json) = match &timing {
+            Some((dq, tq, te, de, _, _)) => (
                 format!("{dq:.0}"),
                 format!("{tq:.0}"),
                 format!("{:.2}x", tq / dq),
@@ -1268,6 +1385,18 @@ pub fn fig12(profile: Profile) -> ExperimentOutput {
                 "null".into(),
             ),
         };
+        if let Some((_, _, _, _, dense_snap, touched_snap)) = &timing {
+            stage_rows(&mut lt, &format!("dense/{}", model.name()), dense_snap);
+            stage_rows(&mut lt, &format!("touched/{}", model.name()), touched_snap);
+            metrics.push((
+                format!("latency_dense_{}", model.name()),
+                stage_snapshot_json(dense_snap),
+            ));
+            metrics.push((
+                format!("latency_touched_{}", model.name()),
+                stage_snapshot_json(touched_snap),
+            ));
+        }
         t.row(vec![
             model.name().into(),
             dense_cell,
@@ -1290,8 +1419,9 @@ pub fn fig12(profile: Profile) -> ExperimentOutput {
         text: format!(
             "Fig 12 — the σ-materialization floor: dense-snapshot vs reach-proportional miss \
              path (seeker-diverse stream, {users} users in {community}-islands, {count} cold \
-             queries, 16 MiB byte-budget caches)\n{}",
-            t.render()
+             queries, 16 MiB byte-budget caches)\n{}\nPer-stage latency (direct drive — no queue)\n{}",
+            t.render(),
+            lt.render()
         ),
         metrics,
     }
@@ -1314,6 +1444,8 @@ pub struct OverloadOutcome {
     pub degraded: usize,
     /// Largest residual certificate among degraded replies.
     pub max_residual: f64,
+    /// p50 client-observed completion latency of `Done` replies, in ms.
+    pub p50_ms: f64,
     /// p99 client-observed completion latency of `Done` replies, in ms.
     pub p99_ms: f64,
     /// Wall-clock of the whole run (submission through last completion).
@@ -1384,7 +1516,10 @@ pub fn drive_open_loop(
         record(completion, &submitted_at);
     }
     out.elapsed = start.elapsed();
-    out.p99_ms = percentile_us(&latencies, 0.99) / 1e3;
+    // One sorted pass for both quantiles, interpolated between ranks.
+    let ps = percentiles_us(&latencies, &[0.5, 0.99]);
+    out.p50_ms = ps[0] / 1e3;
+    out.p99_ms = ps[1] / 1e3;
     out
 }
 
@@ -1471,10 +1606,12 @@ pub fn fig13(profile: Profile) -> ExperimentOutput {
         "done %",
         "shed %",
         "degraded %",
+        "p50 ms",
         "p99 ms",
         "max residual",
         "restarts",
     ]);
+    let mut lt = stage_table();
     let mut metrics = Vec::new();
     for (mode, overload) in [
         ("exact", None),
@@ -1506,6 +1643,7 @@ pub fn fig13(profile: Profile) -> ExperimentOutput {
             format!("{:.1}%", pct(run.done)),
             format!("{:.1}%", pct(run.missed)),
             format!("{:.1}%", pct(run.degraded)),
+            format!("{:.2}", run.p50_ms),
             format!("{:.2}", run.p99_ms),
             format!("{:.3e}", run.max_residual),
             stats.worker_restarts.to_string(),
@@ -1514,25 +1652,32 @@ pub fn fig13(profile: Profile) -> ExperimentOutput {
             format!("overload_{mode}"),
             format!(
                 "{{\"offered_qps\": {rate:.0}, \"done\": {}, \"missed\": {}, \"degraded\": {}, \
-                 \"p99_ms\": {:.3}, \"max_residual\": {:.6e}, \"deadline_misses\": {}, \
-                 \"server_degraded\": {}}}",
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_residual\": {:.6e}, \
+                 \"deadline_misses\": {}, \"server_degraded\": {}}}",
                 run.done,
                 run.missed,
                 run.degraded,
+                run.p50_ms,
                 run.p99_ms,
                 run.max_residual,
                 stats.deadline_misses,
                 stats.degraded,
             ),
         ));
+        stage_rows(&mut lt, mode, &stats.latency);
+        metrics.push((
+            format!("latency_{mode}"),
+            stage_snapshot_json(&stats.latency),
+        ));
     }
     ExperimentOutput {
         text: format!(
             "Fig 13 — degrade, don't drop: open-loop overload at 1.5x measured capacity \
              ({capacity:.0} q/s closed-loop, {users} users, {count} requests, {shards} shards, \
-             {}ms deadline)\n{}",
+             {}ms deadline)\n{}\nPer-stage service latency\n{}",
             deadline.as_millis(),
-            t.render()
+            t.render(),
+            lt.render()
         ),
         metrics,
     }

@@ -123,8 +123,13 @@ impl Processor for DenseMaterializeExact<'_> {
     }
 
     fn query(&mut self, q: &Query) -> SearchResult {
+        let sigma_start = Instant::now();
         let sigma = self.model.materialize(&self.corpus.graph, q.seeker);
-        let mut stats = QueryStats::default();
+        let mut stats = QueryStats {
+            sigma_ns: friends_core::latency::elapsed_ns(sigma_start),
+            ..QueryStats::default()
+        };
+        let scoring_start = Instant::now();
         let mut users = std::collections::HashSet::new();
         for &tag in &q.tags {
             if tag >= self.corpus.store.num_tags() {
@@ -140,8 +145,10 @@ impl Processor for DenseMaterializeExact<'_> {
             }
         }
         stats.users_visited = users.len();
+        let items = self.acc.drain_topk(q.k);
+        stats.scoring_ns = friends_core::latency::elapsed_ns(scoring_start);
         SearchResult {
-            items: self.acc.drain_topk(q.k),
+            items,
             stats,
             residual: 0.0,
         }
@@ -346,6 +353,7 @@ impl Processor for DenseSnapshotExact<'_> {
 
     fn query(&mut self, q: &Query) -> SearchResult {
         let mut stats = QueryStats::default();
+        let sigma_start = Instant::now();
         let cached = self.cache.get(&self.corpus.graph, q.seeker, self.model);
         let sigma = match &cached {
             Some(v) => Sigma::Shared(v.as_ref()),
@@ -361,6 +369,8 @@ impl Processor for DenseSnapshotExact<'_> {
                 Sigma::Workspace(&self.sigma)
             }
         };
+        stats.sigma_ns = friends_core::latency::elapsed_ns(sigma_start);
+        let scoring_start = Instant::now();
         for &tag in &q.tags {
             if tag >= self.corpus.store.num_tags() {
                 continue;
@@ -373,8 +383,10 @@ impl Processor for DenseSnapshotExact<'_> {
                 }
             }
         }
+        let items = self.acc.drain_topk(q.k);
+        stats.scoring_ns = friends_core::latency::elapsed_ns(scoring_start);
         SearchResult {
-            items: self.acc.drain_topk(q.k),
+            items,
             stats,
             residual: 0.0,
         }
@@ -440,14 +452,33 @@ pub fn mean_us(ds: &[Duration]) -> f64 {
     ds.iter().map(|d| d.as_secs_f64() * 1e6).sum::<f64>() / ds.len() as f64
 }
 
-/// Percentile (0.0–1.0) of durations in microseconds.
+/// Percentile (0.0–1.0) of durations in microseconds, linearly
+/// interpolated between the two bracketing order statistics at
+/// `idx = q·(n-1)`. The old nearest-rank form rounded to whichever sample
+/// was closer — p50 of `[1, 3]` reported 1 or 3, never 2 — which biased
+/// every small-sample tail column by up to a full sample.
 pub fn percentile_us(ds: &[Duration], q: f64) -> f64 {
+    percentiles_us(ds, &[q])[0]
+}
+
+/// Several percentiles of one sample set from a single sorted pass
+/// (callers asking for p50 **and** p95/p99 used to re-sort per quantile).
+/// Quantiles are linearly interpolated like [`percentile_us`]; an empty
+/// input yields all zeros.
+pub fn percentiles_us(ds: &[Duration], qs: &[f64]) -> Vec<f64> {
     if ds.is_empty() {
-        return 0.0;
+        return vec![0.0; qs.len()];
     }
     let mut v: Vec<f64> = ds.iter().map(|d| d.as_secs_f64() * 1e6).collect();
     v.sort_unstable_by(|a, b| a.total_cmp(b));
-    v[((q * (v.len() - 1) as f64).round() as usize).min(v.len() - 1)]
+    qs.iter()
+        .map(|&q| {
+            let idx = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            v[lo] + (idx - lo as f64) * (v[hi] - v[lo])
+        })
+        .collect()
 }
 
 /// A plain-text aligned table, the output format of every experiment.
@@ -506,6 +537,21 @@ impl TextTable {
         }
         out
     }
+}
+
+/// A [`criterion::Criterion`] configured with the pprof flamegraph
+/// profiler, for the fig benches' `criterion_group!` config arm. Behind
+/// the `flamegraph` feature so the default CI bench build stays free of
+/// profiler hooks:
+///
+/// ```sh
+/// cargo bench -p friends-bench --features flamegraph --bench fig9_hot_path
+/// ```
+#[cfg(feature = "flamegraph")]
+pub fn profiled_criterion() -> criterion::Criterion {
+    use pprof::criterion::{Output, PProfProfiler};
+    criterion::Criterion::default()
+        .with_profiler(PProfProfiler::new(1000, Output::Flamegraph(None)))
 }
 
 /// Formats a byte count human-readably.
@@ -1195,6 +1241,41 @@ mod tests {
         assert!(percentile_us(&ds, 0.5) >= 0.0);
         assert_eq!(mean_us(&[]), 0.0);
         assert_eq!(percentile_us(&[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        // p50 of two samples is their midpoint — the nearest-rank form
+        // this replaced could only ever return one of the samples.
+        let ds = [Duration::from_micros(1), Duration::from_micros(3)];
+        assert_eq!(percentile_us(&ds, 0.5), 2.0);
+        assert_eq!(percentile_us(&ds, 0.0), 1.0);
+        assert_eq!(percentile_us(&ds, 1.0), 3.0);
+        assert_eq!(percentile_us(&ds, 0.75), 2.5);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let ds = [Duration::from_micros(5)];
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_us(&ds, q), 5.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let ds: Vec<Duration> = (0..97)
+            .map(|i: u64| Duration::from_nanos((i * 7919) % 10_000))
+            .collect();
+        let qs: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let ps = percentiles_us(&ds, &qs);
+        for w in ps.windows(2) {
+            assert!(w[0] <= w[1], "percentiles must be monotone in q: {ps:?}");
+        }
+        // The multi-quantile pass must agree with the one-at-a-time form.
+        for (&q, &p) in qs.iter().zip(&ps) {
+            assert_eq!(p, percentile_us(&ds, q), "q={q}");
+        }
     }
 
     #[test]

@@ -10,14 +10,38 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Mirrors `criterion::profiler`: the hook external profilers (e.g. the
+/// vendored `pprof` stand-in) implement to run around each benchmark.
+pub mod profiler {
+    use std::path::Path;
+
+    /// Started before a benchmark's timed samples and stopped after them.
+    /// `benchmark_dir` is where a real profiler would drop its artifacts
+    /// (the stub passes `target/criterion/<group>`).
+    pub trait Profiler {
+        fn start_profiling(&mut self, benchmark_id: &str, benchmark_dir: &Path);
+        fn stop_profiling(&mut self, benchmark_id: &str, benchmark_dir: &Path);
+    }
+}
+
 /// Harness entry point, mirroring `criterion::Criterion`.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    profiler: Option<Box<dyn profiler::Profiler>>,
+}
 
 impl Criterion {
+    /// Installs a profiler hook, mirroring `Criterion::with_profiler`
+    /// (real criterion is generic over the measurement; the stub keeps
+    /// wall-clock and boxes the profiler).
+    pub fn with_profiler<P: profiler::Profiler + 'static>(mut self, p: P) -> Self {
+        self.profiler = Some(Box::new(p));
+        self
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _c: self,
+            c: self,
             name: name.into(),
             sample_size: 10,
         }
@@ -28,13 +52,13 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let group = name.to_owned();
-        run_one(&group, "", 10, f);
+        run_one(&group, "", 10, self.profiler.as_deref_mut(), f);
     }
 }
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
-    _c: &'a mut Criterion,
+    c: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -52,7 +76,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&self.name, &id.label(), self.sample_size, f);
+        run_one(
+            &self.name,
+            &id.label(),
+            self.sample_size,
+            self.c.profiler.as_deref_mut(),
+            f,
+        );
     }
 
     pub fn bench_with_input<I: ?Sized, F>(
@@ -118,20 +148,32 @@ impl Bencher {
     }
 }
 
-fn run_one<F>(group: &str, id: &str, samples: usize, mut f: F)
-where
+fn run_one<F>(
+    group: &str,
+    id: &str,
+    samples: usize,
+    mut profiler: Option<&mut (dyn profiler::Profiler + 'static)>,
+    mut f: F,
+) where
     F: FnMut(&mut Bencher),
 {
     let mut b = Bencher {
         samples,
         mean: None,
     };
-    f(&mut b);
     let label = if id.is_empty() {
         group.to_owned()
     } else {
         format!("{group}/{id}")
     };
+    let bench_dir = std::path::PathBuf::from("target/criterion").join(group);
+    if let Some(p) = profiler.as_deref_mut() {
+        p.start_profiling(&label, &bench_dir);
+    }
+    f(&mut b);
+    if let Some(p) = profiler {
+        p.stop_profiling(&label, &bench_dir);
+    }
     match b.mean {
         Some(mean) => println!(
             "{label:<50} time: {:>12.3} us  ({samples} samples)",
@@ -142,11 +184,19 @@ where
 }
 
 /// Mirrors `criterion_group!`: defines a function running each target.
+/// The `name = …; config = …; targets = …` arm mirrors criterion's
+/// configured form (the shape profiler hooks are installed through).
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         pub fn $name() {
             let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
             $($target(&mut c);)+
         }
     };
@@ -176,5 +226,36 @@ mod tests {
         g.finish();
         // warm-up + 3 samples
         assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn profiler_hook_wraps_every_benchmark() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct Counting {
+            starts: Arc<AtomicUsize>,
+            stops: Arc<AtomicUsize>,
+        }
+        impl profiler::Profiler for Counting {
+            fn start_profiling(&mut self, _id: &str, _dir: &std::path::Path) {
+                self.starts.fetch_add(1, Ordering::Relaxed);
+            }
+            fn stop_profiling(&mut self, _id: &str, _dir: &std::path::Path) {
+                self.stops.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let starts = Arc::new(AtomicUsize::new(0));
+        let stops = Arc::new(AtomicUsize::new(0));
+        let mut c = Criterion::default().with_profiler(Counting {
+            starts: Arc::clone(&starts),
+            stops: Arc::clone(&stops),
+        });
+        let mut g = c.benchmark_group("prof");
+        g.sample_size(1);
+        g.bench_function("a", |b| b.iter(|| 1 + 1));
+        g.bench_function("b", |b| b.iter(|| 2 + 2));
+        g.finish();
+        assert_eq!(starts.load(Ordering::Relaxed), 2);
+        assert_eq!(stops.load(Ordering::Relaxed), 2);
     }
 }

@@ -100,6 +100,16 @@ pub struct QueryStats {
     pub blocks_skipped: usize,
     /// Whether the processor terminated before exhausting its input.
     pub early_terminated: bool,
+    /// Wall-clock nanoseconds spent resolving the seeker's σ vector (cache
+    /// probe + materialization). Zero for processors without a distinct σ
+    /// phase (e.g. global scoring, or expansion's interleaved traversal).
+    /// Timing fields make equality of two *different* executions
+    /// meaningless; the work counters above are what equality should
+    /// compare, so compare those field-wise in tests.
+    pub sigma_ns: u64,
+    /// Wall-clock nanoseconds spent scoring (posting traversal, bound
+    /// checks, top-k maintenance) after σ is resolved.
+    pub scoring_ns: u64,
 }
 
 /// A ranked result list plus its execution statistics.

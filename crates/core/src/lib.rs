@@ -45,6 +45,7 @@ pub mod batch;
 pub mod cache;
 pub mod corpus;
 pub mod eval;
+pub mod latency;
 pub mod plan;
 pub mod processors;
 pub mod proximity;
@@ -53,6 +54,7 @@ pub mod proximity;
 pub use batch::{par_batch, par_batch_with_cache};
 pub use cache::{CachePolicy, CacheStats, ProximityCache};
 pub use corpus::{Corpus, QueryStats, SearchResult};
+pub use latency::{LatencyRecorder, LatencySnapshot, Stage, StageLatencies, StageSnapshot};
 pub use plan::{
     Deadline, Plan, PlanCounters, PlanHistogram, PlannedExecutor, Planner, PlannerConfig,
     ProcessorRegistry, QueryRequest,

@@ -260,9 +260,14 @@ impl Processor for ClusterIndex<'_> {
                 residual: 0.0,
             };
         }
+        // The landmark-distance lookup is this processor's σ phase: it is
+        // what stands in for materializing the seeker's proximity vector.
+        let sigma_start = std::time::Instant::now();
         self.oracle
             .to_landmarks_into(q.seeker, &mut self.ld_scratch);
         let seeker_cluster = self.partition.labels[q.seeker as usize] as usize;
+        stats.sigma_ns = crate::latency::elapsed_ns(sigma_start);
+        let scoring_start = std::time::Instant::now();
 
         // Rank candidate clusters by potential = σ_ub(c) · mass(c, Q); the
         // termination bound uses the per-item bound σ_ub(c) · Σ_t itemmax.
@@ -334,8 +339,10 @@ impl Processor for ClusterIndex<'_> {
             }
         }
         self.cands = cands;
+        let items = self.acc.drain_topk(q.k);
+        stats.scoring_ns = crate::latency::elapsed_ns(scoring_start);
         SearchResult {
-            items: self.acc.drain_topk(q.k),
+            items,
             stats,
             residual: 0.0,
         }

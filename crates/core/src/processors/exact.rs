@@ -18,6 +18,7 @@
 
 use crate::cache::ProximityCache;
 use crate::corpus::{Corpus, QueryStats, SearchResult};
+use crate::latency::elapsed_ns;
 use crate::processors::{Processor, ScoringStrategy};
 use crate::proximity::{ProximityModel, Sigma, SigmaBounds, SigmaWorkspace};
 use friends_data::queries::Query;
@@ -140,6 +141,7 @@ impl Processor for ExactOnline<'_> {
         // for an exact request (or for differently-bounded ones).
         let bounds = self.bounds;
         let use_cache = self.model.cache_worthy();
+        let sigma_start = std::time::Instant::now();
         let cached = if use_cache {
             self.cache
                 .as_ref()
@@ -175,6 +177,8 @@ impl Processor for ExactOnline<'_> {
                 Sigma::Workspace(&self.sigma)
             }
         };
+        stats.sigma_ns = elapsed_ns(sigma_start);
+        let scoring_start = std::time::Instant::now();
         // A lossy σ (positive residual) forces the posting-driven scan: it
         // is the one route that *enumerates* every posting the bounds may
         // have silenced, which is what turns the σ-space residual into a
@@ -239,6 +243,7 @@ impl Processor for ExactOnline<'_> {
             stats.bound_checks = st.random_accesses;
             stats.blocks_skipped = st.blocks_skipped;
             stats.early_terminated = st.blocks_skipped > 0;
+            stats.scoring_ns = elapsed_ns(scoring_start);
             return SearchResult {
                 items,
                 stats,
@@ -297,8 +302,10 @@ impl Processor for ExactOnline<'_> {
             }
         }
         stats.users_visited = self.seen_users.len();
+        let items = self.acc.drain_topk(q.k);
+        stats.scoring_ns = elapsed_ns(scoring_start);
         SearchResult {
-            items: self.acc.drain_topk(q.k),
+            items,
             stats,
             residual: sigma_residual * missed_w,
         }

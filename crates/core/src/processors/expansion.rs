@@ -186,6 +186,10 @@ impl Processor for FriendExpansion<'_> {
                 }
             }
         }
+        // Expansion interleaves σ discovery with scoring (the traversal IS
+        // the proximity computation), so there is no separable σ phase:
+        // `sigma_ns` stays 0 and the whole walk counts as scoring.
+        let scoring_start = std::time::Instant::now();
         let tags = &self.tags_scratch;
         let mut traversal = ProximityScan::new(
             &self.corpus.graph,
@@ -239,8 +243,10 @@ impl Processor for FriendExpansion<'_> {
                 break;
             }
         }
+        let items = self.acc.drain_topk(q.k);
+        stats.scoring_ns = crate::latency::elapsed_ns(scoring_start);
         SearchResult {
-            items: self.acc.drain_topk(q.k),
+            items,
             stats,
             residual: 0.0,
         }

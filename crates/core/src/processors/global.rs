@@ -50,6 +50,8 @@ impl Processor for GlobalProcessor {
     }
 
     fn query(&mut self, q: &Query) -> SearchResult {
+        // Global scoring has no σ phase: `sigma_ns` stays 0 by design.
+        let scoring_start = std::time::Instant::now();
         let lists: Vec<&PostingList> = q
             .tags
             .iter()
@@ -61,6 +63,7 @@ impl Processor for GlobalProcessor {
             items: hits,
             stats: QueryStats {
                 postings_scanned: access.sorted_accesses,
+                scoring_ns: crate::latency::elapsed_ns(scoring_start),
                 ..QueryStats::default()
             },
             residual: 0.0,

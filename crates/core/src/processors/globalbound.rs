@@ -17,6 +17,7 @@
 
 use crate::cache::ProximityCache;
 use crate::corpus::{Corpus, QueryStats, SearchResult};
+use crate::latency::elapsed_ns;
 use crate::processors::{Processor, ScoringStrategy};
 use crate::proximity::{ProximityModel, Sigma, SigmaBounds, SigmaWorkspace};
 use friends_data::queries::Query;
@@ -174,6 +175,7 @@ impl Processor for GlobalBoundTA<'_> {
         }
         let bounds = self.bounds;
         let use_cache = self.model.cache_worthy();
+        let sigma_start = std::time::Instant::now();
         let cached = if use_cache {
             self.cache
                 .as_ref()
@@ -209,6 +211,8 @@ impl Processor for GlobalBoundTA<'_> {
                 Sigma::Workspace(&self.sigma)
             }
         };
+        stats.sigma_ns = elapsed_ns(sigma_start);
+        let scoring_start = std::time::Instant::now();
         // A lossy σ routes through the native TA: `score_item` enumerates
         // every posting of every scored candidate, so the missed weight —
         // and with it the score-space residual certificate — is observable
@@ -251,6 +255,7 @@ impl Processor for GlobalBoundTA<'_> {
             stats.bound_checks = st.random_accesses;
             stats.blocks_skipped = st.blocks_skipped;
             stats.early_terminated = st.blocks_skipped > 0;
+            stats.scoring_ns = elapsed_ns(scoring_start);
             return SearchResult {
                 items,
                 stats,
@@ -316,8 +321,10 @@ impl Processor for GlobalBoundTA<'_> {
                 break;
             }
         }
+        let items = topk.into_sorted_vec();
+        stats.scoring_ns = elapsed_ns(scoring_start);
         SearchResult {
-            items: topk.into_sorted_vec(),
+            items,
             stats,
             residual: sigma_residual * max_missed,
         }

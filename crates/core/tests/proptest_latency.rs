@@ -1,0 +1,133 @@
+//! Property tests for the latency recorder: the histogram is a lossy
+//! summary, but a *certified* one — every quantile it reports must bracket
+//! the exact sorted-sample quantile within one bucket's relative error
+//! (1/16), merging shard recorders in any order must be equivalent to one
+//! recorder seeing every sample, and concurrent multi-shard recording must
+//! lose nothing.
+
+use friends_core::latency::{LatencyRecorder, LatencySnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Exact nearest-rank quantile of a sorted sample set — the same
+/// `ceil(q·n)` rank definition `quantile_bounds` uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Nanosecond samples spanning the interesting octaves: identity buckets,
+/// mid-range µs/ms latencies, and the clamped top.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..64,                  // identity buckets
+            64u64..100_000,            // sub-100µs
+            100_000u64..1_000_000_000, // 100µs..1s
+            // Octave edges below the clamp ceiling (the ≥2^40 clamp bucket
+            // is unbounded by design; it is pinned by the unit tests).
+            (0u32..40).prop_map(|e| 1u64 << e),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    /// The headline guarantee: for every quantile, the exact sample
+    /// quantile lies inside the reported `[lo, hi]` bucket range, and the
+    /// range is no wider than one sub-bucket (1/16 relative, or 1 ns in
+    /// the identity range).
+    #[test]
+    fn histogram_quantiles_bracket_exact_quantiles(samples in arb_samples()) {
+        let r = LatencyRecorder::new();
+        for &s in &samples {
+            r.record_ns(s);
+        }
+        let snap = r.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let (lo, hi) = snap.quantile_bounds(q);
+            prop_assert!(
+                lo <= exact && exact <= hi,
+                "q={q}: exact {exact} outside [{lo}, {hi}] (n={})",
+                sorted.len()
+            );
+            // One bucket's relative error: hi/lo ≤ 1 + 1/16 (integer
+            // rounding gives identity buckets ±1 ns).
+            prop_assert!(
+                hi <= lo + (lo / 16).max(1),
+                "q={q}: bucket [{lo}, {hi}] wider than 1/16 relative"
+            );
+        }
+    }
+
+    /// Sharded recording + merge ≡ one recorder seeing every sample, in
+    /// any shard order (the broker merges shard snapshots index-first; the
+    /// result may not depend on that choice).
+    #[test]
+    fn sharded_merge_equals_single_recorder(
+        samples in arb_samples(),
+        shards in 1usize..5,
+    ) {
+        let single = LatencyRecorder::new();
+        let sharded: Vec<LatencyRecorder> =
+            (0..shards).map(|_| LatencyRecorder::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            single.record_ns(s);
+            sharded[i % shards].record_ns(s);
+        }
+        let mut forward = LatencySnapshot::default();
+        for r in &sharded {
+            forward.merge(&r.snapshot());
+        }
+        let mut backward = LatencySnapshot::default();
+        for r in sharded.iter().rev() {
+            backward.merge(&r.snapshot());
+        }
+        prop_assert_eq!(&forward, &single.snapshot());
+        prop_assert_eq!(&forward, &backward);
+    }
+}
+
+/// Concurrent multi-shard recording with interleaved merges: the final
+/// merged snapshot must account for every sample, deterministically, no
+/// matter how the threads interleaved.
+#[test]
+fn concurrent_record_and_merge_is_deterministic() {
+    const SHARDS: usize = 4;
+    const PER_SHARD: u64 = 20_000;
+    let recorders: Arc<Vec<LatencyRecorder>> =
+        Arc::new((0..SHARDS).map(|_| LatencyRecorder::new()).collect());
+    let threads: Vec<_> = (0..SHARDS)
+        .map(|shard| {
+            let recorders = Arc::clone(&recorders);
+            std::thread::spawn(move || {
+                let mut x = (shard as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                for _ in 0..PER_SHARD {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    recorders[shard].record_ns(x % 5_000_000);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut merged = LatencySnapshot::default();
+    for r in recorders.iter() {
+        merged.merge(&r.snapshot());
+    }
+    assert_eq!(merged.count(), SHARDS as u64 * PER_SHARD);
+    // Re-merging in the same order reproduces the identical snapshot: the
+    // aggregate is a pure function of the per-shard histograms.
+    let mut again = LatencySnapshot::default();
+    for r in recorders.iter() {
+        again.merge(&r.snapshot());
+    }
+    assert_eq!(merged, again);
+    assert!(merged.quantile(1.0) <= merged.max());
+}

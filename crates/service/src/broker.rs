@@ -7,6 +7,7 @@ use crate::stats::{ServiceStats, ShardState};
 use crossbeam::channel;
 use friends_core::cache::{CachePolicy, ProximityCache};
 use friends_core::corpus::{Corpus, SearchResult};
+use friends_core::latency::Stage;
 use friends_core::plan::{PlanCounters, PlannedExecutor, Planner, ProcessorRegistry};
 use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor, ScoringStrategy};
 use friends_core::proximity::{ProximityModel, SigmaBounds};
@@ -551,7 +552,11 @@ impl WorkerCtl {
     fn observe_batch(&mut self, policy: &OverloadPolicy, depth_after: usize, batch: &[Job]) {
         let mut pressure = depth_after >= policy.depth_high;
         if !pressure && self.ewma_job_us > 0.0 {
-            let projected = Duration::from_micros((self.ewma_job_us * batch.len() as f64) as u64);
+            // Keep fractional microseconds: `from_micros(x as u64)` used to
+            // truncate sub-µs projections to zero, so a fast corpus
+            // (per-job EWMA < 1 µs) never projected past any slack and the
+            // deadline arm of the controller was blind.
+            let projected = Duration::from_secs_f64(self.ewma_job_us * batch.len() as f64 * 1e-6);
             let now = Instant::now();
             if let Some(min_slack) = batch
                 .iter()
@@ -733,6 +738,11 @@ fn dispatch<'c, R>(
         // drained buffer (no per-job wrappers). Memoization still applies —
         // it is a different axis than coalescing.
         for job in batch.drain(..) {
+            // Queue wait is a property of queuing: every dispatched job has
+            // one, shed or served.
+            state
+                .latency
+                .record(Stage::QueueWait, started - job.submitted);
             if job.deadline.is_some_and(|d| started > d) {
                 state.deadline_misses.fetch_add(1, Ordering::Relaxed);
                 let _ = job.reply.send(Reply {
@@ -761,6 +771,11 @@ fn dispatch<'c, R>(
                     if degraded {
                         state.record_degraded(residual);
                     }
+                    // Memo hits have an end-to-end latency but no σ or
+                    // scoring execution of their own.
+                    state
+                        .latency
+                        .record(Stage::EndToEnd, job.submitted.elapsed());
                     let _ = job.reply.send(Reply {
                         outcome: Outcome::Done(SearchResult {
                             items: (*items).clone(),
@@ -815,6 +830,15 @@ fn dispatch<'c, R>(
             if degraded {
                 state.record_degraded(residual);
             }
+            // σ/scoring are per-execution stages, reported by the processor
+            // through `QueryStats`; end-to-end closes at reply time.
+            state.latency.record_ns(Stage::Sigma, result.stats.sigma_ns);
+            state
+                .latency
+                .record_ns(Stage::Scoring, result.stats.scoring_ns);
+            state
+                .latency
+                .record(Stage::EndToEnd, job.submitted.elapsed());
             let _ = job.reply.send(Reply {
                 outcome: Outcome::Done(result),
                 shard,
@@ -868,6 +892,9 @@ fn run_group<'c, R>(
     // Shed what already expired in the queue; execute for the rest.
     let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
     for job in jobs {
+        state
+            .latency
+            .record(Stage::QueueWait, started - job.submitted);
         if job.deadline.is_some_and(|d| started > d) {
             state.deadline_misses.fetch_add(1, Ordering::Relaxed);
             let _ = job.reply.send(Reply {
@@ -899,6 +926,9 @@ fn run_group<'c, R>(
             if degraded {
                 state.record_degraded(residual);
             }
+            state
+                .latency
+                .record(Stage::EndToEnd, job.submitted.elapsed());
             let _ = job.reply.send(Reply {
                 outcome: Outcome::Done(SearchResult {
                     items: (*items).clone(),
@@ -954,6 +984,12 @@ fn run_group<'c, R>(
     state
         .coalesced
         .fetch_add(live.len() as u64 - 1, Ordering::Relaxed);
+    // One execution served the whole group: σ/scoring record once, while
+    // queue wait and end-to-end record per rider.
+    state.latency.record_ns(Stage::Sigma, result.stats.sigma_ns);
+    state
+        .latency
+        .record_ns(Stage::Scoring, result.stats.scoring_ns);
     let residual = result.residual;
     if let Some(rc) = &state.results {
         let epoch = observed_epoch.expect("epoch read with the cache present");
@@ -972,6 +1008,9 @@ fn run_group<'c, R>(
         if degraded {
             state.record_degraded(residual);
         }
+        state
+            .latency
+            .record(Stage::EndToEnd, job.submitted.elapsed());
         let _ = job.reply.send(Reply {
             outcome: Outcome::Done(r),
             shard,
@@ -1721,6 +1760,62 @@ mod tests {
         let totals = svc.shutdown().totals();
         assert_eq!(totals.deadline_misses, 0, "{totals:?}");
         assert!(totals.max_residual >= 0.0 && totals.max_residual.is_finite());
+    }
+
+    /// The timing-truncation drill: `from_micros((ewma * len) as u64)` used
+    /// to round a sub-µs cost projection down to zero, so on a fast corpus
+    /// (per-job EWMA < 1 µs) the deadline arm of the controller compared
+    /// `0 > slack` and never fired. With fractional microseconds kept, a
+    /// 0.4 µs EWMA across even a 2-job batch projects 0.8 µs, which must
+    /// register as pressure against (near-)zero remaining slack.
+    #[test]
+    fn sub_microsecond_costs_still_project_pressure() {
+        let policy = OverloadPolicy::default();
+        let mut ctl = WorkerCtl {
+            level: 0,
+            calm: 0,
+            ewma_job_us: 0.4,
+            fault: None,
+            attempts: 0,
+        };
+        let (tx, _rx) = channel::bounded(4);
+        let due = Instant::now() + Duration::from_nanos(100);
+        let make_job = || Job {
+            query: Query {
+                seeker: 0,
+                tags: vec![0],
+                k: 1,
+            },
+            strategy: ScoringStrategy::Auto,
+            model: None,
+            processor: None,
+            bounds: SigmaBounds::EXACT,
+            deadline: Some(due),
+            submitted: Instant::now(),
+            reply: tx.clone(),
+            tag: 0,
+        };
+        let batch = vec![make_job(), make_job()];
+        // Depth 0 is far below depth_high: only the cost projection can
+        // trip pressure here. Slack is at most 100 ns < the 800 ns
+        // projection, so the controller must step up one level.
+        ctl.observe_batch(&policy, 0, &batch);
+        assert_eq!(
+            ctl.level, 1,
+            "sub-µs EWMA × batch length must still project past near-zero slack"
+        );
+        // And at a large batch: 1 ns per job × 512 jobs = 0.512 µs, still
+        // inside the regime the truncation zeroed out entirely.
+        let mut ctl2 = WorkerCtl {
+            level: 0,
+            calm: 0,
+            ewma_job_us: 0.001,
+            fault: None,
+            attempts: 0,
+        };
+        let batch512: Vec<Job> = (0..512).map(|_| make_job()).collect();
+        ctl2.observe_batch(&policy, 0, &batch512);
+        assert_eq!(ctl2.level, 1, "1 ns × 512 must trip against ~0 slack");
     }
 
     /// Deadline-free requests are never degraded, whatever the controller's

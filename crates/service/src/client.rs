@@ -26,6 +26,7 @@ use crate::stats::ServiceStats;
 use crossbeam::channel;
 use friends_core::cache::{CachePolicy, CacheStats, ProximityCache};
 use friends_core::corpus::{Corpus, SearchResult};
+use friends_core::latency::{Stage, StageLatencies, StageSnapshot};
 use friends_core::plan::{
     PlanCounters, PlanHistogram, PlannedExecutor, Planner, ProcessorRegistry, QueryRequest,
 };
@@ -80,6 +81,13 @@ pub trait SearchClient {
             .into_iter()
             .map(|t| t.wait().outcome.expect_done("search"))
             .collect()
+    }
+
+    /// Per-stage latency histograms (queue wait, σ materialization,
+    /// scoring, end-to-end) accumulated so far. Implementations without
+    /// recording return an empty snapshot.
+    fn latencies(&self) -> StageSnapshot {
+        StageSnapshot::default()
     }
 }
 
@@ -174,6 +182,7 @@ pub struct DirectClient {
     deadline_misses: Arc<AtomicU64>,
     failed: Arc<AtomicU64>,
     worker_restarts: Arc<AtomicU64>,
+    latency: Arc<StageLatencies>,
     default_deadline: Option<Duration>,
 }
 
@@ -212,6 +221,7 @@ impl DirectClient {
         let deadline_misses = Arc::new(AtomicU64::new(0));
         let failed = Arc::new(AtomicU64::new(0));
         let worker_restarts = Arc::new(AtomicU64::new(0));
+        let latency = Arc::new(StageLatencies::new());
         let mut workers = Vec::with_capacity(threads);
         for worker in 0..threads {
             let corpus = Arc::clone(&corpus);
@@ -222,6 +232,7 @@ impl DirectClient {
             let deadline_misses = Arc::clone(&deadline_misses);
             let failed = Arc::clone(&failed);
             let worker_restarts = Arc::clone(&worker_restarts);
+            let latency = Arc::clone(&latency);
             let rx = rx.clone();
             let planner = config.planner;
             let handle = std::thread::Builder::new()
@@ -246,6 +257,7 @@ impl DirectClient {
                         &deadline_misses,
                         &failed,
                         &worker_restarts,
+                        &latency,
                         worker,
                     );
                 })
@@ -262,6 +274,7 @@ impl DirectClient {
             deadline_misses,
             failed,
             worker_restarts,
+            latency,
             default_deadline: config.default_deadline,
         }
     }
@@ -346,6 +359,10 @@ impl SearchClient for DirectClient {
             stash: None,
         }
     }
+
+    fn latencies(&self) -> StageSnapshot {
+        self.latency.snapshot()
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -356,6 +373,7 @@ fn direct_worker_loop<'c, R>(
     deadline_misses: &AtomicU64,
     failed: &AtomicU64,
     worker_restarts: &AtomicU64,
+    latency: &StageLatencies,
     worker: usize,
 ) where
     R: Fn() -> PlannedExecutor<'c>,
@@ -367,6 +385,7 @@ fn direct_worker_loop<'c, R>(
             Err(channel::RecvError) => return, // queue fully drained
         };
         let started = Instant::now();
+        latency.record(Stage::QueueWait, started - job.submitted);
         if job.deadline.is_some_and(|d| started > d) {
             deadline_misses.fetch_add(1, Ordering::Relaxed);
             let _ = job.reply.send(Reply {
@@ -407,6 +426,9 @@ fn direct_worker_loop<'c, R>(
             }
         };
         executed.fetch_add(1, Ordering::Relaxed);
+        latency.record_ns(Stage::Sigma, result.stats.sigma_ns);
+        latency.record_ns(Stage::Scoring, result.stats.scoring_ns);
+        latency.record(Stage::EndToEnd, job.submitted.elapsed());
         let degraded = !job.bounds.is_exact();
         let residual = result.residual;
         let _ = job.reply.send(Reply {
@@ -479,6 +501,10 @@ impl ServedClient {
 impl SearchClient for ServedClient {
     fn submit(&self, request: QueryRequest) -> Ticket {
         self.service.submit(Request::from(request))
+    }
+
+    fn latencies(&self) -> StageSnapshot {
+        self.service.stats().totals().latency
     }
 }
 

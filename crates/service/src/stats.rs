@@ -2,6 +2,7 @@
 
 use crate::result_cache::ResultCache;
 use friends_core::cache::{CacheStats, ProximityCache};
+use friends_core::latency::{StageLatencies, StageSnapshot};
 use friends_core::plan::{PlanCounters, PlanHistogram};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -30,6 +31,9 @@ pub(crate) struct ShardState {
     pub results: Option<Arc<ResultCache>>,
     /// Present when the service is planner-backed.
     pub plans: Option<Arc<PlanCounters>>,
+    /// Per-stage latency histograms (queue wait, σ materialization,
+    /// scoring, end-to-end) — lock-free, recorded by the worker loop.
+    pub latency: StageLatencies,
 }
 
 impl ShardState {
@@ -55,6 +59,7 @@ impl ShardState {
             cache,
             results,
             plans,
+            latency: StageLatencies::new(),
         }
     }
 
@@ -88,12 +93,14 @@ impl ShardState {
                 .as_ref()
                 .map(|p| p.snapshot())
                 .unwrap_or_default(),
+            latency: self.latency.snapshot(),
         }
     }
 }
 
-/// A snapshot of one shard's counters.
-#[derive(Clone, Copy, Debug, Default)]
+/// A snapshot of one shard's counters. No longer `Copy`: the latency
+/// snapshot carries histogram buckets — clone explicitly where needed.
+#[derive(Clone, Debug, Default)]
 pub struct ShardStats {
     pub shard: usize,
     /// Requests currently queued.
@@ -135,6 +142,11 @@ pub struct ShardStats {
     /// Planner decisions on this shard (all zero for fixed-factory
     /// services, which never plan).
     pub plans: PlanHistogram,
+    /// Per-stage latency histograms. Queue wait and end-to-end count
+    /// *requests* (every dispatched / every answered one); σ and scoring
+    /// count *executions* — coalesced and memo-served requests ride an
+    /// execution they did not pay for.
+    pub latency: StageSnapshot,
 }
 
 /// A snapshot of every shard, plus aggregates.
@@ -168,6 +180,9 @@ impl ServiceStats {
             t.cache.merge(&s.cache);
             t.results.merge(&s.results);
             t.plans.merge(&s.plans);
+            // Shards iterate in index order, so the merged histograms are
+            // deterministic run-to-run for a fixed set of samples.
+            t.latency.merge(&s.latency);
         }
         t
     }
