@@ -16,7 +16,9 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: report [--exp <name>|all] [--profile quick|full] [--json <path>]\n\
-         experiments: {}",
+         \x20      report --explain <query-spec>\n\
+         experiments: {}\n\
+         query-spec: seeker=<id>,tags=<id>+<id>,k=<n>,model=<name> (all optional)",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -59,6 +61,22 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--explain" => {
+                // EXPLAIN mode: run one force-traced query, print its span
+                // tree, and exit — no experiments, no JSON summary.
+                i += 1;
+                let spec = args.get(i).cloned().unwrap_or_else(|| usage());
+                match friends_bench::explain::explain(&spec) {
+                    Ok(tree) => {
+                        println!("{tree}");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("bad query-spec `{spec}`: {e}");
+                        usage();
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             other => {
@@ -162,6 +180,21 @@ fn main() {
              per-entry overhead) - the quantity byte-budgeted caches \
              (ProximityCache::with_byte_budget, ServiceConfig::cache_bytes) \
              enforce",
+            "metrics_* keys (fig9-fig13 and the service probe) are the \
+             unified MetricsRegistry rendered as a flat JSON object: \
+             'friends_<subsystem>_<name>' keys per the naming convention \
+             in crates/README.md (units as suffixes: _total counters, \
+             _us latencies, _bytes sizes; variants as {label=value} key \
+             suffixes). The CI tail-latency gates jq these keys - e.g. \
+             .metrics.metrics_degraded.friends_stage_queue_wait_p99_us - \
+             so renames are schema breaks",
+            "tracing: per-request span trees (queue -> plan -> sigma -> \
+             scoring -> reply) are head-sampled about 1/64 into per-shard \
+             rings, force-retained for slow or deadline-missed requests \
+             (slow-query log, SearchClient::slow_queries()), forced per \
+             request via with_trace(); 'report --explain <query-spec>' \
+             renders one. trace_* JSON keys are reserved for trace \
+             exports; none ship in this summary yet",
         ];
         let notes_json: Vec<String> = notes
             .iter()
@@ -175,16 +208,26 @@ fn main() {
         // whichever experiments ran above so it is diffable across PRs.
         // Not a measurement of this run's experiments.
         let probe = friends_bench::service_probe();
+        // Reporting reads the registry, not the stats struct's fields —
+        // the same stable keys the Prometheus exposition serves.
+        let mut registry = friends_core::metrics::MetricsRegistry::new();
+        probe.register_into(&mut registry);
+        let count = |key: &str| {
+            registry
+                .get(&format!("friends_service_{key}_total"))
+                .unwrap_or(0.0) as u64
+        };
         let probe_json = format!(
             "{{\"workload\": \"fixed synthetic probe (not this run's experiments)\", \
              \"proximity_cache\": {}, \"result_cache\": {}, \"result_served\": {}, \
-             \"executed\": {}, \"coalesced\": {}, \"plans\": {}}}",
+             \"executed\": {}, \"coalesced\": {}, \"plans\": {}, \"metrics\": {}}}",
             experiments::cache_stats_json(&probe.cache),
             experiments::cache_stats_json(&probe.results),
-            probe.result_served,
-            probe.executed,
-            probe.coalesced,
-            experiments::plan_histogram_json(&probe.plans)
+            count("result_served"),
+            count("executed"),
+            count("coalesced"),
+            experiments::plan_histogram_json(&probe.plans),
+            registry.render_json()
         );
         let doc = format!(
             "{{\n\"profile\": \"{profile_name}\",\n\"experiments\": [\n{}\n],\n\

@@ -7,6 +7,7 @@ use crate::{fmt_bytes, mean_us, percentiles_us, timed, TextTable};
 use friends_core::corpus::{Corpus, QueryStats, SearchResult};
 use friends_core::eval::{kendall_tau, mean, ndcg_at_k, precision_at_k};
 use friends_core::latency::{LatencySnapshot, Stage, StageLatencies, StageSnapshot, STAGES};
+use friends_core::metrics::MetricsRegistry;
 use friends_core::plan::{QueryRequest, STRATEGY_LABELS};
 use friends_core::processors::{
     ClusterConfig, ClusterIndex, ExactOnline, ExpansionConfig, FriendExpansion, GlobalBoundTA,
@@ -894,6 +895,16 @@ pub fn fig9(profile: Profile) -> ExperimentOutput {
             stage_snapshot_json(&cached_lat),
         ),
         ("latency_service".to_owned(), stage_snapshot_json(&svc_lat)),
+        // The unified registry view of the same counters (the
+        // `friends_*` naming convention; see friends_core::metrics).
+        (
+            "metrics_workspace".to_owned(),
+            workspace_client.metrics().render_json(),
+        ),
+        (
+            "metrics_service".to_owned(),
+            served_client.metrics().render_json(),
+        ),
     ];
     workspace_client.shutdown();
     served_client.shutdown();
@@ -912,16 +923,25 @@ pub fn fig9(profile: Profile) -> ExperimentOutput {
 /// (shared with the `report` binary so the per-experiment metrics and the
 /// probe emit one schema).
 pub fn plan_histogram_json(h: &friends_core::plan::PlanHistogram) -> String {
+    // Reporting reads go through registry lookups (the stable
+    // `friends_plan_*` keys), not the histogram's arrays — the struct
+    // stays the recording surface. The legacy JSON shape is preserved.
+    let mut registry = MetricsRegistry::new();
+    h.register_into(&mut registry);
     let strategies: Vec<String> = STRATEGY_LABELS
         .iter()
-        .zip(&h.strategies)
-        .map(|(label, n)| format!("\"{label}\": {n}"))
+        .map(|label| {
+            let n = registry
+                .get(&format!("friends_plan_strategy_total{{strategy={label}}}"))
+                .unwrap_or(0.0) as u64;
+            format!("\"{label}\": {n}")
+        })
         .collect();
-    let processors: Vec<String> = h
-        .processors
+    let processors: Vec<String> = registry
         .iter()
+        .filter(|m| m.name == "friends_plan_processor_total")
         .enumerate()
-        .map(|(i, n)| format!("\"entry{i}\": {n}"))
+        .map(|(i, m)| format!("\"entry{i}\": {}", m.value as u64))
         .collect();
     format!(
         "{{\"strategies\": {{{}}}, \"processors\": {{{}}}}}",
@@ -993,19 +1013,26 @@ fn stage_rows(t: &mut TextTable, label: &str, snap: &StageSnapshot) {
 /// Renders cache counters as a JSON object string (shared with the
 /// `report` binary, like [`plan_histogram_json`]).
 pub fn cache_stats_json(s: &friends_core::cache::CacheStats) -> String {
+    // Reporting reads go through registry lookups (the stable
+    // `friends_cache_*` keys), not the struct's fields — see the
+    // migration table in `crates/README.md`. The legacy JSON shape is
+    // preserved for downstream `jq` consumers.
+    let mut registry = MetricsRegistry::new();
+    s.register_into(&mut registry, "cache");
+    let count = |k: &str| registry.get(&format!("friends_cache_{k}")).unwrap_or(0.0) as u64;
     format!(
         "{{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
          \"rejections\": {}, \"expirations\": {}, \"entries\": {}, \"bytes\": {}, \
          \"hit_rate\": {:.4}}}",
-        s.hits,
-        s.misses,
-        s.insertions,
-        s.evictions,
-        s.rejections,
-        s.expirations,
-        s.entries,
-        s.bytes,
-        s.hit_rate()
+        count("hits_total"),
+        count("misses_total"),
+        count("insertions_total"),
+        count("evictions_total"),
+        count("rejections_total"),
+        count("expirations_total"),
+        count("entries"),
+        count("bytes"),
+        registry.get("friends_cache_hit_rate").unwrap_or(0.0)
     )
 }
 
@@ -1103,6 +1130,7 @@ pub fn fig10(profile: Profile) -> ExperimentOutput {
     let lat = client.latencies();
     let mut lt = stage_table();
     stage_rows(&mut lt, "direct", &lat);
+    let registry_json = client.metrics().render_json();
     let stats = client.shutdown();
     ExperimentOutput {
         text: format!(
@@ -1114,6 +1142,7 @@ pub fn fig10(profile: Profile) -> ExperimentOutput {
         metrics: vec![
             plans_metric(&stats.plans),
             ("latency_direct".to_owned(), stage_snapshot_json(&lat)),
+            ("metrics_direct".to_owned(), registry_json),
         ],
     }
 }
@@ -1238,6 +1267,9 @@ pub fn fig11(profile: Profile) -> ExperimentOutput {
             format!("latency_{}", model.name()),
             stage_snapshot_json(&stats.latency),
         ));
+        let mut registry = MetricsRegistry::new();
+        stats.register_into(&mut registry);
+        metrics.push((format!("metrics_{}", model.name()), registry.render_json()));
     }
     ExperimentOutput {
         text: format!(
@@ -1396,6 +1428,11 @@ pub fn fig12(profile: Profile) -> ExperimentOutput {
                 format!("latency_touched_{}", model.name()),
                 stage_snapshot_json(touched_snap),
             ));
+            // Registry view of the touched (post-PR) arm: this direct drive
+            // has no service stats, so only the stage latencies register.
+            let mut registry = MetricsRegistry::new();
+            touched_snap.register_into(&mut registry);
+            metrics.push((format!("metrics_{}", model.name()), registry.render_json()));
         }
         t.row(vec![
             model.name().into(),
@@ -1669,6 +1706,9 @@ pub fn fig13(profile: Profile) -> ExperimentOutput {
             format!("latency_{mode}"),
             stage_snapshot_json(&stats.latency),
         ));
+        let mut registry = MetricsRegistry::new();
+        stats.register_into(&mut registry);
+        metrics.push((format!("metrics_{mode}"), registry.render_json()));
     }
     ExperimentOutput {
         text: format!(

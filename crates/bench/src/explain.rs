@@ -1,0 +1,158 @@
+//! `report --explain`: run one query through a transient planner-backed
+//! service with a force-sampled trace and render its span tree.
+//!
+//! The query-spec is a comma-separated `key=value` list:
+//!
+//! ```text
+//! seeker=3,tags=1+4,k=10,model=weighted-decay
+//! ```
+//!
+//! Every key is optional (`seeker=0,tags=0,k=10,model=global` is the
+//! default); `tags` joins multiple tag ids with `+`. The corpus is the
+//! fixed Tiny probe corpus (`DatasetSpec::delicious_like(Scale::Tiny)`,
+//! seed 42 — the same one `service_probe` drives), so the output is
+//! reproducible run-to-run and diffable across PRs.
+
+use friends_core::corpus::Corpus;
+use friends_core::plan::QueryRequest;
+use friends_core::proximity::ProximityModel;
+use friends_data::datasets::{DatasetSpec, Scale};
+use friends_data::queries::Query;
+use friends_service::{SearchClient, ServedClient, ServiceConfig};
+use std::sync::Arc;
+
+/// Parses one `key=value` query-spec (see the module docs). Returns a
+/// human-readable error for malformed specs instead of panicking — the
+/// report binary surfaces it next to its usage line.
+pub fn parse_spec(spec: &str) -> Result<(Query, ProximityModel), String> {
+    let mut query = Query {
+        seeker: 0,
+        tags: vec![0],
+        k: 10,
+    };
+    let mut model = ProximityModel::Global;
+    for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("`{pair}` is not key=value"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "seeker" => {
+                query.seeker = value
+                    .parse()
+                    .map_err(|_| format!("seeker `{value}` is not a node id"))?;
+            }
+            "tags" => {
+                query.tags = value
+                    .split('+')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .map_err(|_| format!("tag `{t}` is not a tag id"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if query.tags.is_empty() {
+                    return Err("tags must name at least one tag id".into());
+                }
+            }
+            "k" => {
+                query.k = value
+                    .parse()
+                    .map_err(|_| format!("k `{value}` is not a count"))?;
+            }
+            "model" => {
+                model = match value {
+                    "global" => ProximityModel::Global,
+                    "friends-only" => ProximityModel::FriendsOnly,
+                    "distance-decay" => ProximityModel::DistanceDecay { alpha: 0.3 },
+                    "weighted-decay" => ProximityModel::WeightedDecay { alpha: 0.5 },
+                    "ppr" => ProximityModel::Ppr {
+                        alpha: 0.2,
+                        epsilon: 1e-4,
+                    },
+                    "adamic-adar" => ProximityModel::AdamicAdar,
+                    other => {
+                        return Err(format!(
+                            "unknown model `{other}` (global, friends-only, \
+                             distance-decay, weighted-decay, ppr, adamic-adar)"
+                        ))
+                    }
+                };
+            }
+            other => return Err(format!("unknown key `{other}` (seeker, tags, k, model)")),
+        }
+    }
+    Ok((query, model))
+}
+
+/// Runs the spec'd query through a fresh two-shard planner-backed service
+/// with `with_trace()` and returns the rendered span tree (the `EXPLAIN`
+/// output). The forced trace always comes back on the reply, so the
+/// `expect` is unreachable short of a broken trace pipeline.
+pub fn explain(spec: &str) -> Result<String, String> {
+    let (query, model) = parse_spec(spec)?;
+    let ds = DatasetSpec::delicious_like(Scale::Tiny).build(42);
+    let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
+    let n = corpus.num_users();
+    if query.seeker >= n {
+        return Err(format!(
+            "seeker {} is outside the Tiny probe corpus ({n} users)",
+            query.seeker
+        ));
+    }
+    let client = ServedClient::start(
+        Arc::clone(&corpus),
+        ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let reply = client
+        .submit(
+            QueryRequest::from_query(query)
+                .with_model(model)
+                .with_trace(),
+        )
+        .wait();
+    let rendered = reply
+        .explain()
+        .expect("forced trace must ride back on the reply");
+    client.shutdown();
+    Ok(rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_round_trips_and_rejects_garbage() {
+        let (q, m) = parse_spec("seeker=3,tags=1+4,k=7,model=weighted-decay").unwrap();
+        assert_eq!((q.seeker, q.k), (3, 7));
+        assert_eq!(q.tags, vec![1, 4]);
+        assert_eq!(m.name(), "weighted-decay");
+        // Defaults: the empty spec is valid.
+        let (q, m) = parse_spec("").unwrap();
+        assert_eq!((q.seeker, q.k), (0, 10));
+        assert_eq!(m.name(), "global");
+        assert!(parse_spec("seeker").is_err());
+        assert!(parse_spec("seeker=x").is_err());
+        assert!(parse_spec("model=nope").is_err());
+        assert!(parse_spec("banana=7").is_err());
+    }
+
+    #[test]
+    fn explain_renders_the_full_span_tree() {
+        let out = explain("seeker=1,tags=0,k=5,model=ppr").unwrap();
+        for span in ["queue", "plan", "sigma", "scoring", "reply"] {
+            assert!(out.contains(span), "span `{span}` missing:\n{out}");
+        }
+        assert!(out.contains("[forced]"), "forced flag missing:\n{out}");
+        assert!(out.contains("planned"), "planner event missing:\n{out}");
+    }
+
+    #[test]
+    fn out_of_range_seeker_is_a_spec_error_not_a_panic() {
+        assert!(explain("seeker=999999").is_err());
+    }
+}

@@ -3,6 +3,7 @@
 //! `EXPERIMENTS.md` for the experiment ↔ code index).
 
 pub mod experiments;
+pub mod explain;
 
 use friends_core::cache::ProximityCache;
 use friends_core::corpus::{Corpus, QueryStats, SearchResult};

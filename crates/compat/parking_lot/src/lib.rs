@@ -32,6 +32,18 @@ impl<T: ?Sized> Mutex<T> {
                 .unwrap_or_else(|poison| poison.into_inner()),
         }
     }
+
+    /// Upstream's non-blocking acquire: `Some(guard)` when the lock was
+    /// free, `None` when another holder has it right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(inner) => Some(MutexGuard { inner }),
+            Err(std::sync::TryLockError::Poisoned(poison)) => Some(MutexGuard {
+                inner: poison.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: Default> Default for Mutex<T> {

@@ -187,6 +187,13 @@ fn charge_of(value: &ProximityVec) -> usize {
 }
 
 /// Aggregate counters, cheap enough to read in a serving loop.
+///
+/// **Deprecated for reporting**: reading these fields directly from
+/// reporting/export code is deprecated — call [`CacheStats::register_into`]
+/// and look the values up by their stable `friends_<subsystem>_*` registry
+/// keys instead (migration table in `crates/README.md`). The fields stay
+/// public because this struct *is* the recording surface; only the
+/// read-for-reporting direction moved to the registry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
@@ -214,6 +221,34 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Registers every counter under `friends_<subsystem>_*` (e.g.
+    /// `friends_proximity_cache_hits_total`). Reporting paths read these
+    /// registry keys; the struct fields stay as the recording surface.
+    pub fn register_into(&self, registry: &mut crate::metrics::MetricsRegistry, subsystem: &str) {
+        let name = |suffix: &str| format!("friends_{subsystem}_{suffix}");
+        registry.counter(&name("hits_total"), "cache hits", self.hits);
+        registry.counter(&name("misses_total"), "cache misses", self.misses);
+        registry.counter(
+            &name("insertions_total"),
+            "cache insertions",
+            self.insertions,
+        );
+        registry.counter(&name("evictions_total"), "cache evictions", self.evictions);
+        registry.counter(
+            &name("rejections_total"),
+            "inserts refused by TinyLFU admission",
+            self.rejections,
+        );
+        registry.counter(
+            &name("expirations_total"),
+            "entries dropped by TTL expiry",
+            self.expirations,
+        );
+        registry.gauge(&name("entries"), "resident entries", self.entries as f64);
+        registry.gauge(&name("bytes"), "resident bytes", self.bytes as f64);
+        registry.gauge(&name("hit_rate"), "hit fraction in [0,1]", self.hit_rate());
     }
 
     /// Folds another stats snapshot into this one (entries are summed:

@@ -110,6 +110,11 @@ pub struct QueryStats {
     /// Wall-clock nanoseconds spent scoring (posting traversal, bound
     /// checks, top-k maintenance) after σ is resolved.
     pub scoring_ns: u64,
+    /// σ cache probe outcome: `Some(true)` hit, `Some(false)` miss
+    /// (materialized), `None` when no probe happened (no cache attached,
+    /// or the model bypasses caching). Like the timing fields, irrelevant
+    /// to work-counter equality.
+    pub sigma_cached: Option<bool>,
 }
 
 /// A ranked result list plus its execution statistics.

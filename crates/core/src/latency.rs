@@ -261,6 +261,20 @@ impl LatencySnapshot {
     pub fn p999(&self) -> Duration {
         self.quantile(0.999)
     }
+
+    /// Registers this snapshot's count, percentiles, max and mean under
+    /// `<name>_count` / `<name>_{p50,p99,p999,max,mean}_us`. `name` is the
+    /// full metric prefix (e.g. `friends_stage_queue_wait`), so the CI
+    /// tail-latency gate reads `friends_stage_queue_wait_p99_us`.
+    pub fn register_into(&self, registry: &mut crate::metrics::MetricsRegistry, name: &str) {
+        let us = |d: Duration| d.as_nanos() as f64 / 1e3;
+        registry.counter(&format!("{name}_count"), "samples recorded", self.count);
+        registry.gauge(&format!("{name}_p50_us"), "median latency", us(self.p50()));
+        registry.gauge(&format!("{name}_p99_us"), "p99 latency", us(self.p99()));
+        registry.gauge(&format!("{name}_p999_us"), "p999 latency", us(self.p999()));
+        registry.gauge(&format!("{name}_max_us"), "max latency", us(self.max()));
+        registry.gauge(&format!("{name}_mean_us"), "mean latency", us(self.mean()));
+    }
 }
 
 /// One request-lifecycle stage. The set is closed by design: these are the
@@ -376,6 +390,36 @@ impl StageSnapshot {
         self.sigma.merge(&other.sigma);
         self.scoring.merge(&other.scoring);
         self.e2e.merge(&other.e2e);
+    }
+
+    /// Registers every stage under `friends_stage_<stage>_*` (see
+    /// [`LatencySnapshot::register_into`] for the per-stage keys).
+    pub fn register_into(&self, registry: &mut crate::metrics::MetricsRegistry) {
+        for &stage in &STAGES {
+            self.get(stage)
+                .register_into(registry, &format!("friends_stage_{}", stage.name()));
+        }
+    }
+}
+
+/// Pooling across shards is a fold over [`StageSnapshot::merge`], which is
+/// bucket-wise and therefore order-independent — `Sum` makes that fold a
+/// one-liner and `proptest_latency.rs` pins the order-independence.
+impl std::iter::Sum for StageSnapshot {
+    fn sum<I: Iterator<Item = StageSnapshot>>(iter: I) -> Self {
+        iter.fold(StageSnapshot::default(), |mut acc, s| {
+            acc.merge(&s);
+            acc
+        })
+    }
+}
+
+impl<'a> std::iter::Sum<&'a StageSnapshot> for StageSnapshot {
+    fn sum<I: Iterator<Item = &'a StageSnapshot>>(iter: I) -> Self {
+        iter.fold(StageSnapshot::default(), |mut acc, s| {
+            acc.merge(s);
+            acc
+        })
     }
 }
 

@@ -46,18 +46,25 @@ pub mod cache;
 pub mod corpus;
 pub mod eval;
 pub mod latency;
+pub mod metrics;
 pub mod plan;
 pub mod processors;
 pub mod proximity;
+pub mod trace;
 
 #[allow(deprecated)]
 pub use batch::{par_batch, par_batch_with_cache};
 pub use cache::{CachePolicy, CacheStats, ProximityCache};
 pub use corpus::{Corpus, QueryStats, SearchResult};
 pub use latency::{LatencyRecorder, LatencySnapshot, Stage, StageLatencies, StageSnapshot};
+pub use metrics::{Metric, MetricKind, MetricsRegistry};
 pub use plan::{
     Deadline, Plan, PlanCounters, PlanHistogram, PlannedExecutor, Planner, PlannerConfig,
     ProcessorRegistry, QueryRequest,
 };
 pub use processors::Processor;
 pub use proximity::{ProximityVec, Sigma, SigmaWorkspace};
+pub use trace::{
+    QueryTrace, TraceCollector, TraceConfig, TraceEvent, TraceOutcome, TraceRecord, TraceRing,
+    TraceSpan,
+};

@@ -92,6 +92,12 @@ pub struct QueryRequest {
     /// Caller correlation tag, echoed verbatim in the reply — what a
     /// multiplexed client uses to match completions to submissions.
     pub tag: u64,
+    /// Force-sample this request's trace: the reply carries a full
+    /// [`crate::trace::QueryTrace`] and the trace is retained in the
+    /// serving tier's slow-query log regardless of latency or head
+    /// sampling. Off by default (traced requests pay trace construction
+    /// on the reply path).
+    pub trace: bool,
 }
 
 impl QueryRequest {
@@ -111,6 +117,7 @@ impl QueryRequest {
             processor: None,
             bounds: SigmaBounds::EXACT,
             tag: 0,
+            trace: false,
         }
     }
 
@@ -153,6 +160,12 @@ impl QueryRequest {
     /// Sets the caller correlation tag.
     pub fn with_tag(mut self, tag: u64) -> Self {
         self.tag = tag;
+        self
+    }
+
+    /// Force-samples this request's trace (see [`QueryRequest::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -502,6 +515,33 @@ impl PlanHistogram {
         }
         for (a, b) in self.processors.iter_mut().zip(&other.processors) {
             *a += b;
+        }
+    }
+
+    /// Registers the decision counts as labeled counters:
+    /// `friends_plan_strategy_total{strategy=...}` and
+    /// `friends_plan_processor_total{slot=...}`.
+    pub fn register_into(&self, registry: &mut crate::metrics::MetricsRegistry) {
+        for (label, &count) in STRATEGY_LABELS.iter().zip(&self.strategies) {
+            registry.counter_with(
+                "friends_plan_strategy_total",
+                "planner strategy decisions",
+                &[("strategy", label)],
+                count,
+            );
+        }
+        for (i, &count) in self.processors.iter().enumerate() {
+            let slot = if i + 1 == TRACKED_PROCESSORS {
+                format!("{i}+")
+            } else {
+                i.to_string()
+            };
+            registry.counter_with(
+                "friends_plan_processor_total",
+                "registry entries executed (by slot)",
+                &[("slot", &slot)],
+                count,
+            );
         }
     }
 }

@@ -178,6 +178,9 @@ impl Processor for ExactOnline<'_> {
             }
         };
         stats.sigma_ns = elapsed_ns(sigma_start);
+        if use_cache && self.cache.is_some() {
+            stats.sigma_cached = Some(cached.is_some());
+        }
         let scoring_start = std::time::Instant::now();
         // A lossy σ (positive residual) forces the posting-driven scan: it
         // is the one route that *enumerates* every posting the bounds may

@@ -212,6 +212,9 @@ impl Processor for GlobalBoundTA<'_> {
             }
         };
         stats.sigma_ns = elapsed_ns(sigma_start);
+        if use_cache && self.cache.is_some() {
+            stats.sigma_cached = Some(cached.is_some());
+        }
         let scoring_start = std::time::Instant::now();
         // A lossy σ routes through the native TA: `score_item` enumerates
         // every posting of every scored candidate, so the missed weight —

@@ -5,7 +5,9 @@
 //! recorder seeing every sample, and concurrent multi-shard recording must
 //! lose nothing.
 
-use friends_core::latency::{LatencyRecorder, LatencySnapshot};
+use friends_core::latency::{
+    LatencyRecorder, LatencySnapshot, StageLatencies, StageSnapshot, STAGES,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -88,6 +90,40 @@ proptest! {
         }
         prop_assert_eq!(&forward, &single.snapshot());
         prop_assert_eq!(&forward, &backward);
+    }
+
+    /// The pooled all-shards percentiles behind the `metrics_*` export:
+    /// `Sum`ming per-shard [`StageSnapshot`]s (built on `merge` from
+    /// `Default`) is order-independent and equal to one recorder seeing
+    /// every sample — so `friends_stage_*_p99` never depends on shard
+    /// iteration order.
+    #[test]
+    fn stage_snapshot_sum_is_order_independent(
+        samples in arb_samples(),
+        shards in 1usize..5,
+    ) {
+        let single = StageLatencies::new();
+        let sharded: Vec<StageLatencies> =
+            (0..shards).map(|_| StageLatencies::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            // Spread samples across stages too: pooling must hold per stage.
+            let stage = STAGES[i % STAGES.len()];
+            single.record_ns(stage, s);
+            sharded[i % shards].record_ns(stage, s);
+        }
+        let snaps: Vec<StageSnapshot> = sharded.iter().map(|l| l.snapshot()).collect();
+        let forward: StageSnapshot = snaps.iter().sum();
+        let backward: StageSnapshot = snaps.iter().rev().sum();
+        let owned: StageSnapshot = snaps.clone().into_iter().sum();
+        prop_assert_eq!(&forward, &single.snapshot());
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(&forward, &owned);
+        // The empty sum is the additive identity.
+        let empty: StageSnapshot = std::iter::empty::<StageSnapshot>().sum();
+        prop_assert_eq!(&empty, &StageSnapshot::default());
+        let mut seeded = StageSnapshot::default();
+        seeded.merge(&forward);
+        prop_assert_eq!(&seeded, &forward);
     }
 }
 

@@ -1,0 +1,142 @@
+//! The trace ring's two contracts, mirroring `hot_path_alloc.rs` for the
+//! observability layer:
+//!
+//! 1. **Sampling never blocks or allocates on the hot path** — the
+//!    per-request cost of tracing is one relaxed `fetch_add`
+//!    (`should_sample`) plus, for retained traces, one `try_lock`ed slot
+//!    store of a caller-built `Arc` (`offer`). A counting allocator pins
+//!    the steady-state loop at exactly zero allocations.
+//! 2. **Force-sampled traces survive ring wrap** — arbitrary volumes of
+//!    head-sampled traffic cycle the sampled ring, but forced traces live
+//!    in the separate retained ring and must all still be there.
+
+use friends_core::trace::{TraceCollector, TraceConfig, TraceRecord};
+use friends_data::queries::Query;
+use proptest::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+// Thread-local counting so parallel tests in this binary cannot disturb
+// the measurement (cargo runs tests on sibling threads).
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+fn query() -> Query {
+    Query {
+        seeker: 7,
+        tags: vec![1, 2],
+        k: 10,
+    }
+}
+
+#[test]
+fn sampling_and_offering_are_allocation_free() {
+    let collector = TraceCollector::new(0, TraceConfig::default());
+    // Build one trace on the cold path (this allocates, as designed).
+    let mut rec = TraceRecord::new(0, &query(), 1, false);
+    rec.sampled = true;
+    let trace = collector.retain(rec);
+    // Steady state: the head-sampling decision plus re-offering an
+    // already-built `Arc` — the exact hot-path surface — must not touch
+    // the allocator, even as the ring wraps many times over.
+    let before = allocations();
+    for _ in 0..50_000 {
+        let _ = collector.should_sample();
+        collector.offer(Arc::clone(&trace));
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "hot-path sampling/offering allocated"
+    );
+}
+
+proptest! {
+    /// Forced traces must survive any volume of head-sampled traffic: the
+    /// sampled ring wraps freely, the retained ring never sees sampled
+    /// traces, so every forced trace (up to the retained capacity) drains
+    /// back out with its identity intact.
+    #[test]
+    fn forced_traces_survive_sampled_ring_wrap(
+        sampled_bursts in proptest::collection::vec(1usize..64, 1..8),
+        forced in 1usize..16,
+        ring_capacity in 1usize..8,
+    ) {
+        let config = TraceConfig {
+            sample_every: 1, // every request head-sampled: maximal wrap
+            ring_capacity,
+            retained_capacity: 16, // ≥ the largest `forced` drawn above
+            slow_threshold: None,
+        };
+        let collector = TraceCollector::new(3, config);
+        let mut forced_ids = Vec::new();
+        let mut pushed_sampled = 0usize;
+        for (burst, chunk) in sampled_bursts.iter().enumerate() {
+            for i in 0..*chunk {
+                let sampled = collector.should_sample();
+                prop_assert!(sampled, "sample_every=1 samples everything");
+                let mut rec = TraceRecord::new(3, &query(), (burst * 1000 + i) as u64, false);
+                rec.sampled = true;
+                collector.retain(rec);
+                pushed_sampled += 1;
+            }
+            if burst < forced {
+                // Interleave one forced trace between bursts.
+                let rec = TraceRecord::new(3, &query(), u64::MAX - burst as u64, true);
+                forced_ids.push(collector.retain(rec).id);
+            }
+        }
+        // Any forced traces not yet interleaved go in at the end.
+        while forced_ids.len() < forced {
+            let rec = TraceRecord::new(3, &query(), 7, true);
+            forced_ids.push(collector.retain(rec).id);
+        }
+        let retained = collector.drain_retained();
+        let mut got: Vec<u64> = retained.iter().map(|t| t.id).collect();
+        got.sort_unstable();
+        forced_ids.sort_unstable();
+        prop_assert_eq!(
+            got, forced_ids,
+            "every forced trace survives, nothing else is retained"
+        );
+        prop_assert!(retained.iter().all(|t| t.forced && !t.slow));
+        // The sampled ring holds at most its capacity, FIFO-drained.
+        let sampled = collector.drain_sampled();
+        prop_assert!(sampled.len() <= ring_capacity);
+        prop_assert_eq!(sampled.len(), pushed_sampled.min(ring_capacity));
+        prop_assert!(sampled.iter().all(|t| t.sampled && !t.forced));
+        prop_assert_eq!(collector.dropped(), 0, "single-threaded: no contention drops");
+        // Draining is destructive: a second drain is empty.
+        prop_assert!(collector.drain_retained().is_empty());
+        prop_assert!(collector.drain_sampled().is_empty());
+    }
+}

@@ -8,9 +8,12 @@ use crossbeam::channel;
 use friends_core::cache::{CachePolicy, ProximityCache};
 use friends_core::corpus::{Corpus, SearchResult};
 use friends_core::latency::Stage;
-use friends_core::plan::{PlanCounters, PlannedExecutor, Planner, ProcessorRegistry};
+use friends_core::plan::{
+    strategy_index, PlanCounters, PlannedExecutor, Planner, ProcessorRegistry, STRATEGY_LABELS,
+};
 use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor, ScoringStrategy};
 use friends_core::proximity::{ProximityModel, SigmaBounds};
+use friends_core::trace::{QueryTrace, TraceCollector, TraceConfig, TraceOutcome, TraceRecord};
 use friends_data::queries::Query;
 use friends_data::UserId;
 use std::collections::HashMap;
@@ -141,6 +144,11 @@ pub struct ServiceConfig {
     pub overload: Option<OverloadPolicy>,
     /// Test-only fault injection, armed per shard; `None` in production.
     pub fault: Option<FaultPlan>,
+    /// Per-shard trace retention: head-sampling rate, ring capacities and
+    /// the slow-query threshold. Always on (the hot-path cost is one
+    /// relaxed `fetch_add` per request); set `sample_every: 0` to keep
+    /// only forced, slow and deadline-missed traces.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServiceConfig {
@@ -167,6 +175,7 @@ impl Default for ServiceConfig {
             coalesce: true,
             overload: None,
             fault: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -261,6 +270,75 @@ impl ShardEngine<'_> {
             ),
         }
     }
+
+    /// The planner decision this engine would make for the request —
+    /// `(processor name, strategy label)` — recovered on the trace cold
+    /// path (planning is deterministic and cheap, so re-planning beats
+    /// threading the decision through the hot path). `None` for fixed
+    /// engines, which never plan.
+    fn plan_of(
+        &self,
+        query: &Query,
+        model: Option<ProximityModel>,
+        strategy: ScoringStrategy,
+        processor: Option<&'static str>,
+        bounds: SigmaBounds,
+    ) -> Option<(&'static str, &'static str)> {
+        match self {
+            ShardEngine::Fixed(_) => None,
+            ShardEngine::Planned(e) => {
+                let plan = e.plan(
+                    query,
+                    model.unwrap_or(ProximityModel::Global),
+                    strategy,
+                    processor,
+                    bounds,
+                );
+                Some((
+                    plan.processor_name,
+                    STRATEGY_LABELS[strategy_index(plan.strategy)],
+                ))
+            }
+        }
+    }
+}
+
+/// Stable label of an injected fault for trace events.
+fn fault_name(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Panic => "panic",
+        FaultKind::Delay(_) => "delay",
+        FaultKind::Error => "error",
+    }
+}
+
+/// Builds and retains this request's trace when the collector wants one —
+/// the cold path guard every reply site goes through. Returns the `Arc`
+/// the [`Reply`] carries; `None` (the common case) costs nothing beyond
+/// the `wants` check.
+#[allow(clippy::too_many_arguments)]
+fn maybe_trace(
+    state: &ShardState,
+    shard: usize,
+    query: &Query,
+    job: &Job,
+    sampled: bool,
+    outcome: TraceOutcome,
+    queue_wait: Duration,
+    fill: impl FnOnce(&mut TraceRecord),
+) -> Option<Arc<QueryTrace>> {
+    let e2e = job.submitted.elapsed();
+    let missed = outcome == TraceOutcome::DeadlineMissed;
+    if !state.traces.wants(job.trace, sampled, e2e, missed) {
+        return None;
+    }
+    let mut rec = TraceRecord::new(shard, query, job.tag, job.trace);
+    rec.sampled = sampled;
+    rec.outcome = outcome;
+    rec.e2e = e2e;
+    rec.queue_wait = queue_wait;
+    fill(&mut rec);
+    Some(state.traces.retain(rec))
 }
 
 /// The running service: N worker shards behind MPMC queues. Dropping the
@@ -348,7 +426,8 @@ impl FriendsService {
             // Counters are a few atomics; every shard gets a set (fixed
             // engines simply never record into them).
             let plans = Some(Arc::new(PlanCounters::default()));
-            let state = Arc::new(ShardState::new(Arc::clone(&cache), results, plans));
+            let traces = Arc::new(TraceCollector::new(shard, config.trace));
+            let state = Arc::new(ShardState::new(Arc::clone(&cache), results, plans, traces));
             let corpus = Arc::clone(&corpus);
             let make_engine = Arc::clone(&make_engine);
             let worker_state = Arc::clone(&state);
@@ -414,6 +493,7 @@ impl FriendsService {
             submitted: now,
             reply: tx.clone(),
             tag: request.tag,
+            trace: request.trace,
         };
         if self.senders[shard].send(job).is_err() {
             // The worker died (processor panic). Resolve the ticket rather
@@ -429,6 +509,7 @@ impl FriendsService {
                 degraded: false,
                 residual: 0.0,
                 tag: request.tag,
+                trace: None,
             });
         }
         Ticket {
@@ -478,6 +559,25 @@ impl FriendsService {
                 rc.invalidate();
             }
         }
+    }
+
+    /// Drains every shard's head-sampled traces (shard order, FIFO within
+    /// a shard). Draining is destructive: each trace is returned once.
+    pub fn traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.traces.drain_sampled())
+            .collect()
+    }
+
+    /// Drains the slow-query log: forced (`with_trace()`), slow
+    /// (past [`TraceConfig::slow_threshold`]) and deadline-missed traces,
+    /// each with its full span tree.
+    pub fn slow_queries(&self) -> Vec<Arc<QueryTrace>> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.traces.drain_retained())
+            .collect()
     }
 
     /// A live snapshot of every shard's counters.
@@ -684,18 +784,49 @@ fn run_contained(
     .map_err(drop)
 }
 
-/// Replies `Outcome::Failed` for one job and counts it.
-fn reply_failed(job: &Job, state: &ShardState, shard: usize, started: Instant, degraded: bool) {
+/// Replies `Outcome::Failed` for one job and counts it. `fault` is the
+/// injected fault's label (or `None` for a real contained panic); `query`
+/// is passed separately because the coalescing path moves the query out of
+/// the job and into the group key.
+#[allow(clippy::too_many_arguments)]
+fn reply_failed(
+    job: &Job,
+    query: &Query,
+    state: &ShardState,
+    shard: usize,
+    started: Instant,
+    degraded: bool,
+    sampled: bool,
+    fault: Option<&'static str>,
+    bounds: SigmaBounds,
+) {
     state.failed.fetch_add(1, Ordering::Relaxed);
+    let queue_wait = started - job.submitted;
+    let trace = maybe_trace(
+        state,
+        shard,
+        query,
+        job,
+        sampled,
+        TraceOutcome::Failed,
+        queue_wait,
+        |rec| {
+            rec.fault = fault;
+            if degraded {
+                rec.degraded = Some((bounds.max_radius, bounds.min_mass));
+            }
+        },
+    );
     let _ = job.reply.send(Reply {
         outcome: Outcome::Failed,
         shard,
-        queue_wait: started - job.submitted,
+        queue_wait,
         coalesced: false,
         result_cached: false,
         degraded,
         residual: 0.0,
         tag: job.tag,
+        trace,
     });
 }
 
@@ -738,6 +869,8 @@ fn dispatch<'c, R>(
         // drained buffer (no per-job wrappers). Memoization still applies —
         // it is a different axis than coalescing.
         for job in batch.drain(..) {
+            // The head-sampling decision — tracing's only hot-path cost.
+            let sampled = state.traces.should_sample();
             // Queue wait is a property of queuing: every dispatched job has
             // one, shed or served.
             state
@@ -745,6 +878,16 @@ fn dispatch<'c, R>(
                 .record(Stage::QueueWait, started - job.submitted);
             if job.deadline.is_some_and(|d| started > d) {
                 state.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                let trace = maybe_trace(
+                    state,
+                    shard,
+                    &job.query,
+                    &job,
+                    sampled,
+                    TraceOutcome::DeadlineMissed,
+                    started - job.submitted,
+                    |rec| rec.shed = true,
+                );
                 let _ = job.reply.send(Reply {
                     outcome: Outcome::DeadlineMissed,
                     shard,
@@ -754,6 +897,7 @@ fn dispatch<'c, R>(
                     degraded: false,
                     residual: 0.0,
                     tag: job.tag,
+                    trace,
                 });
                 continue;
             }
@@ -764,6 +908,7 @@ fn dispatch<'c, R>(
                 // stays wrapper- and allocation-free per job.
                 (group_key(&job, job.query.clone()), rc.epoch())
             });
+            let memo_attempted = memo.is_some();
             if let Some((key, _)) = &memo {
                 let rc = state.results.as_ref().expect("memo key implies cache");
                 if let Some((items, residual)) = rc.get(key) {
@@ -776,6 +921,22 @@ fn dispatch<'c, R>(
                     state
                         .latency
                         .record(Stage::EndToEnd, job.submitted.elapsed());
+                    let trace = maybe_trace(
+                        state,
+                        shard,
+                        &job.query,
+                        &job,
+                        sampled,
+                        TraceOutcome::Done { items: items.len() },
+                        started - job.submitted,
+                        |rec| {
+                            rec.result_cached = Some(true);
+                            if degraded {
+                                rec.degraded = Some((job.bounds.max_radius, job.bounds.min_mass));
+                                rec.residual = residual;
+                            }
+                        },
+                    );
                     let _ = job.reply.send(Reply {
                         outcome: Outcome::Done(SearchResult {
                             items: (*items).clone(),
@@ -789,13 +950,24 @@ fn dispatch<'c, R>(
                         degraded,
                         residual,
                         tag: job.tag,
+                        trace,
                     });
                     continue;
                 }
             }
             let fault = ctl.take_fault();
             if matches!(fault, Some(FaultKind::Error)) {
-                reply_failed(&job, state, shard, started, degraded);
+                reply_failed(
+                    &job,
+                    &job.query,
+                    state,
+                    shard,
+                    started,
+                    degraded,
+                    sampled,
+                    fault.map(fault_name),
+                    job.bounds,
+                );
                 continue;
             }
             let run = run_contained(
@@ -812,7 +984,17 @@ fn dispatch<'c, R>(
                 Err(()) => {
                     state.worker_restarts.fetch_add(1, Ordering::Relaxed);
                     *engine = rebuild();
-                    reply_failed(&job, state, shard, started, degraded);
+                    reply_failed(
+                        &job,
+                        &job.query,
+                        state,
+                        shard,
+                        started,
+                        degraded,
+                        sampled,
+                        fault.map(fault_name),
+                        job.bounds,
+                    );
                     continue;
                 }
             };
@@ -839,6 +1021,36 @@ fn dispatch<'c, R>(
             state
                 .latency
                 .record(Stage::EndToEnd, job.submitted.elapsed());
+            let trace = maybe_trace(
+                state,
+                shard,
+                &job.query,
+                &job,
+                sampled,
+                TraceOutcome::Done {
+                    items: result.items.len(),
+                },
+                started - job.submitted,
+                |rec| {
+                    rec.fill_execution(&result.stats);
+                    match engine.plan_of(
+                        &job.query,
+                        job.model,
+                        job.strategy,
+                        job.processor,
+                        job.bounds,
+                    ) {
+                        Some(p) => rec.plan = Some(p),
+                        None => rec.fixed_engine = true,
+                    }
+                    rec.result_cached = memo_attempted.then_some(false);
+                    rec.fault = fault.map(fault_name);
+                    if degraded {
+                        rec.degraded = Some((job.bounds.max_radius, job.bounds.min_mass));
+                        rec.residual = residual;
+                    }
+                },
+            );
             let _ = job.reply.send(Reply {
                 outcome: Outcome::Done(result),
                 shard,
@@ -848,6 +1060,7 @@ fn dispatch<'c, R>(
                 degraded,
                 residual,
                 tag: job.tag,
+                trace,
             });
         }
         return;
@@ -889,14 +1102,32 @@ fn run_group<'c, R>(
 {
     // Every job in the group shares the key, hence the effective bounds.
     let degraded = key.4 != SigmaBounds::EXACT.key_bits();
-    // Shed what already expired in the queue; execute for the rest.
-    let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+    let bounds = SigmaBounds {
+        max_radius: key.4 .0,
+        min_mass: f64::from_bits(key.4 .1),
+    };
+    // Shed what already expired in the queue; execute for the rest. The
+    // group key owns the query (coalescing moved it out of each job), so
+    // every trace site below reads it from `key.0`.
+    let mut live: Vec<(Job, bool)> = Vec::with_capacity(jobs.len());
     for job in jobs {
+        // The head-sampling decision — tracing's only hot-path cost.
+        let sampled = state.traces.should_sample();
         state
             .latency
             .record(Stage::QueueWait, started - job.submitted);
         if job.deadline.is_some_and(|d| started > d) {
             state.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            let trace = maybe_trace(
+                state,
+                shard,
+                &key.0,
+                &job,
+                sampled,
+                TraceOutcome::DeadlineMissed,
+                started - job.submitted,
+                |rec| rec.shed = true,
+            );
             let _ = job.reply.send(Reply {
                 outcome: Outcome::DeadlineMissed,
                 shard,
@@ -906,9 +1137,10 @@ fn run_group<'c, R>(
                 degraded: false,
                 residual: 0.0,
                 tag: job.tag,
+                trace,
             });
         } else {
-            live.push(job);
+            live.push((job, sampled));
         }
     }
     if live.is_empty() {
@@ -922,13 +1154,29 @@ fn run_group<'c, R>(
         state
             .result_served
             .fetch_add(live.len() as u64, Ordering::Relaxed);
-        for job in live {
+        for (job, sampled) in live {
             if degraded {
                 state.record_degraded(residual);
             }
             state
                 .latency
                 .record(Stage::EndToEnd, job.submitted.elapsed());
+            let trace = maybe_trace(
+                state,
+                shard,
+                &key.0,
+                &job,
+                sampled,
+                TraceOutcome::Done { items: items.len() },
+                started - job.submitted,
+                |rec| {
+                    rec.result_cached = Some(true);
+                    if degraded {
+                        rec.degraded = Some((bounds.max_radius, bounds.min_mass));
+                        rec.residual = residual;
+                    }
+                },
+            );
             let _ = job.reply.send(Reply {
                 outcome: Outcome::Done(SearchResult {
                     items: (*items).clone(),
@@ -942,26 +1190,33 @@ fn run_group<'c, R>(
                 degraded,
                 residual,
                 tag: job.tag,
+                trace,
             });
         }
         return;
     }
     let fault = ctl.take_fault();
     if matches!(fault, Some(FaultKind::Error)) {
-        for job in &live {
-            reply_failed(job, state, shard, started, degraded);
+        for (job, sampled) in &live {
+            reply_failed(
+                job,
+                &key.0,
+                state,
+                shard,
+                started,
+                degraded,
+                *sampled,
+                fault.map(fault_name),
+                bounds,
+            );
         }
         return;
     }
-    let (query, _, strategy, processor, bounds_bits) = &key;
-    let bounds = SigmaBounds {
-        max_radius: bounds_bits.0,
-        min_mass: f64::from_bits(bounds_bits.1),
-    };
+    let (query, _, strategy, processor, _) = &key;
     let run = run_contained(
         engine,
         query,
-        live[0].model,
+        live[0].0.model,
         *strategy,
         *processor,
         bounds,
@@ -974,8 +1229,18 @@ fn run_group<'c, R>(
             // fail it, rebuild the engine, keep serving the other groups.
             state.worker_restarts.fetch_add(1, Ordering::Relaxed);
             *engine = rebuild();
-            for job in &live {
-                reply_failed(job, state, shard, started, degraded);
+            for (job, sampled) in &live {
+                reply_failed(
+                    job,
+                    &key.0,
+                    state,
+                    shard,
+                    started,
+                    degraded,
+                    *sampled,
+                    fault.map(fault_name),
+                    bounds,
+                );
             }
             return;
         }
@@ -991,13 +1256,16 @@ fn run_group<'c, R>(
         .latency
         .record_ns(Stage::Scoring, result.stats.scoring_ns);
     let residual = result.residual;
-    if let Some(rc) = &state.results {
-        let epoch = observed_epoch.expect("epoch read with the cache present");
-        rc.insert(key, Arc::new(result.items.clone()), residual, epoch);
-    }
+    // Clone the ranking for memoization before the fan-out consumes the
+    // result; the insert itself waits until after the loop (it takes the
+    // key, whose query the trace sites still borrow).
+    let memo_items = state
+        .results
+        .as_ref()
+        .map(|_| Arc::new(result.items.clone()));
     let count = live.len();
     let mut remaining = Some(result);
-    for (i, job) in live.into_iter().enumerate() {
+    for (i, (job, sampled)) in live.into_iter().enumerate() {
         // Waiters beyond the first are coalesced onto the single
         // execution; the last reply moves the original result.
         let r = if i + 1 == count {
@@ -1011,6 +1279,31 @@ fn run_group<'c, R>(
         state
             .latency
             .record(Stage::EndToEnd, job.submitted.elapsed());
+        let trace = maybe_trace(
+            state,
+            shard,
+            &key.0,
+            &job,
+            sampled,
+            TraceOutcome::Done {
+                items: r.items.len(),
+            },
+            started - job.submitted,
+            |rec| {
+                rec.fill_execution(&r.stats);
+                rec.coalesced = i != 0;
+                match engine.plan_of(&key.0, job.model, *strategy, *processor, bounds) {
+                    Some(p) => rec.plan = Some(p),
+                    None => rec.fixed_engine = true,
+                }
+                rec.result_cached = state.results.is_some().then_some(false);
+                rec.fault = fault.map(fault_name);
+                if degraded {
+                    rec.degraded = Some((bounds.max_radius, bounds.min_mass));
+                    rec.residual = residual;
+                }
+            },
+        );
         let _ = job.reply.send(Reply {
             outcome: Outcome::Done(r),
             shard,
@@ -1020,7 +1313,17 @@ fn run_group<'c, R>(
             degraded,
             residual,
             tag: job.tag,
+            trace,
         });
+    }
+    if let Some(rc) = &state.results {
+        let epoch = observed_epoch.expect("epoch read with the cache present");
+        rc.insert(
+            key,
+            memo_items.expect("cloned with the cache present"),
+            residual,
+            epoch,
+        );
     }
 }
 
@@ -1794,6 +2097,7 @@ mod tests {
             submitted: Instant::now(),
             reply: tx.clone(),
             tag: 0,
+            trace: false,
         };
         let batch = vec![make_job(), make_job()];
         // Depth 0 is far below depth_high: only the cost projection can

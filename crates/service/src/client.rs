@@ -27,10 +27,13 @@ use crossbeam::channel;
 use friends_core::cache::{CachePolicy, CacheStats, ProximityCache};
 use friends_core::corpus::{Corpus, SearchResult};
 use friends_core::latency::{Stage, StageLatencies, StageSnapshot};
+use friends_core::metrics::MetricsRegistry;
 use friends_core::plan::{
-    PlanCounters, PlanHistogram, PlannedExecutor, Planner, ProcessorRegistry, QueryRequest,
+    strategy_index, PlanCounters, PlanHistogram, PlannedExecutor, Planner, ProcessorRegistry,
+    QueryRequest, STRATEGY_LABELS,
 };
 use friends_core::proximity::ProximityModel;
+use friends_core::trace::{QueryTrace, TraceCollector, TraceConfig, TraceOutcome, TraceRecord};
 use friends_data::queries::Query;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -89,6 +92,26 @@ pub trait SearchClient {
     fn latencies(&self) -> StageSnapshot {
         StageSnapshot::default()
     }
+
+    /// Drains head-sampled traces accumulated so far (destructive: each
+    /// trace is returned once). Implementations without tracing return
+    /// nothing.
+    fn traces(&self) -> Vec<Arc<QueryTrace>> {
+        Vec::new()
+    }
+
+    /// Drains the slow-query log — forced (`with_trace()`), slow and
+    /// deadline-missed traces, each with its full span tree.
+    fn slow_queries(&self) -> Vec<Arc<QueryTrace>> {
+        Vec::new()
+    }
+
+    /// The client's counters as a unified [`MetricsRegistry`] snapshot
+    /// (the `friends_*` naming convention). Implementations without
+    /// recording return an empty registry.
+    fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
 }
 
 /// [`DirectClient`] tuning.
@@ -113,6 +136,9 @@ pub struct DirectConfig {
     pub default_deadline: Option<Duration>,
     /// The planner mapping requests to registry entries.
     pub planner: Planner,
+    /// Trace retention (shared across the pool): head-sampling rate, ring
+    /// capacities and the slow-query threshold.
+    pub trace: TraceConfig,
 }
 
 impl Default for DirectConfig {
@@ -130,6 +156,7 @@ impl Default for DirectConfig {
             },
             default_deadline: Some(Duration::from_secs(5)),
             planner: Planner::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -161,10 +188,53 @@ pub struct ClientStats {
     pub failed: u64,
     /// Times a worker's executor was rebuilt after a contained panic.
     pub worker_restarts: u64,
+    /// Traces lost on contended trace-ring slots.
+    pub traces_dropped: u64,
     /// The shared proximity cache's counters (all zero when cache-less).
     pub cache: CacheStats,
     /// Planner decisions across all workers.
     pub plans: PlanHistogram,
+}
+
+impl ClientStats {
+    /// Registers every counter under the unified naming convention
+    /// (`friends_client_*` for the pool counters; caches and planner
+    /// decisions share the service's `friends_proximity_cache_*` /
+    /// `friends_plan_*` names).
+    pub fn register_into(&self, registry: &mut MetricsRegistry) {
+        registry.counter(
+            "friends_client_submitted_total",
+            "requests submitted to the pool",
+            self.submitted,
+        );
+        registry.counter(
+            "friends_client_executed_total",
+            "requests executed",
+            self.executed,
+        );
+        registry.counter(
+            "friends_client_deadline_misses_total",
+            "requests shed past their deadline",
+            self.deadline_misses,
+        );
+        registry.counter(
+            "friends_client_failed_total",
+            "requests answered Failed after a contained panic",
+            self.failed,
+        );
+        registry.counter(
+            "friends_client_worker_restarts_total",
+            "executor rebuilds after contained panics",
+            self.worker_restarts,
+        );
+        registry.counter(
+            "friends_client_traces_dropped_total",
+            "traces lost on contended trace-ring slots",
+            self.traces_dropped,
+        );
+        self.cache.register_into(registry, "proximity_cache");
+        self.plans.register_into(registry);
+    }
 }
 
 /// In-process [`SearchClient`]: a standing pool of planner-backed workers
@@ -183,6 +253,7 @@ pub struct DirectClient {
     failed: Arc<AtomicU64>,
     worker_restarts: Arc<AtomicU64>,
     latency: Arc<StageLatencies>,
+    traces: Arc<TraceCollector>,
     default_deadline: Option<Duration>,
 }
 
@@ -222,6 +293,9 @@ impl DirectClient {
         let failed = Arc::new(AtomicU64::new(0));
         let worker_restarts = Arc::new(AtomicU64::new(0));
         let latency = Arc::new(StageLatencies::new());
+        // One pool-wide collector (the workers compete on one queue, so
+        // there is no per-shard affinity to preserve in the trace ids).
+        let traces = Arc::new(TraceCollector::new(0, config.trace));
         let mut workers = Vec::with_capacity(threads);
         for worker in 0..threads {
             let corpus = Arc::clone(&corpus);
@@ -233,6 +307,7 @@ impl DirectClient {
             let failed = Arc::clone(&failed);
             let worker_restarts = Arc::clone(&worker_restarts);
             let latency = Arc::clone(&latency);
+            let traces = Arc::clone(&traces);
             let rx = rx.clone();
             let planner = config.planner;
             let handle = std::thread::Builder::new()
@@ -258,6 +333,7 @@ impl DirectClient {
                         &failed,
                         &worker_restarts,
                         &latency,
+                        &traces,
                         worker,
                     );
                 })
@@ -275,6 +351,7 @@ impl DirectClient {
             failed,
             worker_restarts,
             latency,
+            traces,
             default_deadline: config.default_deadline,
         }
     }
@@ -292,6 +369,7 @@ impl DirectClient {
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            traces_dropped: self.traces.dropped(),
             cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
             plans: self.plans.snapshot(),
         }
@@ -333,6 +411,7 @@ impl SearchClient for DirectClient {
             submitted: now,
             reply: tx.clone(),
             tag: request.tag,
+            trace: request.trace,
         };
         let dead = match &self.sender {
             Some(sender) => sender.send(job).is_err(),
@@ -349,6 +428,7 @@ impl SearchClient for DirectClient {
                 degraded: false,
                 residual: 0.0,
                 tag: request.tag,
+                trace: None,
             });
         }
         Ticket {
@@ -363,6 +443,47 @@ impl SearchClient for DirectClient {
     fn latencies(&self) -> StageSnapshot {
         self.latency.snapshot()
     }
+
+    fn traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.traces.drain_sampled()
+    }
+
+    fn slow_queries(&self) -> Vec<Arc<QueryTrace>> {
+        self.traces.drain_retained()
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.stats().register_into(&mut registry);
+        self.latency.snapshot().register_into(&mut registry);
+        registry
+    }
+}
+
+/// The direct pool's cold-path trace guard: build and retain the trace
+/// only when the collector wants one (see `broker::maybe_trace` for the
+/// serving-tier twin).
+fn direct_trace(
+    traces: &TraceCollector,
+    worker: usize,
+    job: &Job,
+    sampled: bool,
+    outcome: TraceOutcome,
+    queue_wait: Duration,
+    fill: impl FnOnce(&mut TraceRecord),
+) -> Option<Arc<QueryTrace>> {
+    let e2e = job.submitted.elapsed();
+    let missed = outcome == TraceOutcome::DeadlineMissed;
+    if !traces.wants(job.trace, sampled, e2e, missed) {
+        return None;
+    }
+    let mut rec = TraceRecord::new(worker, &job.query, job.tag, job.trace);
+    rec.sampled = sampled;
+    rec.outcome = outcome;
+    rec.e2e = e2e;
+    rec.queue_wait = queue_wait;
+    fill(&mut rec);
+    Some(traces.retain(rec))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -374,6 +495,7 @@ fn direct_worker_loop<'c, R>(
     failed: &AtomicU64,
     worker_restarts: &AtomicU64,
     latency: &StageLatencies,
+    traces: &TraceCollector,
     worker: usize,
 ) where
     R: Fn() -> PlannedExecutor<'c>,
@@ -384,10 +506,21 @@ fn direct_worker_loop<'c, R>(
             Ok(job) => job,
             Err(channel::RecvError) => return, // queue fully drained
         };
+        // The head-sampling decision — tracing's only hot-path cost.
+        let sampled = traces.should_sample();
         let started = Instant::now();
         latency.record(Stage::QueueWait, started - job.submitted);
         if job.deadline.is_some_and(|d| started > d) {
             deadline_misses.fetch_add(1, Ordering::Relaxed);
+            let trace = direct_trace(
+                traces,
+                worker,
+                &job,
+                sampled,
+                TraceOutcome::DeadlineMissed,
+                started - job.submitted,
+                |rec| rec.shed = true,
+            );
             let _ = job.reply.send(Reply {
                 outcome: Outcome::DeadlineMissed,
                 shard: worker,
@@ -397,6 +530,7 @@ fn direct_worker_loop<'c, R>(
                 degraded: false,
                 residual: 0.0,
                 tag: job.tag,
+                trace,
             });
             continue;
         }
@@ -412,6 +546,15 @@ fn direct_worker_loop<'c, R>(
                 worker_restarts.fetch_add(1, Ordering::Relaxed);
                 executor = rebuild();
                 failed.fetch_add(1, Ordering::Relaxed);
+                let trace = direct_trace(
+                    traces,
+                    worker,
+                    &job,
+                    sampled,
+                    TraceOutcome::Failed,
+                    started - job.submitted,
+                    |_| {},
+                );
                 let _ = job.reply.send(Reply {
                     outcome: Outcome::Failed,
                     shard: worker,
@@ -421,6 +564,7 @@ fn direct_worker_loop<'c, R>(
                     degraded: false,
                     residual: 0.0,
                     tag: job.tag,
+                    trace,
                 });
                 continue;
             }
@@ -431,6 +575,29 @@ fn direct_worker_loop<'c, R>(
         latency.record(Stage::EndToEnd, job.submitted.elapsed());
         let degraded = !job.bounds.is_exact();
         let residual = result.residual;
+        let trace = direct_trace(
+            traces,
+            worker,
+            &job,
+            sampled,
+            TraceOutcome::Done {
+                items: result.items.len(),
+            },
+            started - job.submitted,
+            |rec| {
+                rec.fill_execution(&result.stats);
+                let plan =
+                    executor.plan(&job.query, model, job.strategy, job.processor, job.bounds);
+                rec.plan = Some((
+                    plan.processor_name,
+                    STRATEGY_LABELS[strategy_index(plan.strategy)],
+                ));
+                if degraded {
+                    rec.degraded = Some((job.bounds.max_radius, job.bounds.min_mass));
+                    rec.residual = residual;
+                }
+            },
+        );
         let _ = job.reply.send(Reply {
             outcome: Outcome::Done(result),
             shard: worker,
@@ -440,6 +607,7 @@ fn direct_worker_loop<'c, R>(
             degraded,
             residual,
             tag: job.tag,
+            trace,
         });
     }
 }
@@ -505,6 +673,18 @@ impl SearchClient for ServedClient {
 
     fn latencies(&self) -> StageSnapshot {
         self.service.stats().totals().latency
+    }
+
+    fn traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.service.traces()
+    }
+
+    fn slow_queries(&self) -> Vec<Arc<QueryTrace>> {
+        self.service.slow_queries()
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        self.service.stats().registry()
     }
 }
 

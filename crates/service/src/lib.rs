@@ -107,3 +107,8 @@ pub use friends_core::plan::{
     Plan, PlanHistogram, Planner, PlannerConfig, ProcessorRegistry, QueryRequest,
 };
 pub use friends_core::proximity::SigmaBounds;
+
+// The observability surface: traces (EXPLAIN, slow-query log) and the
+// unified metrics registry behind `SearchClient::metrics()`.
+pub use friends_core::metrics::{Metric, MetricKind, MetricsRegistry};
+pub use friends_core::trace::{QueryTrace, TraceConfig, TraceEvent, TraceOutcome, TraceSpan};

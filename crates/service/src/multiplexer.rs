@@ -93,6 +93,7 @@ impl Multiplexer {
                         degraded: false,
                         residual: 0.0,
                         tag: ticket.tag(),
+                        trace: None,
                     },
                 ));
             }

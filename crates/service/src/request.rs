@@ -5,7 +5,9 @@ use friends_core::corpus::SearchResult;
 use friends_core::plan::QueryRequest;
 use friends_core::processors::ScoringStrategy;
 use friends_core::proximity::{ProximityModel, SigmaBounds};
+use friends_core::trace::QueryTrace;
 use friends_data::queries::Query;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use friends_core::plan::Deadline;
@@ -38,6 +40,10 @@ pub struct Request {
     pub bounds: SigmaBounds,
     /// Caller correlation tag, echoed in the [`Reply`].
     pub tag: u64,
+    /// Force-sample this request's trace: the reply carries a full
+    /// [`QueryTrace`] and the trace lands in the shard's slow-query log
+    /// regardless of latency or head sampling.
+    pub trace: bool,
 }
 
 impl Request {
@@ -52,6 +58,7 @@ impl Request {
             processor: None,
             bounds: SigmaBounds::EXACT,
             tag: 0,
+            trace: false,
         }
     }
 
@@ -90,6 +97,12 @@ impl Request {
         self.tag = tag;
         self
     }
+
+    /// Force-samples this request's trace (see [`Request::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
 }
 
 impl From<QueryRequest> for Request {
@@ -102,6 +115,7 @@ impl From<QueryRequest> for Request {
             processor: r.processor,
             bounds: r.bounds,
             tag: r.tag,
+            trace: r.trace,
         }
     }
 }
@@ -165,6 +179,23 @@ pub struct Reply {
     pub residual: f64,
     /// The request's correlation tag, echoed verbatim.
     pub tag: u64,
+    /// The request's trace, present when it was retained (forced via
+    /// `with_trace()`, head-sampled, slow, or deadline-missed). The same
+    /// `Arc` sits in the shard's trace rings.
+    pub trace: Option<Arc<QueryTrace>>,
+}
+
+impl Reply {
+    /// The retained trace's id, if the request was traced.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.trace.as_ref().map(|t| t.id)
+    }
+
+    /// Renders the retained trace as an annotated text tree (the
+    /// `EXPLAIN` output); `None` when the request was not traced.
+    pub fn explain(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| t.render())
+    }
 }
 
 /// A claim on one submitted request's reply. Non-blocking by default:
@@ -250,6 +281,7 @@ impl Ticket {
                     degraded: false,
                     residual: 0.0,
                     tag: self.tag,
+                    trace: None,
                 };
             }
             match self.rx.recv_timeout(deadline - now) {
@@ -285,6 +317,7 @@ impl Ticket {
             degraded: false,
             residual: 0.0,
             tag: self.tag,
+            trace: None,
         }
     }
 }
@@ -300,4 +333,6 @@ pub(crate) struct Job {
     pub submitted: Instant,
     pub reply: channel::Sender<Reply>,
     pub tag: u64,
+    /// Force-sample the trace (from [`Request::trace`]).
+    pub trace: bool,
 }

@@ -3,7 +3,9 @@
 use crate::result_cache::ResultCache;
 use friends_core::cache::{CacheStats, ProximityCache};
 use friends_core::latency::{StageLatencies, StageSnapshot};
+use friends_core::metrics::MetricsRegistry;
 use friends_core::plan::{PlanCounters, PlanHistogram};
+use friends_core::trace::TraceCollector;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -34,6 +36,9 @@ pub(crate) struct ShardState {
     /// Per-stage latency histograms (queue wait, σ materialization,
     /// scoring, end-to-end) — lock-free, recorded by the worker loop.
     pub latency: StageLatencies,
+    /// Per-shard trace retention: head sampling, the sampled ring, and
+    /// the slow-query log.
+    pub traces: Arc<TraceCollector>,
 }
 
 impl ShardState {
@@ -41,6 +46,7 @@ impl ShardState {
         cache: Arc<ProximityCache>,
         results: Option<Arc<ResultCache>>,
         plans: Option<Arc<PlanCounters>>,
+        traces: Arc<TraceCollector>,
     ) -> Self {
         ShardState {
             depth: AtomicUsize::new(0),
@@ -60,6 +66,7 @@ impl ShardState {
             results,
             plans,
             latency: StageLatencies::new(),
+            traces,
         }
     }
 
@@ -94,12 +101,21 @@ impl ShardState {
                 .map(|p| p.snapshot())
                 .unwrap_or_default(),
             latency: self.latency.snapshot(),
+            traces_dropped: self.traces.dropped(),
         }
     }
 }
 
 /// A snapshot of one shard's counters. No longer `Copy`: the latency
 /// snapshot carries histogram buckets — clone explicitly where needed.
+///
+/// **Deprecated for reporting**: reading counter fields directly from
+/// reporting/export code is deprecated — call
+/// [`ShardStats::register_into`] and look the values up by their stable
+/// `friends_service_*` / `friends_stage_*` registry keys instead
+/// (migration table in `crates/README.md`). The fields stay public
+/// because this struct is the recording surface; only the
+/// read-for-reporting direction moved to the registry.
 #[derive(Clone, Debug, Default)]
 pub struct ShardStats {
     pub shard: usize,
@@ -147,6 +163,95 @@ pub struct ShardStats {
     /// count *executions* — coalesced and memo-served requests ride an
     /// execution they did not pay for.
     pub latency: StageSnapshot,
+    /// Traces lost on contended trace-ring slots (0 in practice: the ring
+    /// is shard-private and contention needs a concurrent drain).
+    pub traces_dropped: u64,
+}
+
+impl ShardStats {
+    /// Registers every counter under the unified naming convention:
+    /// `friends_service_*` for the broker counters,
+    /// `friends_proximity_cache_*` / `friends_result_cache_*` for the
+    /// caches, `friends_plan_*` for planner decisions and
+    /// `friends_stage_*` for the latency percentiles. Reporting paths
+    /// read the registry; the struct fields stay as the recording
+    /// surface.
+    pub fn register_into(&self, registry: &mut MetricsRegistry) {
+        registry.counter(
+            "friends_service_submitted_total",
+            "requests routed to the service",
+            self.submitted,
+        );
+        registry.counter(
+            "friends_service_executed_total",
+            "queries actually executed",
+            self.executed,
+        );
+        registry.counter(
+            "friends_service_coalesced_total",
+            "requests answered by an identical in-flight execution",
+            self.coalesced,
+        );
+        registry.counter(
+            "friends_service_result_served_total",
+            "requests answered from the result-memoization cache",
+            self.result_served,
+        );
+        registry.counter(
+            "friends_service_deadline_misses_total",
+            "requests shed past their deadline",
+            self.deadline_misses,
+        );
+        registry.counter(
+            "friends_service_degraded_total",
+            "requests served under non-exact sigma bounds",
+            self.degraded,
+        );
+        registry.counter(
+            "friends_service_failed_total",
+            "requests answered Failed after a contained panic or fault",
+            self.failed,
+        );
+        registry.counter(
+            "friends_service_worker_restarts_total",
+            "engine rebuilds after contained panics",
+            self.worker_restarts,
+        );
+        registry.counter(
+            "friends_service_batches_total",
+            "dispatch cycles run",
+            self.batches,
+        );
+        registry.counter(
+            "friends_service_traces_dropped_total",
+            "traces lost on contended trace-ring slots",
+            self.traces_dropped,
+        );
+        registry.gauge(
+            "friends_service_queue_depth",
+            "requests currently queued",
+            self.queue_depth as f64,
+        );
+        registry.gauge(
+            "friends_service_max_queue_depth",
+            "deepest observed queue",
+            self.max_queue_depth as f64,
+        );
+        registry.gauge(
+            "friends_service_max_batch",
+            "largest batch drained in one dispatch cycle",
+            self.max_batch as f64,
+        );
+        registry.gauge(
+            "friends_service_max_residual",
+            "largest residual certificate of any degraded reply",
+            self.max_residual,
+        );
+        self.cache.register_into(registry, "proximity_cache");
+        self.results.register_into(registry, "result_cache");
+        self.plans.register_into(registry);
+        self.latency.register_into(registry);
+    }
 }
 
 /// A snapshot of every shard, plus aggregates.
@@ -183,7 +288,17 @@ impl ServiceStats {
             // Shards iterate in index order, so the merged histograms are
             // deterministic run-to-run for a fixed set of samples.
             t.latency.merge(&s.latency);
+            t.traces_dropped += s.traces_dropped;
         }
         t
+    }
+
+    /// The pooled (all-shards) counters as a [`MetricsRegistry`] — the
+    /// export surface behind `report --json`'s `metrics_*` keys, the
+    /// `metrics_dump` example and the CI tail-latency gates.
+    pub fn registry(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.totals().register_into(&mut registry);
+        registry
     }
 }

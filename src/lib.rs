@@ -99,7 +99,8 @@ pub mod prelude {
     pub use friends_service::par_batch_served;
     pub use friends_service::{
         exact_factory, global_bound_factory, ClientStats, DirectClient, DirectConfig, FaultKind,
-        FaultPlan, FriendsService, Multiplexer, Outcome, OverloadPolicy, Reply, Request,
-        SearchClient, ServedClient, ServiceConfig, ServiceStats, ShardStats, Ticket,
+        FaultPlan, FriendsService, Metric, MetricKind, MetricsRegistry, Multiplexer, Outcome,
+        OverloadPolicy, QueryTrace, Reply, Request, SearchClient, ServedClient, ServiceConfig,
+        ServiceStats, ShardStats, Ticket, TraceConfig, TraceEvent, TraceOutcome, TraceSpan,
     };
 }
