@@ -160,7 +160,7 @@ fn main() {
             "per-experiment 'metrics' objects carry result-cache counters \
              and planner strategy-choice histograms where the experiment \
              runs through a SearchClient (fig9, fig10, fig11)",
-            "latency truth: every client-driven experiment (fig9-fig13) \
+            "latency truth: every client-driven experiment (fig9-fig14) \
              exports 'latency_*' metrics - per stage (queue_wait, sigma, \
              scoring, e2e) a {count, p50_us, p99_us, p999_us, max_us, \
              mean_us} object from the lock-free log-bucketed \
@@ -180,7 +180,7 @@ fn main() {
              per-entry overhead) - the quantity byte-budgeted caches \
              (ProximityCache::with_byte_budget, ServiceConfig::cache_bytes) \
              enforce",
-            "metrics_* keys (fig9-fig13 and the service probe) are the \
+            "metrics_* keys (fig9-fig14 and the service probe) are the \
              unified MetricsRegistry rendered as a flat JSON object: \
              'friends_<subsystem>_<name>' keys per the naming convention \
              in crates/README.md (units as suffixes: _total counters, \

@@ -1222,6 +1222,187 @@ mod tests {
         );
     }
 
+    /// The fig14 acceptance gate: with a mutation stream applied at 10% of
+    /// the query rate (64-mutation epoch batches through
+    /// `apply_mutations`), read-path p99 stays within 2× the frozen
+    /// baseline measured in the same process (plus a small absolute jitter
+    /// floor — the frozen p99 is single-digit milliseconds, inside
+    /// scheduler-noise territory on a loaded host), every epoch switch
+    /// performs *incremental* invalidation (nonzero σ sweeps and
+    /// per-seeker result drops, zero full-stamp expirations), and the
+    /// writer-side σ refresh engages. Machine-sensitive like fig9–fig13,
+    /// so `#[ignore]`d for the default CI lane; the live-graph-gates job
+    /// runs it via `cargo test --release -p friends-bench -- --ignored
+    /// fig14_live_graph_gate`.
+    #[test]
+    #[ignore]
+    fn fig14_live_graph_gate() {
+        let _serial = serialize_timing_gate();
+        use crate::experiments::{drive_live_open_loop, drive_open_loop};
+        use friends_core::plan::QueryRequest;
+        use friends_data::mutations::{MutationBatch, MutationParams, MutationStream};
+        use friends_data::requests::{
+            OpenLoopParams, OpenLoopStream, RequestParams, RequestStream,
+        };
+        use friends_service::{SearchClient, ServedClient, ServiceConfig};
+
+        let corpus = Arc::new(overload_corpus(20_000, 42));
+        corpus.sigma_index(); // shared lazy build, outside every timed region
+        let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+        let shards = 2;
+        let deadline = Duration::from_millis(50);
+        let count = 6_000; // p99 rank 60: one scheduler hiccup can't own it
+        let shape = RequestParams {
+            count,
+            seeker_theta: 1.1,
+            ..RequestParams::default()
+        };
+        // Closed-loop capacity of the exact service, coalescing off (same
+        // honesty argument as the fig13 gate), then pace reads at 30% of
+        // it: the writer shares the cores, and this gate measures mutation
+        // cost at a sustainable rate, not compounded with overload.
+        let probe = RequestStream::generate(
+            &corpus.graph,
+            &corpus.store,
+            &RequestParams {
+                count: 800,
+                ..shape.clone()
+            },
+            19,
+        )
+        .queries();
+        let cap_client = ServedClient::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards,
+                coalesce: false,
+                default_deadline: None,
+                ..ServiceConfig::default()
+            },
+        );
+        let requests: Vec<QueryRequest> = probe
+            .iter()
+            .map(|q| {
+                QueryRequest::from_query(q.clone())
+                    .with_model(model)
+                    .without_deadline()
+            })
+            .collect();
+        let (_, cap_d) = timed(|| cap_client.run_batch(requests));
+        cap_client.shutdown();
+        let capacity = probe.len() as f64 / cap_d.as_secs_f64();
+        let rate = 0.3 * capacity;
+        let stream = OpenLoopStream::generate(
+            &corpus.graph,
+            &corpus.store,
+            &OpenLoopParams {
+                rate,
+                poisson: false,
+                shape: shape.clone(),
+            },
+            19,
+        );
+        let write_rate = 0.10 * rate;
+        let muts = MutationStream::generate(
+            &corpus.graph,
+            &corpus.store,
+            &MutationParams {
+                count: count / 10,
+                rate: write_rate,
+                user_theta: shape.seeker_theta,
+                ..MutationParams::default()
+            },
+            19,
+        );
+        const WRITE_BATCH: usize = 64;
+        let writes: Vec<(Duration, MutationBatch)> = muts
+            .batches(WRITE_BATCH)
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let last = (i * WRITE_BATCH + b.len() - 1).min(muts.len() - 1);
+                (muts.mutations[last].arrival, b)
+            })
+            .collect();
+        let config = ServiceConfig {
+            shards,
+            max_batch: 64,
+            default_deadline: Some(deadline),
+            result_cache_capacity: 4_096,
+            mutation_refresh_cap: 48,
+            ..ServiceConfig::default()
+        };
+
+        let frozen_client = ServedClient::start(Arc::clone(&corpus), config);
+        let frozen = drive_open_loop(&frozen_client, &stream, model, deadline);
+        let frozen_stats = frozen_client.shutdown().totals();
+        eprintln!("fig14 frozen: {frozen:?} (rate {rate:.0} q/s)");
+        assert_eq!(
+            frozen_stats.mutation_epoch, 0,
+            "the frozen baseline must never see an epoch switch"
+        );
+
+        let live_client = ServedClient::start(Arc::clone(&corpus), config);
+        let (live, report) =
+            drive_live_open_loop(&live_client, &stream, model, deadline, &writes, None);
+        let live_stats = live_client.shutdown().totals();
+        eprintln!("fig14 live: {live:?}");
+        eprintln!(
+            "fig14 mutations: epochs {} applied {} prox_invalidated {} \
+             sigma_refreshed {} results_invalidated {} result_expirations {}",
+            report.epoch,
+            report.mutations,
+            report.prox_invalidated,
+            report.sigma_refreshed,
+            report.results_invalidated,
+            live_stats.results.expirations,
+        );
+
+        // The writes actually streamed, at epoch-batch granularity.
+        assert_eq!(report.mutations, count / 10, "mutation stream truncated");
+        assert_eq!(
+            live_stats.mutation_epoch, report.epoch,
+            "shards and report disagree on the final epoch"
+        );
+        assert!(report.epoch > 0, "no epoch switch happened");
+        // Every switch invalidated incrementally: σ sweeps and per-seeker
+        // result drops happened, a full result-cache stamp never did.
+        assert!(
+            report.prox_invalidated > 0,
+            "σ sweeps never dropped an entry"
+        );
+        assert!(
+            report.sigma_refreshed > 0,
+            "the writer-side σ refresh never engaged"
+        );
+        assert!(
+            report.results_invalidated > 0,
+            "result sweeps never dropped an entry"
+        );
+        assert_eq!(
+            live_stats.results.expirations, 0,
+            "a full-stamp result invalidation ran — incremental sweeps \
+             should have handled every epoch"
+        );
+        // The read path held: nearly everything completed, and p99 stayed
+        // within 2× the frozen baseline plus 8 ms of scheduler-jitter
+        // floor — both arms' p99s are single-digit-millisecond ranks that
+        // swing several ms run-to-run on a loaded single-core host, while
+        // a real regression (e.g. a per-epoch index rebuild on the shard
+        // path) lands two orders of magnitude past this budget.
+        assert!(
+            live.done * 100 >= live.submitted * 95,
+            "live serving shed too much: {live:?}"
+        );
+        assert!(
+            live.p99_ms <= 2.0 * frozen.p99_ms + 8.0,
+            "read-path p99 under writes blew the 2x-frozen budget: \
+             {:.2} ms vs frozen {:.2} ms",
+            live.p99_ms,
+            frozen.p99_ms
+        );
+    }
+
     #[test]
     fn service_cache_probe_reports_activity() {
         let stats = service_cache_probe();

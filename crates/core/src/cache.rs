@@ -163,6 +163,12 @@ struct Slot {
     inserted_at: Instant,
     /// Bytes charged against the shard's budget for this entry.
     bytes: usize,
+    /// The model/bounds behind the key's bits, kept so the live-graph
+    /// refresh path ([`ProximityCache::affected_entries`]) can
+    /// re-materialize the entry on a new epoch — key bits alone cannot be
+    /// mapped back to a [`ProximityModel`].
+    model: ProximityModel,
+    bounds: SigmaBounds,
 }
 
 struct Shard {
@@ -206,6 +212,10 @@ pub struct CacheStats {
     /// Entries dropped because they outlived `CachePolicy::ttl` (each also
     /// counts as a miss on the access that found it stale).
     pub expirations: u64,
+    /// Entries dropped by live-graph invalidation sweeps
+    /// ([`ProximityCache::invalidate_affected`]) — σ the mutated edges
+    /// could reach. Always 0 on a frozen corpus.
+    pub invalidated: u64,
     pub entries: usize,
     /// Resident bytes currently charged against the byte budget
     /// (value bytes + per-entry overhead, summed over all shards).
@@ -246,6 +256,11 @@ impl CacheStats {
             "entries dropped by TTL expiry",
             self.expirations,
         );
+        registry.counter(
+            &name("invalidated_total"),
+            "entries dropped by live-graph invalidation sweeps",
+            self.invalidated,
+        );
         registry.gauge(&name("entries"), "resident entries", self.entries as f64);
         registry.gauge(&name("bytes"), "resident bytes", self.bytes as f64);
         registry.gauge(&name("hit_rate"), "hit fraction in [0,1]", self.hit_rate());
@@ -261,6 +276,7 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.rejections += other.rejections;
         self.expirations += other.expirations;
+        self.invalidated += other.invalidated;
         self.entries += other.entries;
         self.bytes += other.bytes;
     }
@@ -280,6 +296,7 @@ pub struct ProximityCache {
     evictions: AtomicU64,
     rejections: AtomicU64,
     expirations: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl ProximityCache {
@@ -366,6 +383,7 @@ impl ProximityCache {
             evictions: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
             expirations: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -563,6 +581,8 @@ impl ProximityCache {
                 stamp,
                 inserted_at: Instant::now(),
                 bytes: new_bytes,
+                model,
+                bounds,
             },
         );
         shard.recency.insert(stamp, key);
@@ -605,6 +625,86 @@ impl ProximityCache {
         self.shards.iter().map(|s| s.lock().bytes).sum()
     }
 
+    /// Drops exactly the entries whose σ the edge mutations touching
+    /// `endpoints` could change, returning how many were dropped. The
+    /// live-graph incremental sweep: run it **before** publishing a graph
+    /// edited with the token-preserving `CsrGraph::with_edits`, so every
+    /// surviving entry is still exact under the new epoch.
+    ///
+    /// The cached vector itself is the dependency set. Any σ path from an
+    /// entry's seeker that crosses a mutated edge `{u, v}` must first reach
+    /// `u` or `v` through *old* edges, so an entry is affected iff its
+    /// seeker is an endpoint or its vector holds positive mass on one —
+    /// `σ(endpoint) = 0` for every endpoint proves the mutation is outside
+    /// the seeker's reach (for decay models, beyond the decay horizon /
+    /// `SigmaBounds` radius that already truncated the vector). Entries of
+    /// the `Global` model (key tag 0, σ ≡ 1) are graph-independent and
+    /// never swept.
+    pub fn invalidate_affected(&self, endpoints: &[NodeId]) -> u64 {
+        if endpoints.is_empty() {
+            return 0;
+        }
+        let mut dropped = 0u64;
+        for s in self.shards.iter() {
+            let mut s = s.lock();
+            let shard = &mut *s;
+            let doomed: Vec<(Key, u64)> = shard
+                .map
+                .iter()
+                .filter(|&(&(_, seeker, tag, ..), slot)| {
+                    tag != 0
+                        && endpoints
+                            .iter()
+                            .any(|&e| e == seeker || slot.value.get(e) > 0.0)
+                })
+                .map(|(key, slot)| (*key, slot.stamp))
+                .collect();
+            for (key, stamp) in doomed {
+                if let Some(slot) = shard.map.remove(&key) {
+                    shard.bytes -= slot.bytes;
+                }
+                shard.recency.remove(&stamp);
+                dropped += 1;
+            }
+        }
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// The `(seeker, model)` pairs an [`ProximityCache::invalidate_affected`]
+    /// sweep over `endpoints` *would* drop, without dropping anything — the
+    /// same affectedness predicate, read-only. The live-graph writer uses
+    /// this before broadcasting a mutation: it re-materializes these
+    /// entries on the next epoch off the read path and re-inserts them
+    /// once every shard has switched, so hot seekers don't pay the σ
+    /// rebuild inline on their first post-epoch query. Only exact-bounds
+    /// entries are reported (bounded entries are degraded-mode transients
+    /// not worth a writer-side rebuild), ordered most-recently-used first
+    /// so a caller refreshing under a budget keeps the hottest seekers
+    /// (recency stamps are per internal shard, so across shards the order
+    /// is approximate).
+    pub fn affected_entries(&self, endpoints: &[NodeId]) -> Vec<(NodeId, ProximityModel)> {
+        if endpoints.is_empty() {
+            return Vec::new();
+        }
+        let mut stamped: Vec<(u64, NodeId, ProximityModel)> = Vec::new();
+        for s in self.shards.iter() {
+            let s = s.lock();
+            for (&(_, seeker, tag, ..), slot) in s.map.iter() {
+                if tag != 0
+                    && slot.bounds == SigmaBounds::EXACT
+                    && endpoints
+                        .iter()
+                        .any(|&e| e == seeker || slot.value.get(e) > 0.0)
+                {
+                    stamped.push((slot.stamp, seeker, slot.model));
+                }
+            }
+        }
+        stamped.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+        stamped.into_iter().map(|(_, s, m)| (s, m)).collect()
+    }
+
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         for s in self.shards.iter() {
@@ -630,6 +730,7 @@ impl ProximityCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             rejections: self.rejections.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
             entries,
             bytes,
         }
@@ -1114,6 +1215,57 @@ mod tests {
             sk.record(0x5000 + (i % 13));
         }
         assert!(sk.estimate(0xABCD) < before, "aging must decay counters");
+    }
+
+    #[test]
+    fn invalidate_affected_sweeps_only_reachable_sigma() {
+        let g = graph();
+        let c = ProximityCache::new(64);
+        // Seeker 1's σ reaches node 5; seeker 2's does not; seeker 7 is
+        // itself an endpoint.
+        c.insert(&g, 1, MODEL, Arc::new(ProximityVec::Sparse(vec![(5, 0.3)])));
+        c.insert(&g, 2, MODEL, Arc::new(ProximityVec::Sparse(vec![(9, 0.3)])));
+        c.insert(&g, 7, MODEL, Arc::new(ProximityVec::Sparse(vec![(9, 0.3)])));
+        let dropped = c.invalidate_affected(&[5, 7]);
+        assert_eq!(dropped, 2);
+        assert!(c.get(&g, 1, MODEL).is_none(), "σ crossing endpoint 5 stale");
+        assert!(c.get(&g, 7, MODEL).is_none(), "endpoint seeker stale");
+        assert!(c.get(&g, 2, MODEL).is_some(), "unreachable entry survives");
+        assert_eq!(c.stats().invalidated, 2);
+        assert_eq!(c.stats().bytes, c.memory_bytes());
+    }
+
+    #[test]
+    fn invalidate_affected_outside_every_reach_set_drops_nothing() {
+        let g = graph();
+        let c = ProximityCache::new(64);
+        for u in 0..4 {
+            c.insert(
+                &g,
+                u,
+                MODEL,
+                Arc::new(ProximityVec::Sparse(vec![(u + 10, 0.5)])),
+            );
+        }
+        assert_eq!(c.invalidate_affected(&[40, 41]), 0);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.stats().invalidated, 0);
+    }
+
+    #[test]
+    fn invalidate_affected_never_touches_global_entries() {
+        let g = graph();
+        let c = ProximityCache::new(64);
+        // Global σ ≡ 1 everywhere — `get(endpoint)` is positive, but the
+        // model is graph-independent, so the sweep must skip it.
+        c.insert(
+            &g,
+            1,
+            ProximityModel::Global,
+            Arc::new(ProximityVec::AllOnes),
+        );
+        assert_eq!(c.invalidate_affected(&[1, 2, 3]), 0);
+        assert!(c.get(&g, 1, ProximityModel::Global).is_some());
     }
 
     #[test]

@@ -25,6 +25,17 @@ pub struct Corpus {
     /// processor running block-max scoring over this corpus. Built once on
     /// first use — `par_batch` workers share it through `&Corpus`.
     sigma_index: OnceLock<InvertedIndex>,
+    /// Lazily built per-tag global item rankings (descending aggregate
+    /// weight, ties by item id) — the candidate lists `GlobalBoundTA`
+    /// drives its threshold-algorithm scans from. Store-only data, so the
+    /// live write path warms it per epoch off the read path instead of
+    /// every shard re-sorting it on its first planned query.
+    global_lists: OnceLock<Vec<Vec<(ItemId, f32)>>>,
+    /// Mutation epoch: 0 for a freshly built (frozen) corpus, bumped by one
+    /// for every published mutation batch (see `crate::live`). Purely an
+    /// observability/versioning stamp — cache identity stays keyed on the
+    /// graph token, which live edits deliberately preserve.
+    epoch: u64,
 }
 
 impl Corpus {
@@ -43,7 +54,22 @@ impl Corpus {
             graph,
             store,
             sigma_index: OnceLock::new(),
+            global_lists: OnceLock::new(),
+            epoch: 0,
         }
+    }
+
+    /// [`Corpus::new`] stamped with an explicit mutation epoch — what the
+    /// live write path uses when publishing an edited snapshot.
+    pub fn with_epoch(graph: CsrGraph, store: TagStore, epoch: u64) -> Self {
+        let mut c = Corpus::new(graph, store);
+        c.epoch = epoch;
+        c
+    }
+
+    /// The corpus's mutation epoch (0 = frozen seed).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of users.
@@ -54,6 +80,21 @@ impl Corpus {
     /// Number of items.
     pub fn num_items(&self) -> u32 {
         self.store.num_items()
+    }
+
+    /// Per-tag global item rankings (descending aggregate weight, ties by
+    /// item id), building them on first call (thread-safe; subsequent calls
+    /// are a load).
+    pub fn global_lists(&self) -> &[Vec<(ItemId, f32)>] {
+        self.global_lists.get_or_init(|| {
+            (0..self.store.num_tags())
+                .map(|t| {
+                    let mut v = self.store.global_item_scores(t);
+                    v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                    v
+                })
+                .collect()
+        })
     }
 
     /// The σ-aware posting index over `(tag; item, tagger, weight)`,

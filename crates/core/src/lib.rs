@@ -46,6 +46,7 @@ pub mod cache;
 pub mod corpus;
 pub mod eval;
 pub mod latency;
+pub mod live;
 pub mod metrics;
 pub mod plan;
 pub mod processors;
@@ -57,6 +58,7 @@ pub use batch::{par_batch, par_batch_with_cache};
 pub use cache::{CachePolicy, CacheStats, ProximityCache};
 pub use corpus::{Corpus, QueryStats, SearchResult};
 pub use latency::{LatencyRecorder, LatencySnapshot, Stage, StageLatencies, StageSnapshot};
+pub use live::{LiveCorpus, MutationOutcome, PreparedMutation};
 pub use metrics::{Metric, MetricKind, MetricsRegistry};
 pub use plan::{
     Deadline, Plan, PlanCounters, PlanHistogram, PlannedExecutor, Planner, PlannerConfig,

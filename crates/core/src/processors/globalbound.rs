@@ -33,7 +33,7 @@ pub struct GlobalBoundTA<'a> {
     corpus: &'a Corpus,
     model: ProximityModel,
     /// Per tag: `(item, global mass)` sorted by mass desc, item asc.
-    lists: Vec<Vec<(ItemId, f32)>>,
+    lists: &'a [Vec<(ItemId, f32)>],
     sigma: SigmaWorkspace,
     seen_items: StampedSet,
     tags_scratch: Vec<TagId>,
@@ -51,13 +51,7 @@ impl<'a> GlobalBoundTA<'a> {
     /// Panics if `model` can produce proximities above 1.0 (`Global` is
     /// allowed and degenerates to the plain global top-k).
     pub fn new(corpus: &'a Corpus, model: ProximityModel) -> Self {
-        let lists = (0..corpus.store.num_tags())
-            .map(|t| {
-                let mut v = corpus.store.global_item_scores(t);
-                v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-                v
-            })
-            .collect();
+        let lists = corpus.global_lists();
         let mut seen_items = StampedSet::new();
         seen_items.ensure(corpus.num_items() as usize);
         GlobalBoundTA {

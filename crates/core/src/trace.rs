@@ -109,6 +109,12 @@ pub enum TraceEvent {
         blocks_skipped: usize,
         early_terminated: bool,
     },
+    /// A mutation batch published a new corpus epoch on this shard right
+    /// before this query ran — the query raced a mutation.
+    Mutation { epoch: u64, mutations: usize },
+    /// Incremental invalidation performed by that mutation on this shard's
+    /// caches (σ entries and memoized rankings dropped).
+    Invalidation { sigma: u64, results: u64 },
 }
 
 impl TraceEvent {
@@ -151,6 +157,12 @@ impl TraceEvent {
                 "work postings={postings_scanned} users={users_visited} \
                  blocks_skipped={blocks_skipped} early_terminated={early_terminated}"
             ),
+            TraceEvent::Mutation { epoch, mutations } => {
+                format!("raced mutation batch ({mutations} mutations) publishing epoch {epoch}")
+            }
+            TraceEvent::Invalidation { sigma, results } => {
+                format!("invalidated sigma_entries={sigma} result_entries={results}")
+            }
         }
     }
 }
@@ -308,6 +320,12 @@ pub struct TraceRecord {
     pub residual: f64,
     /// Work counters; `Some` iff the request actually executed.
     pub stats: Option<QueryStats>,
+    /// `(epoch, batch size)` of a mutation batch this shard applied while
+    /// the request was queued — the query raced a mutation epoch.
+    pub mutation: Option<(u64, usize)>,
+    /// `(σ entries, result entries)` that racing batch swept from this
+    /// shard's caches.
+    pub invalidated: Option<(u64, u64)>,
 }
 
 impl TraceRecord {
@@ -336,6 +354,8 @@ impl TraceRecord {
             degraded: None,
             residual: 0.0,
             stats: None,
+            mutation: None,
+            invalidated: None,
         }
     }
 
@@ -366,6 +386,14 @@ impl TraceRecord {
         }
         if self.shed {
             queue.events.push(TraceEvent::Shed);
+        }
+        if let Some((epoch, mutations)) = self.mutation {
+            queue.events.push(TraceEvent::Mutation { epoch, mutations });
+        }
+        if let Some((sigma, results)) = self.invalidated {
+            queue
+                .events
+                .push(TraceEvent::Invalidation { sigma, results });
         }
         spans.push(queue);
 
@@ -711,6 +739,34 @@ mod tests {
         assert!(rendered.contains("proximity-cache hit"), "{rendered}");
         assert!(rendered.contains("strategy=block-max"), "{rendered}");
         assert!(rendered.contains("[forced]"), "{rendered}");
+    }
+
+    #[test]
+    fn mutation_race_shows_in_the_queue_span() {
+        let c = TraceCollector::new(0, TraceConfig::default());
+        let mut rec = record(&c, true, 150);
+        rec.fill_execution(&QueryStats {
+            sigma_ns: 10_000,
+            scoring_ns: 20_000,
+            ..QueryStats::default()
+        });
+        rec.mutation = Some((3, 8));
+        rec.invalidated = Some((5, 2));
+        let trace = c.retain(rec);
+        let queue = trace.span("queue").unwrap();
+        assert!(queue
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Mutation { epoch: 3, .. })));
+        let rendered = trace.render();
+        assert!(
+            rendered.contains("raced mutation batch (8 mutations) publishing epoch 3"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("invalidated sigma_entries=5 result_entries=2"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod datasets;
 pub mod generator;
 pub mod ids;
 pub mod io;
+pub mod mutations;
 pub mod queries;
 pub mod requests;
 pub mod store;

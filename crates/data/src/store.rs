@@ -90,6 +90,21 @@ impl TagStore {
         }
     }
 
+    /// Returns a store with `appends` added — the live-graph posting path.
+    /// Universe sizes are unchanged; duplicates of existing annotations
+    /// merge by summing weights, exactly as [`TagStore::build`] would have
+    /// merged them in one pass.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or non-finite weights (same contract as
+    /// [`TagStore::build`]).
+    pub fn with_appends(&self, appends: &[Tagging]) -> TagStore {
+        let mut all = Vec::with_capacity(self.by_user.len() + appends.len());
+        all.extend_from_slice(&self.by_user);
+        all.extend_from_slice(appends);
+        TagStore::build(self.num_users, self.num_items, self.num_tags, all)
+    }
+
     /// Number of users in the universe.
     pub fn num_users(&self) -> u32 {
         self.num_users
@@ -369,5 +384,31 @@ mod tests {
     #[test]
     fn memory_positive() {
         assert!(small_store().memory_bytes() > 0);
+    }
+
+    #[test]
+    fn with_appends_matches_one_pass_build() {
+        let s = small_store();
+        let extra = vec![
+            Tagging::unit(2, 3, 0),
+            Tagging::unit(1, 1, 1), // merges into the existing (1,1,1)
+        ];
+        let appended = s.with_appends(&extra);
+        let mut all: Vec<Tagging> = s.iter().copied().collect();
+        all.extend_from_slice(&extra);
+        let rebuilt = TagStore::build(3, 5, 4, all);
+        assert_eq!(appended.num_taggings(), rebuilt.num_taggings());
+        for u in 0..3 {
+            assert_eq!(appended.user_taggings(u), rebuilt.user_taggings(u));
+        }
+        assert_eq!(appended.user_tag_taggings(1, 1)[0].weight, 3.0);
+        // The original is untouched.
+        assert_eq!(s.user_tag_taggings(1, 1)[0].weight, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn with_appends_rejects_out_of_range() {
+        small_store().with_appends(&[Tagging::unit(0, 9, 0)]);
     }
 }

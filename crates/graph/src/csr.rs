@@ -168,6 +168,67 @@ impl CsrGraph {
         // re-identify the graph so token-keyed caches miss.
         self.token = next_graph_token();
     }
+
+    /// Returns a copy of the graph with edge edits applied, **keeping this
+    /// graph's identity token**.
+    ///
+    /// Inserting an edge that already exists replaces its weight (most
+    /// recent write wins, unlike the builder's max-merge); removing an
+    /// absent edge is a no-op; self-loops are dropped.
+    ///
+    /// Preserving the token is what makes live updates incremental: σ
+    /// cache entries for seekers the edit cannot reach keep hitting under
+    /// the edited graph. The contract is therefore inverted from
+    /// [`CsrGraph::map_weights`]: the *caller* must invalidate every
+    /// token-keyed cache entry the edits can affect **before** publishing
+    /// the edited graph (see `friends_core::live`), because nothing here
+    /// will force a miss.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or an inserted weight is not
+    /// finite and non-negative (same contract as [`GraphBuilder::add_edge`]).
+    pub fn with_edits(
+        &self,
+        inserts: &[(NodeId, NodeId, f32)],
+        removals: &[(NodeId, NodeId)],
+    ) -> CsrGraph {
+        let canon = |u: NodeId, v: NodeId| if u < v { (u, v) } else { (v, u) };
+        // Every edited pair sheds its old copy: removals outright, inserts
+        // so the new weight replaces (not max-merges with) the old one.
+        let mut stale: Vec<(NodeId, NodeId)> = removals.iter().map(|&(u, v)| canon(u, v)).collect();
+        stale.extend(
+            inserts
+                .iter()
+                .filter(|&&(u, v, _)| u != v)
+                .map(|&(u, v, _)| canon(u, v)),
+        );
+        stale.sort_unstable();
+        stale.dedup();
+        let mut b = GraphBuilder::with_capacity(self.num_nodes(), self.num_edges() + inserts.len());
+        for (u, v, w) in self.undirected_edges() {
+            if stale.binary_search(&(u, v)).is_err() {
+                b.add_edge(u, v, w);
+            }
+        }
+        // Within the batch, the last insert of a pair wins.
+        let mut latest: Vec<(NodeId, NodeId, f32)> = Vec::with_capacity(inserts.len());
+        for &(u, v, w) in inserts {
+            if u == v {
+                continue;
+            }
+            let (a, z) = canon(u, v);
+            match latest.iter_mut().find(|e| e.0 == a && e.1 == z) {
+                Some(e) => e.2 = w,
+                None => latest.push((a, z, w)),
+            }
+        }
+        for (u, v, w) in latest {
+            b.add_edge(u, v, w);
+        }
+        let mut g = b.build();
+        g.token = self.token;
+        g
+    }
 }
 
 /// Incremental builder producing a [`CsrGraph`].
@@ -424,5 +485,45 @@ mod tests {
         let g = GraphBuilder::from_edges(10, [(0, 1, 1.0)]);
         assert_eq!(g.num_nodes(), 10);
         assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn with_edits_applies_inserts_and_removals() {
+        let g = triangle_plus_pendant();
+        let edited = g.with_edits(&[(0, 3, 4.0)], &[(1, 2)]);
+        assert_eq!(edited.num_edges(), 4);
+        assert_eq!(edited.edge_weight(0, 3), Some(4.0));
+        assert_eq!(edited.edge_weight(3, 0), Some(4.0));
+        assert!(!edited.has_edge(1, 2));
+        assert_eq!(edited.edge_weight(0, 2), Some(3.0), "untouched edge kept");
+        // The original is immutable and unaffected.
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn with_edits_keeps_the_token() {
+        let g = triangle_plus_pendant();
+        let edited = g.with_edits(&[(0, 3, 4.0)], &[]);
+        assert_eq!(edited.token(), g.token());
+    }
+
+    #[test]
+    fn with_edits_insert_replaces_weight_last_wins() {
+        let g = triangle_plus_pendant();
+        // Existing {0,1} has weight 1.0; a re-insert with a *lower* weight
+        // must replace it (not max-merge), and the last write in the batch
+        // wins over earlier ones.
+        let edited = g.with_edits(&[(0, 1, 0.7), (1, 0, 0.3)], &[]);
+        assert_eq!(edited.edge_weight(0, 1), Some(0.3));
+        assert_eq!(edited.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn with_edits_tolerates_absent_removals_and_self_loops() {
+        let g = triangle_plus_pendant();
+        let edited = g.with_edits(&[(2, 2, 9.0)], &[(0, 3), (1, 1)]);
+        assert_eq!(edited.num_edges(), g.num_edges());
+        assert!(!edited.has_edge(2, 2));
     }
 }

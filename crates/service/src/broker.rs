@@ -8,14 +8,17 @@ use crossbeam::channel;
 use friends_core::cache::{CachePolicy, ProximityCache};
 use friends_core::corpus::{Corpus, SearchResult};
 use friends_core::latency::Stage;
+use friends_core::live::{LiveCorpus, PreparedMutation};
 use friends_core::plan::{
     strategy_index, PlanCounters, PlannedExecutor, Planner, ProcessorRegistry, STRATEGY_LABELS,
 };
 use friends_core::processors::{ExactOnline, GlobalBoundTA, Processor, ScoringStrategy};
-use friends_core::proximity::{ProximityModel, SigmaBounds};
+use friends_core::proximity::{ProximityModel, ProximityVec, SigmaBounds, SigmaWorkspace};
 use friends_core::trace::{QueryTrace, TraceCollector, TraceConfig, TraceOutcome, TraceRecord};
+use friends_data::mutations::MutationBatch;
 use friends_data::queries::Query;
 use friends_data::UserId;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::AssertUnwindSafe;
@@ -149,6 +152,11 @@ pub struct ServiceConfig {
     /// relaxed `fetch_add` per request); set `sample_every: 0` to keep
     /// only forced, slow and deadline-missed traces.
     pub trace: TraceConfig,
+    /// Per-shard budget on the σ entries `apply_mutations` re-materializes
+    /// on the writer thread per batch (most-recently-used first; the rest
+    /// rebuild lazily on their next query). Bounds the writer's CPU per
+    /// epoch; 0 disables the refresh.
+    pub mutation_refresh_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -176,6 +184,7 @@ impl Default for ServiceConfig {
             overload: None,
             fault: None,
             trace: TraceConfig::default(),
+            mutation_refresh_cap: 64,
         }
     }
 }
@@ -325,6 +334,7 @@ fn maybe_trace(
     sampled: bool,
     outcome: TraceOutcome,
     queue_wait: Duration,
+    raced: Option<RacedMutation>,
     fill: impl FnOnce(&mut TraceRecord),
 ) -> Option<Arc<QueryTrace>> {
     let e2e = job.submitted.elapsed();
@@ -337,8 +347,60 @@ fn maybe_trace(
     rec.outcome = outcome;
     rec.e2e = e2e;
     rec.queue_wait = queue_wait;
+    if let Some(m) = raced {
+        rec.mutation = Some((m.epoch, m.mutations));
+        rec.invalidated = Some((m.prox_invalidated, m.results_invalidated));
+    }
     fill(&mut rec);
     Some(state.traces.retain(rec))
+}
+
+/// What flows down a shard's queue: queries, or a mutation batch to apply
+/// at the next batch boundary. FIFO order is the sequencing guarantee —
+/// every query runs entirely under the snapshot that was current when the
+/// worker reached it, so each answer is *some* epoch's frozen answer
+/// (snapshot isolation; `tests/proptest_live.rs` pins this).
+enum WorkItem {
+    Query(Job),
+    Mutation(MutationJob),
+}
+
+/// One shard's share of a broadcast mutation: the prepared next snapshot
+/// plus the ack the publisher collects (per-shard invalidation counts).
+struct MutationJob {
+    prepared: Arc<PreparedMutation>,
+    ack: channel::Sender<(u64, u64)>,
+}
+
+/// The mutation a shard applied most recently, remembered for exactly one
+/// dispatch cycle: the queries drained in that cycle were queued while the
+/// epoch changed under them, and their traces say so.
+#[derive(Clone, Copy, Debug)]
+struct RacedMutation {
+    epoch: u64,
+    mutations: usize,
+    prox_invalidated: u64,
+    results_invalidated: u64,
+}
+
+/// What [`FriendsService::apply_mutations`] reports back, aggregated over
+/// every shard's ack.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutationReport {
+    /// The epoch the batch published.
+    pub epoch: u64,
+    /// Mutations in the batch.
+    pub mutations: usize,
+    /// σ cache entries dropped by the incremental sweeps, summed over
+    /// shards.
+    pub prox_invalidated: u64,
+    /// Memoized rankings dropped by the per-seeker/per-tag sweeps, summed
+    /// over shards.
+    pub results_invalidated: u64,
+    /// σ entries the writer re-materialized on the new epoch and
+    /// re-installed after every shard switched — read-path misses the
+    /// sweep would otherwise have caused.
+    pub sigma_refreshed: u64,
 }
 
 /// The running service: N worker shards behind MPMC queues. Dropping the
@@ -346,10 +408,18 @@ fn maybe_trace(
 /// queued work before exiting), but `shutdown` additionally joins and
 /// returns the final stats.
 pub struct FriendsService {
-    senders: Vec<channel::Sender<Job>>,
+    senders: Vec<channel::Sender<WorkItem>>,
     shards: Vec<Arc<ShardState>>,
     workers: Vec<JoinHandle<()>>,
     default_deadline: Option<Duration>,
+    /// The service-level snapshot lineage: `apply_mutations` prepares
+    /// against it and publishes to it after every shard acks.
+    live: LiveCorpus,
+    /// Serializes `apply_mutations` callers (prepare must see the latest
+    /// published snapshot).
+    mutation_gate: Mutex<()>,
+    /// See [`ServiceConfig::mutation_refresh_cap`].
+    mutation_refresh_cap: usize,
 }
 
 impl FriendsService {
@@ -434,18 +504,47 @@ impl FriendsService {
             let handle = std::thread::Builder::new()
                 .name(format!("friends-svc-{shard}"))
                 .spawn(move || {
-                    // The engine borrows the corpus for the thread's life;
-                    // `rebuild` re-creates it after a contained panic (the
-                    // old instance's scratch state is suspect, the shared
-                    // cache and counters survive untouched).
-                    let rebuild = || {
-                        let ctx = ShardContext {
-                            shard,
-                            cache: Arc::clone(&worker_state.cache),
-                        };
-                        make_engine(corpus.as_ref(), ctx, &worker_state)
+                    // The worker serves one snapshot per *era*: the engine
+                    // borrows the era's corpus, `rebuild` re-creates it
+                    // after a contained panic (the old instance's scratch
+                    // state is suspect, the shared cache and counters
+                    // survive untouched), and a mutation ends the era —
+                    // the loop comes back with the next snapshot and a
+                    // fresh engine built over it. Controller state and the
+                    // armed fault outlive eras.
+                    let mut corpus = corpus;
+                    let mut ctl = WorkerCtl {
+                        level: 0,
+                        calm: 0,
+                        ewma_job_us: 0.0,
+                        fault: config.fault,
+                        attempts: 0,
                     };
-                    worker_loop(&rebuild, &rx, &worker_state, shard, &config);
+                    let mut raced: Option<RacedMutation> = None;
+                    loop {
+                        let next = {
+                            let rebuild = || {
+                                let ctx = ShardContext {
+                                    shard,
+                                    cache: Arc::clone(&worker_state.cache),
+                                };
+                                make_engine(corpus.as_ref(), ctx, &worker_state)
+                            };
+                            worker_loop(
+                                &rebuild,
+                                &rx,
+                                &worker_state,
+                                shard,
+                                &config,
+                                &mut ctl,
+                                &mut raced,
+                            )
+                        };
+                        match next {
+                            Some(snapshot) => corpus = snapshot,
+                            None => return,
+                        }
+                    }
                 })
                 .expect("spawn service worker");
             senders.push(tx);
@@ -457,6 +556,9 @@ impl FriendsService {
             shards: states,
             workers,
             default_deadline: config.default_deadline,
+            live: LiveCorpus::new(corpus),
+            mutation_gate: Mutex::new(()),
+            mutation_refresh_cap: config.mutation_refresh_cap,
         }
     }
 
@@ -495,7 +597,7 @@ impl FriendsService {
             tag: request.tag,
             trace: request.trace,
         };
-        if self.senders[shard].send(job).is_err() {
+        if self.senders[shard].send(WorkItem::Query(job)).is_err() {
             // The worker died (processor panic). Resolve the ticket rather
             // than leaving the caller to block forever.
             state.depth.fetch_sub(1, Ordering::Relaxed);
@@ -551,14 +653,121 @@ impl FriendsService {
     }
 
     /// Bumps every shard's result-cache epoch, logically dropping all
-    /// memoized rankings at once — the invalidation hook a corpus mutation
-    /// must call. No-op when memoization is disabled.
+    /// memoized rankings at once — the blunt full-stamp fallback when a
+    /// corpus change's blast radius is unknown. [`apply_mutations`] is the
+    /// incremental path and does **not** go through this.
+    ///
+    /// [`apply_mutations`]: FriendsService::apply_mutations
     pub fn invalidate_results(&self) {
         for s in &self.shards {
             if let Some(rc) = &s.results {
                 rc.invalidate();
             }
         }
+    }
+
+    /// Applies a live-graph mutation batch across the whole service:
+    /// prepare the next snapshot once (off every query path), broadcast it
+    /// to each shard, and publish after the last shard acks.
+    ///
+    /// Each shard applies at its next **batch boundary** — queries drained
+    /// before the boundary run under the old snapshot, queries after it
+    /// under the new one, and no query ever straddles epochs (snapshot
+    /// isolation). Invalidation is incremental: the σ sweep drops only
+    /// entries whose reach set crosses a touched node
+    /// ([`ProximityCache::invalidate_affected`]), the result sweep only
+    /// affected seekers and touched tags
+    /// ([`ResultCache::invalidate_partial`]); surviving entries keep
+    /// hitting because the edited graph keeps its identity token.
+    ///
+    /// `horizon` bounds the affected-seeker search (pass the proximity
+    /// model's decay horizon or the serving σ-bounds radius; `None` =
+    /// full reachability, sound for every model). Blocks until every live
+    /// shard has switched; concurrent callers serialize.
+    pub fn apply_mutations(&self, batch: &MutationBatch, horizon: Option<u32>) -> MutationReport {
+        let _writer = self.mutation_gate.lock();
+        if batch.is_empty() {
+            return MutationReport {
+                epoch: self.live.epoch(),
+                ..MutationReport::default()
+            };
+        }
+        let prepared = Arc::new(self.live.prepare(batch, horizon));
+        let epoch = prepared.epoch();
+        // Writer-side σ refresh: collect the entries each shard's sweep is
+        // about to drop and re-materialize them against the next epoch
+        // *here*, while every shard still serves the old snapshot. They are
+        // re-installed after the last ack, so hot seekers hit warm σ on
+        // their first post-epoch query instead of rebuilding it inline on
+        // the shard thread. (Entries inserted between this scan and the
+        // shard's sweep are simply not refreshed — a cold first query, not
+        // a correctness issue.)
+        let refreshed: Vec<Vec<(UserId, ProximityModel, Arc<ProximityVec>)>> = {
+            let mut ws = SigmaWorkspace::new();
+            self.shards
+                .iter()
+                .map(|s| {
+                    s.cache
+                        .affected_entries(&prepared.touched_nodes)
+                        .into_iter()
+                        .take(self.mutation_refresh_cap)
+                        .map(|(seeker, model)| {
+                            model.materialize_into(&prepared.next.graph, seeker, &mut ws);
+                            let v = ws.snapshot(prepared.next.graph.num_nodes());
+                            (seeker, model, Arc::new(v))
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let (ack_tx, ack_rx) = channel::bounded(self.senders.len());
+        for tx in &self.senders {
+            // A dead shard (worker panic) just drops its queue; its clone
+            // of the ack sender goes with it, so the recv loop below still
+            // terminates.
+            let _ = tx.send(WorkItem::Mutation(MutationJob {
+                prepared: Arc::clone(&prepared),
+                ack: ack_tx.clone(),
+            }));
+        }
+        drop(ack_tx);
+        let mut prox = 0u64;
+        let mut results = 0u64;
+        while let Ok((p, r)) = ack_rx.recv() {
+            prox += p;
+            results += r;
+        }
+        // Every shard now serves the new snapshot (and swept its caches):
+        // installing next-epoch σ under the shared graph token is safe from
+        // here on.
+        let mut sigma_refreshed = 0u64;
+        for (state, entries) in self.shards.iter().zip(refreshed) {
+            for (seeker, model, v) in entries {
+                state.cache.insert(&prepared.next.graph, seeker, model, v);
+                sigma_refreshed += 1;
+            }
+        }
+        // Publish as the base for the next prepare (and for `snapshot()`
+        // readers).
+        self.live.publish(&prepared);
+        MutationReport {
+            epoch,
+            mutations: batch.len(),
+            prox_invalidated: prox,
+            results_invalidated: results,
+            sigma_refreshed,
+        }
+    }
+
+    /// Pins the service's current published snapshot (see
+    /// [`LiveCorpus::snapshot`]).
+    pub fn snapshot(&self) -> Arc<Corpus> {
+        self.live.snapshot()
+    }
+
+    /// The service's published corpus epoch (0 = frozen seed).
+    pub fn epoch(&self) -> u64 {
+        self.live.epoch()
     }
 
     /// Drains every shard's head-sampled traces (shard order, FIFO within
@@ -696,68 +905,108 @@ impl WorkerCtl {
     }
 }
 
-/// One worker: block for the first job, opportunistically drain up to
+/// One worker era: block for the first item, opportunistically drain up to
 /// `max_batch - 1` more, step the overload controller, dispatch the batch,
-/// repeat until disconnected. `rebuild` re-creates the engine after a
-/// contained panic.
+/// repeat. `rebuild` re-creates the engine after a contained panic.
+///
+/// A [`WorkItem::Mutation`] is a **batch boundary**: draining stops at it,
+/// the queries drained before it dispatch under the era's snapshot, the
+/// worker sweeps its caches, acks, and returns the next snapshot — ending
+/// the era (the caller builds a fresh engine over it and re-enters).
+/// Returns `None` when the queue disconnects (shutdown).
 fn worker_loop<'c, R>(
     rebuild: &R,
-    rx: &channel::Receiver<Job>,
+    rx: &channel::Receiver<WorkItem>,
     state: &ShardState,
     shard: usize,
     config: &ServiceConfig,
-) where
+    ctl: &mut WorkerCtl,
+    raced: &mut Option<RacedMutation>,
+) -> Option<Arc<Corpus>>
+where
     R: Fn() -> ShardEngine<'c>,
 {
     let mut engine = rebuild();
-    let mut ctl = WorkerCtl {
-        level: 0,
-        calm: 0,
-        ewma_job_us: 0.0,
-        fault: config.fault,
-        attempts: 0,
-    };
     let mut batch: Vec<Job> = Vec::new();
     let mut groups: HashMap<ResultKey, Vec<Job>> = HashMap::new();
     loop {
-        let first = match rx.recv() {
-            Ok(job) => job,
-            Err(channel::RecvError) => return, // queue fully drained
-        };
-        batch.push(first);
-        while batch.len() < config.max_batch.max(1) {
-            match rx.try_recv() {
-                Ok(job) => batch.push(job),
-                Err(_) => break,
+        let mut pending: Option<MutationJob> = None;
+        match rx.recv() {
+            Ok(WorkItem::Query(job)) => batch.push(job),
+            Ok(WorkItem::Mutation(m)) => pending = Some(m),
+            Err(channel::RecvError) => return None, // queue fully drained
+        }
+        if pending.is_none() {
+            while batch.len() < config.max_batch.max(1) {
+                match rx.try_recv() {
+                    Ok(WorkItem::Query(job)) => batch.push(job),
+                    Ok(WorkItem::Mutation(m)) => {
+                        pending = Some(m);
+                        break;
+                    }
+                    Err(_) => break,
+                }
             }
         }
-        let drained = batch.len();
-        let depth_after = state
-            .depth
-            .fetch_sub(drained, Ordering::Relaxed)
-            .saturating_sub(drained);
-        state.batches.fetch_add(1, Ordering::Relaxed);
-        state.max_batch.fetch_max(drained, Ordering::Relaxed);
-        if let Some(policy) = &config.overload {
-            ctl.observe_batch(policy, depth_after, &batch);
+        if !batch.is_empty() {
+            let drained = batch.len();
+            let depth_after = state
+                .depth
+                .fetch_sub(drained, Ordering::Relaxed)
+                .saturating_sub(drained);
+            state.batches.fetch_add(1, Ordering::Relaxed);
+            state.max_batch.fetch_max(drained, Ordering::Relaxed);
+            if let Some(policy) = &config.overload {
+                ctl.observe_batch(policy, depth_after, &batch);
+            }
+            let started = Instant::now();
+            dispatch(
+                &mut engine,
+                rebuild,
+                &mut batch,
+                &mut groups,
+                state,
+                shard,
+                config,
+                ctl,
+                raced,
+            );
+            let per_job = started.elapsed().as_micros() as f64 / drained as f64;
+            ctl.ewma_job_us = if ctl.ewma_job_us == 0.0 {
+                per_job
+            } else {
+                0.75 * ctl.ewma_job_us + 0.25 * per_job
+            };
         }
-        let started = Instant::now();
-        dispatch(
-            &mut engine,
-            rebuild,
-            &mut batch,
-            &mut groups,
-            state,
-            shard,
-            config,
-            &mut ctl,
-        );
-        let per_job = started.elapsed().as_micros() as f64 / drained as f64;
-        ctl.ewma_job_us = if ctl.ewma_job_us == 0.0 {
-            per_job
-        } else {
-            0.75 * ctl.ewma_job_us + 0.25 * per_job
-        };
+        if let Some(m) = pending {
+            // Sweep-then-swap, in that order: the edited graph keeps its
+            // token, so any entry not swept here will keep hitting under
+            // the new snapshot (see `friends_core::live`).
+            let prox = state.cache.invalidate_affected(&m.prepared.touched_nodes);
+            let results = state
+                .results
+                .as_ref()
+                .map(|rc| {
+                    rc.invalidate_partial(&m.prepared.affected_seekers, &m.prepared.touched_tags)
+                })
+                .unwrap_or(0);
+            state
+                .mutations_applied
+                .fetch_add(m.prepared.mutations as u64, Ordering::Relaxed);
+            state.mutation_batches.fetch_add(1, Ordering::Relaxed);
+            state
+                .mutation_epoch
+                .store(m.prepared.epoch(), Ordering::Relaxed);
+            *raced = Some(RacedMutation {
+                epoch: m.prepared.epoch(),
+                mutations: m.prepared.mutations,
+                prox_invalidated: prox,
+                results_invalidated: results,
+            });
+            let next = Arc::clone(&m.prepared.next);
+            let _ = m.ack.send((prox, results));
+            return Some(next);
+        }
     }
 }
 
@@ -799,6 +1048,7 @@ fn reply_failed(
     sampled: bool,
     fault: Option<&'static str>,
     bounds: SigmaBounds,
+    raced: Option<RacedMutation>,
 ) {
     state.failed.fetch_add(1, Ordering::Relaxed);
     let queue_wait = started - job.submitted;
@@ -810,6 +1060,7 @@ fn reply_failed(
         sampled,
         TraceOutcome::Failed,
         queue_wait,
+        raced,
         |rec| {
             rec.fault = fault;
             if degraded {
@@ -846,10 +1097,14 @@ fn dispatch<'c, R>(
     shard: usize,
     config: &ServiceConfig,
     ctl: &mut WorkerCtl,
+    raced: &mut Option<RacedMutation>,
 ) where
     R: Fn() -> ShardEngine<'c>,
 {
     let started = Instant::now();
+    // The mutation race marker sticks to exactly one dispatch cycle: the
+    // queries drained here were queued while the epoch changed under them.
+    let raced = raced.take();
     groups.clear();
     // Compose the controller's level bounds into each job. Deadline-free
     // jobs are exempt: a caller that opted out of shedding opted out of
@@ -886,6 +1141,7 @@ fn dispatch<'c, R>(
                     sampled,
                     TraceOutcome::DeadlineMissed,
                     started - job.submitted,
+                    raced,
                     |rec| rec.shed = true,
                 );
                 let _ = job.reply.send(Reply {
@@ -929,6 +1185,7 @@ fn dispatch<'c, R>(
                         sampled,
                         TraceOutcome::Done { items: items.len() },
                         started - job.submitted,
+                        raced,
                         |rec| {
                             rec.result_cached = Some(true);
                             if degraded {
@@ -967,6 +1224,7 @@ fn dispatch<'c, R>(
                     sampled,
                     fault.map(fault_name),
                     job.bounds,
+                    raced,
                 );
                 continue;
             }
@@ -994,6 +1252,7 @@ fn dispatch<'c, R>(
                         sampled,
                         fault.map(fault_name),
                         job.bounds,
+                        raced,
                     );
                     continue;
                 }
@@ -1031,6 +1290,7 @@ fn dispatch<'c, R>(
                     items: result.items.len(),
                 },
                 started - job.submitted,
+                raced,
                 |rec| {
                     rec.fill_execution(&result.stats);
                     match engine.plan_of(
@@ -1080,7 +1340,9 @@ fn dispatch<'c, R>(
         groups.entry(key).or_default().push(job);
     }
     for (key, jobs) in groups.drain() {
-        run_group(engine, rebuild, key, jobs, state, shard, started, ctl);
+        run_group(
+            engine, rebuild, key, jobs, state, shard, started, ctl, raced,
+        );
     }
 }
 
@@ -1097,6 +1359,7 @@ fn run_group<'c, R>(
     shard: usize,
     started: Instant,
     ctl: &mut WorkerCtl,
+    raced: Option<RacedMutation>,
 ) where
     R: Fn() -> ShardEngine<'c>,
 {
@@ -1126,6 +1389,7 @@ fn run_group<'c, R>(
                 sampled,
                 TraceOutcome::DeadlineMissed,
                 started - job.submitted,
+                raced,
                 |rec| rec.shed = true,
             );
             let _ = job.reply.send(Reply {
@@ -1169,6 +1433,7 @@ fn run_group<'c, R>(
                 sampled,
                 TraceOutcome::Done { items: items.len() },
                 started - job.submitted,
+                raced,
                 |rec| {
                     rec.result_cached = Some(true);
                     if degraded {
@@ -1208,6 +1473,7 @@ fn run_group<'c, R>(
                 *sampled,
                 fault.map(fault_name),
                 bounds,
+                raced,
             );
         }
         return;
@@ -1240,6 +1506,7 @@ fn run_group<'c, R>(
                     *sampled,
                     fault.map(fault_name),
                     bounds,
+                    raced,
                 );
             }
             return;
@@ -1289,6 +1556,7 @@ fn run_group<'c, R>(
                 items: r.items.len(),
             },
             started - job.submitted,
+            raced,
             |rec| {
                 rec.fill_execution(&r.stats);
                 rec.coalesced = i != 0;
@@ -1359,6 +1627,7 @@ mod tests {
     #[allow(deprecated)]
     use friends_core::batch::par_batch;
     use friends_data::datasets::{DatasetSpec, Scale};
+    use friends_data::mutations::Mutation;
     use friends_data::queries::{QueryParams, QueryWorkload};
 
     fn fixture() -> (Arc<Corpus>, QueryWorkload) {
@@ -1578,6 +1847,134 @@ mod tests {
         );
         assert_eq!(after.executed, before.executed + 1, "{after:?}");
         assert!(after.results.expirations > 0, "{after:?}");
+    }
+
+    #[test]
+    fn apply_mutations_switches_every_shard_to_the_new_epoch() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 3,
+                result_cache_capacity: 64,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        // Warm both cache layers under epoch 0.
+        let before = svc.run_batch(&w.queries);
+        for (q, r) in w.queries.iter().zip(&before) {
+            let d = ExactOnline::new(&corpus, MODEL).query(q);
+            assert_eq!(r.items, d.items);
+        }
+        let batch = MutationBatch::new(vec![
+            Mutation::InsertEdge {
+                u: 0,
+                v: 1,
+                weight: 2.0,
+            },
+            Mutation::AddTagging(friends_data::Tagging {
+                user: 0,
+                item: 0,
+                tag: 0,
+                weight: 2.0,
+            }),
+        ]);
+        let report = svc.apply_mutations(&batch, None);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.mutations, 2);
+        assert_eq!(svc.epoch(), 1);
+        let now = svc.snapshot();
+        assert_eq!(now.epoch(), 1);
+        assert!(now.graph.has_edge(0, 1));
+        // Post-mutation answers — whether re-executed or served by a cache
+        // entry the incremental sweep left alone — must equal from-scratch
+        // execution on the new snapshot. This is the sweep-soundness claim
+        // end to end.
+        let after = svc.run_batch(&w.queries);
+        for (q, r) in w.queries.iter().zip(&after) {
+            let d = ExactOnline::new(&now, MODEL).query(q);
+            assert_eq!(r.items, d.items, "stale answer under epoch 1: {q:?}");
+        }
+        let totals = svc.shutdown().totals();
+        assert_eq!(totals.mutation_batches, 1, "{totals:?}");
+        assert_eq!(totals.mutations_applied, 2, "{totals:?}");
+        assert_eq!(totals.mutation_epoch, 1, "{totals:?}");
+    }
+
+    #[test]
+    fn queries_racing_a_mutation_carry_trace_events() {
+        let (corpus, _) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let q = Query {
+            seeker: 2,
+            tags: vec![0],
+            k: 5,
+        };
+        // Warm a σ entry so the sweep has something to drop.
+        let _ = svc.run_batch(std::slice::from_ref(&q));
+        let report = svc.apply_mutations(
+            &MutationBatch::new(vec![Mutation::InsertEdge {
+                u: 2,
+                v: 3,
+                weight: 1.5,
+            }]),
+            None,
+        );
+        assert_eq!(report.epoch, 1);
+        // The first dispatch cycle after the boundary carries the marker.
+        let reply = svc.submit(Request::new(q).with_trace()).wait();
+        let trace = reply.trace.expect("forced trace");
+        let rendered = trace.render();
+        assert!(
+            rendered.contains("raced mutation batch (1 mutations) publishing epoch 1"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("invalidated sigma_entries="),
+            "{rendered}"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn incremental_sweep_counts_surface_in_stats() {
+        let (corpus, w) = fixture();
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 2,
+                result_cache_capacity: 256,
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let _ = svc.run_batch(&w.queries); // warm σ + memoized rankings
+        let report = svc.apply_mutations(
+            &MutationBatch::new(vec![Mutation::InsertEdge {
+                u: 0,
+                v: 1,
+                weight: 2.0,
+            }]),
+            None,
+        );
+        // The delicious-like graph is well connected: some cached seeker
+        // is reachable from the endpoints.
+        assert!(report.prox_invalidated > 0, "{report:?}");
+        assert!(report.results_invalidated > 0, "{report:?}");
+        let totals = svc.shutdown().totals();
+        assert_eq!(totals.cache.invalidated, report.prox_invalidated);
+        assert_eq!(totals.results.invalidated, report.results_invalidated);
+        // Incremental means *not* a full stamp: the result-cache epoch is
+        // untouched, so nothing shows up as an expiration.
+        assert_eq!(totals.results.expirations, 0, "{totals:?}");
     }
 
     #[test]

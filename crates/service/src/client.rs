@@ -34,6 +34,7 @@ use friends_core::plan::{
 };
 use friends_core::proximity::ProximityModel;
 use friends_core::trace::{QueryTrace, TraceCollector, TraceConfig, TraceOutcome, TraceRecord};
+use friends_data::mutations::MutationBatch;
 use friends_data::queries::Query;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -658,6 +659,22 @@ impl ServedClient {
     /// [`FriendsService::invalidate_results`]).
     pub fn invalidate_results(&self) {
         self.service.invalidate_results();
+    }
+
+    /// Applies a live-graph mutation batch across every shard with
+    /// incremental cache invalidation — see
+    /// [`FriendsService::apply_mutations`].
+    pub fn apply_mutations(
+        &self,
+        batch: &MutationBatch,
+        horizon: Option<u32>,
+    ) -> crate::MutationReport {
+        self.service.apply_mutations(batch, horizon)
+    }
+
+    /// The service's published corpus epoch (0 = frozen seed).
+    pub fn epoch(&self) -> u64 {
+        self.service.epoch()
     }
 
     /// Drain-based shutdown; returns the final stats.

@@ -92,8 +92,8 @@ mod stats;
 #[allow(deprecated)]
 pub use broker::par_batch_served;
 pub use broker::{
-    exact_factory, global_bound_factory, FaultKind, FaultPlan, FriendsService, OverloadPolicy,
-    ProcessorFactory, ServiceConfig, ShardContext,
+    exact_factory, global_bound_factory, FaultKind, FaultPlan, FriendsService, MutationReport,
+    OverloadPolicy, ProcessorFactory, ServiceConfig, ShardContext,
 };
 pub use client::{ClientStats, DirectClient, DirectConfig, SearchClient, ServedClient};
 pub use multiplexer::Multiplexer;
@@ -107,6 +107,11 @@ pub use friends_core::plan::{
     Plan, PlanHistogram, Planner, PlannerConfig, ProcessorRegistry, QueryRequest,
 };
 pub use friends_core::proximity::SigmaBounds;
+
+// The live-graph write path: mutation batches (generated or hand-built)
+// and the epoch-snapshot machinery behind `apply_mutations`.
+pub use friends_core::live::{LiveCorpus, MutationOutcome, PreparedMutation};
+pub use friends_data::mutations::{Mutation, MutationBatch, MutationParams, MutationStream};
 
 // The observability surface: traces (EXPLAIN, slow-query log) and the
 // unified metrics registry behind `SearchClient::metrics()`.

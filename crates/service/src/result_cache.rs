@@ -8,11 +8,19 @@
 //! [`CachePolicy`] and [`FreqSketch`]), so one-shot queries cannot wash a
 //! shard's hot repeat set out of a small cache.
 //!
-//! Invalidation: every entry is stamped with the cache's **epoch** at
-//! insertion. [`ResultCache::invalidate`] bumps the epoch; stale entries
-//! are dropped lazily on access (counted as expirations). This is the hook
-//! a mutable corpus will use — bump on every write batch. The optional
-//! [`CachePolicy::ttl`] bounds staleness in wall-clock time as well.
+//! Invalidation comes in two granularities:
+//!
+//! * **Full stamp** — [`ResultCache::invalidate`] bumps the epoch; stale
+//!   entries are dropped lazily on access (counted as expirations). The
+//!   blunt fallback when the blast radius of a write is unknown.
+//! * **Partial** — [`ResultCache::invalidate_partial`] eagerly sweeps only
+//!   the entries a mutation batch can actually change: per-seeker (the
+//!   seeker's σ vector may cross a new/removed edge — see
+//!   `friends_core::live`) and per-tag (the batch appended postings under
+//!   one of the query's tags). Everything else keeps serving hits.
+//!
+//! The optional [`CachePolicy::ttl`] bounds staleness in wall-clock time
+//! as well.
 //!
 //! Rankings are memoized, not statistics: a cached reply carries the exact
 //! `(item, score)` list of the original execution (byte-identical — the
@@ -102,6 +110,7 @@ pub struct ResultCache {
     evictions: AtomicU64,
     rejections: AtomicU64,
     expirations: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl ResultCache {
@@ -125,6 +134,7 @@ impl ResultCache {
             evictions: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
             expirations: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -137,6 +147,42 @@ impl ResultCache {
     /// (entries are reaped lazily on access). Call when the corpus mutates.
     pub fn invalidate(&self) {
         self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Eagerly drops only the rankings a mutation batch can change:
+    /// entries whose seeker is in `seekers` (sorted) under a σ-dependent
+    /// model, plus entries whose query mentions a tag in `tags` (sorted).
+    ///
+    /// Seeker matching skips the `Global` model (`σ ≡ 1` is
+    /// graph-independent) but conservatively includes `None` model bits —
+    /// a fixed-factory service's implicit model is unknown here. Tag
+    /// matching is model-blind: appended postings change every ranking
+    /// that reads that tag. Returns the number of entries dropped.
+    pub fn invalidate_partial(&self, seekers: &[u32], tags: &[u32]) -> u64 {
+        if seekers.is_empty() && tags.is_empty() {
+            return 0;
+        }
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let doomed: Vec<(ResultKey, u64)> = inner
+            .map
+            .iter()
+            .filter(|(key, _)| {
+                let sigma_dependent = key.1.is_none_or(|(tag, _, _)| tag != 0);
+                (sigma_dependent && seekers.binary_search(&key.0.seeker).is_ok())
+                    || key.0.tags.iter().any(|t| tags.binary_search(t).is_ok())
+            })
+            .map(|(key, slot)| (key.clone(), slot.stamp))
+            .collect();
+        let dropped = doomed.len() as u64;
+        for (key, stamp) in doomed {
+            if let Some(slot) = inner.map.remove(&key) {
+                inner.bytes -= charge_of(&slot.items);
+            }
+            inner.recency.remove(&stamp);
+        }
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        dropped
     }
 
     fn slot_dead(&self, slot: &Slot, epoch: u64) -> bool {
@@ -287,6 +333,7 @@ impl ResultCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             rejections: self.rejections.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
             entries,
             bytes,
         }
@@ -456,6 +503,53 @@ mod tests {
             "fresh insert blocked by a dead resident: {:?}",
             c.stats()
         );
+    }
+
+    #[test]
+    fn partial_invalidation_is_per_seeker() {
+        let c = ResultCache::new(8, POLICY);
+        c.insert(key(1, 0), ranking(1), 0.0, c.epoch());
+        c.insert(key(2, 0), ranking(2), 0.0, c.epoch());
+        c.insert(key(3, 0), ranking(3), 0.0, c.epoch());
+        let dropped = c.invalidate_partial(&[2], &[]);
+        assert_eq!(dropped, 1);
+        assert!(c.get(&key(1, 0)).is_some(), "unaffected seeker swept");
+        assert!(c.get(&key(2, 0)).is_none(), "affected seeker survived");
+        assert!(c.get(&key(3, 0)).is_some(), "unaffected seeker swept");
+        assert_eq!(c.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn partial_invalidation_is_per_tag_and_model_blind() {
+        // Tag appends change the postings themselves, so even Global-model
+        // entries reading that tag must go; other tags survive.
+        let c = ResultCache::new(8, POLICY);
+        let mut global = key(1, 0);
+        global.1 = Some(ProximityModel::Global.key_bits());
+        c.insert(global.clone(), ranking(1), 0.0, c.epoch());
+        c.insert(key(2, 5), ranking(2), 0.0, c.epoch());
+        let dropped = c.invalidate_partial(&[], &[0]);
+        assert_eq!(dropped, 1);
+        assert!(c.get(&global).is_none(), "touched tag must sweep Global");
+        assert!(c.get(&key(2, 5)).is_some(), "untouched tag swept");
+    }
+
+    #[test]
+    fn partial_invalidation_skips_global_for_edge_only_batches() {
+        // An edge mutation cannot move σ ≡ 1: Global entries survive even
+        // when their seeker is in the affected set. None model bits
+        // (fixed-factory, model unknown) are conservatively swept.
+        let c = ResultCache::new(8, POLICY);
+        let mut global = key(1, 0);
+        global.1 = Some(ProximityModel::Global.key_bits());
+        let mut implicit = key(1, 1);
+        implicit.1 = None;
+        c.insert(global.clone(), ranking(1), 0.0, c.epoch());
+        c.insert(implicit.clone(), ranking(2), 0.0, c.epoch());
+        let dropped = c.invalidate_partial(&[1], &[]);
+        assert_eq!(dropped, 1);
+        assert!(c.get(&global).is_some(), "Global is graph-independent");
+        assert!(c.get(&implicit).is_none(), "implicit model must be swept");
     }
 
     #[test]

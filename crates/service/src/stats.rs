@@ -28,6 +28,13 @@ pub(crate) struct ShardState {
     pub max_residual_bits: AtomicU64,
     pub batches: AtomicU64,
     pub max_batch: AtomicUsize,
+    /// Individual mutations applied to this shard's snapshot (every shard
+    /// applies every broadcast batch, so this counts shard-applications).
+    pub mutations_applied: AtomicU64,
+    /// Mutation batches applied at this shard's batch boundaries.
+    pub mutation_batches: AtomicU64,
+    /// Epoch of the snapshot this shard currently serves from.
+    pub mutation_epoch: AtomicU64,
     pub cache: Arc<ProximityCache>,
     /// Present when the service memoizes results.
     pub results: Option<Arc<ResultCache>>,
@@ -62,6 +69,9 @@ impl ShardState {
             max_residual_bits: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicUsize::new(0),
+            mutations_applied: AtomicU64::new(0),
+            mutation_batches: AtomicU64::new(0),
+            mutation_epoch: AtomicU64::new(0),
             cache,
             results,
             plans,
@@ -93,6 +103,9 @@ impl ShardState {
             max_residual: f64::from_bits(self.max_residual_bits.load(Ordering::Relaxed)),
             batches: self.batches.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            mutation_batches: self.mutation_batches.load(Ordering::Relaxed),
+            mutation_epoch: self.mutation_epoch.load(Ordering::Relaxed),
             cache: self.cache.stats(),
             results: self.results.as_ref().map(|r| r.stats()).unwrap_or_default(),
             plans: self
@@ -150,6 +163,15 @@ pub struct ShardStats {
     pub batches: u64,
     /// Largest batch drained in one dispatch cycle.
     pub max_batch: usize,
+    /// Individual live-graph mutations applied on this shard. Every shard
+    /// applies every broadcast batch, so in [`ServiceStats::totals`] this
+    /// takes the max across shards (the service-level count), not the sum.
+    pub mutations_applied: u64,
+    /// Mutation batches applied at this shard's batch boundaries (max
+    /// across shards in totals, like `mutations_applied`).
+    pub mutation_batches: u64,
+    /// Epoch of the snapshot this shard serves from (max across shards).
+    pub mutation_epoch: u64,
     /// The shard-private proximity cache's counters.
     pub cache: CacheStats,
     /// The shard-private result-memoization cache's counters (all zero
@@ -247,6 +269,21 @@ impl ShardStats {
             "largest residual certificate of any degraded reply",
             self.max_residual,
         );
+        registry.counter(
+            "friends_mutation_applied_total",
+            "individual live-graph mutations applied",
+            self.mutations_applied,
+        );
+        registry.counter(
+            "friends_mutation_batches_total",
+            "mutation batches applied at batch boundaries",
+            self.mutation_batches,
+        );
+        registry.gauge(
+            "friends_mutation_epoch",
+            "corpus epoch currently served (0 = frozen seed)",
+            self.mutation_epoch as f64,
+        );
         self.cache.register_into(registry, "proximity_cache");
         self.results.register_into(registry, "result_cache");
         self.plans.register_into(registry);
@@ -282,6 +319,11 @@ impl ServiceStats {
             t.max_residual = t.max_residual.max(s.max_residual);
             t.batches += s.batches;
             t.max_batch = t.max_batch.max(s.max_batch);
+            // Broadcast batches land on every shard: max, not sum, is the
+            // service-level mutation count.
+            t.mutations_applied = t.mutations_applied.max(s.mutations_applied);
+            t.mutation_batches = t.mutation_batches.max(s.mutation_batches);
+            t.mutation_epoch = t.mutation_epoch.max(s.mutation_epoch);
             t.cache.merge(&s.cache);
             t.results.merge(&s.results);
             t.plans.merge(&s.plans);

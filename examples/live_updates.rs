@@ -1,0 +1,101 @@
+//! Live graph: interleave edge inserts with queries on a running service.
+//!
+//! Streams generated mutations through [`ServedClient::apply_mutations`]
+//! in epoch batches while the same client keeps answering queries. After
+//! every batch it prints the new corpus epoch and what the switch cost —
+//! how many σ cache entries the incremental sweep dropped (only seekers
+//! whose proximity can cross a touched edge), how many the writer
+//! re-materialized before publishing, and how many memoized results were
+//! invalidated per-seeker/per-tag — then finishes with the read path's
+//! per-stage latency percentiles accumulated across all epochs.
+//!
+//! ```sh
+//! cargo run --release --example live_updates
+//! ```
+
+use friends::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let ds = DatasetSpec::delicious_like(Scale::Small).build(42);
+    let corpus = Arc::new(Corpus::new(ds.graph, ds.store));
+    let queries = RequestStream::generate(
+        &corpus.graph,
+        &corpus.store,
+        &RequestParams {
+            count: 2_000,
+            ..RequestParams::default()
+        },
+        11,
+    )
+    .queries();
+    let muts = MutationStream::generate(
+        &corpus.graph,
+        &corpus.store,
+        &MutationParams {
+            count: 256,
+            ..MutationParams::default()
+        },
+        11,
+    );
+
+    let client = ServedClient::start(
+        Arc::clone(&corpus),
+        ServiceConfig {
+            shards: 2,
+            result_cache_capacity: 1_024,
+            ..ServiceConfig::default()
+        },
+    );
+    let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+
+    // Warm both caches so the epoch switches below have something real to
+    // invalidate — a cold cache makes every sweep trivially drop zero.
+    client.search(&queries, model);
+
+    let batches = muts.batches(32);
+    let per_epoch = queries.len() / (batches.len() + 1);
+    println!("epoch | mutations | σ dropped | σ refreshed | results dropped | queries between");
+    for (i, batch) in batches.iter().enumerate() {
+        // Queries and writes interleave: each slice runs against the
+        // epoch the previous batch published.
+        let slice = &queries[i * per_epoch..(i + 1) * per_epoch];
+        client.search(slice, model);
+        // `None` horizon: exact reach-based invalidation (a horizon
+        // over-approximates the sweep to bound its cost on huge graphs).
+        let report: MutationReport = client.apply_mutations(batch, None);
+        println!(
+            "{:>5} | {:>9} | {:>9} | {:>11} | {:>15} | {:>15}",
+            report.epoch,
+            report.mutations,
+            report.prox_invalidated,
+            report.sigma_refreshed,
+            report.results_invalidated,
+            slice.len(),
+        );
+    }
+
+    let totals = client.stats().totals();
+    assert_eq!(totals.mutation_epoch, batches.len() as u64);
+    println!(
+        "\nread-path stage latencies across {} epochs:",
+        totals.mutation_epoch
+    );
+    for &stage in &[
+        Stage::QueueWait,
+        Stage::Sigma,
+        Stage::Scoring,
+        Stage::EndToEnd,
+    ] {
+        let snap = totals.latency.get(stage);
+        println!(
+            "  {:<10} p50 {:>9.3?}  p99 {:>9.3?}  max {:>9.3?}  ({} samples)",
+            stage.name(),
+            snap.p50(),
+            snap.p99(),
+            snap.max(),
+            snap.count(),
+        );
+    }
+    client.shutdown();
+}

@@ -77,6 +77,7 @@ pub mod prelude {
     pub use friends_core::eval::{
         kendall_tau, ndcg_at_k, precision_at_k, topk_sets_equal_up_to_ties,
     };
+    pub use friends_core::latency::{LatencySnapshot, Stage, StageSnapshot};
     pub use friends_core::plan::{
         Deadline, Plan, PlanHistogram, Planner, PlannerConfig, ProcessorRegistry, QueryRequest,
     };
@@ -99,7 +100,8 @@ pub mod prelude {
     pub use friends_service::par_batch_served;
     pub use friends_service::{
         exact_factory, global_bound_factory, ClientStats, DirectClient, DirectConfig, FaultKind,
-        FaultPlan, FriendsService, Metric, MetricKind, MetricsRegistry, Multiplexer, Outcome,
+        FaultPlan, FriendsService, LiveCorpus, Metric, MetricKind, MetricsRegistry, Multiplexer,
+        Mutation, MutationBatch, MutationParams, MutationReport, MutationStream, Outcome,
         OverloadPolicy, QueryTrace, Reply, Request, SearchClient, ServedClient, ServiceConfig,
         ServiceStats, ShardStats, Ticket, TraceConfig, TraceEvent, TraceOutcome, TraceSpan,
     };
