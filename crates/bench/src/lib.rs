@@ -1333,7 +1333,7 @@ mod tests {
             ..ServiceConfig::default()
         };
 
-        let frozen_client = ServedClient::start(Arc::clone(&corpus), config);
+        let frozen_client = ServedClient::start(Arc::clone(&corpus), config.clone());
         let frozen = drive_open_loop(&frozen_client, &stream, model, deadline);
         let frozen_stats = frozen_client.shutdown().totals();
         eprintln!("fig14 frozen: {frozen:?} (rate {rate:.0} q/s)");
@@ -1401,6 +1401,205 @@ mod tests {
             live.p99_ms,
             frozen.p99_ms
         );
+    }
+
+    /// Release gate behind the fig15 durability claims; run explicitly
+    /// with `cargo test --release -q -p friends-bench
+    /// fig15_durability_gate -- --ignored`. Two claims: (1) fsync-per-batch
+    /// durability (`SyncPolicy::Always`) keeps read p99 under writes within
+    /// 1.3× of the WAL-off baseline (plus the same 8 ms scheduler-jitter
+    /// floor as the fig14 gate — both arms' p99s are single-digit-ms ranks
+    /// on a shared host, while a real regression, e.g. holding the
+    /// mutation gate across the fsync of every read, lands orders of
+    /// magnitude past this budget); (2) a 10k-mutation WAL with no
+    /// snapshot replays to the exact acked epoch in under 2 s.
+    #[test]
+    #[ignore]
+    fn fig15_durability_gate() {
+        let _serial = serialize_timing_gate();
+        use crate::experiments::drive_live_open_loop;
+        use friends_core::live::{DurabilityConfig, LiveCorpus};
+        use friends_core::plan::QueryRequest;
+        use friends_data::mutations::{MutationBatch, MutationParams, MutationStream};
+        use friends_data::requests::{
+            OpenLoopParams, OpenLoopStream, RequestParams, RequestStream,
+        };
+        use friends_data::wal::SyncPolicy;
+        use friends_service::{SearchClient, ServedClient, ServiceConfig};
+
+        fn scratch(tag: &str) -> std::path::PathBuf {
+            let mut dir = std::env::temp_dir();
+            dir.push(format!("friends-gate-fig15-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        }
+
+        let corpus = Arc::new(overload_corpus(20_000, 42));
+        corpus.sigma_index(); // shared lazy build, outside every timed region
+        let model = ProximityModel::WeightedDecay { alpha: 0.5 };
+        let shards = 2;
+        let deadline = Duration::from_millis(50);
+        let count = 6_000; // p99 rank 60: one scheduler hiccup can't own it
+        let shape = RequestParams {
+            count,
+            seeker_theta: 1.1,
+            ..RequestParams::default()
+        };
+        let probe = RequestStream::generate(
+            &corpus.graph,
+            &corpus.store,
+            &RequestParams {
+                count: 800,
+                ..shape.clone()
+            },
+            23,
+        )
+        .queries();
+        let cap_client = ServedClient::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards,
+                coalesce: false,
+                default_deadline: None,
+                ..ServiceConfig::default()
+            },
+        );
+        let requests: Vec<QueryRequest> = probe
+            .iter()
+            .map(|q| {
+                QueryRequest::from_query(q.clone())
+                    .with_model(model)
+                    .without_deadline()
+            })
+            .collect();
+        let (_, cap_d) = timed(|| cap_client.run_batch(requests));
+        cap_client.shutdown();
+        let capacity = probe.len() as f64 / cap_d.as_secs_f64();
+        let rate = 0.3 * capacity;
+        let stream = OpenLoopStream::generate(
+            &corpus.graph,
+            &corpus.store,
+            &OpenLoopParams {
+                rate,
+                poisson: false,
+                shape: shape.clone(),
+            },
+            23,
+        );
+        let write_rate = 0.10 * rate;
+        let muts = MutationStream::generate(
+            &corpus.graph,
+            &corpus.store,
+            &MutationParams {
+                count: count / 10,
+                rate: write_rate,
+                user_theta: shape.seeker_theta,
+                ..MutationParams::default()
+            },
+            23,
+        );
+        const WRITE_BATCH: usize = 64;
+        let writes: Vec<(Duration, MutationBatch)> = muts
+            .batches(WRITE_BATCH)
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let last = (i * WRITE_BATCH + b.len() - 1).min(muts.len() - 1);
+                (muts.mutations[last].arrival, b)
+            })
+            .collect();
+
+        let mut p99 = std::collections::HashMap::new();
+        for (mode, durable) in [("wal-off", false), ("wal-fsync", true)] {
+            let dir = scratch(mode);
+            let client = ServedClient::start(
+                Arc::clone(&corpus),
+                ServiceConfig {
+                    shards,
+                    max_batch: 64,
+                    default_deadline: Some(deadline),
+                    result_cache_capacity: 4_096,
+                    mutation_refresh_cap: 48,
+                    durability: durable.then(|| {
+                        let mut d = DurabilityConfig::new(&dir);
+                        d.sync = SyncPolicy::Always;
+                        d
+                    }),
+                    ..ServiceConfig::default()
+                },
+            );
+            let (run, report) =
+                drive_live_open_loop(&client, &stream, model, deadline, &writes, None);
+            let wal = client.service().wal_stats();
+            client.shutdown();
+            eprintln!("fig15 {mode}: {run:?} (rate {rate:.0} q/s) wal {wal:?}");
+            assert_eq!(report.mutations, count / 10, "mutation stream truncated");
+            if durable {
+                let wal = wal.expect("durable arm has WAL counters");
+                assert_eq!(
+                    wal.appends as usize,
+                    writes.len(),
+                    "every acked batch is one WAL record"
+                );
+                assert!(
+                    wal.syncs >= wal.appends,
+                    "SyncPolicy::Always must fsync per batch: {wal:?}"
+                );
+            }
+            assert!(
+                run.done * 100 >= run.submitted * 95,
+                "{mode} shed too much: {run:?}"
+            );
+            p99.insert(mode, run.p99_ms);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let (off, fsync) = (p99["wal-off"], p99["wal-fsync"]);
+        assert!(
+            fsync <= 1.3 * off + 8.0,
+            "fsync-per-batch read p99 blew the 1.3x-of-wal-off budget: \
+             {fsync:.2} ms vs {off:.2} ms"
+        );
+
+        // Recovery-time floor: 10k mutations, WAL only (no snapshot), must
+        // replay to the exact acked epoch in under 2 s.
+        let dir = scratch("recovery");
+        let rcfg = {
+            let mut d = DurabilityConfig::new(&dir);
+            d.sync = SyncPolicy::Never;
+            d.snapshot_every = 0;
+            d
+        };
+        let (live, dur) =
+            LiveCorpus::open_durable(Arc::clone(&corpus), rcfg).expect("scratch durability dir");
+        let rmuts = MutationStream::generate(
+            &corpus.graph,
+            &corpus.store,
+            &MutationParams {
+                count: 10_000,
+                rate: write_rate,
+                user_theta: shape.seeker_theta,
+                ..MutationParams::default()
+            },
+            23,
+        );
+        for b in rmuts.batches(WRITE_BATCH) {
+            dur.apply_durable(&live, &b, None, None)
+                .expect("durable apply");
+        }
+        dur.sync().expect("flush WAL tail");
+        let (recovered, report) = LiveCorpus::recover(&dir).expect("recover");
+        eprintln!("fig15 recovery: {report:?}");
+        assert_eq!(
+            recovered.epoch(),
+            live.epoch(),
+            "recovery lost acked batches"
+        );
+        assert!(!report.degraded(), "{report:?}");
+        assert!(
+            report.elapsed_ms < 2_000.0,
+            "10k-mutation WAL replay blew the 2s budget: {report:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

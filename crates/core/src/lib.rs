@@ -58,7 +58,10 @@ pub use batch::{par_batch, par_batch_with_cache};
 pub use cache::{CachePolicy, CacheStats, ProximityCache};
 pub use corpus::{Corpus, QueryStats, SearchResult};
 pub use latency::{LatencyRecorder, LatencySnapshot, Stage, StageLatencies, StageSnapshot};
-pub use live::{LiveCorpus, MutationOutcome, PreparedMutation};
+pub use live::{
+    register_wal_stats, DurabilityConfig, LiveCorpus, LiveDurability, MutationOutcome,
+    PreparedMutation, RecoverError, RecoveryReport,
+};
 pub use metrics::{Metric, MetricKind, MetricsRegistry};
 pub use plan::{
     Deadline, Plan, PlanCounters, PlanHistogram, PlannedExecutor, Planner, PlannerConfig,

@@ -76,10 +76,14 @@
 
 use crate::cache::ProximityCache;
 use crate::corpus::Corpus;
+use crate::metrics::MetricsRegistry;
+use friends_data::io as snapio;
 use friends_data::mutations::MutationBatch;
+use friends_data::wal::{StdFs, SyncPolicy, Wal, WalAppend, WalConfig, WalFs, WalStats};
 use friends_data::TagId;
 use friends_graph::{CsrGraph, NodeId};
 use parking_lot::{Mutex, RwLock};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -255,6 +259,491 @@ impl LiveCorpus {
             prox_invalidated,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: checksummed snapshots + mutation WAL + replay recovery
+// ---------------------------------------------------------------------------
+
+/// Where and how a live corpus persists itself. The directory holds v2
+/// snapshots (`snap-{epoch:016x}.snap`, written atomically with per-section
+/// CRCs) and a `wal/` subdirectory of checksummed mutation segments.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Root directory for snapshots; the WAL lives in `dir/wal/`.
+    pub dir: PathBuf,
+    /// WAL fsync cadence — the crash-consistency contract knob.
+    pub sync: SyncPolicy,
+    /// WAL segment size before rotation.
+    pub segment_bytes: u64,
+    /// Write a snapshot automatically every this many applied batches
+    /// (0 = only on explicit [`LiveDurability::snapshot_now`] calls).
+    pub snapshot_every: u64,
+    /// Snapshots retained after pruning (≥ 1). Keep ≥ 2 so recovery can
+    /// fall back to an older snapshot when the newest is corrupt — the WAL
+    /// is only retired through the *oldest* retained snapshot's epoch,
+    /// which is exactly what makes that fallback replayable.
+    pub keep_snapshots: usize,
+}
+
+impl DurabilityConfig {
+    /// Durable defaults rooted at `dir`: sync every batch, 8 MiB segments,
+    /// no automatic snapshots, two snapshots retained.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            sync: SyncPolicy::Always,
+            segment_bytes: 8 << 20,
+            snapshot_every: 0,
+            keep_snapshots: 2,
+        }
+    }
+
+    fn wal_dir(&self) -> PathBuf {
+        self.dir.join("wal")
+    }
+
+    fn wal_config(&self) -> WalConfig {
+        WalConfig {
+            sync: self.sync,
+            segment_bytes: self.segment_bytes,
+        }
+    }
+}
+
+/// What recovery found and did. Degradation is *reported*, never fatal:
+/// a torn WAL tail or a corrupt newest snapshot still yields a serving
+/// corpus as long as one consistent (snapshot, WAL-suffix) pair exists.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_epoch: u64,
+    /// WAL batches replayed on top of it.
+    pub replayed: u64,
+    /// The WAL ended in a torn or invalid record (the expected artifact of
+    /// a crash mid-append); everything before it was recovered.
+    pub truncated_tail: bool,
+    /// WAL segments wholly or partially discarded beyond tail truncation.
+    pub corrupt_segments: usize,
+    /// Snapshot files that failed validation and were skipped (newest
+    /// first) before a loadable one was found.
+    pub corrupt_snapshots: usize,
+    /// The epoch the corpus serves at after replay.
+    pub recovered_epoch: u64,
+    /// Valid WAL bytes scanned during replay.
+    pub wal_bytes: u64,
+    /// Wall-clock recovery time.
+    pub elapsed_ms: f64,
+}
+
+impl RecoveryReport {
+    /// Whether recovery had to discard *anything* (crash artifacts or real
+    /// corruption). A clean restart reports `false`.
+    pub fn degraded(&self) -> bool {
+        self.truncated_tail || self.corrupt_segments > 0 || self.corrupt_snapshots > 0
+    }
+
+    /// Publishes the report as `friends_recovery_*` metrics.
+    pub fn register_into(&self, reg: &mut MetricsRegistry) {
+        reg.gauge(
+            "friends_recovery_snapshot_epoch",
+            "Epoch of the snapshot recovery started from",
+            self.snapshot_epoch as f64,
+        );
+        reg.gauge(
+            "friends_recovery_recovered_epoch",
+            "Epoch served after WAL replay",
+            self.recovered_epoch as f64,
+        );
+        reg.counter(
+            "friends_recovery_replayed_batches",
+            "WAL batches replayed on top of the snapshot",
+            self.replayed,
+        );
+        reg.gauge(
+            "friends_recovery_truncated_tail",
+            "1 when the WAL ended in a torn/invalid record",
+            self.truncated_tail as u64 as f64,
+        );
+        reg.counter(
+            "friends_recovery_corrupt_segments",
+            "WAL segments discarded beyond tail truncation",
+            self.corrupt_segments as u64,
+        );
+        reg.counter(
+            "friends_recovery_corrupt_snapshots",
+            "Snapshot files skipped as invalid during recovery",
+            self.corrupt_snapshots as u64,
+        );
+        reg.gauge(
+            "friends_recovery_elapsed_ms",
+            "Wall-clock recovery time in milliseconds",
+            self.elapsed_ms,
+        );
+    }
+}
+
+/// Why recovery could not produce a corpus. Corruption of *some* state is
+/// handled (and reported); this error means no consistent state exists at
+/// all.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Filesystem failure while reading state.
+    Io(std::io::Error),
+    /// Every snapshot in the directory (all `tried` of them, possibly 0)
+    /// failed validation — there is no base to replay onto.
+    NoUsableSnapshot { tried: usize },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery io error: {e}"),
+            RecoverError::NoUsableSnapshot { tried } => {
+                write!(f, "no usable snapshot ({tried} candidates all invalid)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+impl From<RecoverError> for std::io::Error {
+    fn from(e: RecoverError) -> Self {
+        match e {
+            RecoverError::Io(e) => e,
+            other => std::io::Error::other(other.to_string()),
+        }
+    }
+}
+
+/// The durable side of a [`LiveCorpus`]: the WAL handle, snapshot
+/// scheduling, and the recovery report from startup. Produced by
+/// [`LiveCorpus::open_durable`]; the serving tier logs every batch here
+/// *before* acknowledging it.
+pub struct LiveDurability {
+    config: DurabilityConfig,
+    wal: Mutex<Wal>,
+    report: RecoveryReport,
+    batches_since_snapshot: AtomicU64,
+}
+
+impl LiveCorpus {
+    /// Opens (or initializes) a durable corpus at `config.dir`. An empty
+    /// directory is seeded with a snapshot of `seed` at its epoch; a
+    /// non-empty one is recovered — `seed` is then ignored, because the
+    /// disk state is newer truth. The WAL is repaired (torn tail
+    /// truncated, unusable segments removed) and reopened for appending.
+    pub fn open_durable(
+        seed: Arc<Corpus>,
+        config: DurabilityConfig,
+    ) -> std::io::Result<(LiveCorpus, LiveDurability)> {
+        Self::open_durable_with_fs(seed, config, Arc::new(StdFs))
+    }
+
+    /// [`LiveCorpus::open_durable`] with an injected WAL write path — the
+    /// crash-point harness plugs `friends_data::wal::fault::FailingFs` in
+    /// here. Snapshot writes always use the real filesystem.
+    pub fn open_durable_with_fs(
+        seed: Arc<Corpus>,
+        config: DurabilityConfig,
+        fs: Arc<dyn WalFs>,
+    ) -> std::io::Result<(LiveCorpus, LiveDurability)> {
+        assert!(
+            config.keep_snapshots >= 1,
+            "must retain at least 1 snapshot"
+        );
+        std::fs::create_dir_all(&config.dir)?;
+        let snaps = snapio::list_snapshots(&config.dir)?;
+        let (corpus, report) = if snaps.is_empty() {
+            let epoch = seed.epoch();
+            snapio::save_with_epoch(
+                &snapio::snapshot_path(&config.dir, epoch),
+                &seed.graph,
+                &seed.store,
+                epoch,
+            )
+            .map_err(io_error)?;
+            let report = RecoveryReport {
+                snapshot_epoch: epoch,
+                recovered_epoch: epoch,
+                ..RecoveryReport::default()
+            };
+            (seed, report)
+        } else {
+            Self::recover_corpus(&config.dir)?
+        };
+        let wal = Wal::open_with(&config.wal_dir(), config.wal_config(), fs)?;
+        let live = LiveCorpus::new(corpus);
+        Ok((
+            live,
+            LiveDurability {
+                config,
+                wal: Mutex::new(wal),
+                report,
+                batches_since_snapshot: AtomicU64::new(0),
+            },
+        ))
+    }
+
+    /// Pure read-side recovery: loads the newest valid snapshot under
+    /// `dir`, replays every WAL record with `epoch > snapshot.epoch`, and
+    /// stops cleanly at the first torn/corrupt record. Does not modify
+    /// anything on disk — safe to run against a directory another process
+    /// owns. Use [`LiveCorpus::open_durable`] to recover *and* resume
+    /// writing.
+    pub fn recover(dir: &Path) -> Result<(LiveCorpus, RecoveryReport), RecoverError> {
+        let (corpus, report) = Self::recover_corpus(dir)?;
+        Ok((LiveCorpus::new(corpus), report))
+    }
+
+    fn recover_corpus(dir: &Path) -> Result<(Arc<Corpus>, RecoveryReport), RecoverError> {
+        let started = std::time::Instant::now();
+        let snaps = snapio::list_snapshots(dir)?;
+        // Newest snapshot first; fall back on validation failure. An older
+        // snapshot is still consistent because the WAL is only retired
+        // through the oldest *retained* snapshot's epoch.
+        let mut corrupt_snapshots = 0;
+        let mut base: Option<Arc<Corpus>> = None;
+        for (_, path) in snaps.iter().rev() {
+            match snapio::load_with_epoch(path) {
+                Ok((graph, store, epoch)) => {
+                    base = Some(Arc::new(Corpus::with_epoch(graph, store, epoch)));
+                    break;
+                }
+                Err(_) => corrupt_snapshots += 1,
+            }
+        }
+        let Some(mut corpus) = base else {
+            return Err(RecoverError::NoUsableSnapshot { tried: snaps.len() });
+        };
+        let snapshot_epoch = corpus.epoch();
+        let replay = Wal::replay(&dir.join("wal"))?;
+        let mut report = RecoveryReport {
+            snapshot_epoch,
+            truncated_tail: replay.truncated_tail,
+            corrupt_segments: replay.corrupt_segments,
+            corrupt_snapshots,
+            wal_bytes: replay.valid_bytes,
+            ..RecoveryReport::default()
+        };
+        // Validate the epoch chain record by record, but coalesce the
+        // surviving prefix into ONE rebuild. Sound because a batch's edit
+        // of a pair fully replaces that pair's state (`with_edits` sheds
+        // the old copy whether the batch inserts or removes, and an insert
+        // beats a removal of the same pair within a batch), so each pair's
+        // final state is decided by the last batch touching it; tag
+        // appends concatenate in order. Byte-identical to the sequential
+        // in-memory path because `GraphBuilder::build` canonicalizes
+        // (sorted, deduped, per-node sorted adjacency) — and O(graph +
+        // WAL) instead of O(graph × batches), which is what keeps the
+        // fig15 recovery-time budget linear in WAL length.
+        let mut last_epoch = corpus.epoch();
+        // canonical pair → Some(weight) = present, None = removed
+        let mut net: std::collections::HashMap<(NodeId, NodeId), Option<f32>> =
+            std::collections::HashMap::new();
+        let mut appends = Vec::new();
+        let canon = |u: NodeId, v: NodeId| if u < v { (u, v) } else { (v, u) };
+        for (epoch, batch) in &replay.records {
+            if *epoch <= last_epoch {
+                continue; // already captured by the snapshot
+            }
+            if *epoch != last_epoch + 1 {
+                // An epoch gap means a segment between the snapshot and
+                // this record is missing — nothing after it can be
+                // trusted. Stop, exactly like a torn tail.
+                report.truncated_tail = true;
+                break;
+            }
+            let (inserts, removals, tags) = batch.split();
+            for &(u, v) in &removals {
+                net.insert(canon(u, v), None);
+            }
+            for &(u, v, w) in &inserts {
+                if u != v {
+                    net.insert(canon(u, v), Some(w));
+                }
+            }
+            appends.extend(tags);
+            last_epoch = *epoch;
+            report.replayed += 1;
+        }
+        if report.replayed > 0 {
+            let mut inserts = Vec::new();
+            let mut removals = Vec::new();
+            for (&(u, v), &action) in &net {
+                match action {
+                    Some(w) => inserts.push((u, v, w)),
+                    None => removals.push((u, v)),
+                }
+            }
+            // Rebuild exactly as the in-memory apply path does
+            // (`prepare_from`), skipping the σ/global warming: recovery
+            // wants to reach "serving" fast and warm lazily.
+            let graph = corpus.graph.with_edits(&inserts, &removals);
+            let store = if appends.is_empty() {
+                corpus.store.clone()
+            } else {
+                corpus.store.with_appends(&appends)
+            };
+            corpus = Arc::new(Corpus::with_epoch(graph, store, last_epoch));
+        }
+        report.recovered_epoch = corpus.epoch();
+        report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        Ok((corpus, report))
+    }
+}
+
+fn io_error(e: snapio::IoError) -> std::io::Error {
+    match e {
+        snapio::IoError::Io(e) => e,
+        other => std::io::Error::other(other.to_string()),
+    }
+}
+
+impl LiveDurability {
+    /// The startup recovery report (all-zero when the directory was
+    /// freshly initialized).
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.config
+    }
+
+    /// Current WAL counters.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.lock().stats()
+    }
+
+    /// Appends one batch to the WAL as a single group-committed record.
+    /// This is the durability point: call it *after* [`LiveCorpus::prepare`]
+    /// (so `epoch` is the one the batch will publish) and **before**
+    /// publishing or acknowledging. On error, do not publish — the batch
+    /// is not durable.
+    pub fn log_batch(&self, epoch: u64, batch: &MutationBatch) -> std::io::Result<WalAppend> {
+        let receipt = self.wal.lock().append(epoch, batch)?;
+        self.batches_since_snapshot.fetch_add(1, Ordering::Relaxed);
+        Ok(receipt)
+    }
+
+    /// Snapshots now if `snapshot_every` is due. Returns the snapshot
+    /// epoch when one was written.
+    pub fn maybe_snapshot(&self, live: &LiveCorpus) -> std::io::Result<Option<u64>> {
+        let every = self.config.snapshot_every;
+        if every == 0 || self.batches_since_snapshot.load(Ordering::Relaxed) < every {
+            return Ok(None);
+        }
+        self.snapshot_now(live).map(Some)
+    }
+
+    /// Writes a snapshot of the current epoch (atomic temp-file + rename),
+    /// prunes to `keep_snapshots`, seals the active WAL segment, and
+    /// retires segments wholly covered by the *oldest retained* snapshot.
+    /// Returns the snapshotted epoch.
+    pub fn snapshot_now(&self, live: &LiveCorpus) -> std::io::Result<u64> {
+        let snap = live.snapshot();
+        let epoch = snap.epoch();
+        snapio::save_with_epoch(
+            &snapio::snapshot_path(&self.config.dir, epoch),
+            &snap.graph,
+            &snap.store,
+            epoch,
+        )
+        .map_err(io_error)?;
+        self.batches_since_snapshot.store(0, Ordering::Relaxed);
+        let snaps = snapio::list_snapshots(&self.config.dir)?;
+        let keep = self.config.keep_snapshots.max(1);
+        let excess = snaps.len().saturating_sub(keep);
+        for (_, path) in &snaps[..excess] {
+            std::fs::remove_file(path)?;
+        }
+        let oldest_retained = snaps[excess].0;
+        let mut wal = self.wal.lock();
+        wal.rotate()?;
+        wal.retire_through(oldest_retained)?;
+        Ok(epoch)
+    }
+
+    /// Forces an fsync of the active WAL segment (useful at shutdown under
+    /// [`SyncPolicy::EveryN`]/[`SyncPolicy::Never`]).
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.wal.lock().sync()
+    }
+
+    /// The WAL-first version of [`LiveCorpus::apply`]: prepare, append the
+    /// batch to the WAL (durability point), sweep `cache`, publish, then
+    /// auto-snapshot if due. On a WAL write error nothing is published —
+    /// the corpus stays at the previous epoch and the error surfaces.
+    pub fn apply_durable(
+        &self,
+        live: &LiveCorpus,
+        batch: &MutationBatch,
+        horizon: Option<u32>,
+        cache: Option<&ProximityCache>,
+    ) -> std::io::Result<(MutationOutcome, WalAppend)> {
+        let _writer = live.write_gate.lock();
+        let prepared = live.prepare(batch, horizon);
+        let receipt = self.log_batch(prepared.epoch(), batch)?;
+        let prox_invalidated = cache
+            .map(|c| c.invalidate_affected(&prepared.touched_nodes))
+            .unwrap_or(0);
+        live.publish(&prepared);
+        self.maybe_snapshot(live)?;
+        Ok((
+            MutationOutcome {
+                epoch: prepared.epoch(),
+                mutations: prepared.mutations,
+                prox_invalidated,
+            },
+            receipt,
+        ))
+    }
+
+    /// Publishes WAL counters as `friends_wal_*` metrics.
+    pub fn register_into(&self, reg: &mut MetricsRegistry) {
+        register_wal_stats(&self.wal_stats(), reg);
+    }
+}
+
+/// Publishes a [`WalStats`] snapshot as `friends_wal_*` metrics — the one
+/// place the WAL's registry keys are defined, shared by
+/// [`LiveDurability::register_into`] and the serving tier's stats export.
+pub fn register_wal_stats(s: &WalStats, reg: &mut MetricsRegistry) {
+    reg.counter(
+        "friends_wal_appends_total",
+        "Mutation batches appended to the WAL",
+        s.appends,
+    );
+    reg.counter(
+        "friends_wal_bytes_total",
+        "Bytes appended to the WAL (headers + payloads)",
+        s.bytes,
+    );
+    reg.counter("friends_wal_syncs_total", "WAL fsyncs issued", s.syncs);
+    reg.counter(
+        "friends_wal_rotations_total",
+        "WAL segment rotations",
+        s.rotations,
+    );
+    reg.counter(
+        "friends_wal_retired_segments_total",
+        "WAL segments deleted after snapshots",
+        s.retired_segments,
+    );
+    reg.gauge(
+        "friends_wal_segments",
+        "WAL segments currently on disk",
+        s.segments as f64,
+    );
 }
 
 /// Multi-source BFS over `graph` from `sources`, depth-limited by
@@ -527,6 +1016,193 @@ mod tests {
         assert_ne!(before, after, "append must surface in new-epoch results");
         let still_old = ExactOnline::new(&pinned_old, MODEL).query(&query).items;
         assert_eq!(before, still_old, "pinned epoch must answer unchanged");
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "friends-live-{}-{name}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn edge_batch(u: u32, v: u32, w: f32) -> MutationBatch {
+        MutationBatch::new(vec![Mutation::InsertEdge { u, v, weight: w }])
+    }
+
+    /// Structural equality of two corpora: same epoch, same adjacency with
+    /// weights, same taggings.
+    fn assert_same_corpus(a: &Corpus, b: &Corpus) {
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for u in a.graph.nodes() {
+            assert_eq!(a.graph.neighbors(u), b.graph.neighbors(u), "nbrs of {u}");
+            assert_eq!(
+                a.graph.neighbor_weights(u),
+                b.graph.neighbor_weights(u),
+                "weights of {u}"
+            );
+        }
+        assert_eq!(a.store.num_taggings(), b.store.num_taggings());
+        for user in 0..a.store.num_users() {
+            assert_eq!(a.store.user_taggings(user), b.store.user_taggings(user));
+        }
+    }
+
+    #[test]
+    fn durable_apply_survives_restart() {
+        let dir = tmp_dir("restart");
+        let seed = fixture();
+        let (live, dur) =
+            LiveCorpus::open_durable(Arc::clone(&seed), DurabilityConfig::new(&dir)).unwrap();
+        let shadow = LiveCorpus::new(Arc::clone(&seed));
+        for (i, b) in [
+            edge_batch(2, 3, 1.0),
+            MutationBatch::new(vec![
+                Mutation::RemoveEdge { u: 0, v: 2 },
+                Mutation::AddTagging(Tagging::unit(6, 1, 3)),
+            ]),
+            MutationBatch::default(), // empty batches still publish epochs
+            edge_batch(5, 6, 0.25),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let (out, receipt) = dur.apply_durable(&live, b, None, None).unwrap();
+            assert_eq!(out.epoch, i as u64 + 1);
+            assert!(receipt.synced, "Always policy must sync every batch");
+            shadow.apply(b, None, None);
+        }
+        drop((live, dur));
+        let (recovered, report) = LiveCorpus::recover(&dir).unwrap();
+        assert_eq!(report.snapshot_epoch, 0);
+        assert_eq!(report.replayed, 4);
+        assert!(!report.degraded(), "clean shutdown must not look degraded");
+        assert_eq!(report.recovered_epoch, 4);
+        assert_same_corpus(&recovered.snapshot(), &shadow.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_resumes_the_epoch_chain() {
+        let dir = tmp_dir("resume");
+        let seed = fixture();
+        let (live, dur) =
+            LiveCorpus::open_durable(Arc::clone(&seed), DurabilityConfig::new(&dir)).unwrap();
+        dur.apply_durable(&live, &edge_batch(0, 3, 1.0), None, None)
+            .unwrap();
+        drop((live, dur));
+        // Second process lifetime: recovery feeds the same lineage.
+        let (live, dur) =
+            LiveCorpus::open_durable(Arc::clone(&seed), DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(live.epoch(), 1, "reopen must resume at the durable epoch");
+        assert_eq!(dur.report().replayed, 1);
+        let (out, _) = dur
+            .apply_durable(&live, &edge_batch(1, 4, 1.0), None, None)
+            .unwrap();
+        assert_eq!(out.epoch, 2);
+        drop((live, dur));
+        let (recovered, report) = LiveCorpus::recover(&dir).unwrap();
+        assert_eq!(report.replayed, 2);
+        assert!(recovered.snapshot().graph.has_edge(0, 3));
+        assert!(recovered.snapshot().graph.has_edge(1, 4));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_retires_wal_and_recovery_uses_it() {
+        let dir = tmp_dir("snapshot");
+        let cfg = DurabilityConfig {
+            snapshot_every: 3,
+            ..DurabilityConfig::new(&dir)
+        };
+        let (live, dur) = LiveCorpus::open_durable(fixture(), cfg).unwrap();
+        for i in 0..7u32 {
+            dur.apply_durable(&live, &edge_batch(i % 7, (i + 2) % 7, 0.5), None, None)
+                .unwrap();
+        }
+        assert!(dur.wal_stats().retired_segments > 0, "snapshot must retire");
+        drop((live, dur));
+        let (recovered, report) = LiveCorpus::recover(&dir).unwrap();
+        assert!(report.snapshot_epoch >= 3, "recovery starts at a snapshot");
+        assert_eq!(report.recovered_epoch, 7);
+        assert_eq!(
+            report.snapshot_epoch + report.replayed,
+            7,
+            "snapshot + replay must cover the full lineage"
+        );
+        assert_eq!(recovered.epoch(), 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_degraded_but_alive() {
+        let dir = tmp_dir("fallback");
+        let cfg = DurabilityConfig {
+            snapshot_every: 2,
+            keep_snapshots: 2,
+            ..DurabilityConfig::new(&dir)
+        };
+        let (live, dur) = LiveCorpus::open_durable(fixture(), cfg).unwrap();
+        let shadow = LiveCorpus::new(fixture());
+        for i in 0..5u32 {
+            let b = edge_batch(i % 7, (i + 3) % 7, 1.0);
+            dur.apply_durable(&live, &b, None, None).unwrap();
+            shadow.apply(&b, None, None);
+        }
+        drop((live, dur));
+        // Corrupt the newest snapshot's payload.
+        let snaps = snapio::list_snapshots(&dir).unwrap();
+        let newest = &snaps.last().unwrap().1;
+        let mut bytes = std::fs::read(newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(newest, &bytes).unwrap();
+        let (recovered, report) = LiveCorpus::recover(&dir).unwrap();
+        assert_eq!(report.corrupt_snapshots, 1, "the bad snapshot is reported");
+        assert!(report.degraded());
+        assert_eq!(
+            report.recovered_epoch, 5,
+            "older snapshot + retained WAL must rebuild everything"
+        );
+        assert_same_corpus(&recovered.snapshot(), &shadow.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_usable_state_is_an_error_not_a_silent_reset() {
+        let dir = tmp_dir("nostate");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            LiveCorpus::recover(&dir),
+            Err(RecoverError::NoUsableSnapshot { tried: 0 })
+        ));
+        std::fs::write(snapio::snapshot_path(&dir, 3), b"garbage").unwrap();
+        assert!(matches!(
+            LiveCorpus::recover(&dir),
+            Err(RecoverError::NoUsableSnapshot { tried: 1 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_metrics_register() {
+        let report = RecoveryReport {
+            snapshot_epoch: 4,
+            replayed: 3,
+            truncated_tail: true,
+            recovered_epoch: 7,
+            ..RecoveryReport::default()
+        };
+        let mut reg = MetricsRegistry::new();
+        report.register_into(&mut reg);
+        assert_eq!(reg.get("friends_recovery_snapshot_epoch"), Some(4.0));
+        assert_eq!(reg.get("friends_recovery_replayed_batches"), Some(3.0));
+        assert_eq!(reg.get("friends_recovery_truncated_tail"), Some(1.0));
+        assert_eq!(reg.get("friends_recovery_recovered_epoch"), Some(7.0));
     }
 
     #[test]

@@ -115,6 +115,9 @@ pub enum TraceEvent {
     /// Incremental invalidation performed by that mutation on this shard's
     /// caches (σ entries and memoized rankings dropped).
     Invalidation { sigma: u64, results: u64 },
+    /// That racing batch's WAL receipt: it was appended (and, when
+    /// `synced`, fsynced) *before* any shard acknowledged it.
+    WalAppend { bytes: u64, synced: bool },
 }
 
 impl TraceEvent {
@@ -162,6 +165,10 @@ impl TraceEvent {
             }
             TraceEvent::Invalidation { sigma, results } => {
                 format!("invalidated sigma_entries={sigma} result_entries={results}")
+            }
+            TraceEvent::WalAppend { bytes, synced } => {
+                let fsync = if *synced { "fsynced" } else { "buffered" };
+                format!("wal append {bytes} bytes ({fsync})")
             }
         }
     }
@@ -326,6 +333,9 @@ pub struct TraceRecord {
     /// `(σ entries, result entries)` that racing batch swept from this
     /// shard's caches.
     pub invalidated: Option<(u64, u64)>,
+    /// `(bytes, synced)` of that racing batch's WAL append — present only
+    /// when the service runs durable.
+    pub wal: Option<(u64, bool)>,
 }
 
 impl TraceRecord {
@@ -356,6 +366,7 @@ impl TraceRecord {
             stats: None,
             mutation: None,
             invalidated: None,
+            wal: None,
         }
     }
 
@@ -394,6 +405,9 @@ impl TraceRecord {
             queue
                 .events
                 .push(TraceEvent::Invalidation { sigma, results });
+        }
+        if let Some((bytes, synced)) = self.wal {
+            queue.events.push(TraceEvent::WalAppend { bytes, synced });
         }
         spans.push(queue);
 

@@ -1,0 +1,114 @@
+//! CRC32 (IEEE 802.3, the zlib/gzip polynomial) for on-disk integrity
+//! checks.
+//!
+//! Every persistent byte this workspace writes — WAL records
+//! ([`crate::wal`]) and dataset/snapshot sections ([`crate::io`]) — carries
+//! a CRC32 so a torn write or a flipped bit is *detected*, never parsed.
+//! The implementation is the classic reflected table-driven one-byte-at-a-
+//! time loop: ~1 GB/s, far faster than the disk writes it guards, and the
+//! table is computed at compile time so there is no init path to race.
+
+/// The reflected CRC-32 polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC32 of `bytes` in one call. Matches zlib's `crc32(0, ...)`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Streaming CRC32: feed chunks with [`Crc32::update`], read the digest
+/// with [`Crc32::finish`] (non-destructive — more updates may follow).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher (equivalent to `crc32(&[])` so far).
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest over everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut h = Crc32::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let data = b"durability is proven, not assumed".to_vec();
+        let base = crc32(&data);
+        for pos in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[pos] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {pos} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Binary persistence for datasets.
+//! Binary persistence for datasets and live-corpus snapshots.
 //!
 //! Generating the Medium/Large synthetic datasets takes seconds to minutes;
 //! experiments that sweep processors over the same dataset want to pay that
@@ -6,16 +6,42 @@
 //! little-endian binary file and reads it back. The format is versioned and
 //! self-describing enough to fail loudly on corruption — not a public
 //! interchange format.
+//!
+//! ## Format v2
+//!
+//! v2 is the durable-snapshot format the WAL recovery path
+//! (`friends_core::live`) builds on:
+//!
+//! ```text
+//!   [magic u32le] [version=2 u32le] [epoch u64le] [header crc u32le]
+//!   [graph section:  len u32le | crc u32le | payload]
+//!   [store section:  len u32le | crc u32le | payload]
+//! ```
+//!
+//! Each section's payload carries its own CRC32 ([`crate::crc`]) so a torn
+//! write or a flipped bit is detected *before* any value is parsed, and the
+//! header records the epoch the snapshot captures. Writes go through a
+//! temp file + atomic rename, so a crash mid-save never leaves a truncated
+//! file at the target path — the old file (if any) survives intact.
+//! [`load`] still reads v1 files (no CRCs, epoch 0).
+//!
+//! Every [`IoError::Corrupt`] carries the absolute byte offset where
+//! validation failed, so corruption reports are actionable (`dd` straight
+//! to the bad record).
 
+use crate::crc::crc32;
 use crate::store::TagStore;
 use crate::Tagging;
-use bytes::{Buf, BufMut};
 use friends_graph::{CsrGraph, GraphBuilder};
 use std::io::{Read as _, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: u32 = 0x46524E44; // "FRND"
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION: u32 = 2;
+/// Smallest legal record in either section (edge: 12 B, tagging: 16 B) —
+/// bounds the counts a decoder will believe from a length field.
+const MIN_RECORD: usize = 12;
 
 /// Errors raised by [`save`] / [`load`].
 #[derive(Debug)]
@@ -24,8 +50,15 @@ pub enum IoError {
     Io(std::io::Error),
     /// The file is not a dataset file or is a different version.
     BadHeader,
-    /// The payload ended early or contained out-of-range values.
-    Corrupt(&'static str),
+    /// The payload ended early or contained out-of-range values; `offset`
+    /// is the absolute byte position where validation failed.
+    Corrupt { what: &'static str, offset: u64 },
+}
+
+impl IoError {
+    fn corrupt(what: &'static str, offset: u64) -> Self {
+        IoError::Corrupt { what, offset }
+    }
 }
 
 impl std::fmt::Display for IoError {
@@ -33,7 +66,9 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::BadHeader => write!(f, "not a friends dataset file (bad magic/version)"),
-            IoError::Corrupt(what) => write!(f, "corrupt dataset file: {what}"),
+            IoError::Corrupt { what, offset } => {
+                write!(f, "corrupt dataset file: {what} at byte {offset}")
+            }
         }
     }
 }
@@ -46,93 +81,306 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Serializes a graph + store pair to `path`.
-pub fn save(path: &Path, graph: &CsrGraph, store: &TagStore) -> Result<(), IoError> {
-    let mut buf: Vec<u8> =
-        Vec::with_capacity(16 + graph.num_edges() * 12 + store.num_taggings() * 16);
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
-    // Graph section.
-    buf.put_u32_le(graph.num_nodes() as u32);
-    buf.put_u32_le(graph.num_edges() as u32);
-    for (u, v, w) in graph.undirected_edges() {
-        buf.put_u32_le(u);
-        buf.put_u32_le(v);
-        buf.put_f32_le(w);
-    }
-    // Store section.
-    buf.put_u32_le(store.num_users());
-    buf.put_u32_le(store.num_items());
-    buf.put_u32_le(store.num_tags());
-    buf.put_u32_le(store.num_taggings() as u32);
-    for t in store.iter() {
-        buf.put_u32_le(t.user);
-        buf.put_u32_le(t.item);
-        buf.put_u32_le(t.tag);
-        buf.put_f32_le(t.weight);
-    }
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&buf)?;
-    Ok(())
+/// Offset-tracking little-endian reader; every failure names the absolute
+/// byte position it happened at.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Absolute file offset of `buf[0]`.
+    base: u64,
 }
 
-/// Reads back a pair written by [`save`].
-pub fn load(path: &Path) -> Result<(CsrGraph, TagStore), IoError> {
-    let mut raw = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut raw)?;
-    let mut buf = raw.as_slice();
-    let need = |buf: &&[u8], n: usize| -> Result<(), IoError> {
-        if buf.remaining() < n {
-            Err(IoError::Corrupt("truncated"))
-        } else {
-            Ok(())
-        }
-    };
-    need(&buf, 8)?;
-    if buf.get_u32_le() != MAGIC || buf.get_u32_le() != VERSION {
-        return Err(IoError::BadHeader);
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], base: u64) -> Self {
+        Reader { buf, pos: 0, base }
     }
-    need(&buf, 8)?;
-    let n = buf.get_u32_le() as usize;
-    let m = buf.get_u32_le() as usize;
+
+    fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], IoError> {
+        if self.remaining() < n {
+            return Err(IoError::corrupt(what, self.offset()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, IoError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, IoError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self, what: &'static str) -> Result<f32, IoError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+}
+
+fn put_u32_le(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32_le(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_graph(graph: &CsrGraph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + graph.num_edges() * 12);
+    put_u32_le(&mut buf, graph.num_nodes() as u32);
+    put_u32_le(&mut buf, graph.num_edges() as u32);
+    for (u, v, w) in graph.undirected_edges() {
+        put_u32_le(&mut buf, u);
+        put_u32_le(&mut buf, v);
+        put_f32_le(&mut buf, w);
+    }
+    buf
+}
+
+fn encode_store(store: &TagStore) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + store.num_taggings() * 16);
+    put_u32_le(&mut buf, store.num_users());
+    put_u32_le(&mut buf, store.num_items());
+    put_u32_le(&mut buf, store.num_tags());
+    put_u32_le(&mut buf, store.num_taggings() as u32);
+    for t in store.iter() {
+        put_u32_le(&mut buf, t.user);
+        put_u32_le(&mut buf, t.item);
+        put_u32_le(&mut buf, t.tag);
+        put_f32_le(&mut buf, t.weight);
+    }
+    buf
+}
+
+fn decode_graph(r: &mut Reader<'_>) -> Result<CsrGraph, IoError> {
+    let n = r.u32("truncated graph header")? as usize;
+    let m = r.u32("truncated graph header")? as usize;
+    if m > r.remaining() / MIN_RECORD + 1 {
+        return Err(IoError::corrupt("edge count exceeds payload", r.offset()));
+    }
     let mut b = GraphBuilder::with_capacity(n, m);
     for _ in 0..m {
-        need(&buf, 12)?;
-        let u = buf.get_u32_le();
-        let v = buf.get_u32_le();
-        let w = buf.get_f32_le();
+        let at = r.offset();
+        let u = r.u32("truncated edge")?;
+        let v = r.u32("truncated edge")?;
+        let w = r.f32("truncated edge")?;
         if u as usize >= n || v as usize >= n || !w.is_finite() || w < 0.0 {
-            return Err(IoError::Corrupt("edge out of range"));
+            return Err(IoError::corrupt("edge out of range", at));
         }
         b.add_edge(u, v, w);
     }
-    let graph = b.build();
-    need(&buf, 16)?;
-    let users = buf.get_u32_le();
-    let items = buf.get_u32_le();
-    let tags = buf.get_u32_le();
-    let count = buf.get_u32_le() as usize;
+    Ok(b.build())
+}
+
+fn decode_store(r: &mut Reader<'_>) -> Result<TagStore, IoError> {
+    let users = r.u32("truncated store header")?;
+    let items = r.u32("truncated store header")?;
+    let tags = r.u32("truncated store header")?;
+    let count = r.u32("truncated store header")? as usize;
+    if count > r.remaining() / 16 + 1 {
+        return Err(IoError::corrupt(
+            "tagging count exceeds payload",
+            r.offset(),
+        ));
+    }
     let mut taggings = Vec::with_capacity(count);
     for _ in 0..count {
-        need(&buf, 16)?;
+        let at = r.offset();
         let t = Tagging {
-            user: buf.get_u32_le(),
-            item: buf.get_u32_le(),
-            tag: buf.get_u32_le(),
-            weight: buf.get_f32_le(),
+            user: r.u32("truncated tagging")?,
+            item: r.u32("truncated tagging")?,
+            tag: r.u32("truncated tagging")?,
+            weight: r.f32("truncated tagging")?,
         };
         if t.user >= users || t.item >= items || t.tag >= tags {
-            return Err(IoError::Corrupt("tagging out of range"));
+            return Err(IoError::corrupt("tagging out of range", at));
         }
         if !t.weight.is_finite() || t.weight < 0.0 {
-            return Err(IoError::Corrupt("bad weight"));
+            return Err(IoError::corrupt("bad weight", at));
         }
         taggings.push(t);
     }
-    if buf.has_remaining() {
-        return Err(IoError::Corrupt("trailing bytes"));
+    Ok(TagStore::build(users, items, tags, taggings))
+}
+
+/// Writes `payload` as a checksummed v2 section: `len | crc | payload`.
+fn put_section(out: &mut Vec<u8>, payload: &[u8]) {
+    put_u32_le(out, payload.len() as u32);
+    put_u32_le(out, crc32(payload));
+    out.extend_from_slice(payload);
+}
+
+/// Reads one v2 section, verifying its CRC before yielding the payload.
+fn take_section<'a>(r: &mut Reader<'a>, what: &'static str) -> Result<Reader<'a>, IoError> {
+    let len = r.u32(what)? as usize;
+    let crc = r.u32(what)?;
+    let at = r.offset();
+    let payload = r.take(len, what)?;
+    if crc32(payload) != crc {
+        return Err(IoError::corrupt("section crc mismatch", at));
     }
-    Ok((graph, TagStore::build(users, items, tags, taggings)))
+    Ok(Reader::new(payload, at))
+}
+
+/// Serializes a graph + store pair to `path` (v2, epoch 0). The write is
+/// atomic: data lands in a temp file in the same directory, is fsynced,
+/// and then renamed over the target — a crash mid-save never leaves a
+/// truncated file where a good one was expected.
+pub fn save(path: &Path, graph: &CsrGraph, store: &TagStore) -> Result<(), IoError> {
+    save_with_epoch(path, graph, store, 0)
+}
+
+/// [`save`] stamping the snapshot's epoch into the v2 header.
+pub fn save_with_epoch(
+    path: &Path,
+    graph: &CsrGraph,
+    store: &TagStore,
+    epoch: u64,
+) -> Result<(), IoError> {
+    let mut buf: Vec<u8> =
+        Vec::with_capacity(32 + graph.num_edges() * 12 + store.num_taggings() * 16);
+    put_u32_le(&mut buf, MAGIC);
+    put_u32_le(&mut buf, VERSION);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    // Header CRC over magic‖version‖epoch: the epoch drives recovery
+    // decisions, so it must not be trusted unchecked.
+    let header_crc = crc32(&buf[..16]);
+    put_u32_le(&mut buf, header_crc);
+    put_section(&mut buf, &encode_graph(graph));
+    put_section(&mut buf, &encode_store(store));
+    write_atomic(path, &buf)?;
+    Ok(())
+}
+
+/// Writes `bytes` to `path` via temp-file + fsync + rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let res = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable where the platform allows it.
+        if let Some(dir) = dir {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if res.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    res
+}
+
+/// Reads back a pair written by [`save`] (either format version).
+pub fn load(path: &Path) -> Result<(CsrGraph, TagStore), IoError> {
+    let (graph, store, _) = load_with_epoch(path)?;
+    Ok((graph, store))
+}
+
+/// [`load`] that also yields the snapshot epoch (0 for v1 files, which
+/// predate epochs).
+pub fn load_with_epoch(path: &Path) -> Result<(CsrGraph, TagStore, u64), IoError> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    let mut r = Reader::new(&raw, 0);
+    if r.remaining() < 8 {
+        return Err(IoError::BadHeader);
+    }
+    let magic = r.u32("header")?;
+    let version = r.u32("header")?;
+    if magic != MAGIC {
+        return Err(IoError::BadHeader);
+    }
+    match version {
+        VERSION_V1 => {
+            // Legacy: unsectioned, no CRCs, no epoch.
+            let graph = decode_graph(&mut r)?;
+            let store = decode_store(&mut r)?;
+            if r.remaining() != 0 {
+                return Err(IoError::corrupt("trailing bytes", r.offset()));
+            }
+            Ok((graph, store, 0))
+        }
+        VERSION => {
+            let epoch = r.u64("truncated epoch header")?;
+            let at = r.offset();
+            let header_crc = r.u32("truncated header crc")?;
+            if crc32(&raw[..16]) != header_crc {
+                return Err(IoError::corrupt("header crc mismatch", at));
+            }
+            let mut gs = take_section(&mut r, "truncated graph section")?;
+            let graph = decode_graph(&mut gs)?;
+            if gs.remaining() != 0 {
+                return Err(IoError::corrupt(
+                    "trailing graph section bytes",
+                    gs.offset(),
+                ));
+            }
+            let mut ss = take_section(&mut r, "truncated store section")?;
+            let store = decode_store(&mut ss)?;
+            if ss.remaining() != 0 {
+                return Err(IoError::corrupt(
+                    "trailing store section bytes",
+                    ss.offset(),
+                ));
+            }
+            if r.remaining() != 0 {
+                return Err(IoError::corrupt("trailing bytes", r.offset()));
+            }
+            Ok((graph, store, epoch))
+        }
+        _ => Err(IoError::BadHeader),
+    }
+}
+
+/// Snapshot path for an epoch: `dir/snap-{epoch:016x}.snap` — hex-padded
+/// so lexicographic order is epoch order.
+pub fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snap-{epoch:016x}.snap"))
+}
+
+/// Snapshot files under `dir` as `(epoch, path)`, ascending by epoch.
+/// Epochs come from the file *names*; validity is only known after a
+/// [`load_with_epoch`]. Non-snapshot files are ignored; a missing
+/// directory is an empty list.
+pub fn list_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut snaps = Vec::new();
+    match std::fs::read_dir(dir) {
+        Ok(entries) => {
+            for e in entries {
+                let path = e?.path();
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                if let Some(hex) = name
+                    .strip_prefix("snap-")
+                    .and_then(|s| s.strip_suffix(".snap"))
+                {
+                    if let Ok(epoch) = u64::from_str_radix(hex, 16) {
+                        snaps.push((epoch, path));
+                    }
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    snaps.sort_unstable();
+    Ok(snaps)
 }
 
 #[cfg(test)]
@@ -165,11 +413,39 @@ mod tests {
     }
 
     #[test]
+    fn epoch_round_trips_in_the_header() {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(4);
+        let path = tmp("epoch");
+        save_with_epoch(&path, &ds.graph, &ds.store, 0xDEAD_BEEF).unwrap();
+        let (_, _, epoch) = load_with_epoch(&path).unwrap();
+        assert_eq!(epoch, 0xDEAD_BEEF);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn still_reads_v1_files() {
+        let ds = DatasetSpec::citeulike_like(Scale::Tiny).build(2);
+        let path = tmp("v1compat");
+        // Hand-roll a v1 file: unsectioned, no CRCs.
+        let mut buf = Vec::new();
+        put_u32_le(&mut buf, MAGIC);
+        put_u32_le(&mut buf, VERSION_V1);
+        buf.extend_from_slice(&encode_graph(&ds.graph));
+        buf.extend_from_slice(&encode_store(&ds.store));
+        std::fs::write(&path, &buf).unwrap();
+        let (g, s, epoch) = load_with_epoch(&path).unwrap();
+        assert_eq!(epoch, 0, "v1 files predate epochs");
+        assert_eq!(g.num_edges(), ds.graph.num_edges());
+        assert_eq!(s.num_taggings(), ds.store.num_taggings());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let path = tmp("badmagic");
         std::fs::write(&path, b"not a dataset at all").unwrap();
         match load(&path) {
-            Err(IoError::BadHeader) | Err(IoError::Corrupt(_)) => {}
+            Err(IoError::BadHeader) | Err(IoError::Corrupt { .. }) => {}
             other => panic!("expected header error, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
@@ -182,7 +458,7 @@ mod tests {
         save(&path, &ds.graph, &ds.store).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        assert!(matches!(load(&path), Err(IoError::Corrupt(_))));
+        assert!(matches!(load(&path), Err(IoError::Corrupt { .. })));
         std::fs::remove_file(&path).ok();
     }
 
@@ -194,16 +470,97 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(&[1, 2, 3]);
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(
-            load(&path),
-            Err(IoError::Corrupt("trailing bytes"))
-        ));
+        match load(&path) {
+            Err(IoError::Corrupt { what, offset }) => {
+                assert_eq!(what, "trailing bytes");
+                assert_eq!(offset as usize, bytes.len() - 3);
+            }
+            other => panic!("expected trailing-bytes error, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn section_crc_catches_payload_flips() {
+        let ds = DatasetSpec::flickr_like(Scale::Tiny).build(6);
+        let path = tmp("crcflip");
+        save(&path, &ds.graph, &ds.store).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit in every byte past the fixed header; the section
+        // CRCs (or framing checks) must reject all of them.
+        let mut rejected = 0;
+        for pos in (16..clean.len()).step_by(7) {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            if load(&path).is_err() {
+                rejected += 1;
+            }
+        }
+        let tried = (16..clean.len()).step_by(7).count();
+        assert_eq!(rejected, tried, "every payload flip must be detected");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_offset_is_actionable() {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(3);
+        let path = tmp("offset");
+        save(&path, &ds.graph, &ds.store).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = bytes.len() / 2;
+        bytes[pos] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match load(&path) {
+            Err(IoError::Corrupt { offset, .. }) => {
+                // The CRC blames the section payload containing the flip.
+                assert!(offset as usize <= pos, "offset {offset} past flip {pos}");
+                assert!(offset > 0);
+            }
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_no_temp_residue() {
+        let ds = DatasetSpec::delicious_like(Scale::Tiny).build(8);
+        let dir = std::env::temp_dir().join(format!("friends-io-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        save(&path, &ds.graph, &ds.store).unwrap();
+        // Overwrite must go through rename as well.
+        save_with_epoch(&path, &ds.graph, &ds.store, 9).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["data.bin".to_string()], "no temp files left");
+        let (_, _, epoch) = load_with_epoch(&path).unwrap();
+        assert_eq!(epoch, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_listing_orders_by_epoch() {
+        let dir = std::env::temp_dir().join(format!("friends-io-snaps-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for e in [7u64, 1, 300] {
+            std::fs::write(snapshot_path(&dir, e), b"x").unwrap();
+        }
+        std::fs::write(dir.join("unrelated.txt"), b"y").unwrap();
+        let snaps = list_snapshots(&dir).unwrap();
+        let epochs: Vec<u64> = snaps.iter().map(|&(e, _)| e).collect();
+        assert_eq!(epochs, vec![1, 7, 300]);
+        assert!(list_snapshots(&dir.join("missing")).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn error_display() {
         assert!(format!("{}", IoError::BadHeader).contains("magic"));
-        assert!(format!("{}", IoError::Corrupt("x")).contains("x"));
+        let e = IoError::corrupt("x", 42);
+        let msg = format!("{e}");
+        assert!(msg.contains('x') && msg.contains("42"));
     }
 }

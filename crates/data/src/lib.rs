@@ -18,6 +18,7 @@
 //! assert_eq!(ds.graph.num_nodes() as u32, ds.store.num_users());
 //! ```
 
+pub mod crc;
 pub mod datasets;
 pub mod generator;
 pub mod ids;
@@ -26,6 +27,7 @@ pub mod mutations;
 pub mod queries;
 pub mod requests;
 pub mod store;
+pub mod wal;
 pub mod zipf;
 
 /// User identifier (also a graph [`friends_graph::NodeId`]).

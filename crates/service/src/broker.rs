@@ -8,7 +8,9 @@ use crossbeam::channel;
 use friends_core::cache::{CachePolicy, ProximityCache};
 use friends_core::corpus::{Corpus, SearchResult};
 use friends_core::latency::Stage;
-use friends_core::live::{LiveCorpus, PreparedMutation};
+use friends_core::live::{
+    DurabilityConfig, LiveCorpus, LiveDurability, PreparedMutation, RecoveryReport,
+};
 use friends_core::plan::{
     strategy_index, PlanCounters, PlannedExecutor, Planner, ProcessorRegistry, STRATEGY_LABELS,
 };
@@ -17,6 +19,7 @@ use friends_core::proximity::{ProximityModel, ProximityVec, SigmaBounds, SigmaWo
 use friends_core::trace::{QueryTrace, TraceCollector, TraceConfig, TraceOutcome, TraceRecord};
 use friends_data::mutations::MutationBatch;
 use friends_data::queries::Query;
+use friends_data::wal::{WalAppend, WalStats};
 use friends_data::UserId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -109,7 +112,10 @@ pub enum FaultKind {
 /// hardware thread, admission-controlled caches, coalescing on, a generous
 /// default deadline. Result memoization is opt-in (`result_cache_capacity`)
 /// because it changes what "executed" means for observability.
-#[derive(Clone, Copy, Debug)]
+///
+/// No longer `Copy`: [`ServiceConfig::durability`] carries a directory
+/// path — clone explicitly where needed.
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Worker shard count (≥ 1). Requests route by `hash(seeker) % shards`.
     pub shards: usize,
@@ -157,6 +163,13 @@ pub struct ServiceConfig {
     /// rebuild lazily on their next query). Bounds the writer's CPU per
     /// epoch; 0 disables the refresh.
     pub mutation_refresh_cap: usize,
+    /// Crash safety for the live graph: when set, startup recovers from
+    /// the directory's newest valid snapshot + WAL replay (an empty
+    /// directory is seeded from the start corpus), and every mutation
+    /// batch is appended to the WAL — and fsynced per
+    /// [`DurabilityConfig::sync`] — *before* it is broadcast, published or
+    /// acknowledged. `None` (the default) serves memory-only.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -185,6 +198,7 @@ impl Default for ServiceConfig {
             fault: None,
             trace: TraceConfig::default(),
             mutation_refresh_cap: 64,
+            durability: None,
         }
     }
 }
@@ -350,6 +364,7 @@ fn maybe_trace(
     if let Some(m) = raced {
         rec.mutation = Some((m.epoch, m.mutations));
         rec.invalidated = Some((m.prox_invalidated, m.results_invalidated));
+        rec.wal = m.wal.map(|w| (w.bytes, w.synced));
     }
     fill(&mut rec);
     Some(state.traces.retain(rec))
@@ -370,6 +385,9 @@ enum WorkItem {
 struct MutationJob {
     prepared: Arc<PreparedMutation>,
     ack: channel::Sender<(u64, u64)>,
+    /// The batch's WAL receipt (`None` on memory-only services) — carried
+    /// so racing queries' traces can show the durability point.
+    wal: Option<WalAppend>,
 }
 
 /// The mutation a shard applied most recently, remembered for exactly one
@@ -381,6 +399,7 @@ struct RacedMutation {
     mutations: usize,
     prox_invalidated: u64,
     results_invalidated: u64,
+    wal: Option<WalAppend>,
 }
 
 /// What [`FriendsService::apply_mutations`] reports back, aggregated over
@@ -401,6 +420,10 @@ pub struct MutationReport {
     /// re-installed after every shard switched — read-path misses the
     /// sweep would otherwise have caused.
     pub sigma_refreshed: u64,
+    /// The batch's WAL receipt. `Some` iff the service runs durable
+    /// ([`ServiceConfig::durability`]): the record was appended — and,
+    /// when `wal.synced`, fsynced — before any shard saw the batch.
+    pub wal: Option<WalAppend>,
 }
 
 /// The running service: N worker shards behind MPMC queues. Dropping the
@@ -420,6 +443,9 @@ pub struct FriendsService {
     mutation_gate: Mutex<()>,
     /// See [`ServiceConfig::mutation_refresh_cap`].
     mutation_refresh_cap: usize,
+    /// The WAL + snapshot machinery when the service runs durable
+    /// ([`ServiceConfig::durability`]).
+    durability: Option<Arc<LiveDurability>>,
 }
 
 impl FriendsService {
@@ -470,6 +496,23 @@ impl FriendsService {
             + Sync
             + 'static,
     {
+        // Recovery happens before any worker spawns: with durability
+        // configured, the disk state (newest valid snapshot + WAL replay)
+        // is newer truth than the `corpus` argument, which only seeds an
+        // empty directory. Startup panics when the directory is unusable —
+        // serving from a stale seed while writes go nowhere would be a
+        // silent data-loss mode.
+        let (live, durability) = match config.durability.clone() {
+            Some(dcfg) => {
+                let (live, dur) = LiveCorpus::open_durable(Arc::clone(&corpus), dcfg)
+                    .expect("durable service startup: snapshot/WAL directory unusable");
+                (live, Some(Arc::new(dur)))
+            }
+            None => (LiveCorpus::new(Arc::clone(&corpus)), None),
+        };
+        // Workers serve the recovered snapshot (identical to the argument
+        // on memory-only or freshly-seeded services).
+        let corpus = live.snapshot();
         let shards = config.shards.max(1);
         let make_engine = Arc::new(make_engine);
         let mut senders = Vec::with_capacity(shards);
@@ -501,6 +544,7 @@ impl FriendsService {
             let corpus = Arc::clone(&corpus);
             let make_engine = Arc::clone(&make_engine);
             let worker_state = Arc::clone(&state);
+            let config = config.clone(); // per-worker copy (no longer Copy)
             let handle = std::thread::Builder::new()
                 .name(format!("friends-svc-{shard}"))
                 .spawn(move || {
@@ -556,9 +600,10 @@ impl FriendsService {
             shards: states,
             workers,
             default_deadline: config.default_deadline,
-            live: LiveCorpus::new(corpus),
+            live,
             mutation_gate: Mutex::new(()),
             mutation_refresh_cap: config.mutation_refresh_cap,
+            durability,
         }
     }
 
@@ -684,16 +729,48 @@ impl FriendsService {
     /// model's decay horizon or the serving σ-bounds radius; `None` =
     /// full reachability, sound for every model). Blocks until every live
     /// shard has switched; concurrent callers serialize.
+    ///
+    /// # Panics
+    /// On a durable service ([`ServiceConfig::durability`]), panics if the
+    /// WAL append fails — an unlogged mutation must not be acknowledged,
+    /// and this infallible entry point has no other way to refuse. Use
+    /// [`FriendsService::try_apply_mutations`] to handle the error.
     pub fn apply_mutations(&self, batch: &MutationBatch, horizon: Option<u32>) -> MutationReport {
+        self.try_apply_mutations(batch, horizon)
+            .expect("mutation batch could not be made durable")
+    }
+
+    /// [`FriendsService::apply_mutations`] with the durability error
+    /// surfaced. On a durable service the batch is appended to the WAL
+    /// (group commit, fsynced per [`DurabilityConfig::sync`]) *after*
+    /// prepare and **before** any shard sees it: `Err` means nothing was
+    /// broadcast, published or acknowledged — the corpus stays at the
+    /// previous epoch and the caller may retry. `Err` after the WAL write
+    /// can only come from snapshot maintenance
+    /// ([`DurabilityConfig::snapshot_every`]); the batch itself is then
+    /// already durable and published, and the report is lost only to the
+    /// caller.
+    pub fn try_apply_mutations(
+        &self,
+        batch: &MutationBatch,
+        horizon: Option<u32>,
+    ) -> std::io::Result<MutationReport> {
         let _writer = self.mutation_gate.lock();
         if batch.is_empty() {
-            return MutationReport {
+            return Ok(MutationReport {
                 epoch: self.live.epoch(),
                 ..MutationReport::default()
-            };
+            });
         }
         let prepared = Arc::new(self.live.prepare(batch, horizon));
         let epoch = prepared.epoch();
+        // The durability point. Everything below — σ refresh, broadcast,
+        // acks, publish — happens only once the record (and, under
+        // `SyncPolicy::Always`, its fsync) is on disk.
+        let wal = match &self.durability {
+            Some(d) => Some(d.log_batch(epoch, batch)?),
+            None => None,
+        };
         // Writer-side σ refresh: collect the entries each shard's sweep is
         // about to drop and re-materialize them against the next epoch
         // *here*, while every shard still serves the old snapshot. They are
@@ -728,6 +805,7 @@ impl FriendsService {
             let _ = tx.send(WorkItem::Mutation(MutationJob {
                 prepared: Arc::clone(&prepared),
                 ack: ack_tx.clone(),
+                wal,
             }));
         }
         drop(ack_tx);
@@ -750,12 +828,54 @@ impl FriendsService {
         // Publish as the base for the next prepare (and for `snapshot()`
         // readers).
         self.live.publish(&prepared);
-        MutationReport {
+        if let Some(d) = &self.durability {
+            d.maybe_snapshot(&self.live)?;
+        }
+        Ok(MutationReport {
             epoch,
             mutations: batch.len(),
             prox_invalidated: prox,
             results_invalidated: results,
             sigma_refreshed,
+            wal,
+        })
+    }
+
+    /// The startup recovery report — what the durable service found on
+    /// disk and replayed before serving. `None` on memory-only services.
+    /// All-zero fields mean the directory was freshly initialized.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durability.as_ref().map(|d| d.report())
+    }
+
+    /// Current WAL counters; `None` on memory-only services.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durability.as_ref().map(|d| d.wal_stats())
+    }
+
+    /// Forces an fsync of the active WAL segment — a durable shutdown
+    /// barrier under [`friends_data::wal::SyncPolicy::EveryN`] /
+    /// [`friends_data::wal::SyncPolicy::Never`]. No-op on memory-only
+    /// services.
+    pub fn sync_wal(&self) -> std::io::Result<()> {
+        match &self.durability {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes a snapshot of the current epoch now (atomic temp-file +
+    /// rename), prunes old snapshots and retires covered WAL segments.
+    /// Returns the snapshotted epoch, or `None` on memory-only services.
+    pub fn snapshot_now(&self) -> std::io::Result<Option<u64>> {
+        match &self.durability {
+            Some(d) => {
+                // Hold the writer gate so the snapshot captures a settled
+                // epoch (no batch mid-broadcast).
+                let _writer = self.mutation_gate.lock();
+                d.snapshot_now(&self.live).map(Some)
+            }
+            None => Ok(None),
         }
     }
 
@@ -789,7 +909,8 @@ impl FriendsService {
             .collect()
     }
 
-    /// A live snapshot of every shard's counters.
+    /// A live snapshot of every shard's counters, plus the service-level
+    /// WAL counters and startup recovery report when running durable.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             shards: self
@@ -798,6 +919,8 @@ impl FriendsService {
                 .enumerate()
                 .map(|(i, s)| s.snapshot(i))
                 .collect(),
+            wal: self.wal_stats(),
+            recovery: self.recovery_report().cloned(),
         }
     }
 
@@ -1002,6 +1125,7 @@ where
                 mutations: m.prepared.mutations,
                 prox_invalidated: prox,
                 results_invalidated: results,
+                wal: m.wal,
             });
             let next = Arc::clone(&m.prepared.next);
             let _ = m.ack.send((prox, results));
@@ -2614,6 +2738,165 @@ mod tests {
             direct.query(&q).items
         );
         svc.shutdown();
+    }
+
+    /// A scratch durability directory, cleared of any previous run.
+    fn durability_dir(tag: &str) -> std::path::PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("friends-svc-dur-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn edge_batch(u: u32, v: u32) -> MutationBatch {
+        MutationBatch::new(vec![
+            Mutation::InsertEdge {
+                u,
+                v,
+                weight: 1.0 + u as f32,
+            },
+            Mutation::AddTagging(friends_data::Tagging {
+                user: u,
+                item: v,
+                tag: (u + v) % 4,
+                weight: 1.5,
+            }),
+        ])
+    }
+
+    /// The tentpole, at the service tier: every acknowledged batch is on
+    /// the WAL (with its fsync receipt under `SyncPolicy::Always`), and a
+    /// restart over the same directory recovers the exact epoch chain —
+    /// the stale seed argument is ignored and queries serve answers
+    /// byte-identical to the pre-restart snapshot.
+    #[test]
+    fn durable_service_recovers_the_acked_epochs_after_restart() {
+        let (corpus, w) = fixture();
+        let dir = durability_dir("restart");
+        let config = ServiceConfig {
+            shards: 2,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..ServiceConfig::default()
+        };
+        let svc = FriendsService::start(Arc::clone(&corpus), config.clone(), exact_factory(MODEL));
+        let fresh = svc.recovery_report().expect("durable service").clone();
+        assert_eq!(fresh.recovered_epoch, 0, "{fresh:?}");
+        assert!(!fresh.degraded(), "{fresh:?}");
+        for (i, batch) in [edge_batch(0, 3), edge_batch(1, 4), edge_batch(2, 5)]
+            .iter()
+            .enumerate()
+        {
+            let report = svc.try_apply_mutations(batch, None).expect("durable apply");
+            assert_eq!(report.epoch, i as u64 + 1);
+            let wal = report.wal.expect("durable service returns a WAL receipt");
+            assert!(wal.bytes > 0, "{wal:?}");
+            assert!(wal.synced, "SyncPolicy::Always fsyncs every batch");
+        }
+        assert_eq!(svc.epoch(), 3);
+        let expect = svc.snapshot();
+        svc.shutdown();
+
+        // Restart over the same directory, passing the *stale* seed: the
+        // disk state must win.
+        let svc2 = FriendsService::start(Arc::clone(&corpus), config, exact_factory(MODEL));
+        let report = svc2.recovery_report().expect("durable service").clone();
+        assert_eq!(report.recovered_epoch, 3, "{report:?}");
+        assert_eq!(report.replayed, 3, "{report:?}");
+        assert!(
+            !report.degraded(),
+            "clean shutdown, clean recovery: {report:?}"
+        );
+        assert_eq!(svc2.epoch(), 3);
+        let recovered = svc2.snapshot();
+        assert!(recovered.graph.has_edge(0, 3) && recovered.graph.has_edge(2, 5));
+        let after = svc2.run_batch(&w.queries);
+        for (q, r) in w.queries.iter().zip(&after) {
+            let d = ExactOnline::new(&expect, MODEL).query(q);
+            assert_eq!(r.items, d.items, "recovered answer diverged: {q:?}");
+        }
+        svc2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// WAL counters and the recovery report surface through the unified
+    /// registry (`friends_wal_*` / `friends_recovery_*`), and a query that
+    /// raced a durable mutation carries the WAL-append trace event.
+    #[test]
+    fn durable_service_surfaces_wal_metrics_and_trace_events() {
+        let (corpus, _) = fixture();
+        let dir = durability_dir("metrics");
+        let svc = FriendsService::start(
+            Arc::clone(&corpus),
+            ServiceConfig {
+                shards: 1,
+                durability: Some(DurabilityConfig::new(&dir)),
+                ..ServiceConfig::default()
+            },
+            exact_factory(MODEL),
+        );
+        let q = Query {
+            seeker: 2,
+            tags: vec![0],
+            k: 5,
+        };
+        let _ = svc.run_batch(std::slice::from_ref(&q));
+        let report = svc.apply_mutations(&edge_batch(2, 3), None);
+        let wal = report.wal.expect("durable service returns a WAL receipt");
+        // The first post-boundary dispatch cycle's traces show the
+        // durability point alongside the epoch switch.
+        let reply = svc.submit(Request::new(q).with_trace()).wait();
+        let rendered = reply.trace.expect("forced trace").render();
+        assert!(
+            rendered.contains(&format!("wal append {} bytes (fsynced)", wal.bytes)),
+            "{rendered}"
+        );
+        let registry = svc.stats().registry();
+        assert_eq!(registry.get("friends_wal_appends_total"), Some(1.0));
+        assert!(registry.get("friends_wal_bytes_total") >= Some(wal.bytes as f64));
+        assert!(registry.get("friends_wal_syncs_total") >= Some(1.0));
+        assert_eq!(registry.get("friends_recovery_recovered_epoch"), Some(0.0));
+        assert_eq!(registry.get("friends_recovery_replayed_batches"), Some(0.0));
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `snapshot_every` keeps restart cost bounded: after enough batches a
+    /// snapshot lands, covered WAL segments retire, and the next recovery
+    /// replays only the suffix past the snapshot.
+    #[test]
+    fn durable_service_auto_snapshots_and_replays_only_the_suffix() {
+        let (corpus, _) = fixture();
+        let dir = durability_dir("snap");
+        let mut dcfg = DurabilityConfig::new(&dir);
+        dcfg.snapshot_every = 2;
+        let config = ServiceConfig {
+            shards: 1,
+            durability: Some(dcfg),
+            ..ServiceConfig::default()
+        };
+        let svc = FriendsService::start(Arc::clone(&corpus), config.clone(), exact_factory(MODEL));
+        for (u, v) in [(0, 3), (1, 4), (2, 5), (3, 6), (4, 7)] {
+            svc.apply_mutations(&edge_batch(u, v), None);
+        }
+        let stats = svc.wal_stats().expect("durable service");
+        assert_eq!(stats.appends, 5, "{stats:?}");
+        assert!(
+            stats.rotations > 0,
+            "snapshots seal the active segment: {stats:?}"
+        );
+        svc.shutdown();
+
+        let svc2 = FriendsService::start(Arc::clone(&corpus), config, exact_factory(MODEL));
+        let report = svc2.recovery_report().expect("durable service").clone();
+        assert_eq!(report.recovered_epoch, 5, "{report:?}");
+        assert!(report.snapshot_epoch >= 2, "{report:?}");
+        assert_eq!(
+            report.replayed,
+            5 - report.snapshot_epoch,
+            "only the post-snapshot suffix replays: {report:?}"
+        );
+        svc2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Degraded scores are certified lower bounds: within `residual` of the

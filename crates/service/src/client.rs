@@ -672,6 +672,26 @@ impl ServedClient {
         self.service.apply_mutations(batch, horizon)
     }
 
+    /// [`ServedClient::apply_mutations`] with the durability error
+    /// surfaced instead of panicking — see
+    /// [`FriendsService::try_apply_mutations`]. On a durable service,
+    /// `Ok` means the batch is on the WAL (fsynced per its sync policy)
+    /// before any shard acknowledged it.
+    pub fn try_apply_mutations(
+        &self,
+        batch: &MutationBatch,
+        horizon: Option<u32>,
+    ) -> std::io::Result<crate::MutationReport> {
+        self.service.try_apply_mutations(batch, horizon)
+    }
+
+    /// The startup recovery report of a durable service — see
+    /// [`FriendsService::recovery_report`]. `None` when the service runs
+    /// memory-only.
+    pub fn recovery_report(&self) -> Option<&friends_core::live::RecoveryReport> {
+        self.service.recovery_report()
+    }
+
     /// The service's published corpus epoch (0 = frozen seed).
     pub fn epoch(&self) -> u64 {
         self.service.epoch()

@@ -109,9 +109,15 @@ pub use friends_core::plan::{
 pub use friends_core::proximity::SigmaBounds;
 
 // The live-graph write path: mutation batches (generated or hand-built)
-// and the epoch-snapshot machinery behind `apply_mutations`.
-pub use friends_core::live::{LiveCorpus, MutationOutcome, PreparedMutation};
+// and the epoch-snapshot machinery behind `apply_mutations` — plus the
+// durability layer behind `ServiceConfig::durability` (checksummed
+// snapshots, mutation WAL, replay recovery).
+pub use friends_core::live::{
+    DurabilityConfig, LiveCorpus, LiveDurability, MutationOutcome, PreparedMutation, RecoverError,
+    RecoveryReport,
+};
 pub use friends_data::mutations::{Mutation, MutationBatch, MutationParams, MutationStream};
+pub use friends_data::wal::{SyncPolicy, WalAppend, WalStats};
 
 // The observability surface: traces (EXPLAIN, slow-query log) and the
 // unified metrics registry behind `SearchClient::metrics()`.

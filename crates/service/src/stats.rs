@@ -3,9 +3,11 @@
 use crate::result_cache::ResultCache;
 use friends_core::cache::{CacheStats, ProximityCache};
 use friends_core::latency::{StageLatencies, StageSnapshot};
+use friends_core::live::{register_wal_stats, RecoveryReport};
 use friends_core::metrics::MetricsRegistry;
 use friends_core::plan::{PlanCounters, PlanHistogram};
 use friends_core::trace::TraceCollector;
+use friends_data::wal::WalStats;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -291,10 +293,17 @@ impl ShardStats {
     }
 }
 
-/// A snapshot of every shard, plus aggregates.
+/// A snapshot of every shard, plus aggregates and — on durable services —
+/// the service-level WAL counters and startup recovery report.
 #[derive(Clone, Debug, Default)]
 pub struct ServiceStats {
     pub shards: Vec<ShardStats>,
+    /// WAL counters; `None` on memory-only services
+    /// (`ServiceConfig::durability: None`).
+    pub wal: Option<WalStats>,
+    /// What startup recovery found and replayed; `None` on memory-only
+    /// services, all-zero on a freshly initialized directory.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl ServiceStats {
@@ -337,10 +346,18 @@ impl ServiceStats {
 
     /// The pooled (all-shards) counters as a [`MetricsRegistry`] — the
     /// export surface behind `report --json`'s `metrics_*` keys, the
-    /// `metrics_dump` example and the CI tail-latency gates.
+    /// `metrics_dump` example and the CI tail-latency gates. Durable
+    /// services additionally publish `friends_wal_*` and
+    /// `friends_recovery_*`.
     pub fn registry(&self) -> MetricsRegistry {
         let mut registry = MetricsRegistry::new();
         self.totals().register_into(&mut registry);
+        if let Some(wal) = &self.wal {
+            register_wal_stats(wal, &mut registry);
+        }
+        if let Some(recovery) = &self.recovery {
+            recovery.register_into(&mut registry);
+        }
         registry
     }
 }

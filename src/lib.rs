@@ -99,10 +99,12 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use friends_service::par_batch_served;
     pub use friends_service::{
-        exact_factory, global_bound_factory, ClientStats, DirectClient, DirectConfig, FaultKind,
-        FaultPlan, FriendsService, LiveCorpus, Metric, MetricKind, MetricsRegistry, Multiplexer,
-        Mutation, MutationBatch, MutationParams, MutationReport, MutationStream, Outcome,
-        OverloadPolicy, QueryTrace, Reply, Request, SearchClient, ServedClient, ServiceConfig,
-        ServiceStats, ShardStats, Ticket, TraceConfig, TraceEvent, TraceOutcome, TraceSpan,
+        exact_factory, global_bound_factory, ClientStats, DirectClient, DirectConfig,
+        DurabilityConfig, FaultKind, FaultPlan, FriendsService, LiveCorpus, LiveDurability, Metric,
+        MetricKind, MetricsRegistry, Multiplexer, Mutation, MutationBatch, MutationParams,
+        MutationReport, MutationStream, Outcome, OverloadPolicy, QueryTrace, RecoverError,
+        RecoveryReport, Reply, Request, SearchClient, ServedClient, ServiceConfig, ServiceStats,
+        ShardStats, SyncPolicy, Ticket, TraceConfig, TraceEvent, TraceOutcome, TraceSpan,
+        WalAppend, WalStats,
     };
 }
